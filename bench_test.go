@@ -1,0 +1,368 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each BenchmarkFigN/BenchmarkTableN runs the corresponding
+// experiment end-to-end and reports the headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` doubles as the reproduction
+// harness. Microbenchmarks at the bottom quantify the simulator's own
+// costs (and the Section VII-A defense's per-transaction overhead).
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/anim"
+	"repro/internal/appstore"
+	"repro/internal/binder"
+	"repro/internal/defense"
+	"repro/internal/device"
+	"repro/internal/experiment"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+	"repro/internal/sysserver"
+	"repro/internal/sysui"
+)
+
+const benchSeed = 42
+
+// BenchmarkFig2 regenerates the FastOutSlowIn completeness curve.
+func BenchmarkFig2(b *testing.B) {
+	var at100 float64
+	for i := 0; i < b.N; i++ {
+		pts := experiment.Fig2()
+		for _, p := range pts {
+			if p.At == 100*time.Millisecond {
+				at100 = p.Completeness
+			}
+		}
+	}
+	b.ReportMetric(100*at100, "%completeness@100ms")
+}
+
+// BenchmarkFig4 regenerates the toast enter/exit curves.
+func BenchmarkFig4(b *testing.B) {
+	var exitAt100 float64
+	for i := 0; i < b.N; i++ {
+		_, acc := experiment.Fig4()
+		for _, p := range acc {
+			if p.At == 100*time.Millisecond {
+				exitAt100 = p.Completeness
+			}
+		}
+	}
+	b.ReportMetric(100*exitAt100, "%exit@100ms")
+}
+
+// BenchmarkFig6 sweeps D through the five Λ outcomes on one device.
+func BenchmarkFig6(b *testing.B) {
+	var lambdas int
+	for i := 0; i < b.N; i++ {
+		pts, err := experiment.Fig6("mi8", benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seen := map[sysui.Outcome]bool{}
+		for _, p := range pts {
+			seen[p.Outcome] = true
+		}
+		lambdas = len(seen)
+	}
+	b.ReportMetric(float64(lambdas), "distinct-outcomes")
+}
+
+// BenchmarkTableII measures the Λ1 upper bound of D on all 30 devices and
+// reports the mean absolute deviation from the paper's Table II.
+func BenchmarkTableII(b *testing.B) {
+	var meanAbsDev float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.TableII(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum time.Duration
+		for _, r := range rows {
+			d := r.MeasuredD - r.PaperD
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		meanAbsDev = float64(sum/time.Duration(len(rows))) / float64(time.Millisecond)
+	}
+	b.ReportMetric(meanAbsDev, "mean|Δ|ms-vs-paper")
+}
+
+// BenchmarkLoadImpact reruns the Section VI-B background-load experiment.
+func BenchmarkLoadImpact(b *testing.B) {
+	var spreadMS float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.LoadImpact("mi8", benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := rows[0].MeasuredD, rows[0].MeasuredD
+		for _, r := range rows {
+			if r.MeasuredD < lo {
+				lo = r.MeasuredD
+			}
+			if r.MeasuredD > hi {
+				hi = r.MeasuredD
+			}
+		}
+		spreadMS = float64(hi-lo) / float64(time.Millisecond)
+	}
+	b.ReportMetric(spreadMS, "bound-spread-ms")
+}
+
+// BenchmarkFig7 runs the full 30-participant capture-rate study and
+// reports the mean capture at the sweep's endpoints.
+func BenchmarkFig7(b *testing.B) {
+	var at50, at200 float64
+	for i := 0; i < b.N; i++ {
+		study, err := experiment.RunCaptureStudy(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := study.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		at50 = rows[0].Box.Mean
+		at200 = rows[len(rows)-1].Box.Mean
+	}
+	b.ReportMetric(at50, "%capture@50ms")
+	b.ReportMetric(at200, "%capture@200ms")
+}
+
+// BenchmarkFig8 runs the capture study grouped by Android version and
+// reports the Android 9 − Android 10 separation at D = 200 ms.
+func BenchmarkFig8(b *testing.B) {
+	var sep float64
+	for i := 0; i < b.N; i++ {
+		study, err := experiment.RunCaptureStudy(benchSeed + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series, err := study.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(study.Ds) - 1
+		var v9, v10 float64
+		for _, s := range series {
+			switch s.VersionMajor {
+			case 9:
+				v9 = s.MeanByD[last]
+			case 10:
+				v10 = s.MeanByD[last]
+			}
+		}
+		sep = v9 - v10
+	}
+	b.ReportMetric(sep, "v9-v10-gap@200ms")
+}
+
+// BenchmarkTableIII runs the password-stealing study at the paper's scale
+// (10 passwords per participant per length — 1500 full attack runs) and
+// reports the success rate at length 8.
+func BenchmarkTableIII(b *testing.B) {
+	var successAt8 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.TableIII(benchSeed, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Length == 8 {
+				successAt8 = r.SuccessRate()
+			}
+		}
+	}
+	b.ReportMetric(successAt8, "%success-len8")
+}
+
+// BenchmarkTableIV attacks the eight real-world apps.
+func BenchmarkTableIV(b *testing.B) {
+	var compromised int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.TableIV(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		compromised = 0
+		for _, r := range rows {
+			if r.Compromised {
+				compromised++
+			}
+		}
+	}
+	b.ReportMetric(float64(compromised), "apps-compromised/8")
+}
+
+// BenchmarkStealthiness runs the 30-participant survey.
+func BenchmarkStealthiness(b *testing.B) {
+	var noticed, lag int
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.Stealthiness(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		noticed, lag = rep.NoticedAbnormal, rep.ReportedLag
+	}
+	b.ReportMetric(float64(noticed), "noticed/30")
+	b.ReportMetric(float64(lag), "lag-reports/30")
+}
+
+// BenchmarkCorpus runs the §VI-C2 study at the paper's full scale
+// (890,855 synthetic apps through both scanners).
+func BenchmarkCorpus(b *testing.B) {
+	var overlayA11y int
+	for i := 0; i < b.N; i++ {
+		rep, err := appstore.Study(benchSeed, appstore.PaperCorpusSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlayA11y = rep.OverlayPlusA11y
+	}
+	b.ReportMetric(float64(overlayA11y), "overlay+a11y-apps")
+}
+
+// BenchmarkDefenseIPC evaluates the Binder-log detector end to end.
+func BenchmarkDefenseIPC(b *testing.B) {
+	var latencyMS float64
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.DefenseIPC(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		latencyMS = float64(rep.DetectionLatency) / float64(time.Millisecond)
+	}
+	b.ReportMetric(latencyMS, "detect-latency-ms")
+}
+
+// BenchmarkDefenseNotif evaluates the enhanced-notification patch.
+func BenchmarkDefenseNotif(b *testing.B) {
+	var with float64
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.DefenseNotif(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with = float64(rep.OutcomeWith)
+	}
+	b.ReportMetric(with, "outcome-with-defense(5=Λ5)")
+}
+
+// BenchmarkDefenseToastGap evaluates the toast scheduling defense.
+func BenchmarkDefenseToastGap(b *testing.B) {
+	var withDefense float64
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.DefenseToastGap(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withDefense = rep.MinAlphaWith
+	}
+	b.ReportMetric(withDefense, "min-opacity-defended")
+}
+
+// BenchmarkDrawerCheck measures drawer exposure during the attack.
+func BenchmarkDrawerCheck(b *testing.B) {
+	var visibleBelowBound float64
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.DrawerCheck("mi8", benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		visibleBelowBound = rep.Rows[1].PixelsVisiblePct
+	}
+	b.ReportMetric(visibleBelowBound, "%pixels-visible@0.9bound")
+}
+
+// BenchmarkAblations runs the four design-choice knockouts.
+func BenchmarkAblations(b *testing.B) {
+	var anaShrinkMS float64
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.Ablations(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		anaShrinkMS = float64(rep.BoundWithANA-rep.BoundWithoutANA) / float64(time.Millisecond)
+	}
+	b.ReportMetric(anaShrinkMS, "ana-bound-shrink-ms")
+}
+
+// BenchmarkDetectorObserve measures the Section VII-A defense's
+// per-transaction analysis cost — the "negligible overhead" claim.
+func BenchmarkDetectorObserve(b *testing.B) {
+	det, err := defense.NewIPCDetector(defense.IPCDetectorConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := binder.Transaction{
+		From:   "com.some.app",
+		To:     binder.SystemServer,
+		Method: sysserver.MethodAddView,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Realistic overlay traffic density: a handful of calls per
+		// second, so the sliding window stays small.
+		tx.DeliveredAt = time.Duration(i) * 150 * time.Millisecond
+		det.Observe(tx)
+	}
+}
+
+// BenchmarkInterpolatorFastOutSlowIn measures the Bézier solve per frame.
+func BenchmarkInterpolatorFastOutSlowIn(b *testing.B) {
+	ip := anim.FastOutSlowIn()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += ip.Interpolate(float64(i%1000) / 1000)
+	}
+	_ = sink
+}
+
+// BenchmarkBinderCall measures one simulated Binder round trip.
+func BenchmarkBinderCall(b *testing.B) {
+	clock := simclock.New()
+	bus, err := binder.NewBus(binder.Config{Clock: clock, RNG: simrand.New(1), LogLimit: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bus.Register(binder.SystemServer, func(binder.Transaction) {}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bus.Call("app", binder.SystemServer, "m", nil); err != nil {
+			b.Fatal(err)
+		}
+		clock.Step()
+	}
+}
+
+// BenchmarkSimClock measures raw event throughput of the scheduler.
+func BenchmarkSimClock(b *testing.B) {
+	clock := simclock.New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.MustAfter(time.Microsecond, "bench", fn)
+		clock.Step()
+	}
+}
+
+// BenchmarkFullAttackSecond measures simulating one second of the overlay
+// attack on the default device.
+func BenchmarkFullAttackSecond(b *testing.B) {
+	p := device.Default()
+	for i := 0; i < b.N; i++ {
+		o, err := experiment.OutcomeForD(p, 297*time.Millisecond, time.Second, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if o != sysui.Lambda1 {
+			b.Fatalf("outcome %v", o)
+		}
+	}
+}

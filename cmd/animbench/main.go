@@ -1,0 +1,163 @@
+// Command animbench regenerates the paper's tables and figures from the
+// simulation and prints them next to the published values.
+//
+// Usage:
+//
+//	animbench -exp all
+//	animbench -exp fig7 -seed 42
+//	animbench -exp table2
+//
+// Experiments: fig2, fig4, fig6, table2, load, fig7, fig8, table3, table4,
+// stealth, corpus, defense-ipc, defense-notif, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/appstore"
+	"repro/internal/experiment"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (fig2, fig4, fig6, table2, load, fig7, fig8, table3, table4, stealth, corpus, defense-ipc, defense-notif, ablations, all)")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		model  = flag.String("model", "mi8", "device model for single-device experiments (fig6, load)")
+		trials = flag.Int("trials", 10, "passwords per participant for table3 (paper: 10)")
+		corpus = flag.Int("corpus", appstore.PaperCorpusSize, "synthetic corpus size for the §VI-C2 study")
+	)
+	flag.Parse()
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = []string{"fig2", "fig4", "fig6", "table2", "load", "fig7", "fig8", "table3", "table4", "stealth", "corpus", "defense-ipc", "defense-notif", "defense-toastgap", "drawer", "sensitivity", "ablations"}
+	}
+	for _, name := range names {
+		if err := runOne(strings.TrimSpace(name), *seed, *model, *trials, *corpus); err != nil {
+			fmt.Fprintf(os.Stderr, "animbench: %s: %v\n", name, err)
+			return 1
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+func runOne(name string, seed int64, model string, trials, corpusN int) error {
+	switch name {
+	case "fig2":
+		fmt.Print(experiment.RenderFig2())
+	case "fig4":
+		fmt.Print(experiment.RenderFig4())
+	case "fig6":
+		pts, err := experiment.Fig6(model, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderFig6(model, pts))
+	case "devices":
+		fmt.Print(experiment.RenderDeviceCatalog())
+	case "table2":
+		rows, err := experiment.TableII(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderTableII(rows))
+	case "load":
+		rows, err := experiment.LoadImpact(model, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderLoadImpact(model, rows))
+	case "fig7", "fig8":
+		study, err := experiment.RunCaptureStudy(seed)
+		if err != nil {
+			return err
+		}
+		if name == "fig7" {
+			rows, err := study.Fig7()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.RenderFig7(rows))
+			fmt.Println()
+			fmt.Print(experiment.RenderFig7Model(experiment.Fig7Model(), rows))
+			return nil
+		}
+		series, err := study.Fig8()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderFig8(study.Ds, series))
+	case "table3":
+		rows, err := experiment.TableIII(seed, trials)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderTableIII(rows))
+	case "table4":
+		rows, err := experiment.TableIV(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderTableIV(rows))
+	case "stealth":
+		rep, err := experiment.Stealthiness(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderStealth(rep))
+	case "corpus":
+		rep, err := experiment.CorpusStudy(seed, corpusN)
+		if err != nil {
+			return err
+		}
+		fmt.Println("§VI-C2 — app-market prevalence study")
+		fmt.Println(rep)
+	case "defense-ipc":
+		rep, err := experiment.DefenseIPC(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderDefenseIPC(rep))
+	case "defense-notif":
+		rep, err := experiment.DefenseNotif(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderDefenseNotif(rep))
+	case "defense-toastgap":
+		rep, err := experiment.DefenseToastGap(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderDefenseToastGap(rep))
+	case "drawer":
+		rep, err := experiment.DrawerCheck(model, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderDrawerCheck(rep))
+	case "sensitivity":
+		rows, err := experiment.ScatterSensitivity(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderScatterSensitivity(rows))
+	case "ablations":
+		rep, err := experiment.Ablations(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderAblations(rep))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

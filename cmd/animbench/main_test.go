@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+// TestRunOneFastExperiments exercises the dispatch wiring for every cheap
+// experiment name; the heavy studies have their own tests in
+// internal/experiment.
+func TestRunOneFastExperiments(t *testing.T) {
+	for _, name := range []string{"fig2", "fig4", "devices", "sensitivity", "defense-notif", "defense-toastgap"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if err := runOne(name, 1, "mi8", 1, 1000); err != nil {
+				t.Fatalf("runOne(%s): %v", name, err)
+			}
+		})
+	}
+}
+
+func TestRunOneCorpusSmall(t *testing.T) {
+	if err := runOne("corpus", 1, "mi8", 1, 5000); err != nil {
+		t.Fatalf("runOne(corpus): %v", err)
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("fig99", 1, "mi8", 1, 1000); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunOneBadModel(t *testing.T) {
+	if err := runOne("fig6", 1, "not-a-phone", 1, 1000); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

@@ -1,0 +1,41 @@
+// Command defensecheck evaluates both Section VII defenses: the IPC
+// (Binder) based detector and the enhanced-notification delayed-removal
+// patch.
+//
+// Usage:
+//
+//	defensecheck
+//	defensecheck -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	ipc, err := experiment.DefenseIPC(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "defensecheck: ipc: %v\n", err)
+		return 1
+	}
+	fmt.Print(experiment.RenderDefenseIPC(ipc))
+	fmt.Println()
+	notif, err := experiment.DefenseNotif(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "defensecheck: notif: %v\n", err)
+		return 1
+	}
+	fmt.Print(experiment.RenderDefenseNotif(notif))
+	return 0
+}

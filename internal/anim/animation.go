@@ -1,0 +1,238 @@
+package anim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// State enumerates the lifecycle states of an Animation.
+type State int
+
+// Animation lifecycle. An animation starts Idle, becomes Running after
+// Start, and ends Finished (ran to completion), Canceled (stopped abruptly)
+// or Reversing→Finished (played backwards to zero, the notification-retract
+// path).
+const (
+	StateIdle State = iota + 1
+	StateRunning
+	StateReversing
+	StateFinished
+	StateCanceled
+)
+
+// String renders the state for diagnostics.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateRunning:
+		return "running"
+	case StateReversing:
+		return "reversing"
+	case StateFinished:
+		return "finished"
+	case StateCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config describes an animation to run.
+type Config struct {
+	// Name labels clock events for tracing.
+	Name string
+	// Duration is the total animation duration; must be positive.
+	Duration time.Duration
+	// FrameInterval is the refresh interval; zero selects
+	// DefaultFrameInterval (10 ms). The first frame renders one interval
+	// after Start.
+	FrameInterval time.Duration
+	// Interpolator eases the progress; nil selects Linear.
+	Interpolator Interpolator
+	// OnFrame, if non-nil, observes each rendered frame's eased value.
+	OnFrame func(value float64)
+	// OnEnd, if non-nil, fires when the animation finishes or is
+	// canceled; completed is true only for a natural finish of the
+	// forward direction.
+	OnEnd func(completed bool)
+}
+
+// Animation is a frame-clocked animation on the simulation clock. It
+// mirrors the behaviour the paper measures: the eased value advances only
+// at frame boundaries, so there is a dead window between Start and the
+// first frame, and cancellation between frames leaves the last rendered
+// value on screen.
+type Animation struct {
+	clock   *simclock.Clock
+	cfg     Config
+	state   State
+	started simclock.Duration
+	value   float64 // last rendered eased value
+	peak    float64 // max value ever rendered (for Λ classification)
+	frames  int
+	frameEv *simclock.Event
+
+	// reverse bookkeeping
+	revFrom     float64
+	revStarted  simclock.Duration
+	revDuration time.Duration
+}
+
+// New builds an animation bound to clock. It validates the configuration.
+func New(clock *simclock.Clock, cfg Config) (*Animation, error) {
+	if clock == nil {
+		return nil, errors.New("anim: nil clock")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("anim: non-positive duration %v", cfg.Duration)
+	}
+	if cfg.FrameInterval == 0 {
+		cfg.FrameInterval = DefaultFrameInterval
+	}
+	if cfg.FrameInterval < 0 {
+		return nil, fmt.Errorf("anim: negative frame interval %v", cfg.FrameInterval)
+	}
+	if cfg.Interpolator == nil {
+		cfg.Interpolator = Linear{}
+	}
+	if cfg.Name == "" {
+		cfg.Name = "anim"
+	}
+	return &Animation{clock: clock, cfg: cfg, state: StateIdle}, nil
+}
+
+// State reports the current lifecycle state.
+func (a *Animation) State() State { return a.state }
+
+// Value reports the last rendered eased value in [0,1].
+func (a *Animation) Value() float64 { return a.value }
+
+// Peak reports the maximum eased value ever rendered. The System UI model
+// classifies the Λ outcome of the notification alert from this.
+func (a *Animation) Peak() float64 { return a.peak }
+
+// Frames reports how many frames have rendered.
+func (a *Animation) Frames() int { return a.frames }
+
+// Start begins the forward animation. Starting a non-idle animation is an
+// error.
+func (a *Animation) Start() error {
+	if a.state != StateIdle {
+		return fmt.Errorf("anim: Start in state %v", a.state)
+	}
+	a.state = StateRunning
+	a.started = a.clock.Now()
+	a.scheduleFrame()
+	return nil
+}
+
+func (a *Animation) scheduleFrame() {
+	a.frameEv = a.clock.MustAfter(a.cfg.FrameInterval, a.cfg.Name+"/frame", a.frame)
+}
+
+func (a *Animation) frame() {
+	switch a.state {
+	case StateRunning:
+		elapsed := a.clock.Now() - a.started
+		x := float64(elapsed) / float64(a.cfg.Duration)
+		a.render(a.cfg.Interpolator.Interpolate(x))
+		if x >= 1 {
+			a.finish(true)
+			return
+		}
+	case StateReversing:
+		elapsed := a.clock.Now() - a.revStarted
+		x := 1.0
+		if a.revDuration > 0 {
+			x = float64(elapsed) / float64(a.revDuration)
+		}
+		if x >= 1 {
+			a.render(0)
+			a.finish(false)
+			return
+		}
+		a.render(a.revFrom * (1 - a.cfg.Interpolator.Interpolate(x)))
+	default:
+		return // canceled between scheduling and firing
+	}
+	a.scheduleFrame()
+}
+
+func (a *Animation) render(v float64) {
+	a.value = clamp01(v)
+	if a.value > a.peak {
+		a.peak = a.value
+	}
+	a.frames++
+	if a.cfg.OnFrame != nil {
+		a.cfg.OnFrame(a.value)
+	}
+}
+
+func (a *Animation) finish(completed bool) {
+	a.state = StateFinished
+	if a.frameEv != nil {
+		a.clock.Cancel(a.frameEv)
+		a.frameEv = nil
+	}
+	if a.cfg.OnEnd != nil {
+		a.cfg.OnEnd(completed)
+	}
+}
+
+// Cancel stops the animation immediately, leaving the last rendered value
+// in place. Canceling an animation that is not running or reversing is a
+// no-op.
+func (a *Animation) Cancel() {
+	if a.state != StateRunning && a.state != StateReversing {
+		return
+	}
+	a.state = StateCanceled
+	if a.frameEv != nil {
+		a.clock.Cancel(a.frameEv)
+		a.frameEv = nil
+	}
+	if a.cfg.OnEnd != nil {
+		a.cfg.OnEnd(false)
+	}
+}
+
+// ReverseNow flips a running animation into reverse: the value animates
+// from its current level back to zero over a time proportional to the
+// progress already made. This is the "startTopAnimation in a reverse way"
+// path System UI takes when the overlay disappears mid-animation. Reversing
+// an idle or finished animation at value 0 completes immediately.
+func (a *Animation) ReverseNow() error {
+	switch a.state {
+	case StateRunning:
+		// fall through to reverse below
+	case StateIdle, StateFinished, StateCanceled:
+		if a.value == 0 {
+			a.state = StateFinished
+			return nil
+		}
+	case StateReversing:
+		return nil // already reversing
+	default:
+		return fmt.Errorf("anim: ReverseNow in state %v", a.state)
+	}
+	if a.frameEv != nil {
+		a.clock.Cancel(a.frameEv)
+		a.frameEv = nil
+	}
+	a.state = StateReversing
+	a.revFrom = a.value
+	a.revStarted = a.clock.Now()
+	a.revDuration = time.Duration(float64(a.cfg.Duration) * a.revFrom)
+	if a.revDuration <= 0 {
+		a.render(0)
+		a.finish(false)
+		return nil
+	}
+	a.scheduleFrame()
+	return nil
+}

@@ -1,0 +1,101 @@
+// Package apps models the eight real-world victim apps of the paper's
+// Table IV as login-screen view trees. The apps differ in exactly one
+// security-relevant way the paper reports: Alipay disables accessibility
+// events on its password input widget, so the malicious app cannot learn
+// when the password field gains focus — but its username widget still
+// dispatches events, enabling the getParent() bypass of Section VI-C1.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/binder"
+	"repro/internal/geom"
+	"repro/internal/simclock"
+	"repro/internal/uikit"
+)
+
+// VictimApp describes one Table IV app.
+type VictimApp struct {
+	// Name is the display name.
+	Name string
+	// Package is the Android package name (and Binder process id).
+	Package binder.ProcessID
+	// Version is the tested version from Table IV.
+	Version string
+	// DisablesPasswordA11y reports whether the app suppresses
+	// accessibility events on the password widget (Alipay).
+	DisablesPasswordA11y bool
+}
+
+// Catalog returns the Table IV apps.
+func Catalog() []VictimApp {
+	return []VictimApp{
+		{Name: "Bank of America", Package: "com.infonow.bofa", Version: "8.1.16"},
+		{Name: "Skype", Package: "com.skype.raider", Version: "8.45.0.43"},
+		{Name: "Facebook", Package: "com.facebook.katana", Version: "196.0.0.16.95"},
+		{Name: "Evernote", Package: "com.evernote", Version: "8.4.1"},
+		{Name: "Snapchat", Package: "com.snapchat.android", Version: "10.44.3.0"},
+		{Name: "Twitter", Package: "com.twitter.android", Version: "7.68.1"},
+		{Name: "Instagram", Package: "com.instagram.android", Version: "69.0.0.10.95"},
+		{Name: "Alipay", Package: "com.eg.android.AlipayGphone", Version: "10.1.65", DisablesPasswordA11y: true},
+	}
+}
+
+// ByName finds a catalog app by display name.
+func ByName(name string) (VictimApp, bool) {
+	for _, a := range Catalog() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return VictimApp{}, false
+}
+
+// LoginSession is an instantiated login screen for one app on one screen
+// geometry.
+type LoginSession struct {
+	// App is the victim app.
+	App VictimApp
+	// Activity hosts the view tree and accessibility dispatch.
+	Activity *uikit.Activity
+	// Username and Password are the two input widgets.
+	Username, Password *uikit.View
+	// SignIn is the submit button.
+	SignIn *uikit.View
+	// KeyboardBounds is where the IME appears when an input is focused
+	// (bottom 37.5% of the screen).
+	KeyboardBounds geom.Rect
+}
+
+// NewLoginSession builds the app's login screen over the given screen
+// rectangle.
+func (v VictimApp) NewLoginSession(clock *simclock.Clock, screen geom.Rect) (*LoginSession, error) {
+	if screen.Empty() {
+		return nil, fmt.Errorf("apps: empty screen for %s", v.Name)
+	}
+	w, h := screen.W(), screen.H()
+	root := uikit.NewView("login_root", "LinearLayout", screen)
+	username := root.AddChild(uikit.NewView("username_input", "EditText",
+		geom.RectWH(screen.Min.X+0.05*w, screen.Min.Y+0.22*h, 0.9*w, 0.06*h)))
+	password := root.AddChild(uikit.NewView("password_input", "EditText",
+		geom.RectWH(screen.Min.X+0.05*w, screen.Min.Y+0.32*h, 0.9*w, 0.06*h)))
+	password.Password = true
+	if v.DisablesPasswordA11y {
+		password.A11yEnabled = false
+	}
+	signIn := root.AddChild(uikit.NewView("sign_in", "Button",
+		geom.RectWH(screen.Min.X+0.05*w, screen.Min.Y+0.42*h, 0.9*w, 0.06*h)))
+	act, err := uikit.NewActivity(clock, v.Package, root)
+	if err != nil {
+		return nil, fmt.Errorf("apps: build %s login activity: %w", v.Name, err)
+	}
+	return &LoginSession{
+		App:            v,
+		Activity:       act,
+		Username:       username,
+		Password:       password,
+		SignIn:         signIn,
+		KeyboardBounds: geom.RectWH(screen.Min.X, screen.Min.Y+0.625*h, w, 0.375*h),
+	}, nil
+}

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/simclock"
+	"repro/internal/uikit"
+)
+
+func screen() geom.Rect { return geom.RectWH(0, 0, 1080, 1920) }
+
+func TestCatalogMatchesTableIV(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 8 {
+		t.Fatalf("catalog has %d apps, want 8 (Table IV)", len(cat))
+	}
+	wantVersions := map[string]string{
+		"Bank of America": "8.1.16",
+		"Skype":           "8.45.0.43",
+		"Facebook":        "196.0.0.16.95",
+		"Evernote":        "8.4.1",
+		"Snapchat":        "10.44.3.0",
+		"Twitter":         "7.68.1",
+		"Instagram":       "69.0.0.10.95",
+		"Alipay":          "10.1.65",
+	}
+	for _, a := range cat {
+		want, ok := wantVersions[a.Name]
+		if !ok {
+			t.Errorf("unexpected app %q", a.Name)
+			continue
+		}
+		if a.Version != want {
+			t.Errorf("%s version = %q, want %q", a.Name, a.Version, want)
+		}
+		if a.Package == "" {
+			t.Errorf("%s has empty package", a.Name)
+		}
+	}
+}
+
+func TestOnlyAlipayDisablesA11y(t *testing.T) {
+	for _, a := range Catalog() {
+		want := a.Name == "Alipay"
+		if a.DisablesPasswordA11y != want {
+			t.Errorf("%s DisablesPasswordA11y = %v, want %v", a.Name, a.DisablesPasswordA11y, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, ok := ByName("Skype")
+	if !ok || a.Version != "8.45.0.43" {
+		t.Fatalf("ByName(Skype) = (%+v, %v)", a, ok)
+	}
+	if _, ok := ByName("WeChat"); ok {
+		t.Fatal("ByName found an app not in Table IV")
+	}
+}
+
+func TestNewLoginSession(t *testing.T) {
+	clock := simclock.New()
+	bofa, _ := ByName("Bank of America")
+	sess, err := bofa.NewLoginSession(clock, screen())
+	if err != nil {
+		t.Fatalf("NewLoginSession: %v", err)
+	}
+	if sess.Username == nil || sess.Password == nil || sess.SignIn == nil {
+		t.Fatal("login widgets missing")
+	}
+	if !sess.Password.Password {
+		t.Fatal("password widget not marked Password")
+	}
+	if !sess.Password.A11yEnabled {
+		t.Fatal("BofA password widget should dispatch accessibility events")
+	}
+	if sess.KeyboardBounds.Empty() {
+		t.Fatal("keyboard bounds empty")
+	}
+	// The IME occupies the bottom of the screen, below the widgets.
+	if sess.KeyboardBounds.Min.Y <= sess.Password.Bounds.Max.Y {
+		t.Fatalf("keyboard %v overlaps password widget %v", sess.KeyboardBounds, sess.Password.Bounds)
+	}
+	// Widgets are inside the screen and in the activity tree.
+	for _, v := range []*uikit.View{sess.Username, sess.Password, sess.SignIn} {
+		if !screen().Covers(v.Bounds) {
+			t.Errorf("widget %s outside screen", v.ID)
+		}
+		if _, ok := sess.Activity.Root.FindByID(v.ID); !ok {
+			t.Errorf("widget %s not in tree", v.ID)
+		}
+	}
+}
+
+func TestAlipaySessionSuppressesPasswordEvents(t *testing.T) {
+	clock := simclock.New()
+	alipay, _ := ByName("Alipay")
+	sess, err := alipay.NewLoginSession(clock, screen())
+	if err != nil {
+		t.Fatalf("NewLoginSession: %v", err)
+	}
+	if sess.Password.A11yEnabled {
+		t.Fatal("Alipay password widget must disable accessibility")
+	}
+	if !sess.Username.A11yEnabled {
+		t.Fatal("Alipay username widget must keep accessibility (the bypass)")
+	}
+}
+
+func TestNewLoginSessionEmptyScreen(t *testing.T) {
+	clock := simclock.New()
+	bofa, _ := ByName("Bank of America")
+	if _, err := bofa.NewLoginSession(clock, geom.Rect{}); err == nil {
+		t.Fatal("empty screen accepted")
+	}
+}

@@ -1,0 +1,311 @@
+// Package appstore reproduces the paper's Section VI-C2 app-market study.
+// The paper crawled 890,855 APKs from AndroZoo and scanned them with an
+// aapt-based manifest analyzer and a FlowDroid-based method analyzer,
+// finding 4,405 apps that request SYSTEM_ALERT_WINDOW *and* register an
+// accessibility service, 18,887 that call both addView() and removeView()
+// and request SYSTEM_ALERT_WINDOW, and 15,179 that use a customized toast.
+//
+// AndroZoo is not redistributable, so this package substitutes a synthetic
+// corpus: a generator that emits APK stand-ins (manifest text plus DEX
+// method references) whose feature marginals are calibrated to the paper's
+// measured rates, and scanners that actually parse those artifacts the way
+// aapt and FlowDroid do — the analysis pipeline is real, the inputs are
+// synthetic.
+package appstore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simrand"
+)
+
+// Android identifier constants the scanners look for.
+const (
+	// PermSystemAlertWindow is the overlay permission.
+	PermSystemAlertWindow = "android.permission.SYSTEM_ALERT_WINDOW"
+	// PermBindAccessibility marks accessibility services.
+	PermBindAccessibility = "android.permission.BIND_ACCESSIBILITY_SERVICE"
+	// RefAddView and RefRemoveView are the WindowManager method
+	// references the FlowDroid pass searches for.
+	RefAddView    = "Landroid/view/WindowManager;->addView(Landroid/view/View;Landroid/view/ViewGroup$LayoutParams;)V"
+	RefRemoveView = "Landroid/view/WindowManager;->removeView(Landroid/view/View;)V"
+	// RefToastSetView marks customized toasts (Toast.setView).
+	RefToastSetView = "Landroid/widget/Toast;->setView(Landroid/view/View;)V"
+)
+
+// PaperCorpusSize is the AndroZoo sample size of Section VI-C2.
+const PaperCorpusSize = 890855
+
+// Paper counts for calibration checks.
+const (
+	PaperOverlayPlusA11y  = 4405
+	PaperAddRemoveWithSAW = 18887
+	PaperCustomToast      = 15179
+)
+
+// Rates parameterizes the synthetic corpus generator.
+type Rates struct {
+	// SAW is P(app requests SYSTEM_ALERT_WINDOW).
+	SAW float64
+	// A11yGivenSAW is P(accessibility service | SAW).
+	A11yGivenSAW float64
+	// A11yGivenNoSAW is P(accessibility service | ¬SAW).
+	A11yGivenNoSAW float64
+	// AddRemoveGivenSAW is P(calls addView and removeView | SAW).
+	AddRemoveGivenSAW float64
+	// AddRemoveGivenNoSAW is the same for apps without the permission
+	// (in-app window management).
+	AddRemoveGivenNoSAW float64
+	// CustomToast is P(app calls Toast.setView), independent of the
+	// overlay features.
+	CustomToast float64
+}
+
+// PaperRates returns generator rates calibrated so that the expected
+// counts at the AndroZoo sample size match Section VI-C2:
+//
+//	890855 × P(SAW)·P(a11y|SAW)       ≈ 4,405
+//	890855 × P(SAW)·P(add&rm|SAW)     ≈ 18,887
+//	890855 × P(toast)                 ≈ 15,179
+func PaperRates() Rates {
+	const (
+		pSAW   = 0.04
+		jointA = float64(PaperOverlayPlusA11y) / float64(PaperCorpusSize)
+		jointR = float64(PaperAddRemoveWithSAW) / float64(PaperCorpusSize)
+	)
+	return Rates{
+		SAW:                 pSAW,
+		A11yGivenSAW:        jointA / pSAW,
+		A11yGivenNoSAW:      0.005,
+		AddRemoveGivenSAW:   jointR / pSAW,
+		AddRemoveGivenNoSAW: 0.03,
+		CustomToast:         float64(PaperCustomToast) / float64(PaperCorpusSize),
+	}
+}
+
+// APK is a synthetic application artifact: the manifest XML the aapt pass
+// parses and the DEX method references the FlowDroid pass greps.
+type APK struct {
+	// Package is the application id.
+	Package string
+	// Manifest is the AndroidManifest.xml text.
+	Manifest string
+	// DexRefs are the method references extracted from classes.dex.
+	DexRefs []string
+}
+
+// fillerPermissions pads manifests so the scanner cannot cheat by length.
+var fillerPermissions = []string{
+	"android.permission.INTERNET",
+	"android.permission.ACCESS_NETWORK_STATE",
+	"android.permission.CAMERA",
+	"android.permission.READ_CONTACTS",
+	"android.permission.ACCESS_FINE_LOCATION",
+	"android.permission.RECORD_AUDIO",
+	"android.permission.WRITE_EXTERNAL_STORAGE",
+	"android.permission.VIBRATE",
+	"android.permission.WAKE_LOCK",
+	"android.permission.RECEIVE_BOOT_COMPLETED",
+}
+
+var fillerRefs = []string{
+	"Landroid/app/Activity;->onCreate(Landroid/os/Bundle;)V",
+	"Landroid/widget/TextView;->setText(Ljava/lang/CharSequence;)V",
+	"Ljava/net/HttpURLConnection;->connect()V",
+	"Landroid/content/SharedPreferences;->edit()Landroid/content/SharedPreferences$Editor;",
+	"Landroid/widget/Toast;->makeText(Landroid/content/Context;Ljava/lang/CharSequence;I)Landroid/widget/Toast;",
+	"Landroid/view/View;->setOnClickListener(Landroid/view/View$OnClickListener;)V",
+}
+
+// Generator emits synthetic APKs with the configured feature rates.
+type Generator struct {
+	rng   *simrand.Source
+	rates Rates
+	n     int
+}
+
+// NewGenerator builds a generator from a seed.
+func NewGenerator(rng *simrand.Source, rates Rates) (*Generator, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("appstore: nil rng")
+	}
+	for _, p := range []float64{rates.SAW, rates.A11yGivenSAW, rates.A11yGivenNoSAW, rates.AddRemoveGivenSAW, rates.AddRemoveGivenNoSAW, rates.CustomToast} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("appstore: rate %v out of [0,1]", p)
+		}
+	}
+	return &Generator{rng: rng, rates: rates}, nil
+}
+
+// Next generates one APK.
+func (g *Generator) Next() APK {
+	g.n++
+	pkg := fmt.Sprintf("com.gen.app%06d", g.n)
+
+	saw := g.rng.Bool(g.rates.SAW)
+	var a11y, addRemove bool
+	if saw {
+		a11y = g.rng.Bool(g.rates.A11yGivenSAW)
+		addRemove = g.rng.Bool(g.rates.AddRemoveGivenSAW)
+	} else {
+		a11y = g.rng.Bool(g.rates.A11yGivenNoSAW)
+		addRemove = g.rng.Bool(g.rates.AddRemoveGivenNoSAW)
+	}
+	toast := g.rng.Bool(g.rates.CustomToast)
+
+	var sb strings.Builder
+	sb.WriteString(`<manifest xmlns:android="http://schemas.android.com/apk/res/android" package="` + pkg + "\">\n")
+	// A few filler permissions in random positions.
+	for _, i := range g.rng.Perm(len(fillerPermissions))[:2+g.rng.Intn(4)] {
+		fmt.Fprintf(&sb, "  <uses-permission android:name=%q/>\n", fillerPermissions[i])
+	}
+	if saw {
+		fmt.Fprintf(&sb, "  <uses-permission android:name=%q/>\n", PermSystemAlertWindow)
+	}
+	sb.WriteString("  <application>\n")
+	if a11y {
+		fmt.Fprintf(&sb, "    <service android:name=%q android:permission=%q/>\n",
+			pkg+".AccessService", PermBindAccessibility)
+	}
+	sb.WriteString("  </application>\n</manifest>\n")
+
+	refs := make([]string, 0, 8)
+	for _, i := range g.rng.Perm(len(fillerRefs))[:2+g.rng.Intn(3)] {
+		refs = append(refs, fillerRefs[i])
+	}
+	if addRemove {
+		refs = append(refs, RefAddView, RefRemoveView)
+	}
+	if toast {
+		refs = append(refs, RefToastSetView)
+	}
+	return APK{Package: pkg, Manifest: sb.String(), DexRefs: refs}
+}
+
+// ScanResult is the per-app analysis outcome.
+type ScanResult struct {
+	HasSAW          bool
+	HasA11yService  bool
+	CallsAddView    bool
+	CallsRemoveView bool
+	UsesCustomToast bool
+}
+
+// ScanManifest is the aapt-style pass: it parses the manifest text for the
+// overlay permission and accessibility services.
+func ScanManifest(manifest string) (hasSAW, hasA11y bool) {
+	for _, line := range strings.Split(manifest, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "<uses-permission"):
+			if name, ok := xmlAttr(line, "android:name"); ok && name == PermSystemAlertWindow {
+				hasSAW = true
+			}
+		case strings.HasPrefix(line, "<service"):
+			if perm, ok := xmlAttr(line, "android:permission"); ok && perm == PermBindAccessibility {
+				hasA11y = true
+			}
+		}
+	}
+	return hasSAW, hasA11y
+}
+
+// xmlAttr extracts a quoted attribute value from a single-line XML tag.
+func xmlAttr(line, attr string) (string, bool) {
+	marker := attr + `="`
+	i := strings.Index(line, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// ScanDex is the FlowDroid-style pass: it searches the method-reference
+// table for the WindowManager and Toast signatures of interest.
+func ScanDex(refs []string) (addView, removeView, customToast bool) {
+	for _, r := range refs {
+		switch r {
+		case RefAddView:
+			addView = true
+		case RefRemoveView:
+			removeView = true
+		case RefToastSetView:
+			customToast = true
+		}
+	}
+	return addView, removeView, customToast
+}
+
+// Scan runs both passes over one APK.
+func Scan(apk APK) ScanResult {
+	var res ScanResult
+	res.HasSAW, res.HasA11yService = ScanManifest(apk.Manifest)
+	res.CallsAddView, res.CallsRemoveView, res.UsesCustomToast = ScanDex(apk.DexRefs)
+	return res
+}
+
+// Report aggregates the Section VI-C2 counts.
+type Report struct {
+	// Total is the number of apps scanned.
+	Total int
+	// OverlayPlusA11y counts apps with SYSTEM_ALERT_WINDOW and a
+	// registered accessibility service (paper: 4,405).
+	OverlayPlusA11y int
+	// AddRemoveWithSAW counts apps calling both addView and removeView
+	// with SYSTEM_ALERT_WINDOW (paper: 18,887).
+	AddRemoveWithSAW int
+	// CustomToast counts apps using a customized toast (paper: 15,179).
+	CustomToast int
+}
+
+// Add folds one scan result into the report.
+func (r *Report) Add(res ScanResult) {
+	r.Total++
+	if res.HasSAW && res.HasA11yService {
+		r.OverlayPlusA11y++
+	}
+	if res.HasSAW && res.CallsAddView && res.CallsRemoveView {
+		r.AddRemoveWithSAW++
+	}
+	if res.UsesCustomToast {
+		r.CustomToast++
+	}
+}
+
+// String renders the report next to the paper's numbers.
+func (r Report) String() string {
+	scale := float64(r.Total) / float64(PaperCorpusSize)
+	return fmt.Sprintf(
+		"scanned %d apps\n"+
+			"  SYSTEM_ALERT_WINDOW + accessibility service: %d (paper: %d, scaled %.0f)\n"+
+			"  addView+removeView with SYSTEM_ALERT_WINDOW: %d (paper: %d, scaled %.0f)\n"+
+			"  customized toast:                            %d (paper: %d, scaled %.0f)",
+		r.Total,
+		r.OverlayPlusA11y, PaperOverlayPlusA11y, scale*PaperOverlayPlusA11y,
+		r.AddRemoveWithSAW, PaperAddRemoveWithSAW, scale*PaperAddRemoveWithSAW,
+		r.CustomToast, PaperCustomToast, scale*PaperCustomToast,
+	)
+}
+
+// Study generates and scans a synthetic corpus of n apps. Use
+// n = PaperCorpusSize for the full-scale reproduction.
+func Study(seed int64, n int) (Report, error) {
+	if n <= 0 {
+		return Report{}, fmt.Errorf("appstore: non-positive corpus size %d", n)
+	}
+	gen, err := NewGenerator(simrand.New(seed).Derive("corpus"), PaperRates())
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	for i := 0; i < n; i++ {
+		rep.Add(Scan(gen.Next()))
+	}
+	return rep, nil
+}

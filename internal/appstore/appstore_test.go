@@ -1,0 +1,177 @@
+package appstore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+func TestPaperRatesInRange(t *testing.T) {
+	r := PaperRates()
+	for name, p := range map[string]float64{
+		"SAW":                 r.SAW,
+		"A11yGivenSAW":        r.A11yGivenSAW,
+		"A11yGivenNoSAW":      r.A11yGivenNoSAW,
+		"AddRemoveGivenSAW":   r.AddRemoveGivenSAW,
+		"AddRemoveGivenNoSAW": r.AddRemoveGivenNoSAW,
+		"CustomToast":         r.CustomToast,
+	} {
+		if p < 0 || p > 1 {
+			t.Errorf("rate %s = %v out of [0,1]", name, p)
+		}
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(nil, PaperRates()); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	bad := PaperRates()
+	bad.SAW = 1.5
+	if _, err := NewGenerator(simrand.New(1), bad); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestGeneratedManifestParses(t *testing.T) {
+	gen, err := NewGenerator(simrand.New(2), Rates{SAW: 1, A11yGivenSAW: 1, AddRemoveGivenSAW: 1, CustomToast: 1})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	apk := gen.Next()
+	if !strings.Contains(apk.Manifest, PermSystemAlertWindow) {
+		t.Fatal("manifest missing SAW permission")
+	}
+	res := Scan(apk)
+	if !res.HasSAW || !res.HasA11yService || !res.CallsAddView || !res.CallsRemoveView || !res.UsesCustomToast {
+		t.Fatalf("scan of all-features app = %+v", res)
+	}
+}
+
+func TestScanCleanApp(t *testing.T) {
+	gen, err := NewGenerator(simrand.New(3), Rates{})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	res := Scan(gen.Next())
+	if res.HasSAW || res.HasA11yService || res.CallsAddView || res.CallsRemoveView || res.UsesCustomToast {
+		t.Fatalf("scan of featureless app = %+v", res)
+	}
+}
+
+func TestScanManifestDirect(t *testing.T) {
+	manifest := `<manifest package="x">
+  <uses-permission android:name="android.permission.INTERNET"/>
+  <uses-permission android:name="android.permission.SYSTEM_ALERT_WINDOW"/>
+  <application>
+    <service android:name="x.Svc" android:permission="android.permission.BIND_ACCESSIBILITY_SERVICE"/>
+  </application>
+</manifest>`
+	saw, a11y := ScanManifest(manifest)
+	if !saw || !a11y {
+		t.Fatalf("ScanManifest = (%v,%v), want both true", saw, a11y)
+	}
+	// A service without the accessibility bind permission must not count.
+	saw, a11y = ScanManifest(`<manifest><service android:name="x" android:permission="android.permission.BIND_JOB_SERVICE"/></manifest>`)
+	if saw || a11y {
+		t.Fatalf("false positives: (%v,%v)", saw, a11y)
+	}
+	// Substring traps: a permission that merely contains the name inside
+	// another attribute must not match.
+	saw, _ = ScanManifest(`<manifest><uses-permission android:label="android.permission.SYSTEM_ALERT_WINDOW" android:name="android.permission.CAMERA"/></manifest>`)
+	if saw {
+		t.Fatal("label attribute misread as name")
+	}
+}
+
+func TestXMLAttr(t *testing.T) {
+	v, ok := xmlAttr(`<x android:name="abc" other="d"/>`, "android:name")
+	if !ok || v != "abc" {
+		t.Fatalf("xmlAttr = (%q,%v)", v, ok)
+	}
+	if _, ok := xmlAttr(`<x/>`, "android:name"); ok {
+		t.Fatal("attr found on empty tag")
+	}
+	if _, ok := xmlAttr(`<x android:name="unterminated`, "android:name"); ok {
+		t.Fatal("unterminated attr accepted")
+	}
+}
+
+func TestScanDexDirect(t *testing.T) {
+	add, rm, toast := ScanDex([]string{RefAddView, RefToastSetView})
+	if !add || rm || !toast {
+		t.Fatalf("ScanDex = (%v,%v,%v)", add, rm, toast)
+	}
+	add, rm, toast = ScanDex(nil)
+	if add || rm || toast {
+		t.Fatal("ScanDex on empty refs found features")
+	}
+}
+
+// TestStudyReproducesPaperProportions runs a 50k-app corpus and checks the
+// three §VI-C2 counts land within 20% of the paper's proportions.
+func TestStudyReproducesPaperProportions(t *testing.T) {
+	const n = 50000
+	rep, err := Study(1, n)
+	if err != nil {
+		t.Fatalf("Study: %v", err)
+	}
+	if rep.Total != n {
+		t.Fatalf("Total = %d, want %d", rep.Total, n)
+	}
+	scale := float64(n) / float64(PaperCorpusSize)
+	checks := []struct {
+		name  string
+		got   int
+		paper int
+	}{
+		{"overlay+a11y", rep.OverlayPlusA11y, PaperOverlayPlusA11y},
+		{"add/remove+SAW", rep.AddRemoveWithSAW, PaperAddRemoveWithSAW},
+		{"custom toast", rep.CustomToast, PaperCustomToast},
+	}
+	for _, c := range checks {
+		want := scale * float64(c.paper)
+		if got := float64(c.got); got < 0.8*want || got > 1.2*want {
+			t.Errorf("%s = %d, want ≈%.0f (±20%%)", c.name, c.got, want)
+		}
+	}
+	if s := rep.String(); !strings.Contains(s, "scanned 50000 apps") {
+		t.Fatalf("report string = %q", s)
+	}
+}
+
+func TestStudyValidation(t *testing.T) {
+	if _, err := Study(1, 0); err == nil {
+		t.Fatal("zero corpus accepted")
+	}
+}
+
+func TestStudyDeterministic(t *testing.T) {
+	a, err := Study(7, 2000)
+	if err != nil {
+		t.Fatalf("Study: %v", err)
+	}
+	b, err := Study(7, 2000)
+	if err != nil {
+		t.Fatalf("Study: %v", err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestPackagesUnique(t *testing.T) {
+	gen, err := NewGenerator(simrand.New(5), PaperRates())
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		apk := gen.Next()
+		if seen[apk.Package] {
+			t.Fatalf("duplicate package %s", apk.Package)
+		}
+		seen[apk.Package] = true
+	}
+}

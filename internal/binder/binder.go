@@ -1,0 +1,224 @@
+// Package binder simulates the slice of Android's Binder IPC that the
+// paper's attacks and defenses depend on: asynchronous transactions between
+// named processes, per-call latency sampled from a device profile, and a
+// transaction log with caller identity and timestamps (the raw material of
+// the Section VII-A IPC-based defense).
+//
+// Delivery semantics follow the paper's empirical observations rather than
+// a strict global FIFO: calls on the same (from, to, method) stream are
+// delivered in order, but calls on different methods may overtake each
+// other — the paper observes that an addView issued *after* a removeView
+// still reaches System Server first because the two travel different Binder
+// paths with different latencies (Tam < Trm).
+package binder
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+)
+
+// ProcessID names a simulated process, e.g. "com.evil.app",
+// "system_server" or "com.android.systemui".
+type ProcessID string
+
+// Well-known system processes.
+const (
+	SystemServer ProcessID = "system_server"
+	SystemUI     ProcessID = "com.android.systemui"
+)
+
+// Transaction is one Binder call in flight or in the log.
+type Transaction struct {
+	// ID is a unique, monotonically increasing transaction id.
+	ID uint64
+	// From and To identify the caller and callee processes.
+	From, To ProcessID
+	// Method is the remote method name, e.g. "addView".
+	Method string
+	// Payload carries the argument object; handlers type-assert it.
+	Payload any
+	// SentAt and DeliveredAt are virtual timestamps.
+	SentAt, DeliveredAt time.Duration
+}
+
+// Handler receives delivered transactions for one endpoint.
+type Handler func(tx Transaction)
+
+// Observer is notified of every delivered transaction; the IPC defense
+// installs one to collect the per-caller add/remove pattern.
+type Observer func(tx Transaction)
+
+// LatencyFunc supplies the latency distribution for a call; the device
+// profile implements it. Returning the zero Dist means instant delivery.
+type LatencyFunc func(from, to ProcessID, method string) simrand.Dist
+
+// Bus routes transactions between registered endpoints on the simulation
+// clock.
+type Bus struct {
+	clock    *simclock.Clock
+	rng      *simrand.Source
+	latency  LatencyFunc
+	handlers map[ProcessID]Handler
+	nextID   uint64
+
+	// lastDelivery enforces per-stream FIFO: a call may not be delivered
+	// before an earlier call on the same (from,to,method) stream.
+	lastDelivery map[streamKey]time.Duration
+
+	log       []Transaction
+	logLimit  int
+	observers []Observer
+
+	dropped uint64
+}
+
+type streamKey struct {
+	from, to ProcessID
+	method   string
+}
+
+// Config configures a Bus.
+type Config struct {
+	// Clock drives delivery; required.
+	Clock *simclock.Clock
+	// RNG samples latencies; required.
+	RNG *simrand.Source
+	// Latency supplies per-call latency distributions; nil means all
+	// calls deliver instantly (useful in unit tests).
+	Latency LatencyFunc
+	// LogLimit caps the in-memory transaction log; zero selects a
+	// generous default, negative disables logging.
+	LogLimit int
+}
+
+// defaultLogLimit bounds the transaction log so week-long simulated attacks
+// do not hold every transaction in memory.
+const defaultLogLimit = 1 << 20
+
+// NewBus builds a Bus.
+func NewBus(cfg Config) (*Bus, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("binder: nil clock")
+	}
+	if cfg.RNG == nil {
+		return nil, errors.New("binder: nil rng")
+	}
+	limit := cfg.LogLimit
+	if limit == 0 {
+		limit = defaultLogLimit
+	}
+	return &Bus{
+		clock:        cfg.Clock,
+		rng:          cfg.RNG,
+		latency:      cfg.Latency,
+		handlers:     make(map[ProcessID]Handler),
+		lastDelivery: make(map[streamKey]time.Duration),
+		logLimit:     limit,
+	}, nil
+}
+
+// Register installs the handler for a process. Registering a process twice
+// is an error; registering a nil handler is an error.
+func (b *Bus) Register(id ProcessID, h Handler) error {
+	if id == "" {
+		return errors.New("binder: empty process id")
+	}
+	if h == nil {
+		return fmt.Errorf("binder: nil handler for %q", id)
+	}
+	if _, dup := b.handlers[id]; dup {
+		return fmt.Errorf("binder: process %q already registered", id)
+	}
+	b.handlers[id] = h
+	return nil
+}
+
+// Observe installs an observer notified of every delivered transaction.
+func (b *Bus) Observe(obs Observer) {
+	if obs != nil {
+		b.observers = append(b.observers, obs)
+	}
+}
+
+// Call sends an asynchronous (oneway) transaction from one process to
+// another. It returns the assigned transaction id. Calls to unregistered
+// processes are counted as dropped and return an error.
+func (b *Bus) Call(from, to ProcessID, method string, payload any) (uint64, error) {
+	handler, ok := b.handlers[to]
+	if !ok {
+		b.dropped++
+		return 0, fmt.Errorf("binder: no process %q registered (call %s from %q)", to, method, from)
+	}
+	b.nextID++
+	tx := Transaction{
+		ID:      b.nextID,
+		From:    from,
+		To:      to,
+		Method:  method,
+		Payload: payload,
+		SentAt:  b.clock.Now(),
+	}
+	delay := time.Duration(0)
+	if b.latency != nil {
+		delay = b.latency(from, to, method).Sample(b.rng)
+	}
+	deliverAt := b.clock.Now() + delay
+	key := streamKey{from: from, to: to, method: method}
+	if last, ok := b.lastDelivery[key]; ok && deliverAt < last {
+		deliverAt = last // per-stream FIFO
+	}
+	b.lastDelivery[key] = deliverAt
+	label := fmt.Sprintf("binder:%s→%s.%s", from, to, method)
+	if _, err := b.clock.At(deliverAt, label, func() {
+		tx.DeliveredAt = b.clock.Now()
+		b.record(tx)
+		handler(tx)
+	}); err != nil {
+		return 0, fmt.Errorf("binder: schedule delivery: %w", err)
+	}
+	return tx.ID, nil
+}
+
+func (b *Bus) record(tx Transaction) {
+	if b.logLimit < 0 {
+		return
+	}
+	if len(b.log) >= b.logLimit {
+		// Drop the oldest half rather than one-at-a-time to keep append
+		// amortized O(1).
+		keep := b.logLimit / 2
+		b.log = append(b.log[:0], b.log[len(b.log)-keep:]...)
+	}
+	b.log = append(b.log, tx)
+	for _, obs := range b.observers {
+		obs(tx)
+	}
+}
+
+// Log returns a copy of the delivered-transaction log in delivery order.
+func (b *Bus) Log() []Transaction {
+	out := make([]Transaction, len(b.log))
+	copy(out, b.log)
+	return out
+}
+
+// LogSince returns delivered transactions with DeliveredAt >= t.
+func (b *Bus) LogSince(t time.Duration) []Transaction {
+	var out []Transaction
+	for _, tx := range b.log {
+		if tx.DeliveredAt >= t {
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+// ResetLog clears the transaction log (observers are unaffected).
+func (b *Bus) ResetLog() { b.log = b.log[:0] }
+
+// Dropped reports how many calls targeted unregistered processes.
+func (b *Bus) Dropped() uint64 { return b.dropped }

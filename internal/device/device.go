@@ -1,0 +1,349 @@
+// Package device models the 30 smartphones of the paper's evaluation
+// (Tables I and II) as timing profiles for the simulated Android stack.
+//
+// A profile carries the latency distributions named in the paper's Fig. 3:
+//
+//	Tam — app→System Server latency of an addView Binder call
+//	Trm — app→System Server latency of a removeView Binder call
+//	Tas — System Server processing time to create and attach the overlay
+//	Tn  — System Server→System UI notification latency (show and remove
+//	      directions are separate; heavily skinned OSes have slow paths)
+//	Tv  — System UI time to construct the notification view and prepare
+//	      the slide-down animation
+//
+// plus the version-specific behaviours the paper reports: Android 10's
+// 100 ms Android-Notification-Assistant (ANA) delay before the alert is
+// sent (200 ms on Android 11), and Android 10/11's significantly reduced
+// Trm, which widens the mistouch window Tmis = Tam + Tas − Trm and lowers
+// the touch-capture rate (Fig. 8).
+//
+// Because we cannot run on the physical phones, each profile is calibrated
+// so that its *analytical* upper boundary of the attacking window D for the
+// Λ1 outcome reproduces the paper's Table II measurement. The calibration
+// residual is absorbed by Tv (slow view construction) or the remove-path
+// notification latency, never by Trm, so the mistouch model stays faithful
+// to the paper's version-level findings.
+package device
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/anim"
+	"repro/internal/simrand"
+)
+
+// AndroidVersion identifies an Android release.
+type AndroidVersion struct {
+	// Major is the numeric major version (8, 9, 10, 11).
+	Major int
+	// Label is the display label, e.g. "9.1".
+	Label string
+}
+
+// V returns the version with a plain major label.
+func V(major int) AndroidVersion {
+	return AndroidVersion{Major: major, Label: fmt.Sprintf("%d", major)}
+}
+
+// String renders the display label.
+func (v AndroidVersion) String() string { return v.Label }
+
+// ANADelay reports the deliberate delay the System Server adds before
+// sending the overlay alert, to give the Android Notification Assistant
+// time to initialize: 100 ms on Android 10 and 200 ms on Android 11.
+func (v AndroidVersion) ANADelay() time.Duration {
+	switch {
+	case v.Major >= 11:
+		return 200 * time.Millisecond
+	case v.Major == 10:
+		return 100 * time.Millisecond
+	default:
+		return 0
+	}
+}
+
+// Profile is a device timing model.
+type Profile struct {
+	// Manufacturer and Model identify the phone as in Table I.
+	Manufacturer, Model string
+	// Version is the Android release the phone runs (Table II).
+	Version AndroidVersion
+
+	// ScreenW and ScreenH are the display size in pixels; DPI is the
+	// density.
+	ScreenW, ScreenH int
+	DPI              float64
+	// NotifViewHeightPx is the height of the notification alert view in
+	// pixels (72 px on the paper's Nexus 6P).
+	NotifViewHeightPx int
+
+	// Binder latencies (Fig. 3 labels).
+	Tam, Trm simrand.Dist
+	// TnShow and TnRemove are the System Server→System UI latencies for
+	// posting and removing the overlay alert.
+	TnShow, TnRemove simrand.Dist
+	// Tas is the System Server processing time to create and attach an
+	// overlay window.
+	Tas simrand.Dist
+	// Tv is System UI's notification-view construction + animation
+	// preparation time.
+	Tv simrand.Dist
+	// ToastCreate is the System Server time to create and attach a toast
+	// window (the inter-toast gap Tas of Fig. 5).
+	ToastCreate simrand.Dist
+	// ToastNotify is the app→System Server latency of Toast.show().
+	ToastNotify simrand.Dist
+
+	// PaperUpperBoundD is the Table II measurement this profile is
+	// calibrated against (zero for synthetic profiles).
+	PaperUpperBoundD time.Duration
+
+	// LoadFactor scales all processing latencies; 1 is unloaded. The
+	// paper finds load influence negligible, which the small scaling
+	// below reproduces.
+	LoadFactor float64
+}
+
+// jitterFor gives each latency a modest spread: 6% of the mean with a
+// 0.4 ms floor and a 2.5 ms cap — view inflation and notification-path
+// latencies vary by a few milliseconds regardless of their mean, matching
+// the tight repeatability the paper's 5 ms-resolution probing reports.
+func jitterFor(mean float64) float64 {
+	return math.Min(math.Max(0.06*mean, 0.4), 2.5)
+}
+
+func dist(mean float64) simrand.Dist {
+	return simrand.NormalDist(mean, jitterFor(mean))
+}
+
+// versionBase holds the per-Android-version latency model before
+// per-device calibration. Tam, Trm and Tas use *bounded* distributions
+// with min(Tam)+min(Tas) ≥ max(Trm): the app issues removeView and addView
+// back-to-back on its main thread, so their relative ordering at the
+// System Server is deterministic in practice — the paper observes the
+// adding event "always" arrives first and the new overlay "always"
+// attaches after the old one is removed (Tmis ≥ 0). Occasional scheduler
+// spikes on Tas only widen the gap, never invert it.
+type versionBase struct {
+	tam, trm, tas        simrand.Dist
+	tnShow, tnRemove, tv float64
+}
+
+func bounded(mean, jitter, lo, hi float64) simrand.Dist {
+	return simrand.Dist{Kind: simrand.DistNormal, Mean: mean, Jitter: jitter, Min: lo, Max: hi}
+}
+
+// Per-version Tmis calibration (E[Tmis] = E[Tam]+E[Tas]−E[Trm]): ≈0.55 ms
+// on Android 8/9 ("Tmis approaches 0"), ≈2.2 ms on Android 10 and ≈2 ms on
+// Android 11, fitted jointly against Fig. 8 (capture rate ≈90% at
+// D = 200 ms on Android 10, above it on 8/9) and Table III (per-keystroke
+// down-loss well under 1.5%).
+func baseFor(v AndroidVersion) versionBase {
+	tam := bounded(3, 0.1, 2.85, 3.15)
+	switch {
+	case v.Major >= 11:
+		// Android 11 behaves like 10 with a slightly larger Trm.
+		tas := bounded(7, 0.25, 6.6, 7.4)
+		tas.SpikeProb, tas.SpikeMean = 0.015, 18
+		return versionBase{tam: tam, trm: bounded(8, 0.2, 7.6, 8.4), tas: tas, tnShow: 5, tnRemove: 5, tv: 8}
+	case v.Major == 10:
+		// Trm significantly reduced on Android 10 (paper, Fig. 8
+		// analysis), widening Tmis = Tam + Tas − Trm.
+		tas := bounded(7, 0.25, 6.6, 7.4)
+		tas.SpikeProb, tas.SpikeMean = 0.015, 18
+		return versionBase{tam: tam, trm: bounded(7.8, 0.2, 7.4, 8.2), tas: tas, tnShow: 5, tnRemove: 5, tv: 8}
+	case v.Major == 9:
+		tas := bounded(9.5, 0.2, 9.2, 9.8)
+		tas.SpikeProb, tas.SpikeMean = 0.01, 16
+		return versionBase{tam: tam, trm: bounded(11.95, 0.1, 11.8, 12.05), tas: tas, tnShow: 5, tnRemove: 5, tv: 8}
+	default: // Android 8
+		tas := bounded(9, 0.2, 8.7, 9.3)
+		tas.SpikeProb, tas.SpikeMean = 0.01, 16
+		return versionBase{tam: tam, trm: bounded(11.45, 0.1, 11.3, 11.55), tas: tas, tnShow: 5, tnRemove: 5, tv: 8}
+	}
+}
+
+// notifHeightPx computes the alert view height for a density: 22.4 dp, the
+// value that reproduces the paper's 72 px on the Nexus 6P (515 dpi).
+func notifHeightPx(dpi float64) int {
+	return int(math.Round(22.4 * dpi / 160))
+}
+
+// FirstVisibleFrameOffset computes when the slide-down animation first
+// renders a visible pixel of the alert view: the earliest 10 ms frame at
+// which ⌊height·completeness⌋ ≥ 1 under FastOutSlowIn easing.
+func FirstVisibleFrameOffset(heightPx int) time.Duration {
+	ip := anim.FastOutSlowIn()
+	for f := anim.DefaultFrameInterval; f <= anim.NotificationSlideDuration; f += anim.DefaultFrameInterval {
+		x := float64(f) / float64(anim.NotificationSlideDuration)
+		if anim.VisiblePixels(heightPx, ip.Interpolate(x)) >= 1 {
+			return f
+		}
+	}
+	return anim.NotificationSlideDuration
+}
+
+// newProfile builds a calibrated profile. paperD is the Table II upper
+// boundary of D for the Λ1 outcome on this phone.
+func newProfile(manufacturer, model string, v AndroidVersion, paperDMS int, w, h int, dpi float64) Profile {
+	base := baseFor(v)
+	height := notifHeightPx(dpi)
+	tfv := float64(FirstVisibleFrameOffset(height)) / float64(time.Millisecond)
+	ana := float64(v.ANADelay()) / float64(time.Millisecond)
+
+	// Analytical Λ1 bound with the base parameters:
+	//   D ≤ Tam + Tas + ANA + TnShow + Tv + Tfv − Trm − TnRemove
+	// The calibration targets the paper's bound plus 10 ms of headroom:
+	// the paper's naked-eye probing tolerates sporadic sub-frame slivers
+	// that the simulation's strict Λ1 predicate counts as failures.
+	baseBound := base.tam.Mean + base.tas.Mean + ana + base.tnShow + base.tv + tfv -
+		base.trm.Mean - base.tnRemove
+	residual := float64(paperDMS) + 10 - baseBound
+	tv, tnRemove := base.tv, base.tnRemove
+	if residual >= 0 {
+		tv += residual // slower view construction on this phone
+	} else {
+		tnRemove += -residual // slower remove-notification path
+	}
+
+	return Profile{
+		Manufacturer:      manufacturer,
+		Model:             model,
+		Version:           v,
+		ScreenW:           w,
+		ScreenH:           h,
+		DPI:               dpi,
+		NotifViewHeightPx: height,
+		Tam:               base.tam,
+		Trm:               base.trm,
+		TnShow:            dist(base.tnShow),
+		TnRemove:          dist(tnRemove),
+		Tas:               base.tas,
+		Tv:                dist(tv),
+		ToastCreate:       dist(base.tas.Mean + 3),
+		ToastNotify:       dist(base.tam.Mean + 1),
+		PaperUpperBoundD:  time.Duration(paperDMS) * time.Millisecond,
+		LoadFactor:        1,
+	}
+}
+
+// ExpectedUpperBoundD computes the profile's analytical Λ1 bound from the
+// distribution means (Section III-D, inequality (3) instantiated with the
+// full pipeline). Tests check it against PaperUpperBoundD.
+func (p Profile) ExpectedUpperBoundD() time.Duration {
+	tfv := FirstVisibleFrameOffset(p.NotifViewHeightPx)
+	sum := p.Tam.MeanDuration() + p.Tas.MeanDuration() + p.Version.ANADelay() +
+		p.TnShow.MeanDuration() + p.Tv.MeanDuration() + tfv -
+		p.Trm.MeanDuration() - p.TnRemove.MeanDuration()
+	if sum < 0 {
+		return 0
+	}
+	return sum
+}
+
+// ExpectedTmis reports the analytical mistouch window
+// E[Tmis] = E[Tas] + E[Tam] − E[Trm], floored at zero (Section III-D).
+func (p Profile) ExpectedTmis() time.Duration {
+	t := p.Tas.MeanDuration() + p.Tam.MeanDuration() - p.Trm.MeanDuration()
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// WithLoad returns a copy of the profile with n background apps' load
+// applied. The paper finds load influence on the D bound negligible; each
+// background app inflates processing latencies by 0.4%, which shifts the
+// bound by well under one frame.
+func (p Profile) WithLoad(nApps int) Profile {
+	if nApps <= 0 {
+		return p
+	}
+	scale := 1 + 0.004*float64(nApps)
+	out := p
+	out.LoadFactor = scale
+	for _, d := range []*simrand.Dist{&out.Tam, &out.Trm, &out.TnShow, &out.TnRemove, &out.Tas, &out.Tv, &out.ToastCreate, &out.ToastNotify} {
+		d.Mean *= scale
+		d.Jitter *= scale
+		d.Min *= scale
+		d.Max *= scale
+	}
+	return out
+}
+
+// Name renders "manufacturer model (Android X)".
+func (p Profile) Name() string {
+	return fmt.Sprintf("%s %s (Android %s)", p.Manufacturer, p.Model, p.Version)
+}
+
+// Profiles returns the 30 evaluation devices of Tables I and II. Note:
+// Table I lists the Pixel 2 XL and Pixel 4 under Android 9 while Table II
+// lists them under Android 10; we follow Table II, whose per-device D
+// bounds are the calibration target.
+func Profiles() []Profile {
+	return []Profile{
+		newProfile("Samsung", "s8", V(8), 60, 1440, 2960, 570),
+		newProfile("Samsung", "SMG9", V(9), 240, 1440, 2960, 570),
+		newProfile("Google", "nexus6p", V(8), 150, 1440, 2560, 515),
+		newProfile("Google", "pixel 2xl", V(10), 225, 1440, 2880, 538),
+		newProfile("Google", "pixel 4", V(10), 185, 1080, 2280, 444),
+		newProfile("Google", "pixel 2", V(11), 330, 1080, 1920, 441),
+		newProfile("Xiaomi", "mi5", V(8), 125, 1080, 1920, 428),
+		newProfile("Xiaomi", "mix 2s", V(9), 155, 1080, 2160, 403),
+		newProfile("Xiaomi", "mi8", V(9), 215, 1080, 2248, 402),
+		newProfile("Xiaomi", "mi6", V(9), 215, 1080, 1920, 428),
+		newProfile("Xiaomi", "Redmi", V(10), 395, 1080, 2340, 403),
+		newProfile("Xiaomi", "mi8-10", V(10), 300, 1080, 2248, 402),
+		newProfile("Xiaomi", "mix3", V(10), 220, 1080, 2340, 403),
+		newProfile("Xiaomi", "mi9", V(10), 210, 1080, 2340, 403),
+		newProfile("Xiaomi", "mi10", V(11), 290, 1080, 2340, 386),
+		newProfile("Huawei", "mate20", V(9), 200, 1080, 2244, 381),
+		newProfile("Huawei", "EML-AL00", V(9), 365, 1080, 2244, 428),
+		newProfile("Huawei", "PAR-AL00", V(9), 130, 1080, 2340, 409),
+		newProfile("Huawei", "nova3", AndroidVersion{Major: 9, Label: "9.1"}, 285, 1080, 2340, 409),
+		newProfile("Huawei", "mate20 x", V(10), 260, 1080, 2244, 345),
+		newProfile("Huawei", "ELS-AN00", V(10), 220, 1200, 2640, 441),
+		newProfile("Huawei", "ELE-AL00", V(10), 220, 1080, 2340, 422),
+		newProfile("Huawei", "OXF-AN00", V(10), 240, 1080, 2400, 409),
+		newProfile("Huawei", "HLK-AL00", V(10), 215, 1080, 2340, 409),
+		newProfile("Oppo", "PMEM00", V(9), 135, 1080, 2340, 402),
+		newProfile("Vivo", "x21iA", V(9), 85, 1080, 2280, 402),
+		newProfile("Vivo", "v1816A", V(9), 95, 1080, 2340, 402),
+		newProfile("Vivo", "v1813BA", V(9), 215, 1080, 2340, 402),
+		newProfile("Vivo", "v1813A", V(9), 85, 1080, 2340, 402),
+		newProfile("Vivo", "V1986A", V(10), 80, 1080, 2340, 402),
+	}
+}
+
+// ByModel finds a profile by model name. ok is false if not found.
+func ByModel(model string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Model == model {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// ByVersion returns all profiles running the given major Android version.
+func ByVersion(major int) []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if p.Version.Major == major {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Default returns the profile used by the examples and quick tests: the
+// Google Pixel 2 on Android 11, the phone of the paper's demo video.
+func Default() Profile {
+	p, ok := ByModel("pixel 2")
+	if !ok {
+		panic("device: default profile missing")
+	}
+	return p
+}

@@ -1,0 +1,259 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sysserver"
+	"repro/internal/sysui"
+)
+
+// AblationReport collects the design-choice studies: each row removes one
+// mechanism the paper identifies as load-bearing and shows the attack (or
+// defense) outcome flipping.
+type AblationReport struct {
+	// SlideAnimation: the overlay attack's outcome with the stock 360 ms
+	// slide versus a near-instant alert. The slow-in animation IS the
+	// vulnerability — without it the alert shows even at small D.
+	SlideStock, SlideInstant sysui.Outcome
+	// ANADelay: the measured Λ1 bound on an Android 10 phone with and
+	// without the 100 ms Android-Notification-Assistant delay; the delay
+	// is why Table II's Android 10 bounds are larger.
+	BoundWithANA, BoundWithoutANA time.Duration
+	// CallOrder: the attack outcome with the correct remove-then-add
+	// order versus the blocking add-then-remove order the paper warns
+	// about.
+	OrderCorrect, OrderInverted sysui.Outcome
+	// ToastFade: the fake keyboard's minimum on-screen opacity during a
+	// toast chain with the stock 500 ms fade versus a 1 ms fade. The
+	// fade-out is what hides the hand-off.
+	MinAlphaStockFade, MinAlphaNoFade float64
+}
+
+// Ablations runs all four studies.
+func Ablations(seed int64) (AblationReport, error) {
+	var rep AblationReport
+	var err error
+	if rep.SlideStock, rep.SlideInstant, err = ablationSlide(seed); err != nil {
+		return rep, fmt.Errorf("experiment: slide ablation: %w", err)
+	}
+	if rep.BoundWithANA, rep.BoundWithoutANA, err = ablationANA(seed); err != nil {
+		return rep, fmt.Errorf("experiment: ANA ablation: %w", err)
+	}
+	if rep.OrderCorrect, rep.OrderInverted, err = ablationOrder(seed); err != nil {
+		return rep, fmt.Errorf("experiment: order ablation: %w", err)
+	}
+	if rep.MinAlphaStockFade, rep.MinAlphaNoFade, err = ablationToastFade(seed); err != nil {
+		return rep, fmt.Errorf("experiment: toast-fade ablation: %w", err)
+	}
+	return rep, nil
+}
+
+// ablationSlide compares the attack under the stock slide-down against a
+// near-instant alert (one frame).
+func ablationSlide(seed int64) (stock, instant sysui.Outcome, err error) {
+	p, ok := device.ByModel("mi8")
+	if !ok {
+		return 0, 0, fmt.Errorf("mi8 profile missing")
+	}
+	d := time.Duration(float64(p.PaperUpperBoundD) * 0.9)
+	run := func(opts ...sysserver.Option) (sysui.Outcome, error) {
+		st, err := sysserver.Assemble(p, seed, opts...)
+		if err != nil {
+			return 0, err
+		}
+		st.WM.GrantOverlayPermission(AttackerApp)
+		atk, err := core.NewOverlayAttack(st, core.OverlayAttackConfig{
+			App: AttackerApp, D: d, Bounds: screenOf(p),
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := atk.Start(); err != nil {
+			return 0, err
+		}
+		st.Clock.MustAfter(8*time.Second, "ablation/stop", atk.Stop)
+		if err := st.Clock.RunFor(12 * time.Second); err != nil {
+			return 0, err
+		}
+		return st.UI.WorstOutcome(), nil
+	}
+	if stock, err = run(); err != nil {
+		return 0, 0, err
+	}
+	if instant, err = run(sysserver.WithSlideDuration(10 * time.Millisecond)); err != nil {
+		return 0, 0, err
+	}
+	return stock, instant, nil
+}
+
+// ablationANA measures the Λ1 bound on an Android 10 phone with the stock
+// ANA delay and with the delay removed.
+func ablationANA(seed int64) (with, without time.Duration, err error) {
+	p, ok := device.ByModel("mi9")
+	if !ok {
+		return 0, 0, fmt.Errorf("mi9 profile missing")
+	}
+	measure := func(ana time.Duration, set bool) (time.Duration, error) {
+		const resolution = 5 * time.Millisecond
+		lambda1At := func(d time.Duration) (bool, error) {
+			for r := 0; r < 2; r++ {
+				st, err := sysserver.Assemble(p, seed+int64(r)*101)
+				if err != nil {
+					return false, err
+				}
+				if set {
+					st.Server.SetANADelay(ana)
+				}
+				st.WM.GrantOverlayPermission(AttackerApp)
+				atk, err := core.NewOverlayAttack(st, core.OverlayAttackConfig{
+					App: AttackerApp, D: d, Bounds: screenOf(p),
+				})
+				if err != nil {
+					return false, err
+				}
+				if err := atk.Start(); err != nil {
+					return false, err
+				}
+				st.Clock.MustAfter(4*time.Second, "ablation/stop", atk.Stop)
+				if err := st.Clock.RunFor(8 * time.Second); err != nil {
+					return false, err
+				}
+				if st.UI.WorstOutcome() != sysui.Lambda1 {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		lo, hi := resolution, 800*time.Millisecond
+		ok, err := lambda1At(lo)
+		if err != nil || !ok {
+			return 0, err
+		}
+		for hi-lo > resolution {
+			mid := (lo + hi) / 2 / resolution * resolution
+			ok, err := lambda1At(mid)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo, nil
+	}
+	if with, err = measure(0, false); err != nil {
+		return 0, 0, err
+	}
+	if without, err = measure(0, true); err != nil {
+		return 0, 0, err
+	}
+	return with, without, nil
+}
+
+// ablationOrder compares the two call orders of the swap.
+func ablationOrder(seed int64) (correct, inverted sysui.Outcome, err error) {
+	p, ok := device.ByModel("mi8")
+	if !ok {
+		return 0, 0, fmt.Errorf("mi8 profile missing")
+	}
+	d := time.Duration(float64(p.PaperUpperBoundD) * 0.9)
+	run := func(addFirst bool) (sysui.Outcome, error) {
+		st, err := sysserver.Assemble(p, seed)
+		if err != nil {
+			return 0, err
+		}
+		st.WM.GrantOverlayPermission(AttackerApp)
+		atk, err := core.NewOverlayAttack(st, core.OverlayAttackConfig{
+			App: AttackerApp, D: d, Bounds: screenOf(p), AddBeforeRemove: addFirst,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := atk.Start(); err != nil {
+			return 0, err
+		}
+		st.Clock.MustAfter(8*time.Second, "ablation/stop", atk.Stop)
+		if err := st.Clock.RunFor(12 * time.Second); err != nil {
+			return 0, err
+		}
+		return st.UI.WorstOutcome(), nil
+	}
+	if correct, err = run(false); err != nil {
+		return 0, 0, err
+	}
+	if inverted, err = run(true); err != nil {
+		return 0, 0, err
+	}
+	return correct, inverted, nil
+}
+
+// ablationToastFade measures the fake keyboard's minimum opacity during a
+// fed toast chain with the stock fade versus no fade.
+func ablationToastFade(seed int64) (stockFade, noFade float64, err error) {
+	p := device.Default()
+	run := func(fade time.Duration) (float64, error) {
+		st, err := sysserver.Assemble(p, seed)
+		if err != nil {
+			return 0, err
+		}
+		if fade > 0 {
+			st.Server.SetToastFade(fade)
+		}
+		atk, err := core.NewToastAttack(st, core.ToastAttackConfig{
+			App:     AttackerApp,
+			Bounds:  screenOf(p).Inset(100),
+			Content: func() string { return "kbd" },
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := atk.Start(); err != nil {
+			return 0, err
+		}
+		minAlpha := 1.0
+		var probe func()
+		probe = func() {
+			if st.Clock.Now() > 15*time.Second {
+				return
+			}
+			if a := st.WM.TopToastAlpha(AttackerApp); a < minAlpha {
+				minAlpha = a
+			}
+			st.Clock.MustAfter(5*time.Millisecond, "ablation/probe", probe)
+		}
+		st.Clock.MustAfter(time.Second, "ablation/probe", probe)
+		st.Clock.MustAfter(16*time.Second, "ablation/stop", atk.Stop)
+		if err := st.Clock.RunFor(25 * time.Second); err != nil {
+			return 0, err
+		}
+		return minAlpha, nil
+	}
+	if stockFade, err = run(0); err != nil {
+		return 0, 0, err
+	}
+	if noFade, err = run(time.Millisecond); err != nil {
+		return 0, 0, err
+	}
+	return stockFade, noFade, nil
+}
+
+// RenderAblations formats the report.
+func RenderAblations(r AblationReport) string {
+	var sb strings.Builder
+	sb.WriteString("Ablations — removing each load-bearing mechanism\n")
+	fmt.Fprintf(&sb, "  slide animation:   stock 360ms → %s;  instant alert → %s (attack dies)\n",
+		r.SlideStock, r.SlideInstant)
+	fmt.Fprintf(&sb, "  ANA delay (mi9):   with 100ms → bound %v;  without → %v (bound shrinks)\n",
+		r.BoundWithANA, r.BoundWithoutANA)
+	fmt.Fprintf(&sb, "  swap call order:   remove-then-add → %s;  add-then-remove → %s (paper's warning)\n",
+		r.OrderCorrect, r.OrderInverted)
+	fmt.Fprintf(&sb, "  toast fade-out:    stock 500ms → min opacity %.2f;  no fade → %.2f (visible flicker)\n",
+		r.MinAlphaStockFade, r.MinAlphaNoFade)
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sysui"
+)
+
+// TestAblations verifies each mechanism is load-bearing: removing it flips
+// the corresponding outcome.
+func TestAblations(t *testing.T) {
+	rep, err := Ablations(71)
+	if err != nil {
+		t.Fatalf("Ablations: %v", err)
+	}
+
+	// 1. Without the slow-in animation the attack cannot suppress the
+	//    alert even at its tuned D.
+	if rep.SlideStock != sysui.Lambda1 {
+		t.Errorf("stock slide outcome = %v, want Λ1", rep.SlideStock)
+	}
+	if rep.SlideInstant == sysui.Lambda1 {
+		t.Error("instant alert still suppressed; the animation should be the vulnerability")
+	}
+
+	// 2. Removing the ANA delay shrinks the Android 10 bound by roughly
+	//    the delay (100 ms).
+	shrink := rep.BoundWithANA - rep.BoundWithoutANA
+	if shrink < 70*time.Millisecond || shrink > 130*time.Millisecond {
+		t.Errorf("ANA ablation shrank the bound by %v, want ≈100ms (with %v, without %v)",
+			shrink, rep.BoundWithANA, rep.BoundWithoutANA)
+	}
+
+	// 3. The inverted call order keeps an overlay attached at all times,
+	//    so the alert completes.
+	if rep.OrderCorrect != sysui.Lambda1 {
+		t.Errorf("correct order outcome = %v, want Λ1", rep.OrderCorrect)
+	}
+	if rep.OrderInverted != sysui.Lambda5 {
+		t.Errorf("inverted order outcome = %v, want Λ5", rep.OrderInverted)
+	}
+
+	// 4. Without the fade-out the hand-off collapses to zero opacity —
+	//    the flicker the Android defense wanted.
+	if rep.MinAlphaStockFade < 0.5 {
+		t.Errorf("stock fade min opacity = %.2f, want ≥ 0.5", rep.MinAlphaStockFade)
+	}
+	if rep.MinAlphaNoFade > 0.1 {
+		t.Errorf("no-fade min opacity = %.2f, want ≈0 (visible flicker)", rep.MinAlphaNoFade)
+	}
+
+	if s := RenderAblations(rep); s == "" {
+		t.Fatal("empty render")
+	}
+}

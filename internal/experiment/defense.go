@@ -1,0 +1,298 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/appstore"
+	"repro/internal/binder"
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/device"
+	"repro/internal/geom"
+	"repro/internal/sysserver"
+	"repro/internal/sysui"
+	"repro/internal/wm"
+)
+
+// DefenseIPCReport is the Section VII-A evaluation: the detector must flag
+// and stop the attack quickly while never flagging benign overlay usage.
+type DefenseIPCReport struct {
+	AttackDetected   bool
+	DetectionLatency time.Duration
+	AttackTerminated bool
+	// AlertOutcomeAfter reports the worst alert outcome in the attack
+	// run (once terminated, the standing overlay is gone so no alert is
+	// needed; the detector is the defense here).
+	AlertOutcomeAfter sysui.Outcome
+	// BenignFlagged counts false positives in the benign scenario.
+	BenignFlagged int
+	// TransactionsObserved is the defense's analysis volume.
+	TransactionsObserved uint64
+}
+
+// DefenseIPC evaluates the IPC-based detector on both an attack scenario
+// and a benign-workload scenario.
+func DefenseIPC(seed int64) (DefenseIPCReport, error) {
+	var rep DefenseIPCReport
+	p := device.Default()
+
+	// Scenario 1: the draw-and-destroy overlay attack, detector armed to
+	// terminate.
+	st, err := assembleAttackStack(p, seed)
+	if err != nil {
+		return rep, err
+	}
+	var detectedAt time.Duration = -1
+	det, err := defense.NewIPCDetector(defense.IPCDetectorConfig{
+		OnDetect: func(app binder.ProcessID, d defense.Detection) {
+			if detectedAt < 0 {
+				detectedAt = d.At
+			}
+		},
+	})
+	if err != nil {
+		return rep, fmt.Errorf("experiment: detector: %w", err)
+	}
+	if err := det.Install(st, true); err != nil {
+		return rep, fmt.Errorf("experiment: install detector: %w", err)
+	}
+	atk, err := core.NewOverlayAttack(st, core.OverlayAttackConfig{
+		App:    AttackerApp,
+		D:      time.Duration(float64(p.PaperUpperBoundD) * 0.9),
+		Bounds: screenOf(p),
+	})
+	if err != nil {
+		return rep, fmt.Errorf("experiment: attack: %w", err)
+	}
+	if err := atk.Start(); err != nil {
+		return rep, fmt.Errorf("experiment: start attack: %w", err)
+	}
+	st.Clock.MustAfter(20*time.Second, "experiment/stopAttack", atk.Stop)
+	if err := st.Clock.RunFor(25 * time.Second); err != nil {
+		return rep, fmt.Errorf("experiment: run attack scenario: %w", err)
+	}
+	rep.AttackDetected = det.Detected(AttackerApp)
+	if detectedAt >= 0 {
+		rep.DetectionLatency = detectedAt
+	}
+	rep.AttackTerminated = !st.WM.HasOverlayPermission(AttackerApp) && st.WM.OverlayCount(AttackerApp) == 0
+	rep.AlertOutcomeAfter = st.UI.WorstOutcome()
+	rep.TransactionsObserved = det.Observed()
+
+	// Scenario 2: benign workload — a floating music widget toggling
+	// slowly must not be flagged.
+	st2, err := sysserver.Assemble(p, seed+1)
+	if err != nil {
+		return rep, fmt.Errorf("experiment: assemble benign stack: %w", err)
+	}
+	const musicApp binder.ProcessID = "com.music.player"
+	st2.WM.GrantOverlayPermission(musicApp)
+	det2, err := defense.NewIPCDetector(defense.IPCDetectorConfig{})
+	if err != nil {
+		return rep, fmt.Errorf("experiment: benign detector: %w", err)
+	}
+	if err := det2.Install(st2, false); err != nil {
+		return rep, fmt.Errorf("experiment: install benign detector: %w", err)
+	}
+	for i := 0; i < 8; i++ {
+		i := i
+		h := uint64(i + 1)
+		st2.Clock.MustAfter(time.Duration(i)*8*time.Second, "widget-on", func() {
+			if _, err := st2.Bus.Call(musicApp, binder.SystemServer, sysserver.MethodAddView, sysserver.AddViewRequest{
+				Handle: h, Type: wm.TypeApplicationOverlay, Bounds: geom.RectWH(50, 50, 300, 300),
+			}); err != nil {
+				panic(fmt.Sprintf("experiment: benign addView: %v", err))
+			}
+		})
+		st2.Clock.MustAfter(time.Duration(i)*8*time.Second+4*time.Second, "widget-off", func() {
+			if _, err := st2.Bus.Call(musicApp, binder.SystemServer, sysserver.MethodRemoveView, sysserver.RemoveViewRequest{Handle: h}); err != nil {
+				panic(fmt.Sprintf("experiment: benign removeView: %v", err))
+			}
+		})
+	}
+	if err := st2.Clock.RunFor(90 * time.Second); err != nil {
+		return rep, fmt.Errorf("experiment: run benign scenario: %w", err)
+	}
+	rep.BenignFlagged = len(det2.Detections())
+	return rep, nil
+}
+
+// RenderDefenseIPC formats the report.
+func RenderDefenseIPC(r DefenseIPCReport) string {
+	var sb strings.Builder
+	sb.WriteString("Defense §VII-A — IPC (Binder) based detection\n")
+	fmt.Fprintf(&sb, "  attack detected:      %v\n", r.AttackDetected)
+	fmt.Fprintf(&sb, "  detection latency:    %v\n", r.DetectionLatency)
+	fmt.Fprintf(&sb, "  attack terminated:    %v\n", r.AttackTerminated)
+	fmt.Fprintf(&sb, "  benign apps flagged:  %d (want 0)\n", r.BenignFlagged)
+	fmt.Fprintf(&sb, "  transactions analyzed: %d\n", r.TransactionsObserved)
+	return sb.String()
+}
+
+// DefenseNotifReport is the Section VII-B evaluation on the Pixel 2 with
+// t = 690 ms.
+type DefenseNotifReport struct {
+	DelayT          time.Duration
+	OutcomeWithout  sysui.Outcome
+	OutcomeWith     sysui.Outcome
+	HonestOutcome   sysui.Outcome
+	HonestAlertGone bool
+}
+
+// DefenseNotif evaluates the enhanced-notification defense: the same
+// attack run with and without the delayed-removal patch, plus an honest
+// overlay app under the patch.
+func DefenseNotif(seed int64) (DefenseNotifReport, error) {
+	const delayT = 690 * time.Millisecond
+	rep := DefenseNotifReport{DelayT: delayT}
+	p, ok := device.ByModel("pixel 2")
+	if !ok {
+		return rep, fmt.Errorf("experiment: pixel 2 profile missing")
+	}
+	d := time.Duration(float64(p.PaperUpperBoundD) * 0.9)
+
+	run := func(seed int64, enableDefense bool) (sysui.Outcome, error) {
+		st, err := assembleAttackStack(p, seed)
+		if err != nil {
+			return 0, err
+		}
+		if enableDefense {
+			st.Server.EnableEnhancedNotificationDefense(delayT)
+		}
+		atk, err := core.NewOverlayAttack(st, core.OverlayAttackConfig{App: AttackerApp, D: d, Bounds: screenOf(p)})
+		if err != nil {
+			return 0, fmt.Errorf("experiment: attack: %w", err)
+		}
+		if err := atk.Start(); err != nil {
+			return 0, fmt.Errorf("experiment: start: %w", err)
+		}
+		st.Clock.MustAfter(10*time.Second, "experiment/stop", atk.Stop)
+		if err := st.Clock.RunFor(15 * time.Second); err != nil {
+			return 0, fmt.Errorf("experiment: run: %w", err)
+		}
+		return st.UI.WorstOutcome(), nil
+	}
+	var err error
+	if rep.OutcomeWithout, err = run(seed, false); err != nil {
+		return rep, err
+	}
+	if rep.OutcomeWith, err = run(seed+1, true); err != nil {
+		return rep, err
+	}
+
+	// Honest overlay app under the defense: correct lifecycle.
+	st, err := sysserver.Assemble(p, seed+2)
+	if err != nil {
+		return rep, fmt.Errorf("experiment: honest stack: %w", err)
+	}
+	st.Server.EnableEnhancedNotificationDefense(delayT)
+	const honestApp binder.ProcessID = "com.maps.app"
+	st.WM.GrantOverlayPermission(honestApp)
+	if _, err := st.Bus.Call(honestApp, binder.SystemServer, sysserver.MethodAddView, sysserver.AddViewRequest{
+		Handle: 1, Type: wm.TypeApplicationOverlay, Bounds: geom.RectWH(0, 0, 400, 400),
+	}); err != nil {
+		return rep, fmt.Errorf("experiment: honest addView: %w", err)
+	}
+	st.Clock.MustAfter(5*time.Second, "honest-rm", func() {
+		if _, err := st.Bus.Call(honestApp, binder.SystemServer, sysserver.MethodRemoveView, sysserver.RemoveViewRequest{Handle: 1}); err != nil {
+			panic(fmt.Sprintf("experiment: honest removeView: %v", err))
+		}
+	})
+	if err := st.Clock.RunFor(15 * time.Second); err != nil {
+		return rep, fmt.Errorf("experiment: run honest scenario: %w", err)
+	}
+	rep.HonestOutcome = st.UI.WorstOutcome()
+	rep.HonestAlertGone = !st.UI.ActiveAlert(honestApp)
+	return rep, nil
+}
+
+// RenderDefenseNotif formats the report.
+func RenderDefenseNotif(r DefenseNotifReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Defense §VII-B — enhanced notification (t = %v, Pixel 2)\n", r.DelayT)
+	fmt.Fprintf(&sb, "  attack outcome without defense: %s (want Λ1: attack wins)\n", r.OutcomeWithout)
+	fmt.Fprintf(&sb, "  attack outcome with defense:    %s (want Λ5: defense wins)\n", r.OutcomeWith)
+	fmt.Fprintf(&sb, "  honest app outcome:             %s, alert removed: %v\n", r.HonestOutcome, r.HonestAlertGone)
+	return sb.String()
+}
+
+// CorpusStudy wraps the Section VI-C2 synthetic-corpus scan. Use
+// appstore.PaperCorpusSize for the full-scale run.
+func CorpusStudy(seed int64, n int) (appstore.Report, error) {
+	return appstore.Study(seed, n)
+}
+
+// DefenseToastGapReport is the evaluation of the toast-scheduling defense
+// the paper sketches at the end of Section VII-B: a mandatory gap between
+// successive toasts of one app.
+type DefenseToastGapReport struct {
+	Gap time.Duration
+	// MinAlphaWithout and MinAlphaWith are the fake keyboard's lowest
+	// combined opacity during an attack chain without/with the defense.
+	MinAlphaWithout, MinAlphaWith float64
+}
+
+// DefenseToastGap runs the draw-and-destroy toast attack against a stock
+// device and a device with the gap defense; the defense must force the
+// toast to vanish between hand-offs (visible flicker).
+func DefenseToastGap(seed int64) (DefenseToastGapReport, error) {
+	const gap = 400 * time.Millisecond
+	rep := DefenseToastGapReport{Gap: gap}
+	p := device.Default()
+	run := func(seed int64, defend bool) (float64, error) {
+		st, err := sysserver.Assemble(p, seed)
+		if err != nil {
+			return 0, err
+		}
+		if defend {
+			st.Server.EnableToastGapDefense(gap)
+		}
+		atk, err := core.NewToastAttack(st, core.ToastAttackConfig{
+			App:     AttackerApp,
+			Bounds:  screenOf(p).Inset(100),
+			Content: func() string { return "kbd" },
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := atk.Start(); err != nil {
+			return 0, err
+		}
+		minAlpha := 1.0
+		var probe func()
+		probe = func() {
+			if st.Clock.Now() > 15*time.Second {
+				return
+			}
+			if a := st.WM.TopToastAlpha(AttackerApp); a < minAlpha {
+				minAlpha = a
+			}
+			st.Clock.MustAfter(10*time.Millisecond, "probe", probe)
+		}
+		st.Clock.MustAfter(time.Second, "probe", probe)
+		st.Clock.MustAfter(16*time.Second, "stop", atk.Stop)
+		if err := st.Clock.RunFor(25 * time.Second); err != nil {
+			return 0, err
+		}
+		return minAlpha, nil
+	}
+	var err error
+	if rep.MinAlphaWithout, err = run(seed, false); err != nil {
+		return rep, fmt.Errorf("experiment: toast-gap baseline: %w", err)
+	}
+	if rep.MinAlphaWith, err = run(seed+1, true); err != nil {
+		return rep, fmt.Errorf("experiment: toast-gap defended: %w", err)
+	}
+	return rep, nil
+}
+
+// RenderDefenseToastGap formats the report.
+func RenderDefenseToastGap(r DefenseToastGapReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Defense §VII-B (toast scheduling, gap = %v)\n", r.Gap)
+	fmt.Fprintf(&sb, "  min fake-kbd opacity without defense: %.2f (no flicker: attack wins)\n", r.MinAlphaWithout)
+	fmt.Fprintf(&sb, "  min fake-kbd opacity with defense:    %.2f (flicker: user alerted)\n", r.MinAlphaWith)
+	return sb.String()
+}

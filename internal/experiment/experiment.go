@@ -1,0 +1,84 @@
+// Package experiment is the evaluation harness: one runner per table and
+// figure of the paper's Section VI and VII, producing the same rows and
+// series the paper reports. Absolute numbers come from the calibrated
+// simulation, so the reproduction target is the paper's *shape* — who
+// wins, monotonicity in D, version orderings, crossovers — as recorded in
+// EXPERIMENTS.md.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/binder"
+	"repro/internal/device"
+	"repro/internal/geom"
+	"repro/internal/input"
+	"repro/internal/sysserver"
+)
+
+// AttackerApp is the malicious package used across experiments.
+const AttackerApp binder.ProcessID = "com.attacker.app"
+
+// NumParticipants is the user-study size (30 in the paper).
+const NumParticipants = 30
+
+// assembleAttackStack builds a stack for a profile with the attacker's
+// overlay permission granted (the victim "accidentally installed" the
+// overlay app and granted it, per the threat model).
+func assembleAttackStack(p device.Profile, seed int64) (*sysserver.Stack, error) {
+	st, err := sysserver.Assemble(p, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: assemble stack: %w", err)
+	}
+	st.WM.GrantOverlayPermission(AttackerApp)
+	return st, nil
+}
+
+func screenOf(p device.Profile) geom.Rect {
+	return geom.RectWH(0, 0, float64(p.ScreenW), float64(p.ScreenH))
+}
+
+// driveKeystrokes schedules a typing session's gestures on the stack's
+// window manager: DOWN at each keystroke's DownAt, UP at UpAt (the gesture
+// is canceled automatically if its window disappears in between).
+func driveKeystrokes(st *sysserver.Stack, ks []input.Keystroke) error {
+	for _, k := range ks {
+		k := k
+		if _, err := st.Clock.At(k.DownAt, "user/down", func() {
+			gid, _, ok := st.WM.BeginGesture(k.Point)
+			if !ok {
+				return
+			}
+			st.Clock.MustAfter(k.UpAt-k.DownAt, "user/up", func() {
+				// EndGesture only fails for unknown ids, which cannot
+				// happen for a gesture begun above.
+				if _, err := st.WM.EndGesture(gid, k.Point); err != nil {
+					panic(fmt.Sprintf("experiment: end gesture: %v", err))
+				}
+			})
+		}); err != nil {
+			return fmt.Errorf("experiment: schedule keystroke: %w", err)
+		}
+	}
+	return nil
+}
+
+// participantDevice assigns participant i their phone: the study pairs the
+// 30 participants 1:1 with the Table I devices.
+func participantDevice(i int) device.Profile {
+	profiles := device.Profiles()
+	return profiles[i%len(profiles)]
+}
+
+// errNoKeystrokes guards empty sessions.
+var errNoKeystrokes = errors.New("experiment: session has no keystrokes")
+
+// sessionEnd reports one second past the last keystroke of a session.
+func sessionEnd(ks []input.Keystroke) (time.Duration, error) {
+	if len(ks) == 0 {
+		return 0, errNoKeystrokes
+	}
+	return ks[len(ks)-1].UpAt + time.Second, nil
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sysui"
+)
+
+// OutcomeForD runs the draw-and-destroy overlay attack on one device with
+// a given attacking window for attackDur and reports the worst Λ outcome
+// the user could have seen.
+func OutcomeForD(p device.Profile, d, attackDur time.Duration, seed int64) (sysui.Outcome, error) {
+	st, err := assembleAttackStack(p, seed)
+	if err != nil {
+		return 0, err
+	}
+	atk, err := core.NewOverlayAttack(st, core.OverlayAttackConfig{
+		App:    AttackerApp,
+		D:      d,
+		Bounds: screenOf(p),
+	})
+	if err != nil {
+		return 0, fmt.Errorf("experiment: build overlay attack: %w", err)
+	}
+	if err := atk.Start(); err != nil {
+		return 0, fmt.Errorf("experiment: start overlay attack: %w", err)
+	}
+	st.Clock.MustAfter(attackDur, "experiment/stop", atk.Stop)
+	if err := st.Clock.RunFor(attackDur + 5*time.Second); err != nil {
+		return 0, fmt.Errorf("experiment: run: %w", err)
+	}
+	return st.UI.WorstOutcome(), nil
+}
+
+// Fig6Point is one sample of the outcome-versus-D sweep.
+type Fig6Point struct {
+	// D is the attacking window.
+	D time.Duration
+	// Outcome is the worst Λ outcome observed at this D.
+	Outcome sysui.Outcome
+}
+
+// Fig6 regenerates the Figure 6 phenomenology on one device: sweeping D
+// from well below to well above the device's bound produces the Λ1→Λ5
+// progression of notification-visibility outcomes.
+func Fig6(model string, seed int64) ([]Fig6Point, error) {
+	p, ok := device.ByModel(model)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown device model %q", model)
+	}
+	bound := p.PaperUpperBoundD
+	// Sweep from 40% of the bound to bound + 750 ms in 30 ms steps: the
+	// five outcome regimes all live in this range (Λ5 needs D past the
+	// slide, text layout and message render), and the narrowest regime
+	// (Λ3) is ~60 ms wide, so a 30 ms step cannot miss it.
+	var out []Fig6Point
+	i := 0
+	for d := bound * 2 / 5; d <= bound+750*time.Millisecond; d += 30 * time.Millisecond {
+		o, err := OutcomeForD(p, d, 6*time.Second, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig6Point{D: d, Outcome: o})
+		i++
+	}
+	return out, nil
+}
+
+// Regimes compresses a Fig. 6 sweep into the first D at which each outcome
+// was observed — the "five photos" of the paper's Fig. 6.
+func Regimes(pts []Fig6Point) map[sysui.Outcome]time.Duration {
+	firstAt := make(map[sysui.Outcome]time.Duration)
+	for _, p := range pts {
+		if _, seen := firstAt[p.Outcome]; !seen {
+			firstAt[p.Outcome] = p.D
+		}
+	}
+	return firstAt
+}
+
+// RenderFig6 formats the sweep as regime transitions plus the first D of
+// each outcome.
+func RenderFig6(model string, pts []Fig6Point) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 6 — notification-view outcomes v.s. D on %s\n", model)
+	for i, p := range pts {
+		if i == 0 || p.Outcome != pts[i-1].Outcome || i == len(pts)-1 {
+			fmt.Fprintf(&sb, "  D = %4d ms  →  %s\n", p.D/time.Millisecond, p.Outcome)
+		}
+	}
+	first := Regimes(pts)
+	sb.WriteString("  first D per outcome:")
+	for _, o := range []sysui.Outcome{sysui.Lambda1, sysui.Lambda2, sysui.Lambda3, sysui.Lambda4, sysui.Lambda5} {
+		if d, ok := first[o]; ok {
+			fmt.Fprintf(&sb, "  %s@%dms", o, d/time.Millisecond)
+		} else {
+			fmt.Fprintf(&sb, "  %s@-", o)
+		}
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sysui"
+)
+
+// Renderer content checks: the printed tables must carry the rows a reader
+// of the paper expects to find, not just be non-empty.
+
+func TestRenderFig2Content(t *testing.T) {
+	out := RenderFig2()
+	for _, want := range []string{
+		"FastOutSlowInInterpolator",
+		"first frame: 72px view renders 0 px",
+		"paper: <50% at 100 ms",
+		"360 ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 render missing %q", want)
+		}
+	}
+}
+
+func TestRenderFig4Content(t *testing.T) {
+	out := RenderFig4()
+	for _, want := range []string{"Decelerate(enter)", "Accelerate(exit)", "500 ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig4 render missing %q", want)
+		}
+	}
+}
+
+func TestRenderTableIIContent(t *testing.T) {
+	rows := []TableIIRow{
+		{Manufacturer: "Google", Model: "pixel 2", Version: "11", PaperD: 330 * time.Millisecond, MeasuredD: 335 * time.Millisecond},
+	}
+	out := RenderTableII(rows)
+	for _, want := range []string{"upper boundary of D", "pixel 2", "330", "335"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TableII render missing %q", want)
+		}
+	}
+}
+
+func TestRenderTableIIIContent(t *testing.T) {
+	rows := []TableIIIRow{{Length: 8, Trials: 300, Successes: 264, LengthErrors: 22, WrongKeyErrors: 8, CapitalizationErrors: 6}}
+	out := RenderTableIII(rows)
+	for _, want := range []string{"password stealing", "88.0%", "paper:", "lenErr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TableIII render missing %q", want)
+		}
+	}
+}
+
+func TestRenderFig7CarriesPaperMeans(t *testing.T) {
+	rows := make([]Fig7Row, 7)
+	for i, d := range CaptureDs() {
+		rows[i] = Fig7Row{D: d}
+	}
+	out := RenderFig7(rows)
+	for _, want := range []string{"61.0", "79.8", "92.8", "50 ms", "200 ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig7 render missing %q", want)
+		}
+	}
+}
+
+func TestRenderDeviceCatalogContent(t *testing.T) {
+	out := RenderDeviceCatalog()
+	for _, want := range []string{"Samsung", "Vivo", "pixel 2", "V1986A", "E[Tmis]", "analytic-D"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("device catalog missing %q", want)
+		}
+	}
+	// All 30 devices present: header lines + 30 rows.
+	if lines := strings.Count(out, "\n"); lines != 32 {
+		t.Errorf("catalog has %d lines, want 32", lines)
+	}
+}
+
+func TestRenderDefenseReportsContent(t *testing.T) {
+	ipc := RenderDefenseIPC(DefenseIPCReport{AttackDetected: true, DetectionLatency: 1200 * time.Millisecond, AttackTerminated: true})
+	if !strings.Contains(ipc, "IPC (Binder) based detection") || !strings.Contains(ipc, "1.2s") {
+		t.Errorf("IPC render wrong: %q", ipc)
+	}
+	notif := RenderDefenseNotif(DefenseNotifReport{DelayT: 690 * time.Millisecond, OutcomeWithout: sysui.Lambda1, OutcomeWith: sysui.Lambda5})
+	for _, want := range []string{"690ms", "Λ1", "Λ5"} {
+		if !strings.Contains(notif, want) {
+			t.Errorf("notif render missing %q", want)
+		}
+	}
+	gap := RenderDefenseToastGap(DefenseToastGapReport{Gap: 400 * time.Millisecond, MinAlphaWithout: 0.75})
+	if !strings.Contains(gap, "toast scheduling") || !strings.Contains(gap, "0.75") {
+		t.Errorf("toast-gap render wrong: %q", gap)
+	}
+}
+
+func TestRenderAblationsContent(t *testing.T) {
+	out := RenderAblations(AblationReport{
+		SlideStock: sysui.Lambda1, SlideInstant: sysui.Lambda3,
+		BoundWithANA: 215 * time.Millisecond, BoundWithoutANA: 115 * time.Millisecond,
+		OrderCorrect: sysui.Lambda1, OrderInverted: sysui.Lambda5,
+		MinAlphaStockFade: 0.73,
+	})
+	for _, want := range []string{"slide animation", "ANA delay", "call order", "fade-out", "115ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations render missing %q", want)
+		}
+	}
+}
+
+func TestRenderStealthContent(t *testing.T) {
+	out := RenderStealth(StealthReport{Participants: 30, ReportedLag: 1, WorstOutcome: sysui.Lambda1, MinToastAlpha: 0.51})
+	for _, want := range []string{"30", "(paper: 0)", "(paper: 1)", "Λ1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stealth render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScatterSensitivity: wrong-key rate is monotone in σ, near zero at
+// σ = 8 px and severe at σ = 45 px on the 108 px grid.
+func TestScatterSensitivity(t *testing.T) {
+	rows, err := ScatterSensitivity(31)
+	if err != nil {
+		t.Fatalf("ScatterSensitivity: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].WrongKeyPct < rows[i-1].WrongKeyPct {
+			t.Fatalf("wrong-key rate not monotone: σ=%v %.2f%% < σ=%v %.2f%%",
+				rows[i].ScatterPx, rows[i].WrongKeyPct, rows[i-1].ScatterPx, rows[i-1].WrongKeyPct)
+		}
+	}
+	if rows[0].WrongKeyPct > 0.1 {
+		t.Errorf("σ=8px wrong-key %.2f%%, want ≈0", rows[0].WrongKeyPct)
+	}
+	// The calibrated σ=17 row sits in the Table III band.
+	var at17 float64 = -1
+	for _, r := range rows {
+		if r.ScatterPx == 17 {
+			at17 = r.WrongKeyPct
+		}
+	}
+	if at17 < 0.05 || at17 > 2 {
+		t.Errorf("σ=17px wrong-key %.2f%%, want within Table III band [0.05,2]", at17)
+	}
+	if last := rows[len(rows)-1]; last.WrongKeyPct < 10 {
+		t.Errorf("σ=45px wrong-key %.2f%%, want severe degradation", last.WrongKeyPct)
+	}
+	if s := RenderScatterSensitivity(rows); !strings.Contains(s, "calibrated population mean") {
+		t.Fatal("render missing calibration marker")
+	}
+}
+
+// TestFig7ModelShape: the analytic curve is monotone in D and lands in
+// the Fig. 7 band at both endpoints.
+func TestFig7ModelShape(t *testing.T) {
+	rows := Fig7Model()
+	if len(rows) != len(CaptureDs()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(CaptureDs()))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PredictedMean <= rows[i-1].PredictedMean {
+			t.Fatalf("model not monotone at D=%v", rows[i].D)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.D != 50*time.Millisecond || last.D != 200*time.Millisecond {
+		t.Fatalf("sweep endpoints = %v..%v", first.D, last.D)
+	}
+	if first.PredictedMean < 55 || first.PredictedMean > 80 {
+		t.Errorf("model at 50ms = %.1f, want Fig. 7 band", first.PredictedMean)
+	}
+	if last.PredictedMean < 88 || last.PredictedMean > 97 {
+		t.Errorf("model at 200ms = %.1f, want Fig. 7 band", last.PredictedMean)
+	}
+	out := RenderFig7Model(rows, nil)
+	for _, want := range []string{"model", "simulated", "paper", "61.0", "92.8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4).Add(Pt(1, -2))
+	if p != Pt(4, 2) {
+		t.Fatalf("Add = %v, want (4,2)", p)
+	}
+	q := Pt(3, 4).Sub(Pt(1, 1))
+	if q != Pt(2, 3) {
+		t.Fatalf("Sub = %v, want (2,3)", q)
+	}
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-1, 0), Pt(1, 0), 2},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestRectWH(t *testing.T) {
+	r := RectWH(10, 20, 100, 50)
+	if r.W() != 100 || r.H() != 50 {
+		t.Fatalf("W,H = %v,%v, want 100,50", r.W(), r.H())
+	}
+	if r.Area() != 5000 {
+		t.Fatalf("Area = %v, want 5000", r.Area())
+	}
+	if got := r.Center(); got != Pt(60, 45) {
+		t.Fatalf("Center = %v, want (60,45)", got)
+	}
+}
+
+func TestContainsEdges(t *testing.T) {
+	r := RectWH(0, 0, 10, 10)
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},    // top-left inclusive
+		{Pt(10, 10), false}, // bottom-right exclusive
+		{Pt(9.999, 9.999), true},
+		{Pt(5, 5), true},
+		{Pt(-0.001, 5), false},
+		{Pt(5, 10), false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if RectWH(0, 0, 10, 10).Empty() {
+		t.Fatal("non-degenerate rect reported Empty")
+	}
+	if !RectWH(0, 0, 0, 10).Empty() {
+		t.Fatal("zero-width rect not Empty")
+	}
+	if !(Rect{Min: Pt(5, 5), Max: Pt(1, 1)}).Empty() {
+		t.Fatal("inverted rect not Empty")
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := RectWH(0, 0, 10, 10)
+	b := RectWH(5, 5, 10, 10)
+	if !a.Intersects(b) {
+		t.Fatal("overlapping rects reported disjoint")
+	}
+	got := a.Intersect(b)
+	want := RectWH(5, 5, 5, 5)
+	if got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	c := RectWH(20, 20, 5, 5)
+	if a.Intersects(c) {
+		t.Fatal("disjoint rects reported intersecting")
+	}
+	if !a.Intersect(c).Empty() {
+		t.Fatal("Intersect of disjoint rects not empty")
+	}
+	// Touching edges do not intersect.
+	d := RectWH(10, 0, 5, 10)
+	if a.Intersects(d) {
+		t.Fatal("edge-touching rects reported intersecting")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := RectWH(0, 0, 5, 5)
+	b := RectWH(10, 10, 5, 5)
+	got := a.Union(b)
+	want := RectWH(0, 0, 15, 15)
+	if got != want {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Fatalf("Union with empty = %v, want %v", got, a)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Fatalf("Union with empty = %v, want %v", got, a)
+	}
+}
+
+func TestTranslateAndInset(t *testing.T) {
+	r := RectWH(0, 0, 10, 10).Translate(Pt(5, 5))
+	if r != RectWH(5, 5, 10, 10) {
+		t.Fatalf("Translate = %v", r)
+	}
+	in := RectWH(0, 0, 10, 10).Inset(2)
+	if in != RectWH(2, 2, 6, 6) {
+		t.Fatalf("Inset = %v, want [2,2 6x6]", in)
+	}
+	if !RectWH(0, 0, 10, 10).Inset(6).Empty() {
+		t.Fatal("over-inset rect not empty")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	outer := RectWH(0, 0, 100, 100)
+	if !outer.Covers(RectWH(10, 10, 20, 20)) {
+		t.Fatal("outer does not cover strict subset")
+	}
+	if !outer.Covers(outer) {
+		t.Fatal("rect does not cover itself")
+	}
+	if outer.Covers(RectWH(90, 90, 20, 20)) {
+		t.Fatal("outer covers overflowing rect")
+	}
+	if !outer.Covers(Rect{}) {
+		t.Fatal("rect does not cover empty rect")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	d := Density{DPI: 320}
+	if got := d.PxPerDP(); got != 2 {
+		t.Fatalf("PxPerDP = %v, want 2", got)
+	}
+	if got := d.ToPx(10); got != 20 {
+		t.Fatalf("ToPx(10) = %v, want 20", got)
+	}
+	if got := d.ToDP(20); got != 10 {
+		t.Fatalf("ToDP(20) = %v, want 10", got)
+	}
+	var zero Density
+	if got := zero.PxPerDP(); got != 1 {
+		t.Fatalf("zero-density PxPerDP = %v, want 1", got)
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestPropertyIntersect(t *testing.T) {
+	prop := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := RectWH(float64(ax), float64(ay), float64(aw), float64(ah))
+		b := RectWH(float64(bx), float64(by), float64(bw), float64(bh))
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if ab != ba {
+			return false
+		}
+		if ab.Empty() {
+			return true
+		}
+		return a.Covers(ab) && b.Covers(ab)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union covers both operands.
+func TestPropertyUnionCovers(t *testing.T) {
+	prop := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := RectWH(float64(ax), float64(ay), float64(aw)+1, float64(ah)+1)
+		b := RectWH(float64(bx), float64(by), float64(bw)+1, float64(bh)+1)
+		u := a.Union(b)
+		return u.Covers(a) && u.Covers(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a point inside the intersection is inside both rects.
+func TestPropertyContainsIntersection(t *testing.T) {
+	prop := func(ax, ay, bx, by uint8, px, py uint8) bool {
+		a := RectWH(float64(ax), float64(ay), 50, 50)
+		b := RectWH(float64(bx), float64(by), 50, 50)
+		p := Pt(float64(px), float64(py))
+		in := a.Intersect(b)
+		if in.Contains(p) {
+			return a.Contains(p) && b.Contains(p)
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,462 @@
+// Package keyboard models the software keyboard the password-stealing
+// attack targets: the geometry of a QWERTY layout with its three
+// sub-keyboards (lower case, upper case, symbols), the transition keys
+// (shift, ?123, ABC) that switch between them, and the attacker's offline
+// analysis — mapping an intercepted touch coordinate to the key whose
+// center is nearest in Euclidean distance (Section V).
+//
+// The same geometry serves three roles: the victim's real keyboard (an IME
+// window), the attacker's pixel-aligned fake keyboard rendered with toasts,
+// and the attacker's decoder that replays intercepted coordinates into a
+// password guess.
+package keyboard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Board identifies a sub-keyboard.
+type Board int
+
+// The sub-keyboards: the paper's random passwords span the first three;
+// BoardSymbols2 is the "=\<" second symbols page, included for layout
+// completeness.
+const (
+	BoardLower Board = iota + 1
+	BoardUpper
+	BoardSymbols
+	BoardSymbols2
+)
+
+// String renders the board name.
+func (b Board) String() string {
+	switch b {
+	case BoardLower:
+		return "lower"
+	case BoardUpper:
+		return "upper"
+	case BoardSymbols:
+		return "symbols"
+	case BoardSymbols2:
+		return "symbols2"
+	default:
+		return fmt.Sprintf("Board(%d)", int(b))
+	}
+}
+
+// Kind classifies a key.
+type Kind int
+
+// Key kinds. Transition keys (shift, ?123, ABC) switch sub-keyboards and
+// produce no output character.
+const (
+	KindChar Kind = iota + 1
+	KindShift
+	KindSymbols // the "?123" key
+	KindABC     // back to letters from the symbols board
+	KindBackspace
+	KindSpace
+	KindEnter
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindChar:
+		return "char"
+	case KindShift:
+		return "shift"
+	case KindSymbols:
+		return "?123"
+	case KindABC:
+		return "ABC"
+	case KindBackspace:
+		return "backspace"
+	case KindSpace:
+		return "space"
+	case KindEnter:
+		return "enter"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Key is one key of a sub-keyboard.
+type Key struct {
+	// Label is the display label ("a", "⇧", "?123").
+	Label string
+	// Out is the character the key emits; 0 for non-char keys except
+	// space, which emits ' '.
+	Out rune
+	// Kind classifies the key.
+	Kind Kind
+	// Bounds is the key's on-screen rectangle.
+	Bounds geom.Rect
+}
+
+// Center reports the key's center, the reference point of the attacker's
+// Euclidean matching.
+func (k Key) Center() geom.Point { return k.Bounds.Center() }
+
+// rowSpec describes one keyboard row: cells are (label, weight) pairs laid
+// out left to right; weights are fractions of a 10-unit row.
+type cell struct {
+	label  string
+	weight float64
+	kind   Kind
+	out    rune
+}
+
+func charCells(s string) []cell {
+	out := make([]cell, 0, len(s))
+	for _, r := range s {
+		out = append(out, cell{label: string(r), weight: 1, kind: KindChar, out: r})
+	}
+	return out
+}
+
+func lowerRows() [][]cell {
+	return [][]cell{
+		charCells("qwertyuiop"),
+		charCells("asdfghjkl"),
+		append(append([]cell{{label: "⇧", weight: 1.5, kind: KindShift}}, charCells("zxcvbnm")...),
+			cell{label: "⌫", weight: 1.5, kind: KindBackspace}),
+		{
+			{label: "?123", weight: 1.5, kind: KindSymbols},
+			{label: ",", weight: 1, kind: KindChar, out: ','},
+			{label: "space", weight: 4.5, kind: KindSpace, out: ' '},
+			{label: ".", weight: 1, kind: KindChar, out: '.'},
+			{label: "⏎", weight: 2, kind: KindEnter},
+		},
+	}
+}
+
+func upperRows() [][]cell {
+	return [][]cell{
+		charCells("QWERTYUIOP"),
+		charCells("ASDFGHJKL"),
+		append(append([]cell{{label: "⇧", weight: 1.5, kind: KindShift}}, charCells("ZXCVBNM")...),
+			cell{label: "⌫", weight: 1.5, kind: KindBackspace}),
+		{
+			{label: "?123", weight: 1.5, kind: KindSymbols},
+			{label: ",", weight: 1, kind: KindChar, out: ','},
+			{label: "space", weight: 4.5, kind: KindSpace, out: ' '},
+			{label: ".", weight: 1, kind: KindChar, out: '.'},
+			{label: "⏎", weight: 2, kind: KindEnter},
+		},
+	}
+}
+
+func symbolRows() [][]cell {
+	return [][]cell{
+		charCells("1234567890"),
+		charCells("@#$%&-+()/"),
+		append(append([]cell{{label: "=\\<", weight: 1.5, kind: KindShift}}, charCells("*\"':;!?")...),
+			cell{label: "⌫", weight: 1.5, kind: KindBackspace}),
+		{
+			{label: "ABC", weight: 1.5, kind: KindABC},
+			{label: ",", weight: 1, kind: KindChar, out: ','},
+			{label: "space", weight: 4.5, kind: KindSpace, out: ' '},
+			{label: ".", weight: 1, kind: KindChar, out: '.'},
+			{label: "⏎", weight: 2, kind: KindEnter},
+		},
+	}
+}
+
+func symbol2Rows() [][]cell {
+	return [][]cell{
+		charCells("~`|•√π÷×¶∆"),
+		charCells("£¥€¢^°={}\\"),
+		append(append([]cell{{label: "?123", weight: 1.5, kind: KindShift}}, charCells("©®™℅[]<")...),
+			cell{label: "⌫", weight: 1.5, kind: KindBackspace}),
+		{
+			{label: "ABC", weight: 1.5, kind: KindABC},
+			{label: ",", weight: 1, kind: KindChar, out: ','},
+			{label: "space", weight: 4.5, kind: KindSpace, out: ' '},
+			{label: ".", weight: 1, kind: KindChar, out: '.'},
+			{label: "⏎", weight: 2, kind: KindEnter},
+		},
+	}
+}
+
+// Keyboard is a keyboard geometry instantiated over a screen rectangle.
+type Keyboard struct {
+	bounds geom.Rect
+	boards map[Board][]Key
+}
+
+// New lays the keyboard out over bounds (typically the bottom ~35% of the
+// screen, matching the real IME's rectangle so the fake aligns with the
+// real).
+func New(bounds geom.Rect) (*Keyboard, error) {
+	if bounds.Empty() {
+		return nil, errors.New("keyboard: empty bounds")
+	}
+	k := &Keyboard{bounds: bounds, boards: make(map[Board][]Key, 4)}
+	k.boards[BoardLower] = layout(bounds, lowerRows())
+	k.boards[BoardUpper] = layout(bounds, upperRows())
+	k.boards[BoardSymbols] = layout(bounds, symbolRows())
+	k.boards[BoardSymbols2] = layout(bounds, symbol2Rows())
+	return k, nil
+}
+
+func layout(bounds geom.Rect, rows [][]cell) []Key {
+	rowH := bounds.H() / float64(len(rows))
+	unit := bounds.W() / 10
+	var keys []Key
+	for ri, row := range rows {
+		total := 0.0
+		for _, c := range row {
+			total += c.weight
+		}
+		// Center rows narrower than 10 units (e.g. the 9-key home row).
+		x := bounds.Min.X + (10-total)/2*unit
+		y := bounds.Min.Y + float64(ri)*rowH
+		for _, c := range row {
+			w := c.weight * unit
+			keys = append(keys, Key{
+				Label:  c.label,
+				Out:    c.out,
+				Kind:   c.kind,
+				Bounds: geom.RectWH(x, y, w, rowH),
+			})
+			x += w
+		}
+	}
+	return keys
+}
+
+// Bounds reports the keyboard rectangle.
+func (k *Keyboard) Bounds() geom.Rect { return k.bounds }
+
+// Keys returns the keys of a sub-keyboard.
+func (k *Keyboard) Keys(b Board) []Key {
+	keys := k.boards[b]
+	out := make([]Key, len(keys))
+	copy(out, keys)
+	return out
+}
+
+// KeyAt returns the key whose rectangle contains p on board b; ok is false
+// between keys or outside the keyboard.
+func (k *Keyboard) KeyAt(b Board, p geom.Point) (Key, bool) {
+	for _, key := range k.boards[b] {
+		if key.Bounds.Contains(p) {
+			return key, true
+		}
+	}
+	return Key{}, false
+}
+
+// NearestKey implements the attacker's inference: the key on board b whose
+// center has the smallest Euclidean distance to the touched position.
+func (k *Keyboard) NearestKey(b Board, p geom.Point) Key {
+	keys := k.boards[b]
+	best := keys[0]
+	bestD := math.Inf(1)
+	for _, key := range keys {
+		if d := p.Dist(key.Center()); d < bestD {
+			bestD = d
+			best = key
+		}
+	}
+	return best
+}
+
+// NeighborKey returns the character key on board b nearest to key (other
+// than key itself) — the key a user fat-fingers when misspelling. ok is
+// false if the board has no other character keys.
+func (k *Keyboard) NeighborKey(b Board, key Key) (Key, bool) {
+	var best Key
+	bestD := math.Inf(1)
+	found := false
+	for _, cand := range k.boards[b] {
+		if cand.Kind != KindChar || cand.Label == key.Label {
+			continue
+		}
+		if d := cand.Center().Dist(key.Center()); d < bestD {
+			bestD = d
+			best = cand
+			found = true
+		}
+	}
+	return best, found
+}
+
+// FindKey locates a key by label on board b.
+func (k *Keyboard) FindKey(b Board, label string) (Key, bool) {
+	for _, key := range k.boards[b] {
+		if key.Label == label {
+			return key, true
+		}
+	}
+	return Key{}, false
+}
+
+// KeyFor locates the board and key that emit r. Characters present on
+// several boards (',', '.', ' ') resolve to the first board in
+// lower→upper→symbols→symbols2 order.
+func (k *Keyboard) KeyFor(r rune) (Board, Key, bool) {
+	for _, b := range []Board{BoardLower, BoardUpper, BoardSymbols, BoardSymbols2} {
+		for _, key := range k.boards[b] {
+			if (key.Kind == KindChar || key.Kind == KindSpace) && key.Out == r {
+				return b, key, true
+			}
+		}
+	}
+	return 0, Key{}, false
+}
+
+// Next reports the board after pressing key on board b, following GBoard
+// semantics: shift toggles lower↔upper on the letter boards and
+// symbols↔symbols2 on the symbol boards, ?123 enters symbols, ABC returns
+// to lower, and character keys keep the board — except on the upper
+// board, where the one-shot shift reverts to lower after one character.
+func Next(b Board, key Key) Board {
+	switch key.Kind {
+	case KindShift:
+		switch b {
+		case BoardLower:
+			return BoardUpper
+		case BoardUpper:
+			return BoardLower
+		case BoardSymbols:
+			return BoardSymbols2
+		case BoardSymbols2:
+			return BoardSymbols
+		default:
+			return b
+		}
+	case KindSymbols:
+		return BoardSymbols
+	case KindABC:
+		return BoardLower
+	case KindChar:
+		if b == BoardUpper {
+			return BoardLower // one-shot shift
+		}
+		return b
+	default:
+		return b
+	}
+}
+
+// Press is one planned keystroke: the key to hit and the board it lives
+// on at press time.
+type Press struct {
+	Board Board
+	Key   Key
+}
+
+// PlanPresses expands a password into the exact keystroke sequence a user
+// performs, inserting shift/?123/ABC transitions as needed and honoring
+// the one-shot shift. It fails on characters the layout cannot type.
+func (k *Keyboard) PlanPresses(password string) ([]Press, error) {
+	board := BoardLower
+	var presses []Press
+	for _, r := range password {
+		target, _, ok := k.KeyFor(r)
+		if !ok {
+			return nil, fmt.Errorf("keyboard: character %q not typeable", r)
+		}
+		for board != target {
+			tk, ok := k.transitionKey(board, target)
+			if !ok {
+				return nil, fmt.Errorf("keyboard: no transition %v→%v", board, target)
+			}
+			presses = append(presses, Press{Board: board, Key: tk})
+			board = Next(board, tk)
+		}
+		key, ok := k.charKeyOn(board, r)
+		if !ok {
+			return nil, fmt.Errorf("keyboard: character %q missing on board %v", r, board)
+		}
+		presses = append(presses, Press{Board: board, Key: key})
+		board = Next(board, key)
+	}
+	return presses, nil
+}
+
+func (k *Keyboard) charKeyOn(b Board, r rune) (Key, bool) {
+	for _, key := range k.boards[b] {
+		if (key.Kind == KindChar || key.Kind == KindSpace) && key.Out == r {
+			return key, true
+		}
+	}
+	return Key{}, false
+}
+
+// transitionKey picks the key that moves from board b toward target.
+func (k *Keyboard) transitionKey(b, target Board) (Key, bool) {
+	switch b {
+	case BoardLower:
+		if target == BoardUpper {
+			return k.FindKey(BoardLower, "⇧")
+		}
+		return k.FindKey(BoardLower, "?123")
+	case BoardUpper:
+		if target == BoardLower {
+			return k.FindKey(BoardUpper, "⇧")
+		}
+		return k.FindKey(BoardUpper, "?123")
+	case BoardSymbols:
+		if target == BoardSymbols2 {
+			return k.FindKey(BoardSymbols, "=\\<")
+		}
+		// Both letter boards are reached via ABC (then shift if upper).
+		return k.FindKey(BoardSymbols, "ABC")
+	case BoardSymbols2:
+		if target == BoardSymbols {
+			return k.FindKey(BoardSymbols2, "?123")
+		}
+		return k.FindKey(BoardSymbols2, "ABC")
+	default:
+		return Key{}, false
+	}
+}
+
+// Decoder replays intercepted touch coordinates into a password guess,
+// tracking sub-keyboard state exactly as the malicious app does when it
+// swaps fake-keyboard toasts on intercepted transition keys.
+type Decoder struct {
+	kb    *Keyboard
+	board Board
+	sb    strings.Builder
+}
+
+// NewDecoder starts decoding on the lower board (the state a password
+// field opens with).
+func NewDecoder(kb *Keyboard) *Decoder {
+	return &Decoder{kb: kb, board: BoardLower}
+}
+
+// Board reports the decoder's current sub-keyboard.
+func (d *Decoder) Board() Board { return d.board }
+
+// Observe consumes one intercepted touch coordinate: it infers the nearest
+// key on the current board, updates the board state, and accumulates
+// output characters.
+func (d *Decoder) Observe(p geom.Point) Key {
+	key := d.kb.NearestKey(d.board, p)
+	switch key.Kind {
+	case KindChar, KindSpace:
+		d.sb.WriteRune(key.Out)
+	case KindBackspace:
+		s := d.sb.String()
+		if len(s) > 0 {
+			// Passwords here are single-byte characters; trim one byte.
+			d.sb.Reset()
+			d.sb.WriteString(s[:len(s)-1])
+		}
+	}
+	d.board = Next(d.board, key)
+	return key
+}
+
+// Password reports the decoded password so far.
+func (d *Decoder) Password() string { return d.sb.String() }

@@ -1,0 +1,435 @@
+package keyboard
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func kbBounds() geom.Rect { return geom.RectWH(0, 1200, 1080, 720) }
+
+func newKB(t *testing.T) *Keyboard {
+	t.Helper()
+	kb, err := New(kbBounds())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return kb
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.Rect{}); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+}
+
+func TestBoardsHaveExpectedKeys(t *testing.T) {
+	kb := newKB(t)
+	tests := []struct {
+		board Board
+		want  int
+	}{
+		// Letters: 10 + 9 + (1+7+1) + 5; symbols: 10 + 10 + 9 + 5.
+		{BoardLower, 33},
+		{BoardUpper, 33},
+		{BoardSymbols, 34},
+		{BoardSymbols2, 34},
+	}
+	for _, tt := range tests {
+		if got := len(kb.Keys(tt.board)); got != tt.want {
+			t.Errorf("%v has %d keys, want %d", tt.board, got, tt.want)
+		}
+	}
+}
+
+func TestKeysInsideBounds(t *testing.T) {
+	kb := newKB(t)
+	for _, b := range []Board{BoardLower, BoardUpper, BoardSymbols, BoardSymbols2} {
+		for _, key := range kb.Keys(b) {
+			if !kbBounds().Covers(key.Bounds) {
+				t.Errorf("%v key %q bounds %v outside keyboard %v", b, key.Label, key.Bounds, kbBounds())
+			}
+			if key.Bounds.Empty() {
+				t.Errorf("%v key %q has empty bounds", b, key.Label)
+			}
+		}
+	}
+}
+
+func TestKeysDoNotOverlap(t *testing.T) {
+	kb := newKB(t)
+	for _, b := range []Board{BoardLower, BoardUpper, BoardSymbols, BoardSymbols2} {
+		keys := kb.Keys(b)
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				if keys[i].Bounds.Intersects(keys[j].Bounds) {
+					t.Errorf("%v keys %q and %q overlap", b, keys[i].Label, keys[j].Label)
+				}
+			}
+		}
+	}
+}
+
+func TestKeyAtCenterFindsKey(t *testing.T) {
+	kb := newKB(t)
+	for _, b := range []Board{BoardLower, BoardUpper, BoardSymbols, BoardSymbols2} {
+		for _, key := range kb.Keys(b) {
+			got, ok := kb.KeyAt(b, key.Center())
+			if !ok || got.Label != key.Label {
+				t.Errorf("KeyAt(%v, center of %q) = (%q,%v)", b, key.Label, got.Label, ok)
+			}
+		}
+	}
+}
+
+func TestKeyAtOutside(t *testing.T) {
+	kb := newKB(t)
+	if _, ok := kb.KeyAt(BoardLower, geom.Pt(5, 5)); ok {
+		t.Fatal("KeyAt found a key outside the keyboard")
+	}
+}
+
+func TestNearestKeyExactCenter(t *testing.T) {
+	kb := newKB(t)
+	for _, key := range kb.Keys(BoardLower) {
+		if got := kb.NearestKey(BoardLower, key.Center()); got.Label != key.Label {
+			t.Errorf("NearestKey(center of %q) = %q", key.Label, got.Label)
+		}
+	}
+}
+
+func TestNearestKeyWithJitter(t *testing.T) {
+	kb := newKB(t)
+	// A touch 10 px off the 'g' center still decodes to 'g'; keys are
+	// ~108 px wide.
+	g, ok := kb.FindKey(BoardLower, "g")
+	if !ok {
+		t.Fatal("g missing")
+	}
+	p := g.Center().Add(geom.Pt(10, -8))
+	if got := kb.NearestKey(BoardLower, p); got.Label != "g" {
+		t.Fatalf("NearestKey = %q, want g", got.Label)
+	}
+}
+
+func TestNeighborKey(t *testing.T) {
+	kb := newKB(t)
+	g, _ := kb.FindKey(BoardLower, "g")
+	n, ok := kb.NeighborKey(BoardLower, g)
+	if !ok {
+		t.Fatal("no neighbor for g")
+	}
+	if n.Label != "f" && n.Label != "h" && n.Label != "t" && n.Label != "y" && n.Label != "v" && n.Label != "b" {
+		t.Fatalf("neighbor of g = %q, want an adjacent key", n.Label)
+	}
+	if n.Kind != KindChar {
+		t.Fatalf("neighbor kind = %v, want char", n.Kind)
+	}
+	// Neighbor never equals the key itself.
+	for _, key := range kb.Keys(BoardSymbols) {
+		if key.Kind != KindChar {
+			continue
+		}
+		n, ok := kb.NeighborKey(BoardSymbols, key)
+		if !ok || n.Label == key.Label {
+			t.Fatalf("NeighborKey(%q) = (%q,%v)", key.Label, n.Label, ok)
+		}
+	}
+}
+
+func TestKeyFor(t *testing.T) {
+	kb := newKB(t)
+	tests := []struct {
+		r     rune
+		board Board
+	}{
+		{'a', BoardLower},
+		{'Z', BoardUpper},
+		{'7', BoardSymbols},
+		{'@', BoardSymbols},
+		{'?', BoardSymbols},
+		{',', BoardLower}, // present on all; resolves to lower
+		{' ', BoardLower},
+	}
+	for _, tt := range tests {
+		b, key, ok := kb.KeyFor(tt.r)
+		if !ok {
+			t.Errorf("KeyFor(%q) not found", tt.r)
+			continue
+		}
+		if b != tt.board {
+			t.Errorf("KeyFor(%q) board = %v, want %v", tt.r, b, tt.board)
+		}
+		if key.Out != tt.r {
+			t.Errorf("KeyFor(%q) emits %q", tt.r, key.Out)
+		}
+	}
+	// '€' lives on the second symbols page.
+	if b, _, ok := kb.KeyFor('€'); !ok || b != BoardSymbols2 {
+		t.Errorf("KeyFor(€) = (%v,%v), want symbols2", b, ok)
+	}
+	if _, _, ok := kb.KeyFor('ü'); ok {
+		t.Error("KeyFor(ü) found a key; layout has none")
+	}
+}
+
+// TestSymbols2RoundTrip: a password using a second-page symbol plans
+// through ?123 → =\< and decodes back exactly.
+func TestSymbols2RoundTrip(t *testing.T) {
+	kb := newKB(t)
+	const pw = "a€B[7]x"
+	presses, err := kb.PlanPresses(pw)
+	if err != nil {
+		t.Fatalf("PlanPresses(%q): %v", pw, err)
+	}
+	dec := NewDecoder(kb)
+	for _, pr := range presses {
+		dec.Observe(pr.Key.Center())
+	}
+	if got := dec.Password(); got != pw {
+		t.Fatalf("decoded %q, want %q", got, pw)
+	}
+}
+
+func TestSymbols2Transitions(t *testing.T) {
+	kb := newKB(t)
+	toPage2, ok := kb.FindKey(BoardSymbols, "=\\<")
+	if !ok {
+		t.Fatal("=\\< key missing on symbols page 1")
+	}
+	if got := Next(BoardSymbols, toPage2); got != BoardSymbols2 {
+		t.Fatalf("Next(symbols, =\\<) = %v", got)
+	}
+	back, ok := kb.FindKey(BoardSymbols2, "?123")
+	if !ok {
+		t.Fatal("?123 key missing on symbols page 2")
+	}
+	if got := Next(BoardSymbols2, back); got != BoardSymbols {
+		t.Fatalf("Next(symbols2, ?123) = %v", got)
+	}
+	abc, ok := kb.FindKey(BoardSymbols2, "ABC")
+	if !ok {
+		t.Fatal("ABC key missing on symbols page 2")
+	}
+	if got := Next(BoardSymbols2, abc); got != BoardLower {
+		t.Fatalf("Next(symbols2, ABC) = %v", got)
+	}
+	// Characters on page 2 keep the board.
+	euro, ok := kb.FindKey(BoardSymbols2, "€")
+	if !ok {
+		t.Fatal("€ missing")
+	}
+	if got := Next(BoardSymbols2, euro); got != BoardSymbols2 {
+		t.Fatalf("Next(symbols2, €) = %v", got)
+	}
+}
+
+func TestNextTransitions(t *testing.T) {
+	kb := newKB(t)
+	shiftL, _ := kb.FindKey(BoardLower, "⇧")
+	shiftU, _ := kb.FindKey(BoardUpper, "⇧")
+	sym, _ := kb.FindKey(BoardLower, "?123")
+	abc, _ := kb.FindKey(BoardSymbols, "ABC")
+	aLower, _ := kb.FindKey(BoardLower, "a")
+	aUpper, _ := kb.FindKey(BoardUpper, "A")
+	tests := []struct {
+		b    Board
+		key  Key
+		want Board
+	}{
+		{BoardLower, shiftL, BoardUpper},
+		{BoardUpper, shiftU, BoardLower},
+		{BoardLower, sym, BoardSymbols},
+		{BoardSymbols, abc, BoardLower},
+		{BoardLower, aLower, BoardLower},
+		{BoardUpper, aUpper, BoardLower}, // one-shot shift reverts
+	}
+	for _, tt := range tests {
+		if got := Next(tt.b, tt.key); got != tt.want {
+			t.Errorf("Next(%v, %q) = %v, want %v", tt.b, tt.key.Label, got, tt.want)
+		}
+	}
+}
+
+func TestPlanPressesSimple(t *testing.T) {
+	kb := newKB(t)
+	presses, err := kb.PlanPresses("ab")
+	if err != nil {
+		t.Fatalf("PlanPresses: %v", err)
+	}
+	if len(presses) != 2 {
+		t.Fatalf("presses = %d, want 2", len(presses))
+	}
+	if presses[0].Key.Out != 'a' || presses[1].Key.Out != 'b' {
+		t.Fatalf("plan = %+v", presses)
+	}
+}
+
+func TestPlanPressesWithShift(t *testing.T) {
+	kb := newKB(t)
+	presses, err := kb.PlanPresses("aB")
+	if err != nil {
+		t.Fatalf("PlanPresses: %v", err)
+	}
+	// a, shift, B.
+	if len(presses) != 3 {
+		t.Fatalf("presses = %d, want 3: %+v", len(presses), presses)
+	}
+	if presses[1].Key.Kind != KindShift {
+		t.Fatalf("press 1 = %+v, want shift", presses[1])
+	}
+	if presses[2].Board != BoardUpper {
+		t.Fatalf("press 2 board = %v, want upper", presses[2].Board)
+	}
+}
+
+func TestPlanPressesSymbolsRoundTrip(t *testing.T) {
+	kb := newKB(t)
+	presses, err := kb.PlanPresses("a7b")
+	if err != nil {
+		t.Fatalf("PlanPresses: %v", err)
+	}
+	// a, ?123, 7, ABC, b.
+	kinds := make([]Kind, len(presses))
+	for i, p := range presses {
+		kinds[i] = p.Key.Kind
+	}
+	want := []Kind{KindChar, KindSymbols, KindChar, KindABC, KindChar}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestPlanPressesUntypeable(t *testing.T) {
+	kb := newKB(t)
+	if _, err := kb.PlanPresses("héllo"); err == nil {
+		t.Fatal("untypeable character accepted")
+	}
+}
+
+// TestDecoderRoundTrip is the attack's core correctness property: planning
+// the keystrokes for a password and feeding the exact key centers to the
+// decoder recovers the password.
+func TestDecoderRoundTrip(t *testing.T) {
+	kb := newKB(t)
+	passwords := []string{
+		"password",
+		"P@ssw0rd",
+		"tk&%48GH", // the password in the paper's demo video
+		"aB3$xY9!",
+		"1234567890",
+		"ALLUPPER",
+		"with space",
+		"a,b.c",
+	}
+	for _, pw := range passwords {
+		presses, err := kb.PlanPresses(pw)
+		if err != nil {
+			t.Fatalf("PlanPresses(%q): %v", pw, err)
+		}
+		dec := NewDecoder(kb)
+		for _, pr := range presses {
+			dec.Observe(pr.Key.Center())
+		}
+		if got := dec.Password(); got != pw {
+			t.Errorf("decoded %q, want %q", got, pw)
+		}
+	}
+}
+
+func TestDecoderBackspace(t *testing.T) {
+	kb := newKB(t)
+	dec := NewDecoder(kb)
+	a, _ := kb.FindKey(BoardLower, "a")
+	b, _ := kb.FindKey(BoardLower, "b")
+	bs, _ := kb.FindKey(BoardLower, "⌫")
+	dec.Observe(a.Center())
+	dec.Observe(b.Center())
+	dec.Observe(bs.Center())
+	if got := dec.Password(); got != "a" {
+		t.Fatalf("password = %q, want \"a\"", got)
+	}
+	// Backspace on empty is a no-op.
+	dec2 := NewDecoder(kb)
+	dec2.Observe(bs.Center())
+	if got := dec2.Password(); got != "" {
+		t.Fatalf("password = %q, want empty", got)
+	}
+}
+
+func TestDecoderTracksBoard(t *testing.T) {
+	kb := newKB(t)
+	dec := NewDecoder(kb)
+	if dec.Board() != BoardLower {
+		t.Fatal("decoder must start on lower board")
+	}
+	sym, _ := kb.FindKey(BoardLower, "?123")
+	dec.Observe(sym.Center())
+	if dec.Board() != BoardSymbols {
+		t.Fatalf("board = %v after ?123, want symbols", dec.Board())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if BoardLower.String() != "lower" || Board(9).String() != "Board(9)" {
+		t.Fatal("Board.String broken")
+	}
+	if KindShift.String() != "shift" || Kind(99).String() != "Kind(99)" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+// Property: every typeable ASCII password round-trips through
+// plan → key centers → decoder.
+func TestPropertyRoundTrip(t *testing.T) {
+	kb := newKB(t)
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789@#$&-+()/*\"':;!?"
+	prop := func(idx []uint8) bool {
+		if len(idx) > 16 {
+			idx = idx[:16]
+		}
+		var sb strings.Builder
+		for _, i := range idx {
+			sb.WriteByte(alphabet[int(i)%len(alphabet)])
+		}
+		pw := sb.String()
+		presses, err := kb.PlanPresses(pw)
+		if err != nil {
+			return false
+		}
+		dec := NewDecoder(kb)
+		for _, pr := range presses {
+			dec.Observe(pr.Key.Center())
+		}
+		return dec.Password() == pw
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NearestKey returns the true argmin over key centers.
+func TestPropertyNearestIsArgmin(t *testing.T) {
+	kb := newKB(t)
+	keys := kb.Keys(BoardLower)
+	prop := func(xr, yr uint16) bool {
+		p := geom.Pt(float64(xr)/65535*1080, 1200+float64(yr)/65535*720)
+		got := kb.NearestKey(BoardLower, p)
+		for _, key := range keys {
+			if p.Dist(key.Center()) < p.Dist(got.Center())-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

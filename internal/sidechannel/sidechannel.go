@@ -1,0 +1,152 @@
+// Package sidechannel implements the alternative attack trigger the paper
+// cites (Section V, reference [9], Chen et al., USENIX Security 2014): an
+// unprivileged app can read another process's shared-memory counter
+// through procfs and infer UI state transitions from its characteristic
+// jumps, because window and view creation allocates graphics buffers that
+// show up in shared memory.
+//
+// The simulation has a ground-truth side: a Meter that maintains per-
+// process "shared VM" counters from window attach/detach events (each
+// window accounts for a width×height×4-byte buffer). The attacker side is
+// a Poller that samples a victim-visible counter at a fixed interval —
+// exactly what reading /proc/<pid>/statm permits — and fires when it sees
+// a positive jump matching a target signature, such as the software
+// keyboard window appearing when a password field takes focus.
+package sidechannel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/binder"
+	"repro/internal/simclock"
+	"repro/internal/wm"
+)
+
+// BytesPerPixel is the RGBA graphics-buffer footprint per pixel.
+const BytesPerPixel = 4
+
+// Meter is the procfs ground truth: per-process shared-memory counters
+// driven by window lifecycle events.
+type Meter struct {
+	shared map[binder.ProcessID]int64
+}
+
+// NewMeter builds a Meter and subscribes it to the window manager.
+func NewMeter(m *wm.Manager) (*Meter, error) {
+	if m == nil {
+		return nil, errors.New("sidechannel: nil window manager")
+	}
+	meter := &Meter{shared: make(map[binder.ProcessID]int64)}
+	m.OnWindowEvent(meter.observe)
+	return meter, nil
+}
+
+func bufferBytes(w wm.Window) int64 {
+	return int64(w.Bounds.W()) * int64(w.Bounds.H()) * BytesPerPixel
+}
+
+func (m *Meter) observe(ev wm.WindowEvent) {
+	switch ev.Kind {
+	case wm.WindowAdded:
+		m.shared[ev.Window.Owner] += bufferBytes(ev.Window)
+	case wm.WindowRemoved:
+		m.shared[ev.Window.Owner] -= bufferBytes(ev.Window)
+		if m.shared[ev.Window.Owner] <= 0 {
+			delete(m.shared, ev.Window.Owner)
+		}
+	}
+}
+
+// SharedVM reports the process's current shared-memory counter in bytes —
+// what /proc/<pid>/statm exposes.
+func (m *Meter) SharedVM(p binder.ProcessID) int64 { return m.shared[p] }
+
+// PollerConfig configures the attacker-side inference.
+type PollerConfig struct {
+	// Clock drives polling; required.
+	Clock *simclock.Clock
+	// Meter is the procfs the poller reads; required.
+	Meter *Meter
+	// Target is the process whose counter is watched (e.g. the IME
+	// process: its buffer appears when a text field takes focus).
+	Target binder.ProcessID
+	// Interval is the polling period; zero selects 30 ms — fast enough
+	// to catch a keyboard popup, slow enough to be an unremarkable
+	// procfs reader.
+	Interval time.Duration
+	// SignatureBytes is the minimum positive jump that counts as the
+	// target UI transition (e.g. the keyboard buffer size).
+	SignatureBytes int64
+	// OnSignature fires once per matching jump.
+	OnSignature func(at time.Duration, deltaBytes int64)
+}
+
+// Poller samples the target's shared VM and detects signature jumps.
+type Poller struct {
+	cfg     PollerConfig
+	last    int64
+	fired   uint64
+	stopped bool
+}
+
+// NewPoller validates the configuration.
+func NewPoller(cfg PollerConfig) (*Poller, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("sidechannel: nil clock")
+	}
+	if cfg.Meter == nil {
+		return nil, errors.New("sidechannel: nil meter")
+	}
+	if cfg.Target == "" {
+		return nil, errors.New("sidechannel: empty target process")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 30 * time.Millisecond
+	}
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("sidechannel: negative interval %v", cfg.Interval)
+	}
+	if cfg.SignatureBytes <= 0 {
+		return nil, fmt.Errorf("sidechannel: non-positive signature %d", cfg.SignatureBytes)
+	}
+	return &Poller{cfg: cfg}, nil
+}
+
+// Start begins polling. The first sample establishes the baseline.
+func (p *Poller) Start() {
+	p.last = p.cfg.Meter.SharedVM(p.cfg.Target)
+	p.schedule()
+}
+
+func (p *Poller) schedule() {
+	p.cfg.Clock.MustAfter(p.cfg.Interval, "sidechannel/poll", func() {
+		if p.stopped {
+			return
+		}
+		cur := p.cfg.Meter.SharedVM(p.cfg.Target)
+		if delta := cur - p.last; delta >= p.cfg.SignatureBytes {
+			p.fired++
+			if p.cfg.OnSignature != nil {
+				p.cfg.OnSignature(p.cfg.Clock.Now(), delta)
+			}
+		}
+		p.last = cur
+		p.schedule()
+	})
+}
+
+// Stop halts polling.
+func (p *Poller) Stop() { p.stopped = true }
+
+// Fired reports how many signature jumps were detected.
+func (p *Poller) Fired() uint64 { return p.fired }
+
+// KeyboardSignature estimates the signature bytes for a keyboard covering
+// the given fraction of a w×h screen — the jump the IME's window buffer
+// produces when it appears. The poller should use a margin below the
+// exact size (e.g. 80%) to tolerate layout variation.
+func KeyboardSignature(screenW, screenH int, fraction float64) int64 {
+	return int64(float64(screenW) * float64(screenH) * fraction * BytesPerPixel * 0.8)
+}

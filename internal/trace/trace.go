@@ -1,0 +1,162 @@
+// Package trace records and renders the entity interaction of an attack
+// run — the reproduction of the paper's Fig. 3 (overlay attack) and Fig. 5
+// (toast attack) sequence diagrams. A Recorder subscribes to the Binder
+// bus (message sends and deliveries) and the Window Manager (window
+// attach/detach), and renders a chronological three-lane timeline:
+// malicious app, System Server, System UI.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/binder"
+	"repro/internal/sysserver"
+	"repro/internal/sysui"
+	"repro/internal/wm"
+)
+
+// Lane identifies an actor column in the rendered diagram.
+type Lane int
+
+// The three lanes of Fig. 3.
+const (
+	LaneApp Lane = iota + 1
+	LaneSystemServer
+	LaneSystemUI
+)
+
+// String renders the lane name.
+func (l Lane) String() string {
+	switch l {
+	case LaneApp:
+		return "app"
+	case LaneSystemServer:
+		return "system_server"
+	case LaneSystemUI:
+		return "system_ui"
+	default:
+		return fmt.Sprintf("Lane(%d)", int(l))
+	}
+}
+
+// Entry is one timeline event.
+type Entry struct {
+	// At is the virtual time.
+	At time.Duration
+	// Lane is the actor the event happened at.
+	Lane Lane
+	// Text describes the event.
+	Text string
+}
+
+// Recorder collects timeline entries from a stack.
+type Recorder struct {
+	app     binder.ProcessID
+	entries []Entry
+	limit   int
+}
+
+// NewRecorder builds a recorder focused on one app's interactions. limit
+// caps the number of recorded entries (0 selects 4096) so long runs do not
+// accumulate unbounded timelines.
+func NewRecorder(app binder.ProcessID, limit int) (*Recorder, error) {
+	if app == "" {
+		return nil, errors.New("trace: empty app")
+	}
+	if limit == 0 {
+		limit = 4096
+	}
+	if limit < 0 {
+		return nil, fmt.Errorf("trace: negative limit %d", limit)
+	}
+	return &Recorder{app: app, limit: limit}, nil
+}
+
+// Attach subscribes the recorder to a stack's Binder bus and window
+// manager. Call before the attack starts.
+func (r *Recorder) Attach(stack *sysserver.Stack) error {
+	if stack == nil {
+		return errors.New("trace: nil stack")
+	}
+	stack.Bus.Observe(r.observeTx)
+	stack.WM.OnWindowEvent(r.observeWindow)
+	return nil
+}
+
+func (r *Recorder) add(e Entry) {
+	if len(r.entries) >= r.limit {
+		return
+	}
+	r.entries = append(r.entries, e)
+}
+
+func (r *Recorder) observeTx(tx binder.Transaction) {
+	if tx.From != r.app && tx.From != binder.SystemServer {
+		return
+	}
+	switch {
+	case tx.From == r.app && tx.To == binder.SystemServer:
+		r.add(Entry{At: tx.SentAt, Lane: LaneApp, Text: tx.Method + "() issued"})
+		r.add(Entry{At: tx.DeliveredAt, Lane: LaneSystemServer,
+			Text: fmt.Sprintf("%s received (T=%.1fms)", tx.Method, ms(tx.DeliveredAt-tx.SentAt))})
+	case tx.From == binder.SystemServer && tx.To == binder.SystemUI:
+		label := tx.Method
+		switch tx.Method {
+		case sysui.MethodPostOverlayAlert:
+			label = "notify: draw notification view"
+		case sysui.MethodRemoveOverlayAlert:
+			label = "notify: remove notification view"
+		}
+		r.add(Entry{At: tx.SentAt, Lane: LaneSystemServer, Text: label + " →"})
+		r.add(Entry{At: tx.DeliveredAt, Lane: LaneSystemUI,
+			Text: fmt.Sprintf("%s (Tn=%.1fms)", label, ms(tx.DeliveredAt-tx.SentAt))})
+	}
+}
+
+func (r *Recorder) observeWindow(ev wm.WindowEvent) {
+	if ev.Window.Owner != r.app {
+		return
+	}
+	verb := "attached"
+	if ev.Kind == wm.WindowRemoved {
+		verb = "removed"
+	}
+	r.add(Entry{At: ev.At, Lane: LaneSystemServer,
+		Text: fmt.Sprintf("%s window #%d %s", ev.Window.Type, ev.Window.ID, verb)})
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Entries returns the recorded timeline in chronological order.
+func (r *Recorder) Entries() []Entry {
+	out := make([]Entry, len(r.entries))
+	copy(out, r.entries)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Render draws the three-lane sequence diagram, Fig. 3 style.
+func (r *Recorder) Render() string {
+	entries := r.Entries()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s │ %-28s │ %-40s │ %s\n", "time", "malicious app", "system server", "system ui")
+	sb.WriteString(strings.Repeat("─", 110) + "\n")
+	for _, e := range entries {
+		var app, ss, ui string
+		switch e.Lane {
+		case LaneApp:
+			app = e.Text
+		case LaneSystemServer:
+			ss = e.Text
+		case LaneSystemUI:
+			ui = e.Text
+		}
+		fmt.Fprintf(&sb, "%-12s │ %-28s │ %-40s │ %s\n",
+			fmt.Sprintf("%.1fms", ms(e.At)), app, ss, ui)
+	}
+	return sb.String()
+}

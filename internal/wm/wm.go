@@ -1,0 +1,610 @@
+// Package wm implements the window-management core of the simulated
+// Android stack: window types and z-ordering, the SYSTEM_ALERT_WINDOW
+// permission gate, the post-Android-8 built-in defenses (TYPE_TOAST
+// removal, Settings-app protection), per-app foreground-overlay accounting
+// (which drives the notification alert), and gesture-level touch dispatch.
+//
+// Touch dispatch follows real Android semantics that matter to the paper:
+// a gesture is bound to the window that received its DOWN event; if that
+// window is removed mid-gesture the remainder of the gesture is CANCELed.
+// The draw-and-destroy overlay attack therefore loses ("mistouches") any
+// gesture that straddles an overlay swap — the effect measured in Figs. 7
+// and 8.
+package wm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/binder"
+	"repro/internal/geom"
+	"repro/internal/simclock"
+)
+
+// WindowType classifies a window; it determines the z-layer.
+type WindowType int
+
+// Window types. Toast windows sit above application overlays but are never
+// touchable, so a touch aimed at a toast falls through to the topmost
+// touchable window beneath it — the mechanism the password-stealing attack
+// exploits by stacking transparent overlays under a fake-keyboard toast.
+const (
+	TypeActivity WindowType = iota + 1
+	TypeInputMethod
+	TypeApplicationOverlay
+	TypeToast
+	// TypeLegacyToast is the pre-Android-8 TYPE_TOAST window an app could
+	// add directly; AddWindow rejects it (the built-in defense).
+	TypeLegacyToast
+)
+
+// Layer reports the base z-layer of the type; higher layers render on top.
+func (t WindowType) Layer() int {
+	switch t {
+	case TypeActivity:
+		return 1000
+	case TypeInputMethod:
+		return 2000
+	case TypeApplicationOverlay:
+		return 3000
+	case TypeToast, TypeLegacyToast:
+		return 3500
+	default:
+		return 0
+	}
+}
+
+// String renders the type for diagnostics.
+func (t WindowType) String() string {
+	switch t {
+	case TypeActivity:
+		return "activity"
+	case TypeInputMethod:
+		return "ime"
+	case TypeApplicationOverlay:
+		return "overlay"
+	case TypeToast:
+		return "toast"
+	case TypeLegacyToast:
+		return "legacy-toast"
+	default:
+		return fmt.Sprintf("WindowType(%d)", int(t))
+	}
+}
+
+// Flags modify window behaviour.
+type Flags uint32
+
+// Window flags mirroring the Android ones the paper discusses.
+const (
+	// FlagNotTouchable makes touches pass through (the clickjacking
+	// overlay variant).
+	FlagNotTouchable Flags = 1 << iota
+	// FlagTransparent marks the window visually transparent; it has no
+	// effect on touch routing.
+	FlagTransparent
+)
+
+// Has reports whether all bits in q are set.
+func (f Flags) Has(q Flags) bool { return f&q == q }
+
+// WindowID identifies an attached window.
+type WindowID uint64
+
+// TouchAction enumerates touch event actions.
+type TouchAction int
+
+// Touch actions following android.view.MotionEvent.
+const (
+	ActionDown TouchAction = iota + 1
+	ActionUp
+	ActionCancel
+)
+
+// String renders the action for diagnostics.
+func (a TouchAction) String() string {
+	switch a {
+	case ActionDown:
+		return "down"
+	case ActionUp:
+		return "up"
+	case ActionCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("TouchAction(%d)", int(a))
+	}
+}
+
+// TouchEvent is one motion event delivered to a window.
+type TouchEvent struct {
+	// Gesture identifies the gesture this event belongs to.
+	Gesture uint64
+	// Action is down, up or cancel.
+	Action TouchAction
+	// Pos is the screen position in pixels.
+	Pos geom.Point
+	// At is the virtual delivery time.
+	At time.Duration
+}
+
+// TouchHandler receives events for a window.
+type TouchHandler func(ev TouchEvent)
+
+// Spec describes a window to add.
+type Spec struct {
+	// Owner is the process adding the window.
+	Owner binder.ProcessID
+	// Type classifies the window; required.
+	Type WindowType
+	// Bounds is the screen rectangle; must be non-empty.
+	Bounds geom.Rect
+	// Flags modify behaviour.
+	Flags Flags
+	// OnTouch receives the window's touch events; may be nil for
+	// windows that ignore input.
+	OnTouch TouchHandler
+}
+
+// Window is an attached window. Fields are read-only snapshots; mutate via
+// Manager methods.
+type Window struct {
+	ID      WindowID
+	Owner   binder.ProcessID
+	Type    WindowType
+	Bounds  geom.Rect
+	Flags   Flags
+	Alpha   float64
+	AddedAt time.Duration
+	Hidden  bool // forced-hidden by Settings protection
+
+	onTouch TouchHandler
+}
+
+// Touchable reports whether the window can receive touch events right now.
+// Toast windows never receive touches (Android guarantees the underlying
+// activity stays interactive under a toast).
+func (w *Window) Touchable() bool {
+	if w.Hidden {
+		return false
+	}
+	if w.Type == TypeToast || w.Type == TypeLegacyToast {
+		return false
+	}
+	return !w.Flags.Has(FlagNotTouchable)
+}
+
+// Errors returned by the Manager.
+var (
+	// ErrNoPermission indicates the app lacks SYSTEM_ALERT_WINDOW.
+	ErrNoPermission = errors.New("wm: SYSTEM_ALERT_WINDOW permission not granted")
+	// ErrTypeToastRemoved indicates an app tried to add a TYPE_TOAST
+	// window directly, which Android 8 removed.
+	ErrTypeToastRemoved = errors.New("wm: TYPE_TOAST windows were removed in Android 8.0")
+	// ErrProtectedForeground indicates the Settings app is granting
+	// permissions and overlays are disallowed.
+	ErrProtectedForeground = errors.New("wm: overlays disallowed while Settings grants permissions")
+	// ErrUnknownWindow indicates the window id is not attached.
+	ErrUnknownWindow = errors.New("wm: unknown window")
+)
+
+// OverlayCountListener observes per-app foreground-overlay count changes;
+// the Notification Manager uses the 0↔1 transitions to post and remove the
+// overlay alert.
+type OverlayCountListener func(app binder.ProcessID, old, new int)
+
+// WindowEventKind classifies window lifecycle events.
+type WindowEventKind int
+
+// Window lifecycle events.
+const (
+	WindowAdded WindowEventKind = iota + 1
+	WindowRemoved
+)
+
+// String renders the kind.
+func (k WindowEventKind) String() string {
+	switch k {
+	case WindowAdded:
+		return "added"
+	case WindowRemoved:
+		return "removed"
+	default:
+		return fmt.Sprintf("WindowEventKind(%d)", int(k))
+	}
+}
+
+// WindowEvent is one window attach/detach, observed by tracers.
+type WindowEvent struct {
+	Kind   WindowEventKind
+	Window Window
+	At     time.Duration
+}
+
+// WindowEventListener observes window lifecycle events.
+type WindowEventListener func(ev WindowEvent)
+
+// Manager is the window-management state machine. It is single-threaded on
+// the simulation clock.
+type Manager struct {
+	clock  *simclock.Clock
+	screen geom.Rect
+
+	nextID   WindowID
+	windows  map[WindowID]*Window
+	order    []*Window // kept sorted by (layer, AddedAt, ID)
+	perms    map[binder.ProcessID]bool
+	overlays map[binder.ProcessID]int
+
+	protected       bool
+	countListeners  []OverlayCountListener
+	windowListeners []WindowEventListener
+
+	nextGesture uint64
+	gestures    map[uint64]*gesture
+
+	stats Stats
+}
+
+type gesture struct {
+	id     uint64
+	target WindowID
+	downAt time.Duration
+	done   bool
+}
+
+// Stats counts dispatch outcomes for the experiment harness.
+type Stats struct {
+	// Gestures is the number of gestures begun.
+	Gestures uint64
+	// Missed is the number of gestures whose DOWN found no touchable
+	// window at the position.
+	Missed uint64
+	// Canceled is the number of gestures canceled because their target
+	// window was removed mid-gesture.
+	Canceled uint64
+	// Completed is the number of gestures that delivered both DOWN and
+	// UP to the same window.
+	Completed uint64
+}
+
+// NewManager creates a Manager for a screen rectangle.
+func NewManager(clock *simclock.Clock, screen geom.Rect) (*Manager, error) {
+	if clock == nil {
+		return nil, errors.New("wm: nil clock")
+	}
+	if screen.Empty() {
+		return nil, fmt.Errorf("wm: empty screen rect %v", screen)
+	}
+	return &Manager{
+		clock:    clock,
+		screen:   screen,
+		windows:  make(map[WindowID]*Window),
+		perms:    make(map[binder.ProcessID]bool),
+		overlays: make(map[binder.ProcessID]int),
+		gestures: make(map[uint64]*gesture),
+	}, nil
+}
+
+// Screen reports the screen rectangle.
+func (m *Manager) Screen() geom.Rect { return m.screen }
+
+// Stats reports dispatch counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// GrantOverlayPermission grants SYSTEM_ALERT_WINDOW to an app.
+func (m *Manager) GrantOverlayPermission(app binder.ProcessID) { m.perms[app] = true }
+
+// RevokeOverlayPermission revokes SYSTEM_ALERT_WINDOW; attached overlays of
+// the app are removed immediately (what the user achieves via Settings
+// after pressing the alert).
+func (m *Manager) RevokeOverlayPermission(app binder.ProcessID) {
+	delete(m.perms, app)
+	for _, w := range m.windowsOf(app, TypeApplicationOverlay) {
+		// Removal of an attached window cannot fail.
+		if err := m.RemoveWindow(w.ID); err != nil {
+			panic(fmt.Sprintf("wm: revoke removal: %v", err))
+		}
+	}
+}
+
+// HasOverlayPermission reports whether the app holds SYSTEM_ALERT_WINDOW.
+func (m *Manager) HasOverlayPermission(app binder.ProcessID) bool { return m.perms[app] }
+
+// SetProtectedForeground toggles the Android ≥ 8 defense that forbids any
+// overlay from covering the Settings app while it grants permissions (and
+// the package installer). Entering protection hides attached overlays;
+// leaving restores them.
+func (m *Manager) SetProtectedForeground(on bool) {
+	m.protected = on
+	for _, w := range m.order {
+		if w.Type == TypeApplicationOverlay {
+			w.Hidden = on
+		}
+	}
+}
+
+// ProtectedForeground reports whether the protected mode is active.
+func (m *Manager) ProtectedForeground() bool { return m.protected }
+
+// OnOverlayCountChange registers a listener for per-app overlay-count
+// transitions.
+func (m *Manager) OnOverlayCountChange(fn OverlayCountListener) {
+	if fn != nil {
+		m.countListeners = append(m.countListeners, fn)
+	}
+}
+
+// OnWindowEvent registers a listener for window attach/detach events.
+func (m *Manager) OnWindowEvent(fn WindowEventListener) {
+	if fn != nil {
+		m.windowListeners = append(m.windowListeners, fn)
+	}
+}
+
+func (m *Manager) notifyWindow(kind WindowEventKind, w Window) {
+	for _, fn := range m.windowListeners {
+		fn(WindowEvent{Kind: kind, Window: w, At: m.clock.Now()})
+	}
+}
+
+// AddWindow attaches a window, enforcing the built-in defenses. It returns
+// the new window id.
+func (m *Manager) AddWindow(spec Spec) (WindowID, error) {
+	if spec.Owner == "" {
+		return 0, errors.New("wm: empty owner")
+	}
+	if spec.Bounds.Empty() {
+		return 0, fmt.Errorf("wm: empty window bounds %v", spec.Bounds)
+	}
+	switch spec.Type {
+	case TypeLegacyToast:
+		return 0, ErrTypeToastRemoved
+	case TypeApplicationOverlay:
+		if !m.perms[spec.Owner] {
+			return 0, ErrNoPermission
+		}
+		if m.protected {
+			return 0, ErrProtectedForeground
+		}
+	case TypeActivity, TypeInputMethod:
+		// always allowed
+	case TypeToast:
+		return 0, errors.New("wm: toast windows must be added by the notification manager (use AddToastWindow)")
+	default:
+		return 0, fmt.Errorf("wm: invalid window type %v", spec.Type)
+	}
+	return m.attach(spec), nil
+}
+
+// AddToastWindow attaches a toast window on behalf of the Notification
+// Manager Service. Apps cannot call this path directly; the NMS serializes
+// and caps toast display.
+func (m *Manager) AddToastWindow(spec Spec) (WindowID, error) {
+	if spec.Owner == "" {
+		return 0, errors.New("wm: empty owner")
+	}
+	if spec.Bounds.Empty() {
+		return 0, fmt.Errorf("wm: empty toast bounds %v", spec.Bounds)
+	}
+	spec.Type = TypeToast
+	return m.attach(spec), nil
+}
+
+func (m *Manager) attach(spec Spec) WindowID {
+	m.nextID++
+	w := &Window{
+		ID:      m.nextID,
+		Owner:   spec.Owner,
+		Type:    spec.Type,
+		Bounds:  spec.Bounds,
+		Flags:   spec.Flags,
+		Alpha:   1,
+		AddedAt: m.clock.Now(),
+		onTouch: spec.OnTouch,
+	}
+	m.windows[w.ID] = w
+	m.order = append(m.order, w)
+	m.sortOrder()
+	m.notifyWindow(WindowAdded, *w)
+	if w.Type == TypeApplicationOverlay {
+		old := m.overlays[w.Owner]
+		m.overlays[w.Owner] = old + 1
+		m.notifyCount(w.Owner, old, old+1)
+	}
+	return w.ID
+}
+
+func (m *Manager) sortOrder() {
+	sort.SliceStable(m.order, func(i, j int) bool {
+		li, lj := m.order[i].Type.Layer(), m.order[j].Type.Layer()
+		if li != lj {
+			return li < lj
+		}
+		if m.order[i].AddedAt != m.order[j].AddedAt {
+			return m.order[i].AddedAt < m.order[j].AddedAt
+		}
+		return m.order[i].ID < m.order[j].ID
+	})
+}
+
+// RemoveWindow detaches a window. Any in-flight gesture bound to it is
+// canceled (the app receives ACTION_CANCEL).
+func (m *Manager) RemoveWindow(id WindowID) error {
+	w, ok := m.windows[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownWindow, id)
+	}
+	delete(m.windows, id)
+	for i, ow := range m.order {
+		if ow.ID == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	for _, g := range m.gestures {
+		if g.target == id && !g.done {
+			g.done = true
+			m.stats.Canceled++
+			if w.onTouch != nil {
+				w.onTouch(TouchEvent{Gesture: g.id, Action: ActionCancel, At: m.clock.Now()})
+			}
+		}
+	}
+	m.notifyWindow(WindowRemoved, *w)
+	if w.Type == TypeApplicationOverlay {
+		old := m.overlays[w.Owner]
+		if old <= 0 {
+			panic(fmt.Sprintf("wm: overlay count underflow for %q", w.Owner))
+		}
+		m.overlays[w.Owner] = old - 1
+		if old-1 == 0 {
+			delete(m.overlays, w.Owner)
+		}
+		m.notifyCount(w.Owner, old, old-1)
+	}
+	return nil
+}
+
+func (m *Manager) notifyCount(app binder.ProcessID, old, new int) {
+	for _, fn := range m.countListeners {
+		fn(app, old, new)
+	}
+}
+
+// SetAlpha updates a window's rendered opacity (used by toast fade
+// animations). Alpha is clamped to [0,1].
+func (m *Manager) SetAlpha(id WindowID, alpha float64) error {
+	w, ok := m.windows[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownWindow, id)
+	}
+	switch {
+	case alpha < 0:
+		w.Alpha = 0
+	case alpha > 1:
+		w.Alpha = 1
+	default:
+		w.Alpha = alpha
+	}
+	return nil
+}
+
+// Get returns a snapshot of the window, or false if not attached.
+func (m *Manager) Get(id WindowID) (Window, bool) {
+	w, ok := m.windows[id]
+	if !ok {
+		return Window{}, false
+	}
+	return *w, true
+}
+
+// Attached reports whether the window id is attached.
+func (m *Manager) Attached(id WindowID) bool {
+	_, ok := m.windows[id]
+	return ok
+}
+
+// OverlayCount reports the app's current foreground overlay count.
+func (m *Manager) OverlayCount(app binder.ProcessID) int { return m.overlays[app] }
+
+// WindowCount reports the total number of attached windows.
+func (m *Manager) WindowCount() int { return len(m.order) }
+
+func (m *Manager) windowsOf(app binder.ProcessID, t WindowType) []*Window {
+	var out []*Window
+	for _, w := range m.order {
+		if w.Owner == app && w.Type == t {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// WindowsOf returns snapshots of the app's windows of type t in z-order.
+func (m *Manager) WindowsOf(app binder.ProcessID, t WindowType) []Window {
+	ws := m.windowsOf(app, t)
+	out := make([]Window, len(ws))
+	for i, w := range ws {
+		out[i] = *w
+	}
+	return out
+}
+
+// TopWindowAt returns the topmost window containing p, optionally
+// restricted to touchable windows. ok is false when nothing matches.
+func (m *Manager) TopWindowAt(p geom.Point, touchableOnly bool) (Window, bool) {
+	for i := len(m.order) - 1; i >= 0; i-- {
+		w := m.order[i]
+		if w.Hidden || !w.Bounds.Contains(p) {
+			continue
+		}
+		if touchableOnly && !w.Touchable() {
+			continue
+		}
+		return *w, true
+	}
+	return Window{}, false
+}
+
+// TopToastAlpha reports the maximum alpha among the app's attached toast
+// windows; 0 when none. The flicker analyzer samples this to decide whether
+// the fake keyboard ever visibly dimmed.
+func (m *Manager) TopToastAlpha(app binder.ProcessID) float64 {
+	maxAlpha := 0.0
+	for _, w := range m.order {
+		if w.Owner == app && w.Type == TypeToast && !w.Hidden && w.Alpha > maxAlpha {
+			maxAlpha = w.Alpha
+		}
+	}
+	return maxAlpha
+}
+
+// BeginGesture delivers a DOWN at p and binds the gesture to the topmost
+// touchable window there. It returns the gesture id and the target window;
+// ok is false when no touchable window contains p (the touch goes to the
+// raw activity surface or is lost — a "mistouch" from the attacker's view).
+func (m *Manager) BeginGesture(p geom.Point) (id uint64, target Window, ok bool) {
+	m.stats.Gestures++
+	m.nextGesture++
+	gid := m.nextGesture
+	top, found := m.TopWindowAt(p, true)
+	if !found {
+		m.stats.Missed++
+		m.gestures[gid] = &gesture{id: gid, done: true}
+		return gid, Window{}, false
+	}
+	m.gestures[gid] = &gesture{id: gid, target: top.ID, downAt: m.clock.Now()}
+	if w := m.windows[top.ID]; w.onTouch != nil {
+		w.onTouch(TouchEvent{Gesture: gid, Action: ActionDown, Pos: p, At: m.clock.Now()})
+	}
+	return gid, top, true
+}
+
+// EndGesture delivers the UP at p for a gesture begun earlier. If the
+// target window was removed in between, the gesture was already canceled
+// and EndGesture reports completed=false.
+func (m *Manager) EndGesture(id uint64, p geom.Point) (completed bool, err error) {
+	g, ok := m.gestures[id]
+	if !ok {
+		return false, fmt.Errorf("wm: unknown gesture %d", id)
+	}
+	delete(m.gestures, id)
+	if g.done {
+		return false, nil
+	}
+	g.done = true
+	w, attached := m.windows[g.target]
+	if !attached {
+		// RemoveWindow cancels gestures eagerly, so this is unreachable,
+		// but guard anyway.
+		m.stats.Canceled++
+		return false, nil
+	}
+	m.stats.Completed++
+	if w.onTouch != nil {
+		w.onTouch(TouchEvent{Gesture: id, Action: ActionUp, Pos: p, At: m.clock.Now()})
+	}
+	return true, nil
+}
