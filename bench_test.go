@@ -226,6 +226,25 @@ func BenchmarkCorpus(b *testing.B) {
 	b.ReportMetric(float64(overlayA11y), "overlay+a11y-apps")
 }
 
+// BenchmarkCorpusScan tracks the parallel scanner's throughput across PRs:
+// a fixed 100k-app slice through generation, grep baseline and call-graph
+// analysis, with apps/sec as the headline metric. Worker count follows
+// GOMAXPROCS, as in cmd/corpusscan.
+func BenchmarkCorpusScan(b *testing.B) {
+	const n = 100_000
+	var precision float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := appstore.StudyWith(benchSeed, n, appstore.StudyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		precision = rep.StaticOverlay.Precision()
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "apps/sec")
+	b.ReportMetric(100*precision, "%static-precision")
+}
+
 // BenchmarkDefenseIPC evaluates the Binder-log detector end to end.
 func BenchmarkDefenseIPC(b *testing.B) {
 	var latencyMS float64

@@ -1,0 +1,51 @@
+// Command simlint is the determinism vet pass for the simulation core:
+// it forbids wall-clock reads (time.Now, time.Since) and global math/rand
+// use inside internal/ packages, exempting internal/simrand and
+// internal/simclock (the deterministic wrappers). Run it alongside
+// `go vet ./...` in the tier-1 verify path.
+//
+// Usage:
+//
+//	simlint              # lint ./internal
+//	simlint dir1 dir2    # lint specific trees
+//
+// Exit status is 0 when clean, 1 when findings exist, 2 on usage or
+// parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/simlint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"internal"}
+	}
+	found := 0
+	for _, root := range roots {
+		diags, err := simlint.LintDir(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d determinism violations\n", found)
+		return 1
+	}
+	return 0
+}

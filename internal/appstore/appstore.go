@@ -6,32 +6,45 @@
 // and request SYSTEM_ALERT_WINDOW, and 15,179 that use a customized toast.
 //
 // AndroZoo is not redistributable, so this package substitutes a synthetic
-// corpus: a generator that emits APK stand-ins (manifest text plus DEX
-// method references) whose feature marginals are calibrated to the paper's
-// measured rates, and scanners that actually parse those artifacts the way
-// aapt and FlowDroid do — the analysis pipeline is real, the inputs are
-// synthetic.
+// corpus: a generator that emits APK stand-ins whose feature marginals are
+// calibrated to the paper's measured rates. Each stand-in carries three
+// analyzer views of the same app:
+//
+//   - the AndroidManifest.xml text (parsed by the aapt-style pass),
+//   - the flat DEX method-reference table (searched by the grep baseline),
+//   - a full dexir.App IR with instruction bodies, which the
+//     staticanalysis call-graph pass analyzes the way FlowDroid does.
+//
+// The generator also plants decoys that separate the two code analyses:
+// dead-code and always-false-guarded overlay calls (grep false positives)
+// and reflectively dispatched overlay calls (grep false negatives), plus a
+// per-app ground-truth label so the study can report each analyzer's
+// precision and recall, not just its aggregate counts.
 package appstore
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
+	"repro/internal/dexir"
 	"repro/internal/simrand"
+	"repro/internal/staticanalysis"
 )
 
 // Android identifier constants the scanners look for.
 const (
 	// PermSystemAlertWindow is the overlay permission.
-	PermSystemAlertWindow = "android.permission.SYSTEM_ALERT_WINDOW"
+	PermSystemAlertWindow = dexir.PermSystemAlertWindow
 	// PermBindAccessibility marks accessibility services.
-	PermBindAccessibility = "android.permission.BIND_ACCESSIBILITY_SERVICE"
+	PermBindAccessibility = dexir.PermBindAccessibility
 	// RefAddView and RefRemoveView are the WindowManager method
 	// references the FlowDroid pass searches for.
-	RefAddView    = "Landroid/view/WindowManager;->addView(Landroid/view/View;Landroid/view/ViewGroup$LayoutParams;)V"
-	RefRemoveView = "Landroid/view/WindowManager;->removeView(Landroid/view/View;)V"
+	RefAddView    = string(dexir.RefAddView)
+	RefRemoveView = string(dexir.RefRemoveView)
 	// RefToastSetView marks customized toasts (Toast.setView).
-	RefToastSetView = "Landroid/widget/Toast;->setView(Landroid/view/View;)V"
+	RefToastSetView = string(dexir.RefToastSetView)
 )
 
 // PaperCorpusSize is the AndroZoo sample size of Section VI-C2.
@@ -52,14 +65,63 @@ type Rates struct {
 	A11yGivenSAW float64
 	// A11yGivenNoSAW is P(accessibility service | ¬SAW).
 	A11yGivenNoSAW float64
-	// AddRemoveGivenSAW is P(calls addView and removeView | SAW).
+	// AddRemoveGivenSAW is P(genuinely reachable addView+removeView | SAW)
+	// — the draw-and-destroy ground truth.
 	AddRemoveGivenSAW float64
 	// AddRemoveGivenNoSAW is the same for apps without the permission
 	// (in-app window management).
 	AddRemoveGivenNoSAW float64
-	// CustomToast is P(app calls Toast.setView), independent of the
-	// overlay features.
+	// CustomToast is P(app genuinely uses Toast.setView), independent of
+	// the overlay features.
 	CustomToast float64
+
+	// ReflectionGivenCapable is P(overlay calls dispatched via resolvable
+	// reflection | capable): the refs vanish from the method-reference
+	// table (grep false negative) while constant-string resolution still
+	// finds them.
+	ReflectionGivenCapable float64
+	// DeepReflectionGivenCapable is P(overlay calls behind runtime-built
+	// strings | capable): invisible to both analyses (a shared false
+	// negative, bounding achievable recall).
+	DeepReflectionGivenCapable float64
+	// DeadOverlayGivenSAW is P(dead-code addView+removeView decoy | SAW
+	// without the capability): in the ref table, never reachable — a grep
+	// false positive the call graph rejects.
+	DeadOverlayGivenSAW float64
+	// GuardedOverlayGivenSAW is P(reachable overlay calls behind an
+	// always-false guard | SAW without the capability): a false positive
+	// for both grep and the path-insensitive reachability pass.
+	GuardedOverlayGivenSAW float64
+	// ToastReplaceGivenToast is P(re-enqueueing toast loop | customized
+	// toast) — the §IV capability among feature users.
+	ToastReplaceGivenToast float64
+	// DeadToastGivenNoToast is P(dead-code Toast.setView decoy | no
+	// customized toast) — a grep false positive.
+	DeadToastGivenNoToast float64
+	// A11yAttackGivenCapable is P(accessibility event handler wired to
+	// the overlay calls | a11y service ∧ overlay-capable) — the §V
+	// trigger.
+	A11yAttackGivenCapable float64
+}
+
+// probabilities lists every rate field for validation.
+func (r Rates) probabilities() []float64 {
+	return []float64{
+		r.SAW, r.A11yGivenSAW, r.A11yGivenNoSAW, r.AddRemoveGivenSAW,
+		r.AddRemoveGivenNoSAW, r.CustomToast, r.ReflectionGivenCapable,
+		r.DeepReflectionGivenCapable, r.DeadOverlayGivenSAW,
+		r.GuardedOverlayGivenSAW, r.ToastReplaceGivenToast,
+		r.DeadToastGivenNoToast, r.A11yAttackGivenCapable,
+	}
+}
+
+func validateRates(r Rates) error {
+	for _, p := range r.probabilities() {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("appstore: rate %v out of [0,1]", p)
+		}
+	}
+	return nil
 }
 
 // PaperRates returns generator rates calibrated so that the expected
@@ -68,6 +130,10 @@ type Rates struct {
 //	890855 × P(SAW)·P(a11y|SAW)       ≈ 4,405
 //	890855 × P(SAW)·P(add&rm|SAW)     ≈ 18,887
 //	890855 × P(toast)                 ≈ 15,179
+//
+// The decoy rates are chosen so the static analyzer's count stays on the
+// paper's value (its false positives and negatives are small and roughly
+// cancel) while the grep baseline visibly over- and under-counts.
 func PaperRates() Rates {
 	const (
 		pSAW   = 0.04
@@ -81,18 +147,46 @@ func PaperRates() Rates {
 		AddRemoveGivenSAW:   jointR / pSAW,
 		AddRemoveGivenNoSAW: 0.03,
 		CustomToast:         float64(PaperCustomToast) / float64(PaperCorpusSize),
+
+		ReflectionGivenCapable:     0.15,
+		DeepReflectionGivenCapable: 0.01,
+		DeadOverlayGivenSAW:        0.12,
+		GuardedOverlayGivenSAW:     0.012,
+		ToastReplaceGivenToast:     0.30,
+		DeadToastGivenNoToast:      0.005,
+		A11yAttackGivenCapable:     0.50,
 	}
 }
 
-// APK is a synthetic application artifact: the manifest XML the aapt pass
-// parses and the DEX method references the FlowDroid pass greps.
+// Truth is the generator's ground-truth label for one app — what a
+// dynamic oracle running the app would observe.
+type Truth struct {
+	// Overlay: addView+removeView genuinely reachable at runtime in an
+	// app holding SYSTEM_ALERT_WINDOW (the paper's 18,887 row).
+	Overlay bool
+	// Toast: a customized toast (setView) genuinely used (the 15,179 row).
+	Toast bool
+	// ToastReplace: the §IV re-enqueueing toast loop.
+	ToastReplace bool
+	// A11yTiming: accessibility events wired to the overlay calls.
+	A11yTiming bool
+}
+
+// APK is a synthetic application artifact carrying all three analyzer
+// views plus its ground truth.
 type APK struct {
 	// Package is the application id.
 	Package string
 	// Manifest is the AndroidManifest.xml text.
 	Manifest string
-	// DexRefs are the method references extracted from classes.dex.
+	// DexRefs is the flat method-reference table extracted from
+	// classes.dex — the grep baseline's input.
 	DexRefs []string
+	// IR is the full instruction-level representation — the call-graph
+	// analyzer's input.
+	IR *dexir.App
+	// Truth is the generator's ground-truth label.
+	Truth Truth
 }
 
 // fillerPermissions pads manifests so the scanner cannot cheat by length.
@@ -109,7 +203,9 @@ var fillerPermissions = []string{
 	"android.permission.RECEIVE_BOOT_COMPLETED",
 }
 
-var fillerRefs = []string{
+// fillerRefs are benign framework calls emitted into method bodies so the
+// ref table never degenerates to just the signatures of interest.
+var fillerRefs = []dexir.MethodRef{
 	"Landroid/app/Activity;->onCreate(Landroid/os/Bundle;)V",
 	"Landroid/widget/TextView;->setText(Ljava/lang/CharSequence;)V",
 	"Ljava/net/HttpURLConnection;->connect()V",
@@ -122,6 +218,7 @@ var fillerRefs = []string{
 type Generator struct {
 	rng   *simrand.Source
 	rates Rates
+	base  int
 	n     int
 }
 
@@ -130,60 +227,238 @@ func NewGenerator(rng *simrand.Source, rates Rates) (*Generator, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("appstore: nil rng")
 	}
-	for _, p := range []float64{rates.SAW, rates.A11yGivenSAW, rates.A11yGivenNoSAW, rates.AddRemoveGivenSAW, rates.AddRemoveGivenNoSAW, rates.CustomToast} {
-		if p < 0 || p > 1 {
-			return nil, fmt.Errorf("appstore: rate %v out of [0,1]", p)
-		}
+	if err := validateRates(rates); err != nil {
+		return nil, err
 	}
 	return &Generator{rng: rng, rates: rates}, nil
+}
+
+// newGeneratorAt builds a generator whose package ids start at base+1;
+// the parallel study uses it so every chunk names disjoint apps.
+func newGeneratorAt(rng *simrand.Source, rates Rates, base int) (*Generator, error) {
+	g, err := NewGenerator(rng, rates)
+	if err != nil {
+		return nil, err
+	}
+	g.base = base
+	return g, nil
+}
+
+// features is one app's drawn feature vector.
+type features struct {
+	saw, a11y, addRemove, toast bool
+	reflect, deepReflect        bool
+	deadOverlay, guardedOverlay bool
+	toastReplace, deadToast     bool
+	a11yAttack                  bool
+	fillerPermIdx, fillerRefIdx []int
+}
+
+// draw samples one feature vector; the draw sequence is fixed so a given
+// stream position always yields the same app.
+func (g *Generator) draw() features {
+	var f features
+	r := g.rates
+	f.saw = g.rng.Bool(r.SAW)
+	if f.saw {
+		f.a11y = g.rng.Bool(r.A11yGivenSAW)
+		f.addRemove = g.rng.Bool(r.AddRemoveGivenSAW)
+	} else {
+		f.a11y = g.rng.Bool(r.A11yGivenNoSAW)
+		f.addRemove = g.rng.Bool(r.AddRemoveGivenNoSAW)
+	}
+	f.toast = g.rng.Bool(r.CustomToast)
+	if f.addRemove {
+		f.reflect = g.rng.Bool(r.ReflectionGivenCapable)
+		f.deepReflect = g.rng.Bool(r.DeepReflectionGivenCapable)
+		if f.deepReflect {
+			f.reflect = false
+		}
+	} else if f.saw {
+		f.deadOverlay = g.rng.Bool(r.DeadOverlayGivenSAW)
+		if !f.deadOverlay {
+			f.guardedOverlay = g.rng.Bool(r.GuardedOverlayGivenSAW)
+		}
+	}
+	if f.toast {
+		f.toastReplace = g.rng.Bool(r.ToastReplaceGivenToast)
+	} else {
+		f.deadToast = g.rng.Bool(r.DeadToastGivenNoToast)
+	}
+	if f.a11y && f.saw && f.addRemove {
+		f.a11yAttack = g.rng.Bool(r.A11yAttackGivenCapable)
+	}
+	f.fillerPermIdx = g.rng.Perm(len(fillerPermissions))[:2+g.rng.Intn(4)]
+	f.fillerRefIdx = g.rng.Perm(len(fillerRefs))[:2+g.rng.Intn(3)]
+	return f
 }
 
 // Next generates one APK.
 func (g *Generator) Next() APK {
 	g.n++
-	pkg := fmt.Sprintf("com.gen.app%06d", g.n)
-
-	saw := g.rng.Bool(g.rates.SAW)
-	var a11y, addRemove bool
-	if saw {
-		a11y = g.rng.Bool(g.rates.A11yGivenSAW)
-		addRemove = g.rng.Bool(g.rates.AddRemoveGivenSAW)
-	} else {
-		a11y = g.rng.Bool(g.rates.A11yGivenNoSAW)
-		addRemove = g.rng.Bool(g.rates.AddRemoveGivenNoSAW)
+	pkg := fmt.Sprintf("com.gen.app%06d", g.base+g.n)
+	f := g.draw()
+	ir := buildIR(pkg, f)
+	truth := Truth{
+		Overlay:      f.saw && f.addRemove,
+		Toast:        f.toast,
+		ToastReplace: f.toastReplace,
+		A11yTiming:   f.a11yAttack,
 	}
-	toast := g.rng.Bool(g.rates.CustomToast)
+	return APK{
+		Package:  pkg,
+		Manifest: buildManifest(pkg, f),
+		DexRefs:  ir.MethodRefTable(),
+		IR:       ir,
+		Truth:    truth,
+	}
+}
 
+// buildManifest renders the AndroidManifest.xml view.
+func buildManifest(pkg string, f features) string {
 	var sb strings.Builder
 	sb.WriteString(`<manifest xmlns:android="http://schemas.android.com/apk/res/android" package="` + pkg + "\">\n")
-	// A few filler permissions in random positions.
-	for _, i := range g.rng.Perm(len(fillerPermissions))[:2+g.rng.Intn(4)] {
+	for _, i := range f.fillerPermIdx {
 		fmt.Fprintf(&sb, "  <uses-permission android:name=%q/>\n", fillerPermissions[i])
 	}
-	if saw {
+	if f.saw {
 		fmt.Fprintf(&sb, "  <uses-permission android:name=%q/>\n", PermSystemAlertWindow)
 	}
 	sb.WriteString("  <application>\n")
-	if a11y {
+	if f.a11y {
 		fmt.Fprintf(&sb, "    <service android:name=%q android:permission=%q/>\n",
 			pkg+".AccessService", PermBindAccessibility)
 	}
 	sb.WriteString("  </application>\n</manifest>\n")
-
-	refs := make([]string, 0, 8)
-	for _, i := range g.rng.Perm(len(fillerRefs))[:2+g.rng.Intn(3)] {
-		refs = append(refs, fillerRefs[i])
-	}
-	if addRemove {
-		refs = append(refs, RefAddView, RefRemoveView)
-	}
-	if toast {
-		refs = append(refs, RefToastSetView)
-	}
-	return APK{Package: pkg, Manifest: sb.String(), DexRefs: refs}
+	return sb.String()
 }
 
-// ScanResult is the per-app analysis outcome.
+// overlayCallPair emits the addView+removeView call sites for a capable
+// app in the requested dispatch style.
+func overlayCallPair(f features) []dexir.Instruction {
+	switch {
+	case f.deepReflect:
+		// Class/method strings assembled at runtime: the const-strings
+		// present are fragments no resolver maps to a method.
+		return []dexir.Instruction{
+			{Op: dexir.OpConstString, Str: "android.view.Window"},
+			{Op: dexir.OpConstString, Str: "add"},
+			{Op: dexir.OpReflectInvoke, InLoop: true},
+			{Op: dexir.OpConstString, Str: "remove"},
+			{Op: dexir.OpReflectInvoke, InLoop: true},
+		}
+	case f.reflect:
+		return []dexir.Instruction{
+			{Op: dexir.OpConstString, Str: "android.view.WindowManager"},
+			{Op: dexir.OpConstString, Str: "addView"},
+			{Op: dexir.OpReflectInvoke, InLoop: true},
+			{Op: dexir.OpConstString, Str: "android.view.WindowManager"},
+			{Op: dexir.OpConstString, Str: "removeView"},
+			{Op: dexir.OpReflectInvoke, InLoop: true},
+		}
+	default:
+		return []dexir.Instruction{
+			{Op: dexir.OpInvoke, Target: dexir.RefAddView, InLoop: true},
+			{Op: dexir.OpInvoke, Target: dexir.RefRemoveView, InLoop: true},
+		}
+	}
+}
+
+// buildIR assembles the instruction-level view of one app.
+func buildIR(pkg string, f features) *dexir.App {
+	mainCls := dexir.ClassName(pkg, "Main")
+	onCreate := dexir.Ref(mainCls, "onCreate", "(Landroid/os/Bundle;)V")
+	swap := dexir.Ref(mainCls, "swap", "()V")
+	toastLoop := dexir.Ref(mainCls, "toastLoop", "()V")
+	debugOverlay := dexir.Ref(mainCls, "debugOverlay", "()V")
+
+	var onCreateBody []dexir.Instruction
+	for _, i := range f.fillerRefIdx {
+		onCreateBody = append(onCreateBody, dexir.Instruction{Op: dexir.OpInvoke, Target: fillerRefs[i]})
+	}
+	mainMethods := []dexir.Method{{}} // onCreate placeholder, filled below
+
+	if f.addRemove {
+		onCreateBody = append(onCreateBody, dexir.Instruction{
+			Op: dexir.OpRegisterCallback, Target: dexir.RefHandlerPostDelayed, Callback: swap,
+		})
+		body := overlayCallPair(f)
+		body = append(body, dexir.Instruction{
+			Op: dexir.OpRegisterCallback, Target: dexir.RefHandlerPostDelayed, Callback: swap,
+		})
+		mainMethods = append(mainMethods, dexir.Method{Ref: swap, Body: body})
+	}
+	if f.guardedOverlay {
+		onCreateBody = append(onCreateBody, dexir.Instruction{Op: dexir.OpInvoke, Target: debugOverlay})
+		mainMethods = append(mainMethods, dexir.Method{Ref: debugOverlay, Body: []dexir.Instruction{
+			{Op: dexir.OpInvoke, Target: dexir.RefAddView, Guard: dexir.GuardAlwaysFalse},
+			{Op: dexir.OpInvoke, Target: dexir.RefRemoveView, Guard: dexir.GuardAlwaysFalse},
+		}})
+	}
+	if f.toast {
+		onCreateBody = append(onCreateBody, dexir.Instruction{
+			Op: dexir.OpRegisterCallback, Target: dexir.RefHandlerPostDelayed, Callback: toastLoop,
+		})
+		body := []dexir.Instruction{
+			{Op: dexir.OpInvoke, Target: dexir.RefToastSetView},
+			{Op: dexir.OpInvoke, Target: dexir.RefToastShow},
+		}
+		if f.toastReplace {
+			body = append(body, dexir.Instruction{
+				Op: dexir.OpRegisterCallback, Target: dexir.RefHandlerPostDelayed, Callback: toastLoop,
+			})
+		}
+		mainMethods = append(mainMethods, dexir.Method{Ref: toastLoop, Body: body})
+	}
+	mainMethods[0] = dexir.Method{Ref: onCreate, Body: onCreateBody}
+
+	app := &dexir.App{
+		Package: pkg,
+		Classes: []dexir.Class{{Name: mainCls, Methods: mainMethods}},
+		Components: []dexir.Component{
+			{Name: mainCls, Kind: dexir.Activity, EntryPoints: []dexir.MethodRef{onCreate}},
+		},
+	}
+	if f.saw {
+		app.Permissions = append(app.Permissions, PermSystemAlertWindow)
+	}
+	if f.deadOverlay {
+		adCls := dexir.ClassName(pkg, "AdSdk")
+		app.Classes = append(app.Classes, dexir.Class{Name: adCls, Methods: []dexir.Method{
+			{Ref: dexir.Ref(adCls, "floatHelper", "()V"), Body: []dexir.Instruction{
+				{Op: dexir.OpInvoke, Target: dexir.RefAddView},
+				{Op: dexir.OpInvoke, Target: dexir.RefRemoveView},
+			}},
+		}})
+	}
+	if f.deadToast {
+		promoCls := dexir.ClassName(pkg, "PromoSdk")
+		app.Classes = append(app.Classes, dexir.Class{Name: promoCls, Methods: []dexir.Method{
+			{Ref: dexir.Ref(promoCls, "legacyBanner", "()V"), Body: []dexir.Instruction{
+				{Op: dexir.OpInvoke, Target: dexir.RefToastSetView},
+				{Op: dexir.OpInvoke, Target: dexir.RefToastShow},
+			}},
+		}})
+	}
+	if f.a11y {
+		app.Permissions = append(app.Permissions, PermBindAccessibility)
+		accCls := dexir.ClassName(pkg, "AccessService")
+		onEvent := dexir.Ref(accCls, "onAccessibilityEvent", "(Landroid/view/accessibility/AccessibilityEvent;)V")
+		var evBody []dexir.Instruction
+		if f.a11yAttack {
+			evBody = append(evBody, dexir.Instruction{Op: dexir.OpInvoke, Target: swap})
+		} else {
+			evBody = append(evBody, dexir.Instruction{Op: dexir.OpNop})
+		}
+		app.Classes = append(app.Classes, dexir.Class{Name: accCls, Methods: []dexir.Method{{Ref: onEvent, Body: evBody}}})
+		app.Components = append(app.Components, dexir.Component{
+			Name: accCls, Kind: dexir.AccessibilityService, EntryPoints: []dexir.MethodRef{onEvent},
+		})
+	}
+	return app
+}
+
+// ScanResult is the grep baseline's per-app outcome.
 type ScanResult struct {
 	HasSAW          bool
 	HasA11yService  bool
@@ -226,8 +501,9 @@ func xmlAttr(line, attr string) (string, bool) {
 	return rest[:j], true
 }
 
-// ScanDex is the FlowDroid-style pass: it searches the method-reference
-// table for the WindowManager and Toast signatures of interest.
+// ScanDex is the grep baseline: it searches the flat method-reference
+// table for the WindowManager and Toast signatures of interest, with no
+// notion of reachability.
 func ScanDex(refs []string) (addView, removeView, customToast bool) {
 	for _, r := range refs {
 		switch r {
@@ -242,7 +518,7 @@ func ScanDex(refs []string) (addView, removeView, customToast bool) {
 	return addView, removeView, customToast
 }
 
-// Scan runs both passes over one APK.
+// Scan runs the manifest pass and the grep baseline over one APK.
 func Scan(apk APK) ScanResult {
 	var res ScanResult
 	res.HasSAW, res.HasA11yService = ScanManifest(apk.Manifest)
@@ -250,62 +526,279 @@ func Scan(apk APK) ScanResult {
 	return res
 }
 
-// Report aggregates the Section VI-C2 counts.
+// AppScan is the full per-app analysis: the grep baseline, the call-graph
+// static analysis, and the generator's ground truth side by side.
+type AppScan struct {
+	Grep   ScanResult
+	Static staticanalysis.Result
+	Truth  Truth
+}
+
+// ScanApp runs every analyzer over one APK.
+func ScanApp(apk APK) AppScan {
+	return AppScan{Grep: Scan(apk), Static: staticanalysis.Analyze(apk.IR), Truth: apk.Truth}
+}
+
+// DetectorStats is a per-analyzer confusion matrix against ground truth.
+type DetectorStats struct {
+	TP, FP, FN, TN int
+}
+
+func (d *DetectorStats) add(pred, truth bool) {
+	switch {
+	case pred && truth:
+		d.TP++
+	case pred && !truth:
+		d.FP++
+	case !pred && truth:
+		d.FN++
+	default:
+		d.TN++
+	}
+}
+
+func (d *DetectorStats) merge(o DetectorStats) {
+	d.TP += o.TP
+	d.FP += o.FP
+	d.FN += o.FN
+	d.TN += o.TN
+}
+
+// Precision is TP/(TP+FP); 1 when the analyzer made no positive calls.
+func (d DetectorStats) Precision() float64 {
+	if d.TP+d.FP == 0 {
+		return 1
+	}
+	return float64(d.TP) / float64(d.TP+d.FP)
+}
+
+// Recall is TP/(TP+FN); 1 when there were no positives to find.
+func (d DetectorStats) Recall() float64 {
+	if d.TP+d.FN == 0 {
+		return 1
+	}
+	return float64(d.TP) / float64(d.TP+d.FN)
+}
+
+// Report aggregates the Section VI-C2 counts for every analyzer plus the
+// confusion matrices against ground truth.
 type Report struct {
 	// Total is the number of apps scanned.
 	Total int
 	// OverlayPlusA11y counts apps with SYSTEM_ALERT_WINDOW and a
-	// registered accessibility service (paper: 4,405).
+	// registered accessibility service (manifest pass; paper: 4,405).
 	OverlayPlusA11y int
-	// AddRemoveWithSAW counts apps calling both addView and removeView
-	// with SYSTEM_ALERT_WINDOW (paper: 18,887).
+	// AddRemoveWithSAW is the call-graph analyzer's draw-and-destroy
+	// count — the FlowDroid-analogue headline (paper: 18,887).
 	AddRemoveWithSAW int
-	// CustomToast counts apps using a customized toast (paper: 15,179).
+	// CustomToast is the call-graph analyzer's reachable-setView count
+	// (paper: 15,179).
 	CustomToast int
+
+	// GrepAddRemoveWithSAW and GrepCustomToast are the flat-reference
+	// baseline's counts for the same two rows.
+	GrepAddRemoveWithSAW int
+	GrepCustomToast      int
+
+	// TruthAddRemoveWithSAW and TruthCustomToast are the ground-truth
+	// counts.
+	TruthAddRemoveWithSAW int
+	TruthCustomToast      int
+
+	// ToastReplaceCapable and A11yTimingCapable are the static analyzer's
+	// capability sub-counts (no paper row; reported for the §VII vetting
+	// defense).
+	ToastReplaceCapable int
+	A11yTimingCapable   int
+
+	// Confusion matrices against ground truth.
+	StaticOverlay DetectorStats
+	GrepOverlay   DetectorStats
+	StaticToast   DetectorStats
+	GrepToast     DetectorStats
 }
 
-// Add folds one scan result into the report.
-func (r *Report) Add(res ScanResult) {
+// Add folds one scanned app into the report.
+func (r *Report) Add(s AppScan) {
 	r.Total++
-	if res.HasSAW && res.HasA11yService {
+	if s.Grep.HasSAW && s.Grep.HasA11yService {
 		r.OverlayPlusA11y++
 	}
-	if res.HasSAW && res.CallsAddView && res.CallsRemoveView {
+	grepOverlay := s.Grep.HasSAW && s.Grep.CallsAddView && s.Grep.CallsRemoveView
+	if s.Static.DrawAndDestroy {
 		r.AddRemoveWithSAW++
 	}
-	if res.UsesCustomToast {
+	if grepOverlay {
+		r.GrepAddRemoveWithSAW++
+	}
+	if s.Truth.Overlay {
+		r.TruthAddRemoveWithSAW++
+	}
+	if s.Static.SetViewReachable {
 		r.CustomToast++
 	}
+	if s.Grep.UsesCustomToast {
+		r.GrepCustomToast++
+	}
+	if s.Truth.Toast {
+		r.TruthCustomToast++
+	}
+	if s.Static.ToastReplace {
+		r.ToastReplaceCapable++
+	}
+	if s.Static.A11yTiming {
+		r.A11yTimingCapable++
+	}
+	r.StaticOverlay.add(s.Static.DrawAndDestroy, s.Truth.Overlay)
+	r.GrepOverlay.add(grepOverlay, s.Truth.Overlay)
+	r.StaticToast.add(s.Static.SetViewReachable, s.Truth.Toast)
+	r.GrepToast.add(s.Grep.UsesCustomToast, s.Truth.Toast)
 }
 
-// String renders the report next to the paper's numbers.
+// Merge folds another report (e.g. a worker's chunk) into r.
+func (r *Report) Merge(o Report) {
+	r.Total += o.Total
+	r.OverlayPlusA11y += o.OverlayPlusA11y
+	r.AddRemoveWithSAW += o.AddRemoveWithSAW
+	r.CustomToast += o.CustomToast
+	r.GrepAddRemoveWithSAW += o.GrepAddRemoveWithSAW
+	r.GrepCustomToast += o.GrepCustomToast
+	r.TruthAddRemoveWithSAW += o.TruthAddRemoveWithSAW
+	r.TruthCustomToast += o.TruthCustomToast
+	r.ToastReplaceCapable += o.ToastReplaceCapable
+	r.A11yTimingCapable += o.A11yTimingCapable
+	r.StaticOverlay.merge(o.StaticOverlay)
+	r.GrepOverlay.merge(o.GrepOverlay)
+	r.StaticToast.merge(o.StaticToast)
+	r.GrepToast.merge(o.GrepToast)
+}
+
+// String renders the report next to the paper's numbers, including the
+// grep-versus-reachability comparison and per-analyzer precision/recall.
 func (r Report) String() string {
 	scale := float64(r.Total) / float64(PaperCorpusSize)
-	return fmt.Sprintf(
-		"scanned %d apps\n"+
-			"  SYSTEM_ALERT_WINDOW + accessibility service: %d (paper: %d, scaled %.0f)\n"+
-			"  addView+removeView with SYSTEM_ALERT_WINDOW: %d (paper: %d, scaled %.0f)\n"+
-			"  customized toast:                            %d (paper: %d, scaled %.0f)",
-		r.Total,
-		r.OverlayPlusA11y, PaperOverlayPlusA11y, scale*PaperOverlayPlusA11y,
-		r.AddRemoveWithSAW, PaperAddRemoveWithSAW, scale*PaperAddRemoveWithSAW,
-		r.CustomToast, PaperCustomToast, scale*PaperCustomToast,
-	)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scanned %d apps\n", r.Total)
+	fmt.Fprintf(&sb, "  SYSTEM_ALERT_WINDOW + accessibility service: %d (paper: %d, scaled %.0f)\n",
+		r.OverlayPlusA11y, PaperOverlayPlusA11y, scale*PaperOverlayPlusA11y)
+	fmt.Fprintf(&sb, "  addView+removeView with SYSTEM_ALERT_WINDOW: %d (paper: %d, scaled %.0f)\n",
+		r.AddRemoveWithSAW, PaperAddRemoveWithSAW, scale*PaperAddRemoveWithSAW)
+	fmt.Fprintf(&sb, "  customized toast:                            %d (paper: %d, scaled %.0f)\n",
+		r.CustomToast, PaperCustomToast, scale*PaperCustomToast)
+	fmt.Fprintf(&sb, "  capability sub-counts: toast-replace %d, a11y-timing %d\n",
+		r.ToastReplaceCapable, r.A11yTimingCapable)
+	sb.WriteString("  analyzer comparison (vs generator ground truth):\n")
+	fmt.Fprintf(&sb, "    %-28s %8s %8s %10s %8s\n", "detector", "count", "truth", "precision", "recall")
+	row := func(name string, count, truth int, st DetectorStats) {
+		fmt.Fprintf(&sb, "    %-28s %8d %8d %9.1f%% %7.1f%%\n",
+			name, count, truth, 100*st.Precision(), 100*st.Recall())
+	}
+	row("overlay  call-graph", r.AddRemoveWithSAW, r.TruthAddRemoveWithSAW, r.StaticOverlay)
+	row("overlay  grep baseline", r.GrepAddRemoveWithSAW, r.TruthAddRemoveWithSAW, r.GrepOverlay)
+	row("toast    call-graph", r.CustomToast, r.TruthCustomToast, r.StaticToast)
+	row("toast    grep baseline", r.GrepCustomToast, r.TruthCustomToast, r.GrepToast)
+	return sb.String()
 }
 
-// Study generates and scans a synthetic corpus of n apps. Use
-// n = PaperCorpusSize for the full-scale reproduction.
-func Study(seed int64, n int) (Report, error) {
+// studyChunkSize is the generation/scan unit of the parallel study. Each
+// chunk derives an independent random stream from (seed, chunk index), so
+// the corpus content is a pure function of the seed — identical for any
+// worker count.
+const studyChunkSize = 4096
+
+// chunkStream derives the deterministic stream for one chunk.
+func chunkStream(seed int64, chunk int) *simrand.Source {
+	return simrand.New(seed).DeriveIndexed("corpus-chunk", chunk)
+}
+
+// StudyOptions tunes the parallel corpus study.
+type StudyOptions struct {
+	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Progress, if non-nil, is called after each finished chunk with the
+	// cumulative number of scanned apps. Calls are serialized.
+	Progress func(scanned, total int)
+}
+
+// StudyWith generates and scans a synthetic corpus of n apps with a
+// bounded worker pool. Results are identical for any worker count.
+func StudyWith(seed int64, n int, opts StudyOptions) (Report, error) {
 	if n <= 0 {
 		return Report{}, fmt.Errorf("appstore: non-positive corpus size %d", n)
 	}
-	gen, err := NewGenerator(simrand.New(seed).Derive("corpus"), PaperRates())
+	rates := PaperRates()
+	if err := validateRates(rates); err != nil {
+		return Report{}, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunks := (n + studyChunkSize - 1) / studyChunkSize
+	if workers > chunks {
+		workers = chunks
+	}
+
+	partial := make([]Report, chunks)
+	errs := make([]error, chunks)
+	work := make(chan int)
+	var (
+		wg      sync.WaitGroup
+		progMu  sync.Mutex
+		scanned int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				size := studyChunkSize
+				if start := c * studyChunkSize; start+size > n {
+					size = n - start
+				}
+				rep, err := scanChunk(seed, c, size, rates)
+				partial[c], errs[c] = rep, err
+				if opts.Progress != nil {
+					progMu.Lock()
+					scanned += size
+					opts.Progress(scanned, n)
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	for c := 0; c < chunks; c++ {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+
+	var rep Report
+	for c := 0; c < chunks; c++ {
+		if errs[c] != nil {
+			return Report{}, errs[c]
+		}
+		rep.Merge(partial[c])
+	}
+	return rep, nil
+}
+
+// scanChunk generates and scans one chunk.
+func scanChunk(seed int64, chunk, size int, rates Rates) (Report, error) {
+	gen, err := newGeneratorAt(chunkStream(seed, chunk), rates, chunk*studyChunkSize)
 	if err != nil {
 		return Report{}, err
 	}
 	var rep Report
-	for i := 0; i < n; i++ {
-		rep.Add(Scan(gen.Next()))
+	for i := 0; i < size; i++ {
+		rep.Add(ScanApp(gen.Next()))
 	}
 	return rep, nil
+}
+
+// Study generates and scans a synthetic corpus of n apps sequentially.
+// Use n = PaperCorpusSize for the full-scale reproduction; StudyWith runs
+// the same study on a worker pool with identical results.
+func Study(seed int64, n int) (Report, error) {
+	return StudyWith(seed, n, StudyOptions{Workers: 1})
 }

@@ -1,6 +1,7 @@
 package appstore
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -9,16 +10,31 @@ import (
 
 func TestPaperRatesInRange(t *testing.T) {
 	r := PaperRates()
-	for name, p := range map[string]float64{
-		"SAW":                 r.SAW,
-		"A11yGivenSAW":        r.A11yGivenSAW,
-		"A11yGivenNoSAW":      r.A11yGivenNoSAW,
-		"AddRemoveGivenSAW":   r.AddRemoveGivenSAW,
-		"AddRemoveGivenNoSAW": r.AddRemoveGivenNoSAW,
-		"CustomToast":         r.CustomToast,
-	} {
+	for i, p := range r.probabilities() {
 		if p < 0 || p > 1 {
-			t.Errorf("rate %s = %v out of [0,1]", name, p)
+			t.Errorf("rate #%d = %v out of [0,1]", i, p)
+		}
+	}
+}
+
+// TestPaperRatesCalibration: the expected counts at the paper's corpus
+// size must land within ±2% of the paper's three §VI-C2 numbers.
+func TestPaperRatesCalibration(t *testing.T) {
+	r := PaperRates()
+	n := float64(PaperCorpusSize)
+	checks := []struct {
+		name     string
+		expected float64
+		paper    int
+	}{
+		{"overlay+a11y", n * r.SAW * r.A11yGivenSAW, PaperOverlayPlusA11y},
+		{"add/remove+SAW", n * r.SAW * r.AddRemoveGivenSAW, PaperAddRemoveWithSAW},
+		{"custom toast", n * r.CustomToast, PaperCustomToast},
+	}
+	for _, c := range checks {
+		if dev := math.Abs(c.expected-float64(c.paper)) / float64(c.paper); dev > 0.02 {
+			t.Errorf("%s expected count %.0f deviates %.2f%% from paper %d (limit 2%%)",
+				c.name, c.expected, 100*dev, c.paper)
 		}
 	}
 }
@@ -31,6 +47,11 @@ func TestNewGeneratorValidation(t *testing.T) {
 	bad.SAW = 1.5
 	if _, err := NewGenerator(simrand.New(1), bad); err == nil {
 		t.Fatal("rate > 1 accepted")
+	}
+	bad = PaperRates()
+	bad.DeadOverlayGivenSAW = -0.1
+	if _, err := NewGenerator(simrand.New(1), bad); err == nil {
+		t.Fatal("negative decoy rate accepted")
 	}
 }
 
@@ -47,6 +68,13 @@ func TestGeneratedManifestParses(t *testing.T) {
 	if !res.HasSAW || !res.HasA11yService || !res.CallsAddView || !res.CallsRemoveView || !res.UsesCustomToast {
 		t.Fatalf("scan of all-features app = %+v", res)
 	}
+	full := ScanApp(apk)
+	if !full.Static.DrawAndDestroy || !full.Static.SetViewReachable {
+		t.Fatalf("static analysis of all-features app = %+v", full.Static)
+	}
+	if !full.Truth.Overlay || !full.Truth.Toast {
+		t.Fatalf("truth = %+v", full.Truth)
+	}
 }
 
 func TestScanCleanApp(t *testing.T) {
@@ -54,9 +82,14 @@ func TestScanCleanApp(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewGenerator: %v", err)
 	}
-	res := Scan(gen.Next())
+	apk := gen.Next()
+	res := Scan(apk)
 	if res.HasSAW || res.HasA11yService || res.CallsAddView || res.CallsRemoveView || res.UsesCustomToast {
 		t.Fatalf("scan of featureless app = %+v", res)
+	}
+	full := ScanApp(apk)
+	if full.Static.DrawAndDestroy || full.Static.ToastReplace || full.Static.A11yTiming || full.Static.SetViewReachable {
+		t.Fatalf("static analysis of featureless app = %+v", full.Static)
 	}
 }
 
@@ -109,6 +142,142 @@ func TestScanDexDirect(t *testing.T) {
 	}
 }
 
+// forceRates returns PaperRates with every decoy/draw probability forced
+// to the given deterministic choices, keeping validation happy.
+func forceRates(mutate func(*Rates)) Rates {
+	r := Rates{SAW: 1}
+	mutate(&r)
+	return r
+}
+
+// TestDeadCodeDecoyMisclassifiedByGrep: an app whose only overlay calls
+// sit in dead code fools the ref-table grep but not the call graph.
+func TestDeadCodeDecoyMisclassifiedByGrep(t *testing.T) {
+	rates := forceRates(func(r *Rates) { r.DeadOverlayGivenSAW = 1 })
+	gen, err := NewGenerator(simrand.New(11), rates)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		s := ScanApp(gen.Next())
+		if s.Truth.Overlay {
+			t.Fatal("decoy app labeled capable")
+		}
+		grepOverlay := s.Grep.HasSAW && s.Grep.CallsAddView && s.Grep.CallsRemoveView
+		if !grepOverlay {
+			t.Fatal("grep did not see the dead-code refs (decoy not planted?)")
+		}
+		if s.Static.DrawAndDestroy {
+			t.Fatal("call graph reached dead code")
+		}
+	}
+}
+
+// TestReflectionDecoyMissedByGrep: a genuinely capable app dispatching
+// overlay calls reflectively is invisible to grep but not to the
+// call-graph analyzer.
+func TestReflectionDecoyMissedByGrep(t *testing.T) {
+	rates := forceRates(func(r *Rates) {
+		r.AddRemoveGivenSAW = 1
+		r.ReflectionGivenCapable = 1
+	})
+	gen, err := NewGenerator(simrand.New(12), rates)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		s := ScanApp(gen.Next())
+		if !s.Truth.Overlay {
+			t.Fatal("capable app not labeled capable")
+		}
+		if s.Grep.CallsAddView || s.Grep.CallsRemoveView {
+			t.Fatal("reflective dispatch leaked into the ref table")
+		}
+		if !s.Static.DrawAndDestroy {
+			t.Fatal("call graph missed the reflective capability")
+		}
+	}
+}
+
+// TestDeepReflectionMissedByBoth: runtime-built strings bound both
+// analyzers' recall — the shared false negative.
+func TestDeepReflectionMissedByBoth(t *testing.T) {
+	rates := forceRates(func(r *Rates) {
+		r.AddRemoveGivenSAW = 1
+		r.DeepReflectionGivenCapable = 1
+	})
+	gen, err := NewGenerator(simrand.New(13), rates)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	s := ScanApp(gen.Next())
+	if !s.Truth.Overlay {
+		t.Fatal("capable app not labeled capable")
+	}
+	if s.Grep.CallsAddView || s.Static.DrawAndDestroy {
+		t.Fatalf("deep reflection resolved: grep=%v static=%v", s.Grep.CallsAddView, s.Static.DrawAndDestroy)
+	}
+}
+
+// TestGuardedDecoyFoolsBoth: the always-false-guarded decoy is a false
+// positive for grep and for the path-insensitive call graph alike.
+func TestGuardedDecoyFoolsBoth(t *testing.T) {
+	rates := forceRates(func(r *Rates) { r.GuardedOverlayGivenSAW = 1 })
+	gen, err := NewGenerator(simrand.New(14), rates)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	s := ScanApp(gen.Next())
+	if s.Truth.Overlay {
+		t.Fatal("guarded decoy labeled capable")
+	}
+	if !s.Static.DrawAndDestroy {
+		t.Fatal("path-insensitive analysis should reach the guarded sink")
+	}
+}
+
+// TestToastCapabilityVsFeature: the one-shot customized toast is a
+// feature, the re-enqueueing loop a capability.
+func TestToastCapabilityVsFeature(t *testing.T) {
+	oneShot, err := NewGenerator(simrand.New(15), Rates{CustomToast: 1})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	s := ScanApp(oneShot.Next())
+	if !s.Static.SetViewReachable || s.Static.ToastReplace {
+		t.Fatalf("one-shot toast: setView=%v replace=%v", s.Static.SetViewReachable, s.Static.ToastReplace)
+	}
+	looping, err := NewGenerator(simrand.New(16), Rates{CustomToast: 1, ToastReplaceGivenToast: 1})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	s = ScanApp(looping.Next())
+	if !s.Static.ToastReplace || !s.Truth.ToastReplace {
+		t.Fatalf("toast loop: static=%v truth=%v", s.Static.ToastReplace, s.Truth.ToastReplace)
+	}
+}
+
+// TestA11yTimingWiring: a11y-wired attack apps are detected; unwired a11y
+// services are not.
+func TestA11yTimingWiring(t *testing.T) {
+	wired, err := NewGenerator(simrand.New(17), Rates{SAW: 1, A11yGivenSAW: 1, AddRemoveGivenSAW: 1, A11yAttackGivenCapable: 1})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	s := ScanApp(wired.Next())
+	if !s.Static.A11yTiming || !s.Truth.A11yTiming {
+		t.Fatalf("wired a11y: static=%v truth=%v", s.Static.A11yTiming, s.Truth.A11yTiming)
+	}
+	unwired, err := NewGenerator(simrand.New(18), Rates{SAW: 1, A11yGivenSAW: 1, AddRemoveGivenSAW: 1})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	s = ScanApp(unwired.Next())
+	if s.Static.A11yTiming || s.Truth.A11yTiming {
+		t.Fatalf("unwired a11y flagged: static=%v truth=%v", s.Static.A11yTiming, s.Truth.A11yTiming)
+	}
+}
+
 // TestStudyReproducesPaperProportions runs a 50k-app corpus and checks the
 // three §VI-C2 counts land within 20% of the paper's proportions.
 func TestStudyReproducesPaperProportions(t *testing.T) {
@@ -139,11 +308,53 @@ func TestStudyReproducesPaperProportions(t *testing.T) {
 	if s := rep.String(); !strings.Contains(s, "scanned 50000 apps") {
 		t.Fatalf("report string = %q", s)
 	}
+	// The call-graph analyzer must beat the grep baseline on per-app
+	// classification of the overlay capability.
+	if sp, gp := rep.StaticOverlay.Precision(), rep.GrepOverlay.Precision(); sp <= gp {
+		t.Errorf("static precision %.3f not above grep %.3f", sp, gp)
+	}
+	if sr, gr := rep.StaticOverlay.Recall(), rep.GrepOverlay.Recall(); sr <= gr {
+		t.Errorf("static recall %.3f not above grep %.3f", sr, gr)
+	}
+}
+
+// TestFullScaleCorpusCalibration is the §VI-C2 acceptance check: at the
+// paper's exact corpus size the parallel scanner's three headline counts
+// land within ±2% of the paper's values.
+func TestFullScaleCorpusCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 890,855-app scan skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("full 890,855-app scan skipped under -race (minutes-long)")
+	}
+	rep, err := StudyWith(1, PaperCorpusSize, StudyOptions{})
+	if err != nil {
+		t.Fatalf("StudyWith: %v", err)
+	}
+	checks := []struct {
+		name  string
+		got   int
+		paper int
+	}{
+		{"overlay+a11y", rep.OverlayPlusA11y, PaperOverlayPlusA11y},
+		{"add/remove+SAW", rep.AddRemoveWithSAW, PaperAddRemoveWithSAW},
+		{"custom toast", rep.CustomToast, PaperCustomToast},
+	}
+	for _, c := range checks {
+		dev := math.Abs(float64(c.got)-float64(c.paper)) / float64(c.paper)
+		if dev > 0.02 {
+			t.Errorf("%s = %d deviates %.2f%% from paper %d (limit 2%%)", c.name, c.got, 100*dev, c.paper)
+		}
+	}
 }
 
 func TestStudyValidation(t *testing.T) {
 	if _, err := Study(1, 0); err == nil {
 		t.Fatal("zero corpus accepted")
+	}
+	if _, err := StudyWith(1, -5, StudyOptions{}); err == nil {
+		t.Fatal("negative corpus accepted")
 	}
 }
 
@@ -161,6 +372,53 @@ func TestStudyDeterministic(t *testing.T) {
 	}
 }
 
+// TestStudyWorkerCountInvariant: the report is a pure function of (seed,
+// n) — identical for any worker count, including a count above the chunk
+// count.
+func TestStudyWorkerCountInvariant(t *testing.T) {
+	const n = 3*studyChunkSize + 17
+	base, err := StudyWith(9, n, StudyOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("StudyWith(1 worker): %v", err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		rep, err := StudyWith(9, n, StudyOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("StudyWith(%d workers): %v", workers, err)
+		}
+		if rep != base {
+			t.Fatalf("worker count %d changed the report:\n%+v\nvs\n%+v", workers, rep, base)
+		}
+	}
+}
+
+// TestStudyProgress: the progress callback reports monotonically
+// increasing scanned counts ending at n.
+func TestStudyProgress(t *testing.T) {
+	const n = 2*studyChunkSize + 5
+	var calls []int
+	_, err := StudyWith(3, n, StudyOptions{Workers: 2, Progress: func(scanned, total int) {
+		if total != n {
+			t.Errorf("total = %d, want %d", total, n)
+		}
+		calls = append(calls, scanned)
+	}})
+	if err != nil {
+		t.Fatalf("StudyWith: %v", err)
+	}
+	if len(calls) != 3 {
+		t.Fatalf("progress calls = %d, want 3 (one per chunk)", len(calls))
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i] <= calls[i-1] {
+			t.Fatalf("progress not monotone: %v", calls)
+		}
+	}
+	if calls[len(calls)-1] != n {
+		t.Fatalf("final progress = %d, want %d", calls[len(calls)-1], n)
+	}
+}
+
 func TestPackagesUnique(t *testing.T) {
 	gen, err := NewGenerator(simrand.New(5), PaperRates())
 	if err != nil {
@@ -173,5 +431,26 @@ func TestPackagesUnique(t *testing.T) {
 			t.Fatalf("duplicate package %s", apk.Package)
 		}
 		seen[apk.Package] = true
+	}
+}
+
+func TestDetectorStats(t *testing.T) {
+	var d DetectorStats
+	d.add(true, true)
+	d.add(true, false)
+	d.add(false, true)
+	d.add(false, false)
+	if d.TP != 1 || d.FP != 1 || d.FN != 1 || d.TN != 1 {
+		t.Fatalf("confusion = %+v", d)
+	}
+	if p := d.Precision(); p != 0.5 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := d.Recall(); r != 0.5 {
+		t.Errorf("recall = %v", r)
+	}
+	var empty DetectorStats
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("empty stats should report perfect precision/recall")
 	}
 }

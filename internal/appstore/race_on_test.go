@@ -1,0 +1,7 @@
+//go:build race
+
+package appstore
+
+// raceEnabled gates the full-scale corpus test: under the race detector
+// the 890,855-app scan takes minutes, so it only runs in normal builds.
+const raceEnabled = true

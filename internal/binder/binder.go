@@ -73,7 +73,8 @@ type Bus struct {
 	logLimit  int
 	observers []Observer
 
-	dropped uint64
+	dropped    uint64
+	droppedLog uint64
 }
 
 type streamKey struct {
@@ -189,8 +190,10 @@ func (b *Bus) record(tx Transaction) {
 	}
 	if len(b.log) >= b.logLimit {
 		// Drop the oldest half rather than one-at-a-time to keep append
-		// amortized O(1).
+		// amortized O(1). The evictions are counted: a truncated log must
+		// not masquerade as a quiet caller to log-based analyses.
 		keep := b.logLimit / 2
+		b.droppedLog += uint64(len(b.log) - keep)
 		b.log = append(b.log[:0], b.log[len(b.log)-keep:]...)
 	}
 	b.log = append(b.log, tx)
@@ -222,3 +225,9 @@ func (b *Bus) ResetLog() { b.log = b.log[:0] }
 
 // Dropped reports how many calls targeted unregistered processes.
 func (b *Bus) Dropped() uint64 { return b.dropped }
+
+// DroppedLogEntries reports how many delivered transactions have been
+// evicted from the in-memory log because LogLimit was hit. Consumers of
+// Log/LogSince must treat a non-zero value as an incomplete view: an app
+// absent from a truncated log is not necessarily a quiet caller.
+func (b *Bus) DroppedLogEntries() uint64 { return b.droppedLog }

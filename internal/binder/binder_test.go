@@ -242,6 +242,39 @@ func TestLogLimitTrims(t *testing.T) {
 	}
 }
 
+// TestDroppedLogEntriesCounted: log eviction is not silent — the number of
+// evicted transactions is observable, and the total of kept plus dropped
+// accounts for every delivery.
+func TestDroppedLogEntriesCounted(t *testing.T) {
+	clock := simclock.New()
+	bus, err := NewBus(Config{Clock: clock, RNG: simrand.New(1), LogLimit: 10})
+	if err != nil {
+		t.Fatalf("NewBus: %v", err)
+	}
+	if err := bus.Register(SystemServer, func(Transaction) {}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if got := bus.DroppedLogEntries(); got != 0 {
+		t.Fatalf("DroppedLogEntries before any calls = %d, want 0", got)
+	}
+	const total = 100
+	for i := 0; i < total; i++ {
+		if _, err := bus.Call("a", SystemServer, "m", i); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	if err := clock.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	dropped := bus.DroppedLogEntries()
+	if dropped == 0 {
+		t.Fatal("100 deliveries through a 10-entry log dropped nothing")
+	}
+	if kept := uint64(len(bus.Log())); kept+dropped != total {
+		t.Fatalf("kept %d + dropped %d != %d deliveries", kept, dropped, total)
+	}
+}
+
 func TestNegativeLogLimitDisablesLogging(t *testing.T) {
 	clock := simclock.New()
 	bus, err := NewBus(Config{Clock: clock, RNG: simrand.New(1), LogLimit: -1})

@@ -1,0 +1,90 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/dexir"
+	"repro/internal/staticanalysis"
+)
+
+// This file implements the static half of the Section VII defense: a
+// pre-install vetting pass. The runtime Binder monitor (IPCDetector)
+// catches draw-and-destroy behavior as it happens; Vet catches the
+// *capability* before installation by running the call-graph detectors
+// over the app's IR and turning their findings into a scan-before-install
+// verdict with per-detector evidence traces.
+
+// VetVerdict is the outcome of statically vetting one app.
+type VetVerdict struct {
+	// Package is the vetted application id.
+	Package string
+	// Allow is false when any capability detector fired.
+	Allow bool
+	// Findings carries the per-detector evidence behind a rejection.
+	Findings []staticanalysis.Finding
+}
+
+// Capabilities lists the distinct capabilities found, in finding order.
+func (v VetVerdict) Capabilities() []staticanalysis.Capability {
+	seen := make(map[staticanalysis.Capability]bool, 3)
+	var out []staticanalysis.Capability
+	for _, f := range v.Findings {
+		if !seen[f.Capability] {
+			seen[f.Capability] = true
+			out = append(out, f.Capability)
+		}
+	}
+	return out
+}
+
+// String renders the verdict with its evidence traces.
+func (v VetVerdict) String() string {
+	var sb strings.Builder
+	if v.Allow {
+		fmt.Fprintf(&sb, "%s: ALLOW (no tapjacking capability found)", v.Package)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%s: DENY", v.Package)
+	for _, c := range v.Capabilities() {
+		fmt.Fprintf(&sb, " [%s]", c)
+	}
+	for _, f := range v.Findings {
+		fmt.Fprintf(&sb, "\n  %s in %s %s", f.Detector, f.Kind, f.Component)
+		for _, e := range f.Evidence {
+			fmt.Fprintf(&sb, "\n    %s", e)
+		}
+	}
+	return sb.String()
+}
+
+// Vetter runs a detector suite as a pre-install check.
+type Vetter struct {
+	analyzer *staticanalysis.Analyzer
+}
+
+// NewVetter builds a vetter; with no arguments it uses the default
+// detector suite (draw-and-destroy, toast-replace, a11y-timing).
+func NewVetter(detectors ...staticanalysis.Detector) *Vetter {
+	return &Vetter{analyzer: staticanalysis.NewAnalyzer(detectors...)}
+}
+
+// Vet analyzes one app and renders the install verdict.
+func (v *Vetter) Vet(app *dexir.App) (VetVerdict, error) {
+	if app == nil {
+		return VetVerdict{}, errors.New("defense: nil app")
+	}
+	res := v.analyzer.Analyze(app)
+	return VetVerdict{
+		Package:  app.Package,
+		Allow:    len(res.Findings) == 0,
+		Findings: res.Findings,
+	}, nil
+}
+
+// Vet runs the default vetter over one app — the package-level
+// scan-before-install entry point.
+func Vet(app *dexir.App) (VetVerdict, error) {
+	return NewVetter().Vet(app)
+}

@@ -1,0 +1,136 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appstore"
+	"repro/internal/dexir"
+	"repro/internal/simrand"
+	"repro/internal/staticanalysis"
+)
+
+func genOne(t *testing.T, seed int64, rates appstore.Rates) appstore.APK {
+	t.Helper()
+	gen, err := appstore.NewGenerator(simrand.New(seed), rates)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return gen.Next()
+}
+
+func TestVetDeniesAttackApp(t *testing.T) {
+	apk := genOne(t, 1, appstore.Rates{SAW: 1, A11yGivenSAW: 1, AddRemoveGivenSAW: 1, A11yAttackGivenCapable: 1, CustomToast: 1, ToastReplaceGivenToast: 1})
+	v, err := Vet(apk.IR)
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	if v.Allow {
+		t.Fatal("full attack app allowed")
+	}
+	caps := v.Capabilities()
+	if len(caps) != 3 {
+		t.Fatalf("capabilities = %v, want all three", caps)
+	}
+	s := v.String()
+	for _, want := range []string{"DENY", "draw-and-destroy", "toast-replace", "a11y-timing", "⇒"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("verdict rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVetAllowsBenignApp(t *testing.T) {
+	apk := genOne(t, 2, appstore.Rates{})
+	v, err := Vet(apk.IR)
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	if !v.Allow {
+		t.Fatalf("benign app denied: %s", v)
+	}
+	if !strings.Contains(v.String(), "ALLOW") {
+		t.Errorf("verdict rendering = %q", v.String())
+	}
+}
+
+// TestVetAllowsDeadCodeDecoy: the vetting pass must not block apps whose
+// only overlay refs are unreachable (where a grep-based vetter would).
+func TestVetAllowsDeadCodeDecoy(t *testing.T) {
+	apk := genOne(t, 3, appstore.Rates{SAW: 1, DeadOverlayGivenSAW: 1})
+	v, err := Vet(apk.IR)
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	if !v.Allow {
+		t.Fatalf("dead-code decoy denied: %s", v)
+	}
+}
+
+// TestVetDeniesReflectiveAttack: reflective dispatch does not evade the
+// vetting pass.
+func TestVetDeniesReflectiveAttack(t *testing.T) {
+	apk := genOne(t, 4, appstore.Rates{SAW: 1, AddRemoveGivenSAW: 1, ReflectionGivenCapable: 1})
+	v, err := Vet(apk.IR)
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	if v.Allow {
+		t.Fatal("reflective attack app allowed")
+	}
+}
+
+func TestVetNilApp(t *testing.T) {
+	if _, err := Vet(nil); err == nil {
+		t.Fatal("nil app accepted")
+	}
+}
+
+// TestVetterCustomSuite: a vetter restricted to one detector only flags
+// that capability.
+func TestVetterCustomSuite(t *testing.T) {
+	vetter := NewVetter(staticanalysis.ToastReplaceDetector{})
+	overlayOnly := genOne(t, 5, appstore.Rates{SAW: 1, AddRemoveGivenSAW: 1})
+	v, err := vetter.Vet(overlayOnly.IR)
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	if !v.Allow {
+		t.Fatal("toast-only vetter denied an overlay app")
+	}
+	toastLoop := genOne(t, 6, appstore.Rates{CustomToast: 1, ToastReplaceGivenToast: 1})
+	v, err = vetter.Vet(toastLoop.IR)
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	if v.Allow {
+		t.Fatal("toast-only vetter allowed a toast loop")
+	}
+}
+
+// TestVetVerdictComponentsNamed: evidence names the component kind so the
+// market operator can locate the offending code.
+func TestVetVerdictComponentsNamed(t *testing.T) {
+	apk := genOne(t, 7, appstore.Rates{SAW: 1, A11yGivenSAW: 1, AddRemoveGivenSAW: 1, A11yAttackGivenCapable: 1})
+	v, err := Vet(apk.IR)
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	if v.Allow {
+		t.Fatal("attack app allowed")
+	}
+	s := v.String()
+	if !strings.Contains(s, "accessibility-service") || !strings.Contains(s, "activity") {
+		t.Errorf("verdict lacks component kinds:\n%s", s)
+	}
+	var a11y dexir.ComponentKind = dexir.AccessibilityService
+	var found bool
+	for _, f := range v.Findings {
+		if f.Kind == a11y {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no finding attributed to the accessibility service")
+	}
+}

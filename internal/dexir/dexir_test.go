@@ -1,0 +1,155 @@
+package dexir
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMethodRefParts(t *testing.T) {
+	if c := RefAddView.Class(); c != "Landroid/view/WindowManager;" {
+		t.Errorf("Class() = %q", c)
+	}
+	if n := RefAddView.Name(); n != "addView" {
+		t.Errorf("Name() = %q", n)
+	}
+	if c := MethodRef("garbage").Class(); c != "" {
+		t.Errorf("Class() on malformed ref = %q", c)
+	}
+	if n := MethodRef("garbage").Name(); n != "" {
+		t.Errorf("Name() on malformed ref = %q", n)
+	}
+}
+
+func TestResolveReflective(t *testing.T) {
+	ref, ok := ResolveReflective("android.view.WindowManager", "addView")
+	if !ok || ref != RefAddView {
+		t.Fatalf("ResolveReflective = (%q,%v)", ref, ok)
+	}
+	if _, ok := ResolveReflective("com.example.Runtime", "built"); ok {
+		t.Fatal("unknown pair resolved")
+	}
+}
+
+func testApp() *App {
+	cls := ClassName("com.x", "Main")
+	onCreate := Ref(cls, "onCreate", "(Landroid/os/Bundle;)V")
+	helper := Ref(cls, "helper", "()V")
+	return &App{
+		Package:     "com.x",
+		Permissions: []string{PermSystemAlertWindow},
+		Components: []Component{{
+			Name: cls, Kind: Activity, EntryPoints: []MethodRef{onCreate},
+		}},
+		Classes: []Class{{
+			Name: cls,
+			Methods: []Method{
+				{Ref: onCreate, Body: []Instruction{
+					{Op: OpInvoke, Target: helper},
+					{Op: OpRegisterCallback, Target: RefHandlerPostDelayed, Callback: helper},
+				}},
+				{Ref: helper, Body: []Instruction{
+					{Op: OpConstString, Str: "android.view.WindowManager"},
+					{Op: OpConstString, Str: "addView"},
+					{Op: OpReflectInvoke},
+					{Op: OpInvoke, Target: RefRemoveView},
+				}},
+			},
+		}},
+	}
+}
+
+func TestAppMethodLookup(t *testing.T) {
+	a := testApp()
+	cls := ClassName("com.x", "Main")
+	m, ok := a.Method(Ref(cls, "helper", "()V"))
+	if !ok || len(m.Body) != 4 {
+		t.Fatalf("Method lookup = (%v, ok=%v)", m, ok)
+	}
+	if _, ok := a.Method("Lnone;->x()V"); ok {
+		t.Fatal("missing method found")
+	}
+}
+
+func TestHasPermission(t *testing.T) {
+	a := testApp()
+	if !a.HasPermission(PermSystemAlertWindow) {
+		t.Fatal("SAW missing")
+	}
+	if a.HasPermission(PermBindAccessibility) {
+		t.Fatal("unexpected permission")
+	}
+}
+
+// TestMethodRefTableHidesReflection: the reflectively invoked addView must
+// NOT appear in the ref table (grep blindness), while the direct
+// removeView and the registration target must.
+func TestMethodRefTableHidesReflection(t *testing.T) {
+	table := testApp().MethodRefTable()
+	has := func(r MethodRef) bool {
+		for _, s := range table {
+			if s == string(r) {
+				return true
+			}
+		}
+		return false
+	}
+	if has(RefAddView) {
+		t.Errorf("reflective addView leaked into ref table: %v", table)
+	}
+	for _, want := range []MethodRef{RefRemoveView, RefHandlerPostDelayed, RefReflectInvoke} {
+		if !has(want) {
+			t.Errorf("ref table missing %s: %v", want, table)
+		}
+	}
+	// Table is sorted and deduplicated.
+	if !sortedUnique(table) {
+		t.Errorf("ref table not sorted/unique: %v", table)
+	}
+}
+
+func sortedUnique(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClassNameAndRef(t *testing.T) {
+	cls := ClassName("com.gen.app1", "Main")
+	if cls != "Lcom/gen/app1/Main;" {
+		t.Fatalf("ClassName = %q", cls)
+	}
+	ref := Ref(cls, "run", "()V")
+	if ref != "Lcom/gen/app1/Main;->run()V" {
+		t.Fatalf("Ref = %q", ref)
+	}
+	if ref.Class() != cls || ref.Name() != "run" {
+		t.Fatalf("round-trip failed: %q %q", ref.Class(), ref.Name())
+	}
+}
+
+func TestComponentKindString(t *testing.T) {
+	want := map[ComponentKind]string{
+		Activity:             "activity",
+		Service:              "service",
+		Receiver:             "receiver",
+		AccessibilityService: "accessibility-service",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if got := ComponentKind(99).String(); got != "kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestMethodRefTableDeterministic(t *testing.T) {
+	a, b := testApp().MethodRefTable(), testApp().MethodRefTable()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("ref table nondeterministic: %v vs %v", a, b)
+	}
+}

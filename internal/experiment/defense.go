@@ -11,6 +11,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/device"
 	"repro/internal/geom"
+	"repro/internal/simrand"
 	"repro/internal/sysserver"
 	"repro/internal/sysui"
 	"repro/internal/wm"
@@ -30,6 +31,10 @@ type DefenseIPCReport struct {
 	BenignFlagged int
 	// TransactionsObserved is the defense's analysis volume.
 	TransactionsObserved uint64
+	// LogEntriesDropped counts transactions evicted from the Binder log
+	// during the attack run. Non-zero means log-based conclusions ("app X
+	// never called removeView") are drawn from an incomplete window.
+	LogEntriesDropped uint64
 }
 
 // DefenseIPC evaluates the IPC-based detector on both an attack scenario
@@ -80,6 +85,7 @@ func DefenseIPC(seed int64) (DefenseIPCReport, error) {
 	rep.AttackTerminated = !st.WM.HasOverlayPermission(AttackerApp) && st.WM.OverlayCount(AttackerApp) == 0
 	rep.AlertOutcomeAfter = st.UI.WorstOutcome()
 	rep.TransactionsObserved = det.Observed()
+	rep.LogEntriesDropped = st.Bus.DroppedLogEntries()
 
 	// Scenario 2: benign workload — a floating music widget toggling
 	// slowly must not be flagged.
@@ -128,6 +134,11 @@ func RenderDefenseIPC(r DefenseIPCReport) string {
 	fmt.Fprintf(&sb, "  attack terminated:    %v\n", r.AttackTerminated)
 	fmt.Fprintf(&sb, "  benign apps flagged:  %d (want 0)\n", r.BenignFlagged)
 	fmt.Fprintf(&sb, "  transactions analyzed: %d\n", r.TransactionsObserved)
+	if r.LogEntriesDropped > 0 {
+		fmt.Fprintf(&sb, "  WARNING: %d transactions evicted from the Binder log — log-based analyses saw a truncated window\n", r.LogEntriesDropped)
+	} else {
+		sb.WriteString("  binder log complete (0 entries evicted)\n")
+	}
 	return sb.String()
 }
 
@@ -222,6 +233,77 @@ func RenderDefenseNotif(r DefenseNotifReport) string {
 // appstore.PaperCorpusSize for the full-scale run.
 func CorpusStudy(seed int64, n int) (appstore.Report, error) {
 	return appstore.Study(seed, n)
+}
+
+// DefenseVetReport is the static half of the Section VII defense: a
+// scan-before-install vetting pass over a small generated market slice,
+// with the full verdicts (including evidence traces) for the denied apps.
+type DefenseVetReport struct {
+	// Scanned is the number of apps vetted.
+	Scanned int
+	// Denied counts apps rejected by the vetting pass.
+	Denied int
+	// TruthCapable counts apps that ground truth says hold a tapjacking
+	// capability (overlay, toast-replacement or a11y-timing).
+	TruthCapable int
+	// Mistakes counts verdicts that disagree with ground truth.
+	Mistakes int
+	// Verdicts holds the DENY verdicts, evidence traces included.
+	Verdicts []defense.VetVerdict
+}
+
+// DefenseVet generates n market apps at the paper's capability rates and
+// runs the pre-install vetting pass over each, comparing verdicts against
+// generator ground truth.
+func DefenseVet(seed int64, n int) (DefenseVetReport, error) {
+	var rep DefenseVetReport
+	gen, err := appstore.NewGenerator(simrand.New(seed), appstore.PaperRates())
+	if err != nil {
+		return rep, fmt.Errorf("experiment: vet generator: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		apk := gen.Next()
+		v, err := defense.Vet(apk.IR)
+		if err != nil {
+			return rep, fmt.Errorf("experiment: vet %s: %w", apk.Package, err)
+		}
+		rep.Scanned++
+		capable := apk.Truth.Overlay || apk.Truth.ToastReplace || apk.Truth.A11yTiming
+		if capable {
+			rep.TruthCapable++
+		}
+		if !v.Allow {
+			rep.Denied++
+			rep.Verdicts = append(rep.Verdicts, v)
+		}
+		if v.Allow == capable {
+			rep.Mistakes++
+		}
+	}
+	return rep, nil
+}
+
+// RenderDefenseVet formats the report, showing at most maxVerdicts full
+// evidence traces.
+func RenderDefenseVet(r DefenseVetReport, maxVerdicts int) string {
+	var sb strings.Builder
+	sb.WriteString("Defense §VII — static pre-install vetting (call-graph detectors)\n")
+	fmt.Fprintf(&sb, "  apps scanned:          %d\n", r.Scanned)
+	fmt.Fprintf(&sb, "  installs denied:       %d (ground truth capable: %d)\n", r.Denied, r.TruthCapable)
+	fmt.Fprintf(&sb, "  verdicts vs truth:     %d mistakes\n", r.Mistakes)
+	shown := r.Verdicts
+	if maxVerdicts >= 0 && len(shown) > maxVerdicts {
+		shown = shown[:maxVerdicts]
+	}
+	for _, v := range shown {
+		for _, line := range strings.Split(v.String(), "\n") {
+			fmt.Fprintf(&sb, "  %s\n", line)
+		}
+	}
+	if hidden := len(r.Verdicts) - len(shown); hidden > 0 {
+		fmt.Fprintf(&sb, "  … %d more denial verdicts elided\n", hidden)
+	}
+	return sb.String()
 }
 
 // DefenseToastGapReport is the evaluation of the toast-scheduling defense

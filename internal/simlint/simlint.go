@@ -1,0 +1,165 @@
+// Package simlint implements a vet-style determinism pass for the
+// simulation core: inside internal/ packages, wall-clock reads
+// (time.Now, time.Since) and the global math/rand generators are
+// forbidden, because a single stray call makes week-long simulated runs
+// unreproducible. Virtual time must come from internal/simclock and
+// randomness from internal/simrand; those two packages are the exempt
+// deterministic wrappers.
+//
+// The pass is built on the standard library's go/ast so it carries no
+// dependency beyond the toolchain; cmd/simlint is the CLI driver and the
+// package API lets tests run the pass in-process.
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rule identifiers, one per forbidden construct.
+const (
+	RuleTimeNow   = "time-now"
+	RuleTimeSince = "time-since"
+	RuleMathRand  = "math-rand"
+)
+
+// ExemptPackages are the deterministic wrappers themselves: they are the
+// only internal/ packages allowed to touch the wall clock or seed global
+// randomness.
+var ExemptPackages = map[string]bool{
+	"simrand":  true,
+	"simclock": true,
+}
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Msg, d.Rule)
+}
+
+// LintFile runs the determinism pass over one parsed file and returns its
+// findings in source order.
+func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, rule, msg string) {
+		diags = append(diags, Diagnostic{Pos: fset.Position(pos), Rule: rule, Msg: msg})
+	}
+
+	// Resolve which local names refer to the time package (handles
+	// aliased imports) and whether time is dot-imported; flag math/rand
+	// imports outright — any use of the package is a determinism leak.
+	timeNames := map[string]bool{}
+	timeDot := false
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		switch path {
+		case "time":
+			switch {
+			case imp.Name == nil:
+				timeNames["time"] = true
+			case imp.Name.Name == ".":
+				timeDot = true
+			case imp.Name.Name != "_":
+				timeNames[imp.Name.Name] = true
+			}
+		case "math/rand", "math/rand/v2":
+			report(imp.Pos(), RuleMathRand,
+				fmt.Sprintf("import of %s in a simulation package; use internal/simrand", path))
+		}
+	}
+
+	forbidden := func(sel string) (rule, msg string, ok bool) {
+		switch sel {
+		case "Now":
+			return RuleTimeNow, "call to time.Now reads the wall clock; use the simulation clock (internal/simclock)", true
+		case "Since":
+			return RuleTimeSince, "time.Since reads the wall clock via an implicit time.Now; compute durations from simulation timestamps", true
+		}
+		return "", "", false
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// Flag both calls and method values (f := time.Now).
+			id, ok := n.X.(*ast.Ident)
+			if !ok || !timeNames[id.Name] {
+				return true
+			}
+			if rule, msg, ok := forbidden(n.Sel.Name); ok {
+				report(n.Sel.Pos(), rule, msg)
+			}
+		case *ast.CallExpr:
+			// Dot-imported time: Now()/Since() appear as bare idents.
+			if !timeDot {
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if rule, msg, ok := forbidden(id.Name); ok {
+					report(id.Pos(), rule, msg)
+				}
+			}
+		}
+		return true
+	})
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos.Offset < diags[j].Pos.Offset })
+	return diags
+}
+
+// LintSource parses src (attributed to filename) and lints it; it exists
+// so tests and tools can lint in-memory code.
+func LintSource(filename, src string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	return LintFile(fset, f), nil
+}
+
+// LintDir walks a directory tree of internal simulation packages and lints
+// every .go file (tests included — a nondeterministic test is still a
+// flaky test), skipping exempt packages and testdata directories.
+func LintDir(root string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if ExemptPackages[d.Name()] || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("simlint: parse %s: %w", path, err)
+		}
+		diags = append(diags, LintFile(fset, f)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return diags, nil
+}

@@ -1,0 +1,233 @@
+// Package staticanalysis is the FlowDroid-style half of the Section VI-C2
+// market study and the static half of the Section VII defense: it builds a
+// call graph over a dexir.App, computes interprocedural reachability from
+// manifest-declared component entry points, and runs pluggable capability
+// detectors (draw-and-destroy overlay, toast replacement, accessibility-
+// assisted timing) that return per-component evidence traces.
+//
+// The pass is deliberately path-insensitive: an instruction behind an
+// always-false guard is still "reachable", matching the over-approximation
+// of real call-graph analyzers. Reflective calls are resolved only when
+// their class/method const-strings are directly visible, matching the
+// easy-case reflection handling of FlowDroid configurations.
+package staticanalysis
+
+import (
+	"repro/internal/dexir"
+)
+
+// sinkRefs are the framework methods the detectors care about.
+var sinkRefs = map[dexir.MethodRef]bool{
+	dexir.RefAddView:      true,
+	dexir.RefRemoveView:   true,
+	dexir.RefToastSetView: true,
+	dexir.RefToastShow:    true,
+}
+
+// SinkCall is one call site of a framework sink inside an app method.
+type SinkCall struct {
+	// Sink is the framework method invoked.
+	Sink dexir.MethodRef
+	// In is the app method containing the call site.
+	In dexir.MethodRef
+	// InLoop marks an intra-method loop context.
+	InLoop bool
+	// Guarded marks a call site behind an always-false branch (dead at
+	// runtime; the analysis reaches it anyway).
+	Guarded bool
+	// Reflective marks a call resolved from const-strings rather than a
+	// direct method reference.
+	Reflective bool
+}
+
+// edge is one call-graph edge to an app-defined method.
+type edge struct {
+	to dexir.MethodRef
+	// callback marks an edge induced by a scheduler/listener registration
+	// rather than a direct invoke.
+	callback bool
+	// repeating marks a registration on a self-repeating scheduler
+	// (Timer.scheduleAtFixedRate).
+	repeating bool
+}
+
+// node is the per-method call-graph record.
+type node struct {
+	callees []edge
+	sinks   []SinkCall
+	// registersSelf: the method re-enqueues itself on a scheduler — the
+	// re-enqueue idiom of the draw-and-destroy and toast loops.
+	registersSelf bool
+}
+
+// CallGraph is the whole-app call graph.
+type CallGraph struct {
+	app   *dexir.App
+	nodes map[dexir.MethodRef]*node
+}
+
+// BuildCallGraph constructs the call graph for one app. Direct invokes of
+// app methods become direct edges; callback registrations become callback
+// edges; resolvable reflective invokes of framework sinks become sink
+// calls flagged Reflective; unresolvable reflective invokes stay opaque.
+func BuildCallGraph(app *dexir.App) *CallGraph {
+	g := &CallGraph{app: app, nodes: make(map[dexir.MethodRef]*node)}
+	for ci := range app.Classes {
+		for mi := range app.Classes[ci].Methods {
+			m := &app.Classes[ci].Methods[mi]
+			g.nodes[m.Ref] = g.buildNode(app, m)
+		}
+	}
+	return g
+}
+
+func (g *CallGraph) buildNode(app *dexir.App, m *dexir.Method) *node {
+	n := &node{}
+	// Rolling window of the last two const-strings, feeding reflective
+	// resolution the way a constant-propagation pass would.
+	var c1, c2 string // c1 = older (class), c2 = newer (method)
+	for _, in := range m.Body {
+		switch in.Op {
+		case dexir.OpConstString:
+			c1, c2 = c2, in.Str
+		case dexir.OpInvoke:
+			if sinkRefs[in.Target] {
+				n.sinks = append(n.sinks, SinkCall{
+					Sink: in.Target, In: m.Ref,
+					InLoop:  in.InLoop,
+					Guarded: in.Guard == dexir.GuardAlwaysFalse,
+				})
+			} else if _, ok := app.Method(in.Target); ok {
+				n.callees = append(n.callees, edge{to: in.Target})
+			}
+		case dexir.OpRegisterCallback:
+			if _, ok := app.Method(in.Callback); ok {
+				n.callees = append(n.callees, edge{
+					to:        in.Callback,
+					callback:  true,
+					repeating: in.Target == dexir.RefTimerScheduleRate,
+				})
+				if in.Callback == m.Ref {
+					n.registersSelf = true
+				}
+			}
+		case dexir.OpReflectInvoke:
+			if ref, ok := dexir.ResolveReflective(c1, c2); ok && sinkRefs[ref] {
+				n.sinks = append(n.sinks, SinkCall{
+					Sink: ref, In: m.Ref,
+					InLoop:     in.InLoop,
+					Guarded:    in.Guard == dexir.GuardAlwaysFalse,
+					Reflective: true,
+				})
+			}
+		}
+	}
+	return n
+}
+
+// RegistersSelf reports whether the method re-enqueues itself on a
+// scheduler (the repeating-callback idiom).
+func (g *CallGraph) RegistersSelf(ref dexir.MethodRef) bool {
+	n, ok := g.nodes[ref]
+	return ok && n.registersSelf
+}
+
+// Sinks returns the sink call sites inside one method.
+func (g *CallGraph) Sinks(ref dexir.MethodRef) []SinkCall {
+	if n, ok := g.nodes[ref]; ok {
+		return n.sinks
+	}
+	return nil
+}
+
+// reachInfo records how a method was first reached during BFS.
+type reachInfo struct {
+	parent    dexir.MethodRef
+	hasParent bool
+	// viaCallback: some edge on the discovery path was a callback edge
+	// (handler/scheduler context).
+	viaCallback bool
+	// viaRepeating: some edge on the path was a repeating registration.
+	viaRepeating bool
+}
+
+// ReachSet is the result of a reachability query.
+type ReachSet struct {
+	info map[dexir.MethodRef]reachInfo
+}
+
+// Contains reports whether the method is reachable.
+func (r *ReachSet) Contains(ref dexir.MethodRef) bool {
+	_, ok := r.info[ref]
+	return ok
+}
+
+// ViaCallback reports whether the method's discovery path crossed a
+// callback (handler/scheduler/listener) edge.
+func (r *ReachSet) ViaCallback(ref dexir.MethodRef) bool {
+	return r.info[ref].viaCallback
+}
+
+// ViaRepeating reports whether the discovery path crossed a repeating
+// scheduler registration.
+func (r *ReachSet) ViaRepeating(ref dexir.MethodRef) bool {
+	return r.info[ref].viaRepeating
+}
+
+// Path reconstructs the entry-point→method discovery path (inclusive).
+func (r *ReachSet) Path(ref dexir.MethodRef) []dexir.MethodRef {
+	if _, ok := r.info[ref]; !ok {
+		return nil
+	}
+	var rev []dexir.MethodRef
+	cur := ref
+	for {
+		rev = append(rev, cur)
+		in := r.info[cur]
+		if !in.hasParent {
+			break
+		}
+		cur = in.parent
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ReachableFrom computes the methods reachable from the given entry
+// points. BFS over entries in order, callees in body order, so traversal
+// (and therefore evidence paths) is deterministic.
+func (g *CallGraph) ReachableFrom(entries []dexir.MethodRef) *ReachSet {
+	r := &ReachSet{info: make(map[dexir.MethodRef]reachInfo)}
+	var queue []dexir.MethodRef
+	for _, e := range entries {
+		if _, ok := g.nodes[e]; !ok {
+			continue
+		}
+		if _, seen := r.info[e]; seen {
+			continue
+		}
+		r.info[e] = reachInfo{}
+		queue = append(queue, e)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curInfo := r.info[cur]
+		for _, e := range g.nodes[cur].callees {
+			if _, seen := r.info[e.to]; seen {
+				continue
+			}
+			r.info[e.to] = reachInfo{
+				parent:       cur,
+				hasParent:    true,
+				viaCallback:  curInfo.viaCallback || e.callback,
+				viaRepeating: curInfo.viaRepeating || e.repeating,
+			}
+			queue = append(queue, e.to)
+		}
+	}
+	return r
+}
