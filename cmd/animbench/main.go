@@ -12,13 +12,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/appstore"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -27,20 +32,28 @@ func main() {
 
 func run() int {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (fig2, fig4, fig6, table2, load, fig7, fig8, table3, table4, stealth, corpus, defense-ipc, defense-notif, ablations, all)")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		model  = flag.String("model", "mi8", "device model for single-device experiments (fig6, load)")
-		trials = flag.Int("trials", 10, "passwords per participant for table3 (paper: 10)")
-		corpus = flag.Int("corpus", appstore.PaperCorpusSize, "synthetic corpus size for the §VI-C2 study")
+		exp          = flag.String("exp", "all", "experiment to run (fig2, fig4, fig6, table2, load, fig7, fig8, table3, table4, stealth, corpus, defense-ipc, defense-notif, degradation, ablations, all)")
+		seed         = flag.Int64("seed", 42, "simulation seed")
+		model        = flag.String("model", "mi8", "device model for single-device experiments (fig6, load)")
+		trials       = flag.Int("trials", 10, "passwords per participant for table3 (paper: 10)")
+		corpus       = flag.Int("corpus", appstore.PaperCorpusSize, "synthetic corpus size for the §VI-C2 study")
+		faultProfile = flag.String("faultprofile", "chaos", "fault profile for the degradation sweep ("+strings.Join(faults.Names(), ", ")+")")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = []string{"fig2", "fig4", "fig6", "table2", "load", "fig7", "fig8", "table3", "table4", "stealth", "corpus", "defense-ipc", "defense-notif", "defense-toastgap", "drawer", "sensitivity", "ablations"}
 	}
 	for _, name := range names {
-		if err := runOne(strings.TrimSpace(name), *seed, *model, *trials, *corpus); err != nil {
+		if err := runOne(ctx, strings.TrimSpace(name), *seed, *model, *trials, *corpus, *faultProfile); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "animbench: %s: interrupted\n", name)
+				return 2
+			}
 			fmt.Fprintf(os.Stderr, "animbench: %s: %v\n", name, err)
 			return 1
 		}
@@ -49,7 +62,7 @@ func run() int {
 	return 0
 }
 
-func runOne(name string, seed int64, model string, trials, corpusN int) error {
+func runOne(ctx context.Context, name string, seed int64, model string, trials, corpusN int, faultProfile string) error {
 	switch name {
 	case "fig2":
 		fmt.Print(experiment.RenderFig2())
@@ -87,7 +100,11 @@ func runOne(name string, seed int64, model string, trials, corpusN int) error {
 			}
 			fmt.Print(experiment.RenderFig7(rows))
 			fmt.Println()
-			fmt.Print(experiment.RenderFig7Model(experiment.Fig7Model(), rows))
+			modelRows, err := experiment.Fig7Model()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.RenderFig7Model(modelRows, rows))
 			return nil
 		}
 		series, err := study.Fig8()
@@ -132,6 +149,15 @@ func runOne(name string, seed int64, model string, trials, corpusN int) error {
 			return err
 		}
 		fmt.Print(experiment.RenderDefenseNotif(rep))
+	case "degradation":
+		rep, err := experiment.Degradation(ctx, seed, faultProfile)
+		if err != nil {
+			if rep != nil && len(rep.Points) > 0 {
+				fmt.Print(experiment.RenderDegradation(rep))
+			}
+			return err
+		}
+		fmt.Print(experiment.RenderDegradation(rep))
 	case "defense-toastgap":
 		rep, err := experiment.DefenseToastGap(seed)
 		if err != nil {

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestRunOneFastExperiments exercises the dispatch wiring for every cheap
 // experiment name; the heavy studies have their own tests in
@@ -9,7 +12,7 @@ func TestRunOneFastExperiments(t *testing.T) {
 	for _, name := range []string{"fig2", "fig4", "devices", "sensitivity", "defense-notif", "defense-toastgap"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			if err := runOne(name, 1, "mi8", 1, 1000); err != nil {
+			if err := runOne(context.Background(), name, 1, "mi8", 1, 1000, "chaos"); err != nil {
 				t.Fatalf("runOne(%s): %v", name, err)
 			}
 		})
@@ -17,19 +20,31 @@ func TestRunOneFastExperiments(t *testing.T) {
 }
 
 func TestRunOneCorpusSmall(t *testing.T) {
-	if err := runOne("corpus", 1, "mi8", 1, 5000); err != nil {
+	if err := runOne(context.Background(), "corpus", 1, "mi8", 1, 5000, "chaos"); err != nil {
 		t.Fatalf("runOne(corpus): %v", err)
 	}
 }
 
+func TestRunOneDegradation(t *testing.T) {
+	if err := runOne(context.Background(), "degradation", 1, "mi8", 1, 1000, "binder"); err != nil {
+		t.Fatalf("runOne(degradation): %v", err)
+	}
+}
+
 func TestRunOneUnknown(t *testing.T) {
-	if err := runOne("fig99", 1, "mi8", 1, 1000); err == nil {
+	if err := runOne(context.Background(), "fig99", 1, "mi8", 1, 1000, "chaos"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunOneBadModel(t *testing.T) {
-	if err := runOne("fig6", 1, "not-a-phone", 1, 1000); err == nil {
+	if err := runOne(context.Background(), "fig6", 1, "not-a-phone", 1, 1000, "chaos"); err == nil {
 		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRunOneBadFaultProfile(t *testing.T) {
+	if err := runOne(context.Background(), "degradation", 1, "mi8", 1, 1000, "not-a-profile"); err == nil {
+		t.Fatal("unknown fault profile accepted")
 	}
 }

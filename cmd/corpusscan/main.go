@@ -5,20 +5,28 @@
 // headline counts plus per-detector precision/recall against ground truth.
 //
 // The scan is chunked so results are byte-identical for a given seed
-// regardless of worker count.
+// regardless of worker count. With -checkpoint the finished chunks are
+// journaled to disk: a run killed by SIGINT (or the machine) resumes from
+// the journal on the next invocation and still produces the identical
+// report.
 //
 // Usage:
 //
 //	corpusscan                       # full paper-scale corpus (890,855 apps)
 //	corpusscan -n 100000 -workers 4  # smaller corpus, 4 scan workers
 //	corpusscan -progress             # report progress every 100k apps
+//	corpusscan -checkpoint scan.ckpt # crash-safe resumable run
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/appstore"
@@ -30,17 +38,20 @@ func main() {
 
 func run() int {
 	var (
-		n        = flag.Int("n", appstore.PaperCorpusSize, "corpus size")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		workers  = flag.Int("workers", 0, "scan workers (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "print progress while scanning")
+		n          = flag.Int("n", appstore.PaperCorpusSize, "corpus size")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		workers    = flag.Int("workers", 0, "scan workers (0 = GOMAXPROCS)")
+		progress   = flag.Bool("progress", false, "print progress while scanning")
+		checkpoint = flag.String("checkpoint", "", "journal finished chunks to this file and resume from it")
 	)
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
-	opts := appstore.StudyOptions{Workers: *workers}
+	opts := appstore.StudyOptions{Workers: *workers, Ctx: ctx, CheckpointPath: *checkpoint}
 	if *progress {
 		const step = 100_000
 		next := step
@@ -58,6 +69,17 @@ func run() int {
 	}
 	rep, err := appstore.StudyWith(*seed, *n, opts)
 	if err != nil {
+		var ie *appstore.InterruptedError
+		if errors.As(err, &ie) {
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "corpusscan: interrupted after %d/%d chunks; rerun with -checkpoint %s to resume from chunk %d\n",
+					ie.ChunksDone, ie.ChunksTotal, *checkpoint, ie.NextChunk)
+			} else {
+				fmt.Fprintf(os.Stderr, "corpusscan: interrupted after %d/%d chunks; progress was not journaled (use -checkpoint to make runs resumable)\n",
+					ie.ChunksDone, ie.ChunksTotal)
+			}
+			return 2
+		}
 		fmt.Fprintf(os.Stderr, "corpusscan: %v\n", err)
 		return 1
 	}

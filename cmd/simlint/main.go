@@ -1,8 +1,11 @@
-// Command simlint is the determinism vet pass for the simulation core:
-// it forbids wall-clock reads (time.Now, time.Since) and global math/rand
-// use inside internal/ packages, exempting internal/simrand and
-// internal/simclock (the deterministic wrappers). Run it alongside
-// `go vet ./...` in the tier-1 verify path.
+// Command simlint is the determinism and robustness vet pass for the
+// simulation core: it forbids wall-clock reads (time.Now, time.Since) and
+// global math/rand use inside internal/ packages, exempting
+// internal/simrand and internal/simclock (the deterministic wrappers).
+// In production (non-test) files it additionally forbids time.Sleep and
+// bare panic calls (internal/invariant, the assertion layer, is exempt
+// from the panic rule). Run it alongside `go vet ./...` in the tier-1
+// verify path; scripts/verify.sh does.
 //
 // Usage:
 //

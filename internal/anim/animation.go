@@ -59,7 +59,15 @@ type Config struct {
 	// canceled; completed is true only for a natural finish of the
 	// forward direction.
 	OnEnd func(completed bool)
+	// FrameFault, if non-nil, is consulted each time a frame is
+	// scheduled; dropping a frame skips one whole slot, jitter shifts the
+	// next frame off the grid. The fault plane supplies this.
+	FrameFault FaultFunc
 }
+
+// FaultFunc decides per-frame scheduling faults for the animation named
+// name. The zero return (false, 0) leaves the frame clock untouched.
+type FaultFunc func(name string) (dropFrame bool, jitter time.Duration)
 
 // Animation is a frame-clocked animation on the simulation clock. It
 // mirrors the behaviour the paper measures: the eased value advances only
@@ -131,7 +139,17 @@ func (a *Animation) Start() error {
 }
 
 func (a *Animation) scheduleFrame() {
-	a.frameEv = a.clock.MustAfter(a.cfg.FrameInterval, a.cfg.Name+"/frame", a.frame)
+	interval := a.cfg.FrameInterval
+	if a.cfg.FrameFault != nil {
+		drop, jitter := a.cfg.FrameFault(a.cfg.Name)
+		if drop {
+			interval += a.cfg.FrameInterval // the slot renders nothing
+		}
+		if jitter > 0 {
+			interval += jitter
+		}
+	}
+	a.frameEv = a.clock.MustAfter(interval, a.cfg.Name+"/frame", a.frame)
 }
 
 func (a *Animation) frame() {

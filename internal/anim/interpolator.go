@@ -112,11 +112,9 @@ func NewCubicBezier(x1, y1, x2, y2 float64, label string) (CubicBezier, error) {
 // this curve less than 50% of the notification view is shown in the first
 // 100 ms of the 360 ms animation (Fig. 2).
 func FastOutSlowIn() CubicBezier {
-	bz, err := NewCubicBezier(0.4, 0, 0.2, 1, "FastOutSlowInInterpolator")
-	if err != nil {
-		panic(err) // unreachable: constants are valid
-	}
-	return bz
+	// Constructed directly: the control points are constants that satisfy
+	// the NewCubicBezier validation (x values within [0,1]).
+	return CubicBezier{X1: 0.4, Y1: 0, X2: 0.2, Y2: 1, label: "FastOutSlowInInterpolator"}
 }
 
 func bezierCoord(t, p1, p2 float64) float64 {

@@ -23,6 +23,7 @@
 package appstore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -716,12 +717,23 @@ type StudyOptions struct {
 	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS.
 	Workers int
 	// Progress, if non-nil, is called after each finished chunk with the
-	// cumulative number of scanned apps. Calls are serialized.
+	// cumulative number of scanned apps. Calls are serialized. On a
+	// resumed run the count starts at the checkpointed volume.
 	Progress func(scanned, total int)
+	// Ctx, if non-nil, cancels the study between chunks; the run then
+	// returns an *InterruptedError naming the resume point.
+	Ctx context.Context
+	// CheckpointPath, if non-empty, journals every finished chunk to this
+	// file (fsynced per chunk). A later run with the same seed, n and path
+	// resumes from the journal and still produces a Report byte-identical
+	// to an uninterrupted run; the file is deleted on success.
+	CheckpointPath string
 }
 
 // StudyWith generates and scans a synthetic corpus of n apps with a
-// bounded worker pool. Results are identical for any worker count.
+// bounded worker pool. Results are identical for any worker count, and —
+// via StudyOptions.CheckpointPath — identical whether or not the run was
+// interrupted and resumed.
 func StudyWith(seed int64, n int, opts StudyOptions) (Report, error) {
 	if n <= 0 {
 		return Report{}, fmt.Errorf("appstore: non-positive corpus size %d", n)
@@ -729,6 +741,10 @@ func StudyWith(seed int64, n int, opts StudyOptions) (Report, error) {
 	rates := PaperRates()
 	if err := validateRates(rates); err != nil {
 		return Report{}, err
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -738,41 +754,79 @@ func StudyWith(seed int64, n int, opts StudyOptions) (Report, error) {
 	if workers > chunks {
 		workers = chunks
 	}
+	chunkLen := func(c int) int {
+		if start := c * studyChunkSize; start+studyChunkSize > n {
+			return n - start
+		}
+		return studyChunkSize
+	}
+
+	var cp *checkpoint
+	if opts.CheckpointPath != "" {
+		var err error
+		cp, err = openCheckpoint(opts.CheckpointPath, seed, n)
+		if err != nil {
+			return Report{}, err
+		}
+		defer cp.close()
+	}
 
 	partial := make([]Report, chunks)
 	errs := make([]error, chunks)
+	done := make([]bool, chunks)
+	scanned := 0
+	if cp != nil {
+		for c := 0; c < chunks; c++ {
+			if rep, ok := cp.done[c]; ok {
+				partial[c], done[c] = rep, true
+				scanned += chunkLen(c)
+			}
+		}
+	}
+
 	work := make(chan int)
 	var (
-		wg      sync.WaitGroup
-		progMu  sync.Mutex
-		scanned int
+		wg     sync.WaitGroup
+		progMu sync.Mutex
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for c := range work {
-				size := studyChunkSize
-				if start := c * studyChunkSize; start+size > n {
-					size = n - start
-				}
+				size := chunkLen(c)
 				rep, err := scanChunk(seed, c, size, rates)
+				if err == nil && cp != nil {
+					err = cp.record(c, rep)
+				}
 				partial[c], errs[c] = rep, err
+				progMu.Lock()
+				done[c] = err == nil
 				if opts.Progress != nil {
-					progMu.Lock()
 					scanned += size
 					opts.Progress(scanned, n)
-					progMu.Unlock()
 				}
+				progMu.Unlock()
 			}
 		}()
 	}
+feed:
 	for c := 0; c < chunks; c++ {
-		work <- c
+		if done[c] {
+			continue
+		}
+		select {
+		case work <- c:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return Report{}, interruption(done, err)
+	}
 	var rep Report
 	for c := 0; c < chunks; c++ {
 		if errs[c] != nil {
@@ -780,7 +834,25 @@ func StudyWith(seed int64, n int, opts StudyOptions) (Report, error) {
 		}
 		rep.Merge(partial[c])
 	}
+	if cp != nil {
+		if err := cp.finish(); err != nil {
+			return Report{}, err
+		}
+	}
 	return rep, nil
+}
+
+// interruption summarizes which chunks survive an interrupted run.
+func interruption(done []bool, cause error) *InterruptedError {
+	e := &InterruptedError{ChunksTotal: len(done), NextChunk: len(done), Err: cause}
+	for c, ok := range done {
+		if ok {
+			e.ChunksDone++
+		} else if e.NextChunk == len(done) {
+			e.NextChunk = c
+		}
+	}
+	return e
 }
 
 // scanChunk generates and scans one chunk.

@@ -1,0 +1,148 @@
+package appstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// InterruptedError reports a corpus study stopped before completion — by
+// context cancellation (SIGINT) or a failed chunk. When a checkpoint path
+// was configured, every finished chunk is already on disk and rerunning
+// the same study with the same path resumes from NextChunk.
+type InterruptedError struct {
+	// ChunksDone and ChunksTotal describe the study's progress.
+	ChunksDone, ChunksTotal int
+	// NextChunk is the first chunk a resumed run still has to scan.
+	NextChunk int
+	// Err is the underlying cause (usually context.Canceled).
+	Err error
+}
+
+// Error renders the interruption, including the resume point.
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("appstore: study interrupted after %d/%d chunks (%v); resumable from chunk %d",
+		e.ChunksDone, e.ChunksTotal, e.Err, e.NextChunk)
+}
+
+// Unwrap exposes the cause.
+func (e *InterruptedError) Unwrap() error { return e.Err }
+
+// checkpointHeader is the first line of a checkpoint file and pins the
+// study's identity; a resume against a different study must fail loudly
+// rather than merge incompatible chunks.
+type checkpointHeader struct {
+	V         int   `json:"v"`
+	Seed      int64 `json:"seed"`
+	N         int   `json:"n"`
+	ChunkSize int   `json:"chunk_size"`
+}
+
+// checkpointLine records one finished chunk's report. Lines are appended
+// in completion order (which varies with worker scheduling); the final
+// merge always runs in chunk order, so the assembled Report is
+// byte-identical to an uninterrupted run.
+type checkpointLine struct {
+	Chunk  int    `json:"chunk"`
+	Report Report `json:"report"`
+}
+
+// checkpoint is the crash-safe chunk journal: a JSONL file with a header
+// line plus one line per finished chunk, fsynced per append so a kill at
+// any instant loses at most the chunk being written (a torn trailing line
+// is detected on load and that chunk simply re-runs).
+type checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	done map[int]Report
+}
+
+// openCheckpoint opens or creates the journal for the given study
+// identity. An existing file with a different identity is an error.
+func openCheckpoint(path string, seed int64, n int) (*checkpoint, error) {
+	hdr := checkpointHeader{V: 1, Seed: seed, N: n, ChunkSize: studyChunkSize}
+	done := make(map[int]Report)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("appstore: read checkpoint: %w", err)
+	}
+	if err == nil && len(data) > 0 {
+		lines := strings.Split(string(data), "\n")
+		var got checkpointHeader
+		if jerr := json.Unmarshal([]byte(lines[0]), &got); jerr != nil || got != hdr {
+			return nil, fmt.Errorf("appstore: checkpoint %s belongs to a different study (want v=%d seed=%d n=%d chunk_size=%d); delete it to start over",
+				path, hdr.V, hdr.Seed, hdr.N, hdr.ChunkSize)
+		}
+		for _, ln := range lines[1:] {
+			if strings.TrimSpace(ln) == "" {
+				continue
+			}
+			var cl checkpointLine
+			if jerr := json.Unmarshal([]byte(ln), &cl); jerr != nil {
+				// Torn trailing line from a crash mid-append: drop it; the
+				// chunk re-runs.
+				continue
+			}
+			done[cl.Chunk] = cl.Report
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("appstore: open checkpoint: %w", err)
+		}
+		return &checkpoint{f: f, path: path, done: done}, nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("appstore: create checkpoint: %w", err)
+	}
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("appstore: encode checkpoint header: %w", err)
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("appstore: write checkpoint header: %w", err)
+	}
+	return &checkpoint{f: f, path: path, done: done}, nil
+}
+
+// record appends one finished chunk and fsyncs.
+func (cp *checkpoint) record(chunk int, rep Report) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	b, err := json.Marshal(checkpointLine{Chunk: chunk, Report: rep})
+	if err != nil {
+		return fmt.Errorf("appstore: encode checkpoint chunk: %w", err)
+	}
+	if _, err := cp.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("appstore: append checkpoint chunk: %w", err)
+	}
+	if err := cp.f.Sync(); err != nil {
+		return fmt.Errorf("appstore: sync checkpoint: %w", err)
+	}
+	return nil
+}
+
+// close closes the journal, keeping the file for a later resume.
+func (cp *checkpoint) close() {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.f != nil {
+		cp.f.Close()
+		cp.f = nil
+	}
+}
+
+// finish closes and deletes the journal after a completed study.
+func (cp *checkpoint) finish() error {
+	cp.close()
+	if err := os.Remove(cp.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("appstore: remove finished checkpoint: %w", err)
+	}
+	return nil
+}

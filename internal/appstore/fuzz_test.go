@@ -1,0 +1,64 @@
+package appstore
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScanManifest: the aapt-style pass must be deterministic, must never
+// panic on arbitrary manifest text, and must never detect a permission or
+// service whose identifier substring is absent from the input.
+func FuzzScanManifest(f *testing.F) {
+	f.Add("")
+	f.Add("<manifest></manifest>")
+	f.Add(`<manifest package="a"><uses-permission android:name="` + PermSystemAlertWindow + `"/></manifest>`)
+	f.Add("<manifest>\n  <uses-permission android:name=\"" + PermSystemAlertWindow + "\"/>\n  <application>\n    <service android:name=\"x.Svc\" android:permission=\"" + PermBindAccessibility + "\"/>\n  </application>\n</manifest>\n")
+	f.Add("<uses-permission android:name=\"android.permission.INTERNET\"/>")
+	f.Add("<service android:permission=\"" + PermBindAccessibility + "\"")
+	f.Add("<uses-permission android:name=\"\x00\xff")
+	f.Fuzz(func(t *testing.T, manifest string) {
+		saw1, a11y1 := ScanManifest(manifest)
+		saw2, a11y2 := ScanManifest(manifest)
+		if saw1 != saw2 || a11y1 != a11y2 {
+			t.Fatalf("non-deterministic scan: (%v,%v) then (%v,%v)", saw1, a11y1, saw2, a11y2)
+		}
+		if saw1 && !strings.Contains(manifest, PermSystemAlertWindow) {
+			t.Fatalf("detected SAW without the permission string present")
+		}
+		if a11y1 && !strings.Contains(manifest, PermBindAccessibility) {
+			t.Fatalf("detected accessibility service without the permission string present")
+		}
+	})
+}
+
+// FuzzScanDex: the grep baseline is exact set membership over the ref
+// table — each flag fires iff the corresponding signature is an element.
+func FuzzScanDex(f *testing.F) {
+	f.Add("")
+	f.Add(RefAddView)
+	f.Add(RefAddView + "\n" + RefRemoveView)
+	f.Add(RefToastSetView + "\njunk\n" + RefAddView)
+	f.Add("Landroid/app/Activity;->onCreate(Landroid/os/Bundle;)V")
+	f.Add(RefAddView + "suffix")
+	f.Fuzz(func(t *testing.T, table string) {
+		refs := strings.Split(table, "\n")
+		addView, removeView, toast := ScanDex(refs)
+		has := func(want string) bool {
+			for _, r := range refs {
+				if r == want {
+					return true
+				}
+			}
+			return false
+		}
+		if addView != has(RefAddView) {
+			t.Fatalf("addView = %v, membership = %v", addView, has(RefAddView))
+		}
+		if removeView != has(RefRemoveView) {
+			t.Fatalf("removeView = %v, membership = %v", removeView, has(RefRemoveView))
+		}
+		if toast != has(RefToastSetView) {
+			t.Fatalf("customToast = %v, membership = %v", toast, has(RefToastSetView))
+		}
+	})
+}

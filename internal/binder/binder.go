@@ -56,6 +56,23 @@ type Observer func(tx Transaction)
 // profile implements it. Returning the zero Dist means instant delivery.
 type LatencyFunc func(from, to ProcessID, method string) simrand.Dist
 
+// TxFault describes injected misbehaviour for one transaction: Drop
+// discards it after an id is assigned (the caller still sees success —
+// oneway semantics), Duplicate delivers it twice, Delay adds extra latency
+// before the per-stream FIFO clamp (delaying one stream lets calls on
+// other streams overtake — reordering pressure).
+type TxFault struct {
+	Drop      bool
+	Duplicate bool
+	Delay     time.Duration
+}
+
+// FaultInjector decides the fate of each transaction; the fault plane
+// implements it. The zero TxFault leaves the transaction untouched.
+type FaultInjector interface {
+	TransactionFault(from, to ProcessID, method string) TxFault
+}
+
 // Bus routes transactions between registered endpoints on the simulation
 // clock.
 type Bus struct {
@@ -73,8 +90,11 @@ type Bus struct {
 	logLimit  int
 	observers []Observer
 
-	dropped    uint64
-	droppedLog uint64
+	faults FaultInjector
+
+	dropped       uint64
+	droppedLog    uint64
+	injectedDrops uint64
 }
 
 type streamKey struct {
@@ -145,6 +165,10 @@ func (b *Bus) Observe(obs Observer) {
 	}
 }
 
+// SetFaultInjector installs fi to adjudicate every subsequent Call. A nil
+// injector (the default) leaves every transaction untouched.
+func (b *Bus) SetFaultInjector(fi FaultInjector) { b.faults = fi }
+
 // Call sends an asynchronous (oneway) transaction from one process to
 // another. It returns the assigned transaction id. Calls to unregistered
 // processes are counted as dropped and return an error.
@@ -163,10 +187,22 @@ func (b *Bus) Call(from, to ProcessID, method string, payload any) (uint64, erro
 		Payload: payload,
 		SentAt:  b.clock.Now(),
 	}
+	var fault TxFault
+	if b.faults != nil {
+		fault = b.faults.TransactionFault(from, to, method)
+	}
+	if fault.Drop {
+		// The transaction vanishes in flight. Oneway callers see success
+		// (there is no reply to miss), so the id is still returned; only
+		// the injected-drop counter records the loss.
+		b.injectedDrops++
+		return tx.ID, nil
+	}
 	delay := time.Duration(0)
 	if b.latency != nil {
 		delay = b.latency(from, to, method).Sample(b.rng)
 	}
+	delay += fault.Delay
 	deliverAt := b.clock.Now() + delay
 	key := streamKey{from: from, to: to, method: method}
 	if last, ok := b.lastDelivery[key]; ok && deliverAt < last {
@@ -174,12 +210,18 @@ func (b *Bus) Call(from, to ProcessID, method string, payload any) (uint64, erro
 	}
 	b.lastDelivery[key] = deliverAt
 	label := fmt.Sprintf("binder:%s→%s.%s", from, to, method)
-	if _, err := b.clock.At(deliverAt, label, func() {
+	deliver := func() {
 		tx.DeliveredAt = b.clock.Now()
 		b.record(tx)
 		handler(tx)
-	}); err != nil {
+	}
+	if _, err := b.clock.At(deliverAt, label, deliver); err != nil {
 		return 0, fmt.Errorf("binder: schedule delivery: %w", err)
+	}
+	if fault.Duplicate {
+		if _, err := b.clock.At(deliverAt, label+"/dup", deliver); err != nil {
+			return 0, fmt.Errorf("binder: schedule duplicate delivery: %w", err)
+		}
 	}
 	return tx.ID, nil
 }
@@ -225,6 +267,12 @@ func (b *Bus) ResetLog() { b.log = b.log[:0] }
 
 // Dropped reports how many calls targeted unregistered processes.
 func (b *Bus) Dropped() uint64 { return b.dropped }
+
+// InjectedDrops reports how many transactions the fault injector
+// discarded in flight. Accounting stays exact under faults:
+// delivered + InjectedDrops + Dropped == calls attempted (duplicates add
+// extra deliveries on top).
+func (b *Bus) InjectedDrops() uint64 { return b.injectedDrops }
 
 // DroppedLogEntries reports how many delivered transactions have been
 // evicted from the in-memory log because LogLimit was hit. Consumers of

@@ -1,0 +1,211 @@
+package binder
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+)
+
+// scriptedInjector adjudicates transactions by call index, so tests control
+// exactly which transactions are dropped, duplicated or delayed.
+type scriptedInjector struct {
+	n      int
+	decide func(i int, method string) TxFault
+}
+
+func (s *scriptedInjector) TransactionFault(_, _ ProcessID, method string) TxFault {
+	f := s.decide(s.n, method)
+	s.n++
+	return f
+}
+
+// TestInjectedDropAccountingExact: every injected drop is counted, the
+// caller still sees oneway success (non-zero id, nil error), and
+// delivered + InjectedDrops accounts for every attempted call.
+func TestInjectedDropAccountingExact(t *testing.T) {
+	bus, clock := newTestBus(t, nil)
+	delivered := 0
+	if err := bus.Register(SystemServer, func(Transaction) { delivered++ }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	bus.SetFaultInjector(&scriptedInjector{decide: func(i int, _ string) TxFault {
+		return TxFault{Drop: i%3 == 0} // drop calls 0, 3, 6, ...
+	}})
+	const attempts = 10
+	for i := 0; i < attempts; i++ {
+		id, err := bus.Call("app", SystemServer, "addView", i)
+		if err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+		if id == 0 {
+			t.Fatalf("Call %d: id = 0 for a dropped oneway call, want the assigned id", i)
+		}
+	}
+	if err := clock.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	const wantDrops = 4 // indices 0, 3, 6, 9
+	if got := bus.InjectedDrops(); got != wantDrops {
+		t.Fatalf("InjectedDrops = %d, want %d", got, wantDrops)
+	}
+	if delivered != attempts-wantDrops {
+		t.Fatalf("delivered = %d, want %d", delivered, attempts-wantDrops)
+	}
+	if uint64(delivered)+bus.InjectedDrops()+bus.Dropped() != attempts {
+		t.Fatalf("accounting broken: delivered %d + injected %d + dropped %d != %d attempts",
+			delivered, bus.InjectedDrops(), bus.Dropped(), attempts)
+	}
+}
+
+// TestDuplicateFaultDeliversTwice: a duplicated transaction is delivered and
+// logged twice with the same id, and is not counted as any kind of drop.
+func TestDuplicateFaultDeliversTwice(t *testing.T) {
+	bus, clock := newTestBus(t, nil)
+	var ids []uint64
+	if err := bus.Register(SystemServer, func(tx Transaction) { ids = append(ids, tx.ID) }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	bus.SetFaultInjector(&scriptedInjector{decide: func(i int, _ string) TxFault {
+		return TxFault{Duplicate: i == 1}
+	}})
+	for i := 0; i < 3; i++ {
+		if _, err := bus.Call("app", SystemServer, "m", i); err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+	}
+	if err := clock.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("delivered %d transactions, want 4 (3 calls + 1 duplicate)", len(ids))
+	}
+	dupSeen := 0
+	for _, id := range ids {
+		if id == 2 {
+			dupSeen++
+		}
+	}
+	if dupSeen != 2 {
+		t.Fatalf("duplicated id 2 delivered %d times, want 2", dupSeen)
+	}
+	if got := len(bus.Log()); got != 4 {
+		t.Fatalf("log has %d entries, want 4", got)
+	}
+	if bus.InjectedDrops() != 0 || bus.Dropped() != 0 {
+		t.Fatalf("duplicate counted as drop: injected %d, dropped %d", bus.InjectedDrops(), bus.Dropped())
+	}
+}
+
+// TestDelayFaultKeepsStreamFIFO: reorder pressure (a large injected delay on
+// one call) must not reorder the same (from,to,method) stream, and delayed
+// deliveries still satisfy DeliveredAt >= SentAt.
+func TestDelayFaultKeepsStreamFIFO(t *testing.T) {
+	latency := func(_, _ ProcessID, _ string) simrand.Dist { return simrand.Constant(2) }
+	bus, clock := newTestBus(t, latency)
+	var seen []int
+	if err := bus.Register(SystemServer, func(tx Transaction) {
+		if tx.DeliveredAt < tx.SentAt {
+			t.Errorf("tx %d delivered at %v before sent at %v", tx.ID, tx.DeliveredAt, tx.SentAt)
+		}
+		seen = append(seen, tx.Payload.(int))
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	bus.SetFaultInjector(&scriptedInjector{decide: func(i int, _ string) TxFault {
+		if i == 0 {
+			return TxFault{Delay: 500 * time.Millisecond}
+		}
+		return TxFault{}
+	}})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := bus.Call("app", SystemServer, "addView", i); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	if err := clock.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d, want %d", len(seen), n)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("stream reordered at %d: got %d (delay fault broke per-stream FIFO)", i, v)
+		}
+	}
+}
+
+// TestDroppedLogEvictionExactUnderFaults: with faults thinning and
+// duplicating the stream through a tiny log, kept + evicted still equals the
+// exact number of deliveries (counted independently by an observer), and
+// injected drops never reach the log at all.
+func TestDroppedLogEvictionExactUnderFaults(t *testing.T) {
+	clock := simclock.New()
+	bus, err := NewBus(Config{Clock: clock, RNG: simrand.New(1), LogLimit: 8})
+	if err != nil {
+		t.Fatalf("NewBus: %v", err)
+	}
+	if err := bus.Register(SystemServer, func(Transaction) {}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	deliveries := uint64(0)
+	bus.Observe(func(Transaction) { deliveries++ })
+	bus.SetFaultInjector(&scriptedInjector{decide: func(i int, _ string) TxFault {
+		switch i % 5 {
+		case 0:
+			return TxFault{Drop: true}
+		case 1:
+			return TxFault{Duplicate: true}
+		default:
+			return TxFault{}
+		}
+	}})
+	const attempts = 100
+	for i := 0; i < attempts; i++ {
+		if _, err := bus.Call("a", SystemServer, "m", i); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	if err := clock.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 100 attempts: 20 dropped, 80 delivered once, 20 of those again = 100.
+	if got := bus.InjectedDrops(); got != 20 {
+		t.Fatalf("InjectedDrops = %d, want 20", got)
+	}
+	if deliveries != 100 {
+		t.Fatalf("observer counted %d deliveries, want 100", deliveries)
+	}
+	kept := uint64(len(bus.Log()))
+	if kept == 0 || kept > 8 {
+		t.Fatalf("log has %d entries, want 1..8", kept)
+	}
+	if kept+bus.DroppedLogEntries() != deliveries {
+		t.Fatalf("kept %d + evicted %d != %d deliveries", kept, bus.DroppedLogEntries(), deliveries)
+	}
+}
+
+// TestNilInjectorIsNoOp: clearing the injector restores untouched delivery.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	bus, clock := newTestBus(t, nil)
+	delivered := 0
+	if err := bus.Register(SystemServer, func(Transaction) { delivered++ }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	bus.SetFaultInjector(&scriptedInjector{decide: func(int, string) TxFault { return TxFault{Drop: true} }})
+	bus.SetFaultInjector(nil)
+	for i := 0; i < 5; i++ {
+		if _, err := bus.Call("a", SystemServer, "m", i); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	if err := clock.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if delivered != 5 || bus.InjectedDrops() != 0 {
+		t.Fatalf("delivered %d (want 5), InjectedDrops %d (want 0)", delivered, bus.InjectedDrops())
+	}
+}

@@ -56,6 +56,10 @@ type OverlayAttack struct {
 	// cur alternates between the two pre-created overlay handles.
 	cur    uint64
 	cycles uint64
+	// firstErr records the first binder failure of the attack loop;
+	// callbacks on the clock have nowhere to return errors, so the runner
+	// checks Err after the run.
+	firstErr error
 }
 
 // Overlay view handles; the malicious app creates both view objects in
@@ -89,6 +93,16 @@ func (a *OverlayAttack) Running() bool { return a.running }
 // Cycles reports how many draw-and-destroy swaps have run.
 func (a *OverlayAttack) Cycles() uint64 { return a.cycles }
 
+// Err reports the first binder failure the attack loop hit (nil normally;
+// non-nil only in a mis-wired assembly).
+func (a *OverlayAttack) Err() error { return a.firstErr }
+
+func (a *OverlayAttack) fail(err error) {
+	if a.firstErr == nil {
+		a.firstErr = err
+	}
+}
+
 // Start draws the first overlay and arms the worker-thread timer
 // (Section III-C, Step 1). The first timer notification only performs
 // addView; every later one performs removeView then addView.
@@ -103,7 +117,14 @@ func (a *OverlayAttack) Start() error {
 }
 
 func (a *OverlayAttack) armTimer() {
-	a.tick = a.stack.Clock.MustAfter(a.cfg.D, "attack/overlaySwap", func() {
+	d := a.cfg.D
+	if pl := a.stack.Faults; pl != nil {
+		// Scheduler preemption: the attacker's worker thread loses the
+		// CPU and the swap timer fires late — the perturbation the §VI-B
+		// load experiment argues the attack tolerates.
+		d += pl.PreemptPause()
+	}
+	a.tick = a.stack.Clock.MustAfter(d, "attack/overlaySwap", func() {
 		if !a.running {
 			return
 		}
@@ -152,7 +173,7 @@ func (a *OverlayAttack) addView(handle uint64) {
 		Flags:   flags,
 		OnTouch: a.cfg.OnTouch,
 	}); err != nil {
-		panic(fmt.Sprintf("core: addView binder call: %v", err))
+		a.fail(fmt.Errorf("core: addView binder call: %w", err))
 	}
 }
 
@@ -160,7 +181,7 @@ func (a *OverlayAttack) removeView(handle uint64) {
 	if _, err := a.stack.Bus.Call(a.cfg.App, binder.SystemServer, sysserver.MethodRemoveView, sysserver.RemoveViewRequest{
 		Handle: handle,
 	}); err != nil {
-		panic(fmt.Sprintf("core: removeView binder call: %v", err))
+		a.fail(fmt.Errorf("core: removeView binder call: %w", err))
 	}
 }
 

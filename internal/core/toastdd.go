@@ -44,6 +44,8 @@ type ToastAttack struct {
 	running  bool
 	refill   *simclock.Event
 	enqueued uint64
+	// firstErr records the first binder failure of the refill loop.
+	firstErr error
 }
 
 // NewToastAttack validates the configuration and binds the attack to a
@@ -88,6 +90,16 @@ func (a *ToastAttack) Running() bool { return a.running }
 // Enqueued reports how many toasts the attack has posted.
 func (a *ToastAttack) Enqueued() uint64 { return a.enqueued }
 
+// Err reports the first binder failure the attack loop hit (nil normally;
+// non-nil only in a mis-wired assembly).
+func (a *ToastAttack) Err() error { return a.firstErr }
+
+func (a *ToastAttack) fail(err error) {
+	if a.firstErr == nil {
+		a.firstErr = err
+	}
+}
+
 // Start posts the first toast and arms the refill loop (Section IV-C,
 // Steps 1–3): the worker thread keeps the token queue non-empty so a new
 // toast is always fetched the moment the previous one starts fading.
@@ -102,7 +114,11 @@ func (a *ToastAttack) Start() error {
 }
 
 func (a *ToastAttack) armRefill() {
-	a.refill = a.stack.Clock.MustAfter(a.cfg.RefillInterval, "attack/toastRefill", func() {
+	d := a.cfg.RefillInterval
+	if pl := a.stack.Faults; pl != nil {
+		d += pl.PreemptPause() // scheduler preemption on the worker thread
+	}
+	a.refill = a.stack.Clock.MustAfter(d, "attack/toastRefill", func() {
 		if !a.running {
 			return
 		}
@@ -122,7 +138,8 @@ func (a *ToastAttack) enqueue() {
 		Bounds:   a.cfg.Bounds,
 		Content:  a.cfg.Content(),
 	}); err != nil {
-		panic(fmt.Sprintf("core: enqueueToast binder call: %v", err))
+		a.fail(fmt.Errorf("core: enqueueToast binder call: %w", err))
+		return
 	}
 	a.enqueued++
 }
@@ -153,6 +170,6 @@ func (a *ToastAttack) Stop() {
 		a.refill = nil
 	}
 	if _, err := a.stack.Bus.Call(a.cfg.App, binder.SystemServer, sysserver.MethodCancelToast, sysserver.CancelToastRequest{}); err != nil {
-		panic(fmt.Sprintf("core: cancelToast binder call: %v", err))
+		a.fail(fmt.Errorf("core: cancelToast binder call: %w", err))
 	}
 }

@@ -341,9 +341,10 @@ func ByVersion(major int) []Profile {
 // Default returns the profile used by the examples and quick tests: the
 // Google Pixel 2 on Android 11, the phone of the paper's demo video.
 func Default() Profile {
-	p, ok := ByModel("pixel 2")
-	if !ok {
-		panic("device: default profile missing")
+	if p, ok := ByModel("pixel 2"); ok {
+		return p
 	}
-	return p
+	// The catalog is static, so this is unreachable unless it is edited
+	// badly; degrade to the first profile rather than crashing.
+	return Profiles()[0]
 }

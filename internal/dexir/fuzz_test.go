@@ -1,0 +1,89 @@
+package dexir
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// FuzzMethodRef: Class/Name parsing never panics on arbitrary reference
+// strings, and a reference built by Ref/ClassName round-trips.
+func FuzzMethodRef(f *testing.F) {
+	f.Add("com.gen.app1", "Main", "onCreate", "(Landroid/os/Bundle;)V")
+	f.Add("", "", "", "")
+	f.Add("a.b", "C$Inner", "run", "()V")
+	f.Add("x", ";->", "->", "(")
+	f.Add("p\x00q", "M", "m\xff", "()")
+	f.Fuzz(func(t *testing.T, pkg, simple, name, sig string) {
+		cls := ClassName(pkg, simple)
+		ref := Ref(cls, name, sig)
+		// Parsing any string (well-formed or not) must not panic.
+		_ = ref.Class()
+		_ = ref.Name()
+		_ = MethodRef(pkg).Class()
+		_ = MethodRef(sig).Name()
+		// A reference whose parts are free of the ";->" and "(" delimiters
+		// parses back exactly.
+		if !strings.Contains(name, "(") && !strings.Contains(name, ";->") &&
+			!strings.Contains(pkg, ";->") && !strings.Contains(simple, ";->") &&
+			strings.HasPrefix(sig, "(") {
+			if got := ref.Class(); got != cls {
+				t.Fatalf("Class() = %q, want %q", got, cls)
+			}
+			if got := ref.Name(); got != name {
+				t.Fatalf("Name() = %q, want %q", got, name)
+			}
+		}
+	})
+}
+
+// FuzzMethodRefTable: IR construction from arbitrary method shapes never
+// panics, and the ref table is always sorted, deduplicated, and free of
+// empty entries — the contract the grep scanner relies on.
+func FuzzMethodRefTable(f *testing.F) {
+	f.Add("com.a.b", "t1", "t2", "cb", int8(3), false)
+	f.Add("p", "", "", "", int8(0), true)
+	f.Add("p.q", string(RefAddView), string(RefRemoveView), string(RefToastSetView), int8(2), true)
+	f.Add("z", "dup", "dup", "dup", int8(5), false)
+	f.Fuzz(func(t *testing.T, pkg, target1, target2, callback string, nops int8, reflect bool) {
+		cls := ClassName(pkg, "Main")
+		body := []Instruction{
+			{Op: OpInvoke, Target: MethodRef(target1)},
+			{Op: OpRegisterCallback, Target: MethodRef(target2), Callback: MethodRef(callback)},
+		}
+		for i := int8(0); i < nops && i < 16; i++ {
+			body = append(body, Instruction{Op: OpNop})
+		}
+		if reflect {
+			body = append(body, Instruction{Op: OpReflectInvoke})
+		}
+		app := &App{
+			Package: pkg,
+			Classes: []Class{{Name: cls, Methods: []Method{
+				{Ref: Ref(cls, "onCreate", "(Landroid/os/Bundle;)V"), Body: body},
+				{Ref: Ref(cls, "onCreate", "(Landroid/os/Bundle;)V"), Body: body}, // duplicate method
+			}}},
+		}
+		table := app.MethodRefTable()
+		if !sort.StringsAreSorted(table) {
+			t.Fatalf("ref table not sorted: %q", table)
+		}
+		seen := make(map[string]bool, len(table))
+		for _, r := range table {
+			if r == "" {
+				t.Fatal("ref table contains an empty entry")
+			}
+			if seen[r] {
+				t.Fatalf("ref table contains duplicate %q", r)
+			}
+			seen[r] = true
+		}
+		if reflect && !seen[string(RefReflectInvoke)] {
+			t.Fatal("reflective invoke missing from ref table")
+		}
+		// Lookup over the constructed IR must not panic either.
+		if _, ok := app.Method(Ref(cls, "onCreate", "(Landroid/os/Bundle;)V")); !ok {
+			t.Fatal("constructed method not found")
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/keyboard"
 	"repro/internal/simrand"
 	"repro/internal/stats"
+	"repro/internal/sysserver"
 	"repro/internal/uikit"
 	"repro/internal/wm"
 )
@@ -55,8 +56,8 @@ type CaptureStudy struct {
 // (an activity, the real IME, and the draw-and-destroy overlay attack over
 // the keyboard) and reports the percentage of touch events the malicious
 // overlays captured completely (DOWN and UP).
-func runCaptureTrial(p device.Profile, typist *input.Typist, d time.Duration, rng *simrand.Source, seed int64) (float64, error) {
-	st, err := assembleAttackStack(p, seed)
+func runCaptureTrial(p device.Profile, typist *input.Typist, d time.Duration, rng *simrand.Source, seed int64, opts ...sysserver.Option) (float64, error) {
+	st, err := assembleAttackStack(p, seed, opts...)
 	if err != nil {
 		return 0, err
 	}
@@ -112,7 +113,8 @@ func runCaptureTrial(p device.Profile, typist *input.Typist, d time.Duration, rn
 		total += len(ks)
 		start = ks[len(ks)-1].UpAt + 500*time.Millisecond
 	}
-	if err := driveKeystrokes(st, all); err != nil {
+	var sink errSink
+	if err := driveKeystrokes(st, all, &sink); err != nil {
 		return 0, err
 	}
 	end, err := sessionEnd(all)
@@ -122,6 +124,12 @@ func runCaptureTrial(p device.Profile, typist *input.Typist, d time.Duration, rn
 	st.Clock.MustAfter(end, "experiment/stopAttack", atk.Stop)
 	if err := st.Clock.RunFor(end + 5*time.Second); err != nil {
 		return 0, fmt.Errorf("experiment: run: %w", err)
+	}
+	if sink.err != nil {
+		return 0, sink.err
+	}
+	if err := atk.Err(); err != nil {
+		return 0, err
 	}
 	return stats.Ratio(ups, total), nil
 }
@@ -139,11 +147,16 @@ func RunCaptureStudy(seed int64) (*CaptureStudy, error) {
 	for di, d := range study.Ds {
 		for i := 0; i < NumParticipants; i++ {
 			p := participantDevice(i)
-			rate, err := runCaptureTrial(p, typists[i], d,
-				root.DeriveIndexed("strings", di*NumParticipants+i),
-				seed+int64(di*1000+i))
+			var rate float64
+			err := safeTrial(fmt.Sprintf("capture trial (D=%v, participant %d)", d, i), func() error {
+				var terr error
+				rate, terr = runCaptureTrial(p, typists[i], d,
+					root.DeriveIndexed("strings", di*NumParticipants+i),
+					seed+int64(di*1000+i))
+				return terr
+			})
 			if err != nil {
-				return nil, fmt.Errorf("experiment: capture trial (D=%v, participant %d): %w", d, i, err)
+				return nil, err
 			}
 			study.Results[d] = append(study.Results[d], ParticipantCapture{
 				Participant:  i,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/defense"
 	"repro/internal/device"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/simrand"
 	"repro/internal/sysserver"
@@ -35,17 +36,38 @@ type DefenseIPCReport struct {
 	// during the attack run. Non-zero means log-based conclusions ("app X
 	// never called removeView") are drawn from an incomplete window.
 	LogEntriesDropped uint64
+	// FaultProfile names the fault profile active during the attack run
+	// (empty when the run was unfaulted).
+	FaultProfile string
+	// InjectedDrops counts transactions the fault plane silently discarded
+	// during the attack run. Non-zero means the detector's transaction
+	// stream itself was lossy.
+	InjectedDrops uint64
 }
 
 // DefenseIPC evaluates the IPC-based detector on both an attack scenario
 // and a benign-workload scenario.
 func DefenseIPC(seed int64) (DefenseIPCReport, error) {
+	return DefenseIPCWith(seed, faults.None())
+}
+
+// DefenseIPCWith runs the same evaluation with a fault profile active on
+// the attack scenario's stack (the benign scenario stays unfaulted — its
+// job is measuring false positives under normal conditions). A zero
+// profile attaches no plane at all, so DefenseIPCWith(seed, faults.None())
+// is bit-identical to the unfaulted DefenseIPC(seed).
+func DefenseIPCWith(seed int64, prof faults.Profile) (DefenseIPCReport, error) {
 	var rep DefenseIPCReport
 	p := device.Default()
 
 	// Scenario 1: the draw-and-destroy overlay attack, detector armed to
 	// terminate.
-	st, err := assembleAttackStack(p, seed)
+	var opts []sysserver.Option
+	if !prof.Zero() {
+		rep.FaultProfile = prof.Name
+		opts = append(opts, sysserver.WithFaults(faults.NewPlane(prof, seed)))
+	}
+	st, err := assembleAttackStack(p, seed, opts...)
 	if err != nil {
 		return rep, err
 	}
@@ -86,6 +108,7 @@ func DefenseIPC(seed int64) (DefenseIPCReport, error) {
 	rep.AlertOutcomeAfter = st.UI.WorstOutcome()
 	rep.TransactionsObserved = det.Observed()
 	rep.LogEntriesDropped = st.Bus.DroppedLogEntries()
+	rep.InjectedDrops = st.Bus.InjectedDrops()
 
 	// Scenario 2: benign workload — a floating music widget toggling
 	// slowly must not be flagged.
@@ -102,6 +125,7 @@ func DefenseIPC(seed int64) (DefenseIPCReport, error) {
 	if err := det2.Install(st2, false); err != nil {
 		return rep, fmt.Errorf("experiment: install benign detector: %w", err)
 	}
+	var sink errSink
 	for i := 0; i < 8; i++ {
 		i := i
 		h := uint64(i + 1)
@@ -109,17 +133,20 @@ func DefenseIPC(seed int64) (DefenseIPCReport, error) {
 			if _, err := st2.Bus.Call(musicApp, binder.SystemServer, sysserver.MethodAddView, sysserver.AddViewRequest{
 				Handle: h, Type: wm.TypeApplicationOverlay, Bounds: geom.RectWH(50, 50, 300, 300),
 			}); err != nil {
-				panic(fmt.Sprintf("experiment: benign addView: %v", err))
+				sink.setf("experiment: benign addView: %w", err)
 			}
 		})
 		st2.Clock.MustAfter(time.Duration(i)*8*time.Second+4*time.Second, "widget-off", func() {
 			if _, err := st2.Bus.Call(musicApp, binder.SystemServer, sysserver.MethodRemoveView, sysserver.RemoveViewRequest{Handle: h}); err != nil {
-				panic(fmt.Sprintf("experiment: benign removeView: %v", err))
+				sink.setf("experiment: benign removeView: %w", err)
 			}
 		})
 	}
 	if err := st2.Clock.RunFor(90 * time.Second); err != nil {
 		return rep, fmt.Errorf("experiment: run benign scenario: %w", err)
+	}
+	if sink.err != nil {
+		return rep, sink.err
 	}
 	rep.BenignFlagged = len(det2.Detections())
 	return rep, nil
@@ -134,6 +161,12 @@ func RenderDefenseIPC(r DefenseIPCReport) string {
 	fmt.Fprintf(&sb, "  attack terminated:    %v\n", r.AttackTerminated)
 	fmt.Fprintf(&sb, "  benign apps flagged:  %d (want 0)\n", r.BenignFlagged)
 	fmt.Fprintf(&sb, "  transactions analyzed: %d\n", r.TransactionsObserved)
+	if r.FaultProfile != "" {
+		fmt.Fprintf(&sb, "  fault profile active:  %s\n", r.FaultProfile)
+	}
+	if r.InjectedDrops > 0 {
+		fmt.Fprintf(&sb, "  WARNING: %d transactions silently dropped by fault injection — the detector analyzed a lossy stream\n", r.InjectedDrops)
+	}
 	if r.LogEntriesDropped > 0 {
 		fmt.Fprintf(&sb, "  WARNING: %d transactions evicted from the Binder log — log-based analyses saw a truncated window\n", r.LogEntriesDropped)
 	} else {
@@ -206,13 +239,17 @@ func DefenseNotif(seed int64) (DefenseNotifReport, error) {
 	}); err != nil {
 		return rep, fmt.Errorf("experiment: honest addView: %w", err)
 	}
+	var sink errSink
 	st.Clock.MustAfter(5*time.Second, "honest-rm", func() {
 		if _, err := st.Bus.Call(honestApp, binder.SystemServer, sysserver.MethodRemoveView, sysserver.RemoveViewRequest{Handle: 1}); err != nil {
-			panic(fmt.Sprintf("experiment: honest removeView: %v", err))
+			sink.setf("experiment: honest removeView: %w", err)
 		}
 	})
 	if err := st.Clock.RunFor(15 * time.Second); err != nil {
 		return rep, fmt.Errorf("experiment: run honest scenario: %w", err)
+	}
+	if sink.err != nil {
+		return rep, sink.err
 	}
 	rep.HonestOutcome = st.UI.WorstOutcome()
 	rep.HonestAlertGone = !st.UI.ActiveAlert(honestApp)

@@ -1,0 +1,227 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/faults"
+	"repro/internal/input"
+	"repro/internal/simrand"
+	"repro/internal/sysserver"
+	"repro/internal/sysui"
+)
+
+// DegradationIntensities are the fault-intensity steps of the sweep: the
+// base profile's probabilities scaled by each factor.
+func DegradationIntensities() []float64 { return []float64{0, 0.25, 0.5, 0.75, 1} }
+
+// degradationParticipants is how many study participants type at each
+// capture-rate D — enough for a stable mean ordering, small enough that
+// the five-intensity sweep stays fast.
+const degradationParticipants = 4
+
+// DegradationPoint is the sweep's measurement at one fault intensity:
+// which headline results of the paper survive and which collapse.
+type DegradationPoint struct {
+	// Intensity is the probability scale factor applied to the profile.
+	Intensity float64
+	// AlertSuppressed reports whether the Fig. 6 headline still holds: the
+	// draw-and-destroy attack at 0.9× the device bound keeps the
+	// notification alert invisible (Λ1).
+	AlertSuppressed bool
+	// BoundD is the Table II Λ1 upper bound re-measured under faults
+	// (zero once no D keeps the alert suppressed — full collapse).
+	BoundD time.Duration
+	// CaptureLowD and CaptureHighD are mean Fig. 7 capture rates at
+	// D = 50 ms and D = 200 ms.
+	CaptureLowD, CaptureHighD float64
+	// OrderingHolds reports the Fig. 7 shape: capture at the high D at
+	// least matches the low D.
+	OrderingHolds bool
+	// Violations counts invariant-monitor violations recorded during the
+	// monitored attack run.
+	Violations int
+	// SkippedTrials counts sub-experiments lost to a panic or error.
+	SkippedTrials int
+	// Faults aggregates the faults actually injected at this intensity.
+	Faults faults.Stats
+}
+
+// DegradationReport is the full sweep.
+type DegradationReport struct {
+	Profile string
+	Seed    int64
+	Points  []DegradationPoint
+}
+
+// Degradation sweeps the named fault profile's intensity from 0 to 1 and
+// re-runs three headline results at every step — the Fig. 6 alert
+// suppression, the Table II Λ1 bound and the Fig. 7 capture ordering —
+// under a live invariant monitor. The zero-intensity point attaches no
+// fault plane at all, so it reproduces the unfaulted baseline exactly.
+// Cancelling ctx returns the points finished so far along with ctx's
+// error.
+func Degradation(ctx context.Context, seed int64, profileName string) (*DegradationReport, error) {
+	base, err := faults.ByName(profileName)
+	if err != nil {
+		return nil, err
+	}
+	rep := &DegradationReport{Profile: base.Name, Seed: seed}
+	p := device.Default()
+	attackD := time.Duration(float64(p.PaperUpperBoundD) * 0.9)
+	root := simrand.New(seed)
+	typists, err := input.Participants(root.Derive("typists"), degradationParticipants)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: participants: %w", err)
+	}
+
+	for ii, x := range DegradationIntensities() {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		prof := base.Scale(x)
+		pt := DegradationPoint{Intensity: x}
+		pseed := seed + int64(ii)*7919
+
+		// A fresh plane per sub-experiment keeps each one's fault stream
+		// independent of how long the previous one ran.
+		planeOpts := func(planeSeed int64) ([]sysserver.Option, *faults.Plane) {
+			if prof.Zero() {
+				return nil, nil
+			}
+			pl := faults.NewPlane(prof, planeSeed)
+			return []sysserver.Option{sysserver.WithFaults(pl)}, pl
+		}
+		collect := func(pl *faults.Plane) {
+			if pl != nil {
+				pt.Faults = pt.Faults.Add(pl.Stats())
+			}
+		}
+
+		// Sub-experiment 1 — monitored attack run at 0.9× the bound: does
+		// the alert stay invisible, and do the platform invariants hold?
+		opts, pl := planeOpts(pseed)
+		opts = append(opts, sysserver.WithMonitor())
+		var st *sysserver.Stack
+		err := safeTrial(fmt.Sprintf("degradation attack (x=%.2f)", x), func() error {
+			var terr error
+			st, terr = assembleAttackStack(p, pseed, opts...)
+			if terr != nil {
+				return terr
+			}
+			atk, terr := core.NewOverlayAttack(st, core.OverlayAttackConfig{
+				App:    AttackerApp,
+				D:      attackD,
+				Bounds: screenOf(p),
+			})
+			if terr != nil {
+				return terr
+			}
+			if terr := atk.Start(); terr != nil {
+				return terr
+			}
+			st.Clock.MustAfter(6*time.Second, "experiment/stop", atk.Stop)
+			return st.Clock.RunFor(11 * time.Second)
+		})
+		if err != nil {
+			pt.SkippedTrials++
+		} else {
+			pt.AlertSuppressed = st.UI.WorstOutcome() == sysui.Lambda1
+			if st.Monitor != nil {
+				pt.Violations += st.Monitor.Count()
+			}
+			collect(pl)
+		}
+
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		// Sub-experiment 2 — the Λ1 bound search under faults.
+		opts, pl = planeOpts(pseed + 1)
+		err = safeTrial(fmt.Sprintf("degradation bound (x=%.2f)", x), func() error {
+			var terr error
+			pt.BoundD, terr = measureUpperBoundD(p, pseed+1, opts...)
+			return terr
+		})
+		if err != nil {
+			pt.SkippedTrials++
+		} else {
+			collect(pl)
+		}
+
+		// Sub-experiment 3 — Fig. 7 capture-rate ordering: mean capture at
+		// D = 50 ms must not beat D = 200 ms.
+		lowDs := []time.Duration{50 * time.Millisecond, 200 * time.Millisecond}
+		means := make([]float64, len(lowDs))
+		measured := true
+		for di, d := range lowDs {
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
+			sum, n := 0.0, 0
+			for i := 0; i < degradationParticipants; i++ {
+				opts, pl = planeOpts(pseed + 2 + int64(di*100+i))
+				var rate float64
+				err := safeTrial(fmt.Sprintf("degradation capture (x=%.2f, D=%v, participant %d)", x, d, i), func() error {
+					var terr error
+					rate, terr = runCaptureTrial(p, typists[i], d,
+						root.DeriveIndexed("strings", ii*100+di*10+i),
+						pseed+2+int64(di*100+i), opts...)
+					return terr
+				})
+				if err != nil {
+					pt.SkippedTrials++
+					continue
+				}
+				collect(pl)
+				sum += rate
+				n++
+			}
+			if n == 0 {
+				measured = false
+				continue
+			}
+			means[di] = sum / float64(n)
+		}
+		pt.CaptureLowD, pt.CaptureHighD = means[0], means[1]
+		pt.OrderingHolds = measured && pt.CaptureHighD >= pt.CaptureLowD
+
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// RenderDegradation formats the sweep as one row per intensity plus a
+// survive/collapse summary per headline result.
+func RenderDegradation(r *DegradationReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Degradation — headline results vs fault intensity (profile %q, seed %d)\n", r.Profile, r.Seed)
+	sb.WriteString("  intensity  alert-Λ1  bound-D  capt@50ms  capt@200ms  ordering  violations  skipped\n")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&sb, "  %9.2f  %-8v  %5dms  %8.1f%%  %9.1f%%  %-8v  %10d  %7d\n",
+			pt.Intensity, pt.AlertSuppressed, pt.BoundD/time.Millisecond,
+			pt.CaptureLowD, pt.CaptureHighD, pt.OrderingHolds, pt.Violations, pt.SkippedTrials)
+	}
+	for _, pt := range r.Points {
+		if !pt.Faults.Zero() {
+			fmt.Fprintf(&sb, "  faults @%.2f: %s\n", pt.Intensity, pt.Faults)
+		}
+	}
+	survival := func(name string, holds func(DegradationPoint) bool) {
+		for _, pt := range r.Points {
+			if !holds(pt) {
+				fmt.Fprintf(&sb, "  %s: collapses at intensity %.2f\n", name, pt.Intensity)
+				return
+			}
+		}
+		fmt.Fprintf(&sb, "  %s: survives the full sweep\n", name)
+	}
+	survival("alert suppression (Fig. 6)", func(pt DegradationPoint) bool { return pt.AlertSuppressed })
+	survival("Λ1 bound > 0 (Table II)", func(pt DegradationPoint) bool { return pt.BoundD > 0 })
+	survival("capture ordering (Fig. 7)", func(pt DegradationPoint) bool { return pt.OrderingHolds })
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestDegradationDeterministic: the acceptance bar for the fault plane —
+// the same seed and profile produce a byte-identical degradation report.
+func TestDegradationDeterministic(t *testing.T) {
+	run := func() string {
+		rep, err := Degradation(context.Background(), 42, "chaos")
+		if err != nil {
+			t.Fatalf("Degradation: %v", err)
+		}
+		return RenderDegradation(rep)
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("degradation sweep not deterministic:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if !strings.Contains(first, "intensity") {
+		t.Fatalf("render missing sweep rows:\n%s", first)
+	}
+}
+
+// TestDegradationZeroIntensityMatchesBaseline: the sweep's intensity-0 row
+// is a genuinely unfaulted run — no injections, no skipped trials, no
+// invariant violations.
+func TestDegradationZeroIntensityMatchesBaseline(t *testing.T) {
+	rep, err := Degradation(context.Background(), 7, "binder")
+	if err != nil {
+		t.Fatalf("Degradation: %v", err)
+	}
+	if len(rep.Points) == 0 || rep.Points[0].Intensity != 0 {
+		t.Fatalf("sweep does not start at intensity 0: %+v", rep.Points)
+	}
+	p0 := rep.Points[0]
+	if !p0.Faults.Zero() {
+		t.Fatalf("intensity 0 injected faults: %s", p0.Faults)
+	}
+	if p0.SkippedTrials != 0 || p0.Violations != 0 {
+		t.Fatalf("intensity 0 skipped %d trials, %d violations", p0.SkippedTrials, p0.Violations)
+	}
+}
+
+// TestDegradationCancelReturnsPartial: cancelling mid-sweep surfaces the
+// context error together with whatever points completed.
+func TestDegradationCancelReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Degradation(ctx, 1, "chaos")
+	if err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	if rep == nil {
+		t.Fatal("cancelled sweep returned nil report")
+	}
+}
+
+// TestDefenseIPCFaultSurface: when a drop profile is active the IPC defense
+// report must disclose both the profile and the exact number of silently
+// dropped transactions — the detector's input stream was lossy.
+func TestDefenseIPCFaultSurface(t *testing.T) {
+	prof := faults.BinderStress()
+	rep, err := DefenseIPCWith(11, prof)
+	if err != nil {
+		t.Fatalf("DefenseIPCWith: %v", err)
+	}
+	if rep.FaultProfile != prof.Name {
+		t.Fatalf("FaultProfile = %q, want %q", rep.FaultProfile, prof.Name)
+	}
+	if rep.InjectedDrops == 0 {
+		t.Fatal("binder-stress run recorded zero injected drops")
+	}
+	out := RenderDefenseIPC(rep)
+	if !strings.Contains(out, "fault profile active:") || !strings.Contains(out, prof.Name) {
+		t.Fatalf("render missing the fault-profile line:\n%s", out)
+	}
+	if !strings.Contains(out, "silently dropped by fault injection") {
+		t.Fatalf("render missing the lossy-stream warning:\n%s", out)
+	}
+}
+
+// TestDefenseIPCZeroProfileIdentical: the zero-fault strict no-op — running
+// through the fault-aware entry point with the none profile renders
+// byte-identically to the plain entry point.
+func TestDefenseIPCZeroProfileIdentical(t *testing.T) {
+	plain, err := DefenseIPC(5)
+	if err != nil {
+		t.Fatalf("DefenseIPC: %v", err)
+	}
+	viaNone, err := DefenseIPCWith(5, faults.None())
+	if err != nil {
+		t.Fatalf("DefenseIPCWith(none): %v", err)
+	}
+	a, b := RenderDefenseIPC(plain), RenderDefenseIPC(viaNone)
+	if a != b {
+		t.Fatalf("none profile is not a strict no-op:\n--- plain ---\n%s\n--- none ---\n%s", a, b)
+	}
+	if strings.Contains(a, "fault profile") {
+		t.Fatalf("unfaulted render mentions faults:\n%s", a)
+	}
+}

@@ -26,9 +26,10 @@ const NumParticipants = 30
 
 // assembleAttackStack builds a stack for a profile with the attacker's
 // overlay permission granted (the victim "accidentally installed" the
-// overlay app and granted it, per the threat model).
-func assembleAttackStack(p device.Profile, seed int64) (*sysserver.Stack, error) {
-	st, err := sysserver.Assemble(p, seed)
+// overlay app and granted it, per the threat model). Extra assembly
+// options (fault plane, invariant monitor) pass through to Assemble.
+func assembleAttackStack(p device.Profile, seed int64, opts ...sysserver.Option) (*sysserver.Stack, error) {
+	st, err := sysserver.Assemble(p, seed, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: assemble stack: %w", err)
 	}
@@ -40,10 +41,39 @@ func screenOf(p device.Profile) geom.Rect {
 	return geom.RectWH(0, 0, float64(p.ScreenW), float64(p.ScreenH))
 }
 
+// errSink collects failures raised inside clock callbacks, which have
+// nowhere to return an error; runners check it once the run completes.
+// Only the first failure is kept.
+type errSink struct{ err error }
+
+func (s *errSink) set(err error) {
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+}
+
+// setf is set with a formatted error.
+func (s *errSink) setf(format string, args ...any) {
+	s.set(fmt.Errorf(format, args...))
+}
+
+// safeTrial runs one trial function, converting a panic inside it into an
+// error so a single bad trial is skipped and counted instead of killing a
+// whole sweep.
+func safeTrial(label string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment: %s: panic: %v", label, r)
+		}
+	}()
+	return fn()
+}
+
 // driveKeystrokes schedules a typing session's gestures on the stack's
 // window manager: DOWN at each keystroke's DownAt, UP at UpAt (the gesture
-// is canceled automatically if its window disappears in between).
-func driveKeystrokes(st *sysserver.Stack, ks []input.Keystroke) error {
+// is canceled automatically if its window disappears in between). Failures
+// inside the scheduled callbacks land in sink.
+func driveKeystrokes(st *sysserver.Stack, ks []input.Keystroke, sink *errSink) error {
 	for _, k := range ks {
 		k := k
 		if _, err := st.Clock.At(k.DownAt, "user/down", func() {
@@ -55,7 +85,7 @@ func driveKeystrokes(st *sysserver.Stack, ks []input.Keystroke) error {
 				// EndGesture only fails for unknown ids, which cannot
 				// happen for a gesture begun above.
 				if _, err := st.WM.EndGesture(gid, k.Point); err != nil {
-					panic(fmt.Sprintf("experiment: end gesture: %v", err))
+					sink.setf("experiment: end gesture: %w", err)
 				}
 			})
 		}); err != nil {

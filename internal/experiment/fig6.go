@@ -7,14 +7,16 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/sysserver"
 	"repro/internal/sysui"
 )
 
 // OutcomeForD runs the draw-and-destroy overlay attack on one device with
 // a given attacking window for attackDur and reports the worst Λ outcome
-// the user could have seen.
-func OutcomeForD(p device.Profile, d, attackDur time.Duration, seed int64) (sysui.Outcome, error) {
-	st, err := assembleAttackStack(p, seed)
+// the user could have seen. Extra assembly options (fault plane, invariant
+// monitor) pass through to the stack.
+func OutcomeForD(p device.Profile, d, attackDur time.Duration, seed int64, opts ...sysserver.Option) (sysui.Outcome, error) {
+	st, err := assembleAttackStack(p, seed, opts...)
 	if err != nil {
 		return 0, err
 	}
@@ -32,6 +34,9 @@ func OutcomeForD(p device.Profile, d, attackDur time.Duration, seed int64) (sysu
 	st.Clock.MustAfter(attackDur, "experiment/stop", atk.Stop)
 	if err := st.Clock.RunFor(attackDur + 5*time.Second); err != nil {
 		return 0, fmt.Errorf("experiment: run: %w", err)
+	}
+	if err := atk.Err(); err != nil {
+		return 0, err
 	}
 	return st.UI.WorstOutcome(), nil
 }
@@ -60,7 +65,13 @@ func Fig6(model string, seed int64) ([]Fig6Point, error) {
 	var out []Fig6Point
 	i := 0
 	for d := bound * 2 / 5; d <= bound+750*time.Millisecond; d += 30 * time.Millisecond {
-		o, err := OutcomeForD(p, d, 6*time.Second, seed+int64(i))
+		d := d
+		var o sysui.Outcome
+		err := safeTrial(fmt.Sprintf("fig6 point D=%v", d), func() error {
+			var perr error
+			o, perr = OutcomeForD(p, d, 6*time.Second, seed+int64(i))
+			return perr
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -85,7 +85,7 @@ type Fig7ModelRow struct {
 
 // Fig7Model evaluates the closed-form capture model for every Fig. 7 D
 // over the 30-device fleet with the calibrated ~14 ms press window.
-func Fig7Model() []Fig7ModelRow {
+func Fig7Model() ([]Fig7ModelRow, error) {
 	const pressWindow = 14 * time.Millisecond
 	profiles := device.Profiles()
 	out := make([]Fig7ModelRow, 0, len(CaptureDs()))
@@ -94,14 +94,15 @@ func Fig7Model() []Fig7ModelRow {
 		for _, p := range profiles {
 			r, err := analysis.ExpectedGestureCaptureRate(p, d, pressWindow)
 			if err != nil {
-				// CaptureDs are all positive; unreachable.
-				panic(fmt.Sprintf("experiment: fig7 model: %v", err))
+				// CaptureDs are all positive, so this needs a broken
+				// profile to fire.
+				return nil, fmt.Errorf("experiment: fig7 model: %w", err)
 			}
 			sum += 100 * r
 		}
 		out = append(out, Fig7ModelRow{D: d, PredictedMean: sum / float64(len(profiles))})
 	}
-	return out
+	return out, nil
 }
 
 // RenderFig7Model prints the model curve next to the simulated means and

@@ -46,7 +46,10 @@ func TestScatterSensitivity(t *testing.T) {
 // TestFig7ModelShape: the analytic curve is monotone in D and lands in
 // the Fig. 7 band at both endpoints.
 func TestFig7ModelShape(t *testing.T) {
-	rows := Fig7Model()
+	rows, err := Fig7Model()
+	if err != nil {
+		t.Fatalf("Fig7Model: %v", err)
+	}
 	if len(rows) != len(CaptureDs()) {
 		t.Fatalf("rows = %d, want %d", len(rows), len(CaptureDs()))
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/sysserver"
 	"repro/internal/sysui"
 )
 
@@ -23,8 +24,9 @@ type TableIIRow struct {
 
 // measureUpperBoundD finds the largest D (5 ms resolution) for which
 // repeated attack trials stay at Λ1, the way the paper's authors probed
-// each phone with increasing D until the alert became visible.
-func measureUpperBoundD(p device.Profile, seed int64) (time.Duration, error) {
+// each phone with increasing D until the alert became visible. Extra
+// assembly options (fault plane) pass through to every trial stack.
+func measureUpperBoundD(p device.Profile, seed int64, opts ...sysserver.Option) (time.Duration, error) {
 	const (
 		resolution = 5 * time.Millisecond
 		trialDur   = 4 * time.Second
@@ -32,7 +34,7 @@ func measureUpperBoundD(p device.Profile, seed int64) (time.Duration, error) {
 	)
 	lambda1At := func(d time.Duration) (bool, error) {
 		for r := 0; r < trials; r++ {
-			o, err := OutcomeForD(p, d, trialDur, seed+int64(r)*101)
+			o, err := OutcomeForD(p, d, trialDur, seed+int64(r)*101, opts...)
 			if err != nil {
 				return false, err
 			}

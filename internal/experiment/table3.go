@@ -13,6 +13,7 @@ import (
 	"repro/internal/keyboard"
 	"repro/internal/simrand"
 	"repro/internal/stats"
+	"repro/internal/sysserver"
 	"repro/internal/sysui"
 )
 
@@ -91,10 +92,11 @@ type StealTrialResult struct {
 
 // RunStealTrial executes one complete password-stealing run: victim login
 // screen + real IME + armed stealer, with the participant typing the
-// password.
-func RunStealTrial(p device.Profile, typist *input.Typist, victim apps.VictimApp, password string, seed int64) (StealTrialResult, error) {
+// password. Extra assembly options (fault plane, invariant monitor) pass
+// through to the stack.
+func RunStealTrial(p device.Profile, typist *input.Typist, victim apps.VictimApp, password string, seed int64, opts ...sysserver.Option) (StealTrialResult, error) {
 	var res StealTrialResult
-	st, err := assembleAttackStack(p, seed)
+	st, err := assembleAttackStack(p, seed, opts...)
 	if err != nil {
 		return res, err
 	}
@@ -135,16 +137,17 @@ func RunStealTrial(p device.Profile, typist *input.Typist, victim apps.VictimApp
 			return res, fmt.Errorf("experiment: type username: %w", err)
 		}
 	}
+	var sink errSink
 	st.Clock.MustAfter(500*time.Millisecond, "experiment/focusPassword", func() {
 		if err := sess.Activity.Focus(sess.Password); err != nil {
-			panic(fmt.Sprintf("experiment: focus password: %v", err))
+			sink.setf("experiment: focus password: %w", err)
 		}
 	})
 	ks, err := typist.PlanSession(kb, password, time.Second)
 	if err != nil {
 		return res, fmt.Errorf("experiment: plan password: %w", err)
 	}
-	if err := driveKeystrokes(st, ks); err != nil {
+	if err := driveKeystrokes(st, ks, &sink); err != nil {
 		return res, err
 	}
 	end, err := sessionEnd(ks)
@@ -170,6 +173,12 @@ func RunStealTrial(p device.Profile, typist *input.Typist, victim apps.VictimApp
 	if err := st.Clock.RunFor(end + 6*time.Second); err != nil {
 		return res, fmt.Errorf("experiment: run: %w", err)
 	}
+	if err := sink.err; err != nil {
+		return res, err
+	}
+	if err := stealer.Err(); err != nil {
+		return res, fmt.Errorf("experiment: stealer: %w", err)
+	}
 	res.Stolen = stealer.StolenPassword()
 	res.VictimWidget = sess.Password.Text()
 	res.WorstOutcome = st.UI.WorstOutcome()
@@ -189,6 +198,9 @@ type TableIIIRow struct {
 	WrongKeyErrors       int
 	CapitalizationErrors int
 	Successes            int
+	// Skipped counts trials that failed outright (panic or error inside
+	// the trial) and were excluded; always 0 on a healthy run.
+	Skipped int
 }
 
 // SuccessRate reports the percentage of fully recovered passwords.
@@ -218,11 +230,18 @@ func TableIII(seed int64, perParticipant int) ([]TableIIIRow, error) {
 			p := participantDevice(i)
 			for tr := 0; tr < perParticipant; tr++ {
 				password := input.RandomPassword(pwRNG, length)
-				trial, err := RunStealTrial(p, typists[i], bofa, password,
-					seed+int64(li*100000+i*1000+tr))
+				var trial StealTrialResult
+				err := safeTrial(fmt.Sprintf("steal trial (len %d, participant %d, trial %d)", length, i, tr), func() error {
+					var terr error
+					trial, terr = RunStealTrial(p, typists[i], bofa, password,
+						seed+int64(li*100000+i*1000+tr))
+					return terr
+				})
 				if err != nil {
-					return nil, fmt.Errorf("experiment: steal trial (len %d, participant %d, trial %d): %w",
-						length, i, tr, err)
+					// One bad trial must not kill the 150-trial sweep:
+					// count it and move on.
+					row.Skipped++
+					continue
 				}
 				row.Trials++
 				switch ClassifyTrial(password, trial.Stolen) {
@@ -257,11 +276,16 @@ func RenderTableIII(rows []TableIIIRow) string {
 	var sb strings.Builder
 	sb.WriteString("Table III — password stealing success v.s. length\n")
 	sb.WriteString("  len  trials  lenErr  wrongKey  capErr  success   (paper: lenErr wrongKey capErr success)\n")
+	skipped := 0
 	for _, r := range rows {
 		p := paper[r.Length]
 		fmt.Fprintf(&sb, "  %3d  %6d  %6d  %8d  %6d  %6.1f%%   (paper: %6d %8d %6d %6.1f%%)\n",
 			r.Length, r.Trials, r.LengthErrors, r.WrongKeyErrors, r.CapitalizationErrors,
 			r.SuccessRate(), p.length, p.wrong, p.caps, p.rate)
+		skipped += r.Skipped
+	}
+	if skipped > 0 {
+		fmt.Fprintf(&sb, "  WARNING: %d trials failed and were skipped\n", skipped)
 	}
 	return sb.String()
 }

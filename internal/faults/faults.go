@@ -1,0 +1,365 @@
+// Package faults is a deterministic fault-injection plane for the
+// simulated Android stack. A Plane is built from a named Profile and its
+// own seed, and is threaded through the layers as a set of narrow hooks:
+// binder latency spikes, transaction drops and duplication, delivery
+// reordering pressure (binder.Bus), frame drops and jitter on the 10 ms
+// animation clock (anim), scheduler preemption pauses on the attacker
+// thread (core), and toast-queue overflow pressure (sysserver).
+//
+// Determinism contract: all randomness flows through simrand sub-streams
+// private to the Plane, drawn in event order on the single-threaded
+// simulation clock — same seed and same profile therefore reproduce the
+// same faults byte for byte. A hook whose fault class has zero probability
+// returns the zero fault WITHOUT consuming a draw, so a Plane built from a
+// zero profile is a strict no-op: attaching it perturbs neither the event
+// schedule nor any other component's random stream.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/binder"
+	"repro/internal/simrand"
+)
+
+// Profile describes one named mix of fault classes. The zero value injects
+// nothing. Probabilities are per opportunity: per transaction for the
+// binder classes, per scheduled frame for the anim classes, per timer
+// re-arm for preemption, per pump tick for toast pressure.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+
+	// Binder plane: DropProb discards a transaction after it is assigned
+	// an id (the caller still sees success — oneway semantics), DupProb
+	// delivers it twice, SpikeProb adds a Spike-sampled latency to the
+	// delivery, ReorderProb adds a ReorderDelay-sampled holding delay that
+	// lets calls on other streams overtake (per-stream FIFO is preserved
+	// by the bus, so this models cross-stream reordering pressure).
+	DropProb     float64
+	DupProb      float64
+	SpikeProb    float64
+	Spike        simrand.Dist
+	ReorderProb  float64
+	ReorderDelay simrand.Dist
+
+	// Animation plane: FrameDropProb skips one frame slot entirely,
+	// FrameJitterProb shifts the next frame by a FrameJitter-sampled
+	// amount off the 10 ms grid.
+	FrameDropProb   float64
+	FrameJitterProb float64
+	FrameJitter     simrand.Dist
+
+	// Scheduler plane: PreemptProb stalls the attacker's next timer
+	// re-arm by a Preempt-sampled pause (GC pause / priority inversion).
+	PreemptProb float64
+	Preempt     simrand.Dist
+
+	// Toast plane: with ToastBurstProb per pump tick, a noise app
+	// enqueues a burst of 1..ToastBurstMax toasts, pressuring the
+	// system_server toast queue toward its 50-token cap.
+	ToastBurstProb float64
+	ToastBurstMax  int
+}
+
+// Zero reports whether the profile injects nothing at all.
+func (p Profile) Zero() bool {
+	return p.DropProb <= 0 && p.DupProb <= 0 && p.SpikeProb <= 0 &&
+		p.ReorderProb <= 0 && p.FrameDropProb <= 0 && p.FrameJitterProb <= 0 &&
+		p.PreemptProb <= 0 && (p.ToastBurstProb <= 0 || p.ToastBurstMax <= 0)
+}
+
+// Scale returns a copy with every probability multiplied by x (clamped to
+// [0,1]); fault magnitudes (the Dists and the burst size) are unchanged.
+// Scale(0) is a zero profile; Scale(1) is p itself.
+func (p Profile) Scale(x float64) Profile {
+	if x < 0 {
+		x = 0
+	}
+	mul := func(pr float64) float64 {
+		v := pr * x
+		if v > 1 {
+			v = 1
+		}
+		return v
+	}
+	q := p
+	q.DropProb = mul(p.DropProb)
+	q.DupProb = mul(p.DupProb)
+	q.SpikeProb = mul(p.SpikeProb)
+	q.ReorderProb = mul(p.ReorderProb)
+	q.FrameDropProb = mul(p.FrameDropProb)
+	q.FrameJitterProb = mul(p.FrameJitterProb)
+	q.PreemptProb = mul(p.PreemptProb)
+	q.ToastBurstProb = mul(p.ToastBurstProb)
+	return q
+}
+
+// None is the empty profile: the plane compiles in but injects nothing.
+func None() Profile { return Profile{Name: "none"} }
+
+// BinderStress exercises the IPC plane: drops, duplicates, latency spikes
+// and reordering pressure at rates loosely matching the lossy, reorderable
+// notification delivery reported by Knock-Knock (PAPERS.md).
+func BinderStress() Profile {
+	return Profile{
+		Name:         "binder",
+		DropProb:     0.02,
+		DupProb:      0.01,
+		SpikeProb:    0.10,
+		Spike:        simrand.NormalDist(40, 15),
+		ReorderProb:  0.05,
+		ReorderDelay: simrand.NormalDist(20, 8),
+	}
+}
+
+// AnimStress perturbs the frame clock: dropped frames and off-grid jitter.
+func AnimStress() Profile {
+	return Profile{
+		Name:            "anim",
+		FrameDropProb:   0.15,
+		FrameJitterProb: 0.25,
+		FrameJitter:     simrand.NormalDist(4, 2),
+	}
+}
+
+// SchedStress preempts the attacker thread's timer re-arms, modelling the
+// scheduler spikes the paper observes as outlier mistouches.
+func SchedStress() Profile {
+	return Profile{
+		Name:        "sched",
+		PreemptProb: 0.20,
+		Preempt:     simrand.NormalDist(30, 10),
+	}
+}
+
+// ToastStress floods the system_server toast queue from a noise app.
+func ToastStress() Profile {
+	return Profile{
+		Name:           "toast",
+		ToastBurstProb: 0.50,
+		ToastBurstMax:  8,
+	}
+}
+
+// Chaos combines every fault class at moderate rates.
+func Chaos() Profile {
+	return Profile{
+		Name:            "chaos",
+		DropProb:        0.01,
+		DupProb:         0.005,
+		SpikeProb:       0.05,
+		Spike:           simrand.NormalDist(40, 15),
+		ReorderProb:     0.03,
+		ReorderDelay:    simrand.NormalDist(20, 8),
+		FrameDropProb:   0.08,
+		FrameJitterProb: 0.12,
+		FrameJitter:     simrand.NormalDist(4, 2),
+		PreemptProb:     0.10,
+		Preempt:         simrand.NormalDist(30, 10),
+		ToastBurstProb:  0.25,
+		ToastBurstMax:   6,
+	}
+}
+
+var profilesByName = map[string]func() Profile{
+	"none":   None,
+	"binder": BinderStress,
+	"anim":   AnimStress,
+	"sched":  SchedStress,
+	"toast":  ToastStress,
+	"chaos":  Chaos,
+}
+
+// ByName resolves a named profile (see Names).
+func ByName(name string) (Profile, error) {
+	f, ok := profilesByName[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Profile{}, fmt.Errorf("faults: unknown profile %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return f(), nil
+}
+
+// Names lists the named profiles in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(profilesByName))
+	for n := range profilesByName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats counts the faults a Plane actually injected.
+type Stats struct {
+	TxDropped    uint64
+	TxDuplicated uint64
+	TxSpiked     uint64
+	TxReordered  uint64
+
+	FramesDropped  uint64
+	FramesJittered uint64
+
+	Preemptions  uint64
+	PreemptTotal time.Duration
+
+	ToastBursts uint64
+	ToastTokens uint64
+}
+
+// Add returns the element-wise sum of s and o.
+func (s Stats) Add(o Stats) Stats {
+	s.TxDropped += o.TxDropped
+	s.TxDuplicated += o.TxDuplicated
+	s.TxSpiked += o.TxSpiked
+	s.TxReordered += o.TxReordered
+	s.FramesDropped += o.FramesDropped
+	s.FramesJittered += o.FramesJittered
+	s.Preemptions += o.Preemptions
+	s.PreemptTotal += o.PreemptTotal
+	s.ToastBursts += o.ToastBursts
+	s.ToastTokens += o.ToastTokens
+	return s
+}
+
+// Zero reports whether no faults were injected.
+func (s Stats) Zero() bool { return s == (Stats{}) }
+
+// String renders the non-zero counters on one line.
+func (s Stats) String() string {
+	var parts []string
+	add := func(name string, v uint64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("txDrop", s.TxDropped)
+	add("txDup", s.TxDuplicated)
+	add("txSpike", s.TxSpiked)
+	add("txReorder", s.TxReordered)
+	add("frameDrop", s.FramesDropped)
+	add("frameJitter", s.FramesJittered)
+	add("preempt", s.Preemptions)
+	add("toastBurst", s.ToastBursts)
+	add("toastTokens", s.ToastTokens)
+	if len(parts) == 0 {
+		return "no faults injected"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Plane is a live fault injector for one simulation run. It is not safe
+// for concurrent use; like the clock it belongs to exactly one run.
+type Plane struct {
+	prof Profile
+
+	// One private sub-stream per fault class, so enabling one class never
+	// perturbs the draws of another.
+	binderRng *simrand.Source
+	animRng   *simrand.Source
+	schedRng  *simrand.Source
+	toastRng  *simrand.Source
+
+	stats Stats
+}
+
+// NewPlane builds a Plane for profile p from its own seed. The seed is
+// deliberately independent of the stack's root seed: deriving from the
+// stack root would consume a draw there and change an unfaulted run.
+func NewPlane(p Profile, seed int64) *Plane {
+	root := simrand.New(seed)
+	return &Plane{
+		prof:      p,
+		binderRng: root.Derive("faults/binder"),
+		animRng:   root.Derive("faults/anim"),
+		schedRng:  root.Derive("faults/sched"),
+		toastRng:  root.Derive("faults/toast"),
+	}
+}
+
+// Profile returns the profile the plane was built from.
+func (pl *Plane) Profile() Profile { return pl.prof }
+
+// Stats reports the faults injected so far.
+func (pl *Plane) Stats() Stats { return pl.stats }
+
+// TransactionFault implements binder.FaultInjector: it decides the fate of
+// one transaction. A dropped transaction short-circuits the remaining
+// classes (there is nothing left to duplicate or delay).
+func (pl *Plane) TransactionFault(from, to binder.ProcessID, method string) binder.TxFault {
+	var f binder.TxFault
+	p := pl.prof
+	if p.DropProb > 0 && pl.binderRng.Bool(p.DropProb) {
+		pl.stats.TxDropped++
+		f.Drop = true
+		return f
+	}
+	if p.DupProb > 0 && pl.binderRng.Bool(p.DupProb) {
+		pl.stats.TxDuplicated++
+		f.Duplicate = true
+	}
+	if p.SpikeProb > 0 && pl.binderRng.Bool(p.SpikeProb) {
+		pl.stats.TxSpiked++
+		f.Delay += p.Spike.Sample(pl.binderRng)
+	}
+	if p.ReorderProb > 0 && pl.binderRng.Bool(p.ReorderProb) {
+		pl.stats.TxReordered++
+		f.Delay += p.ReorderDelay.Sample(pl.binderRng)
+	}
+	return f
+}
+
+// FrameFault matches anim.FaultFunc: per scheduled frame it reports
+// whether the frame slot is dropped and how far the next frame shifts off
+// the grid.
+func (pl *Plane) FrameFault(name string) (dropFrame bool, jitter time.Duration) {
+	p := pl.prof
+	if p.FrameDropProb > 0 && pl.animRng.Bool(p.FrameDropProb) {
+		pl.stats.FramesDropped++
+		dropFrame = true
+	}
+	if p.FrameJitterProb > 0 && pl.animRng.Bool(p.FrameJitterProb) {
+		jitter = p.FrameJitter.Sample(pl.animRng)
+		if jitter > 0 {
+			pl.stats.FramesJittered++
+		}
+	}
+	return dropFrame, jitter
+}
+
+// PreemptPause reports how long the attacker thread's next timer re-arm is
+// stalled by a simulated preemption (zero most of the time).
+func (pl *Plane) PreemptPause() time.Duration {
+	p := pl.prof
+	if p.PreemptProb <= 0 || !pl.schedRng.Bool(p.PreemptProb) {
+		return 0
+	}
+	d := p.Preempt.Sample(pl.schedRng)
+	if d > 0 {
+		pl.stats.Preemptions++
+		pl.stats.PreemptTotal += d
+	}
+	return d
+}
+
+// ToastPressureActive reports whether the toast pump should be armed at
+// all; when false the pump is never scheduled, keeping the event queue of
+// a pressure-free run untouched.
+func (pl *Plane) ToastPressureActive() bool {
+	return pl.prof.ToastBurstProb > 0 && pl.prof.ToastBurstMax > 0
+}
+
+// ToastBurst draws the number of noise toasts to enqueue this pump tick.
+func (pl *Plane) ToastBurst() int {
+	p := pl.prof
+	if !pl.ToastPressureActive() || !pl.toastRng.Bool(p.ToastBurstProb) {
+		return 0
+	}
+	n := 1 + pl.toastRng.Intn(p.ToastBurstMax)
+	pl.stats.ToastBursts++
+	pl.stats.ToastTokens += uint64(n)
+	return n
+}

@@ -1,0 +1,274 @@
+// Package invariant is a runtime monitor for the DESIGN §6 invariants of
+// the simulated Android stack. Instead of asserting with panics, the
+// monitor registers live checks on the clock, the binder bus, the window
+// manager and the toast queue; a breached invariant is recorded as a
+// Violation carrying the virtual time and a short event-time trace of what
+// the stack was doing, so a faulted run reports WHICH invariant broke and
+// completes instead of crashing.
+//
+// Monitored invariants:
+//   - clock monotonicity: fired events never move backwards in time
+//   - binder DeliveredAt ≥ SentAt
+//   - binder per-stream FIFO: (from,to,method) delivery order preserved
+//   - z-order consistency: layers non-decreasing, FIFO within a layer
+//   - per-app overlay count never negative
+//   - toast queue ≤ 50 per app and at most one toast displayed at a time
+//
+// The monitor is diagnostic-only: it never mutates the stack and never
+// alters event scheduling, so attaching it preserves byte-identical runs.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/binder"
+	"repro/internal/simclock"
+	"repro/internal/wm"
+)
+
+// Invariant rule names, used in Violation.Rule.
+const (
+	RuleClockMonotonic  = "clock-monotonic"
+	RuleDeliveredAfter  = "binder-delivered-after-sent"
+	RuleStreamFIFO      = "binder-stream-fifo"
+	RuleZOrder          = "wm-z-order"
+	RuleOverlayCount    = "wm-overlay-count-negative"
+	RuleToastQueueCap   = "toast-queue-cap"
+	RuleToastSerialized = "toast-serialized"
+	RuleComponentBreach = "component-internal"
+)
+
+// MaxToastQueue is the per-app toast token cap the monitor enforces,
+// mirroring sysserver.MaxToastTokensPerApp (DESIGN §6).
+const MaxToastQueue = 50
+
+// TraceEntry is one recent stack event, kept in a ring for violation
+// context.
+type TraceEntry struct {
+	At    time.Duration
+	Event string
+}
+
+// Violation is one recorded invariant breach.
+type Violation struct {
+	// Rule names the invariant (Rule* constants).
+	Rule string
+	// At is the virtual time of the breach.
+	At time.Duration
+	// Detail describes the breach.
+	Detail string
+	// Trace holds the most recent stack events before the breach,
+	// oldest first.
+	Trace []TraceEntry
+}
+
+// String renders the violation with its trace.
+func (v Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%8.3fs] %s: %s", v.At.Seconds(), v.Rule, v.Detail)
+	for _, t := range v.Trace {
+		fmt.Fprintf(&b, "\n    %10.4fs  %s", t.At.Seconds(), t.Event)
+	}
+	return b.String()
+}
+
+// traceRing bounds the per-violation context; violationCap bounds memory
+// when a fault profile breaches an invariant in a tight loop.
+const (
+	traceRing    = 24
+	violationCap = 256
+)
+
+// Monitor collects invariant violations for one simulation run. Like the
+// clock it belongs to, it is single-threaded.
+type Monitor struct {
+	clock *simclock.Clock
+
+	ring  []TraceEntry
+	start int // index of oldest entry
+
+	violations []Violation
+	dropped    int // violations beyond violationCap
+
+	lastFired simclock.Duration
+	streams   map[streamKey]time.Duration
+}
+
+type streamKey struct {
+	from, to binder.ProcessID
+	method   string
+}
+
+// New builds a Monitor on the run's clock.
+func New(clock *simclock.Clock) *Monitor {
+	return &Monitor{
+		clock:   clock,
+		streams: make(map[streamKey]time.Duration),
+	}
+}
+
+// Note appends an event to the trace ring; attached components call it so
+// violations carry context.
+func (m *Monitor) Note(event string) {
+	e := TraceEntry{At: m.clock.Now(), Event: event}
+	if len(m.ring) < traceRing {
+		m.ring = append(m.ring, e)
+		return
+	}
+	m.ring[m.start] = e
+	m.start = (m.start + 1) % traceRing
+}
+
+// trace snapshots the ring, oldest first.
+func (m *Monitor) trace() []TraceEntry {
+	out := make([]TraceEntry, 0, len(m.ring))
+	for i := 0; i < len(m.ring); i++ {
+		out = append(out, m.ring[(m.start+i)%len(m.ring)])
+	}
+	return out
+}
+
+// Report records a violation of rule with the current time and trace.
+func (m *Monitor) Report(rule, detail string) {
+	if len(m.violations) >= violationCap {
+		m.dropped++
+		return
+	}
+	m.violations = append(m.violations, Violation{
+		Rule:   rule,
+		At:     m.clock.Now(),
+		Detail: detail,
+		Trace:  m.trace(),
+	})
+}
+
+// Check records a violation of rule unless ok holds.
+func (m *Monitor) Check(rule string, ok bool, detail string) {
+	if !ok {
+		m.Report(rule, detail)
+	}
+}
+
+// Violations returns the recorded violations in order.
+func (m *Monitor) Violations() []Violation {
+	out := make([]Violation, len(m.violations))
+	copy(out, m.violations)
+	return out
+}
+
+// Count reports the total number of violations observed, including any
+// beyond the recording cap.
+func (m *Monitor) Count() int { return len(m.violations) + m.dropped }
+
+// Clean reports whether no invariant was breached.
+func (m *Monitor) Clean() bool { return m.Count() == 0 }
+
+// String renders every recorded violation (or a clean bill).
+func (m *Monitor) String() string {
+	if m.Clean() {
+		return "invariants: all checks passed"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariants: %d violation(s)\n", m.Count())
+	for _, v := range m.violations {
+		b.WriteString(v.String())
+		b.WriteString("\n")
+	}
+	if m.dropped > 0 {
+		fmt.Fprintf(&b, "(+%d further violations not recorded)\n", m.dropped)
+	}
+	return b.String()
+}
+
+// AttachClock installs the clock's trace hook to feed the event ring and
+// check monotonicity. It replaces any previously installed TraceFunc.
+func (m *Monitor) AttachClock() {
+	m.clock.SetTrace(func(at simclock.Duration, label string) {
+		if at < m.lastFired {
+			m.Report(RuleClockMonotonic, fmt.Sprintf("event %q fired at %v after %v", label, at, m.lastFired))
+		}
+		m.lastFired = at
+		m.Note(label)
+	})
+}
+
+// AttachBus observes every delivered transaction, checking causality
+// (DeliveredAt ≥ SentAt) and per-stream FIFO.
+func (m *Monitor) AttachBus(b *binder.Bus) {
+	b.Observe(func(tx binder.Transaction) {
+		if tx.DeliveredAt < tx.SentAt {
+			m.Report(RuleDeliveredAfter, fmt.Sprintf("%s→%s.%s delivered %v before sent %v", tx.From, tx.To, tx.Method, tx.DeliveredAt, tx.SentAt))
+		}
+		key := streamKey{from: tx.From, to: tx.To, method: tx.Method}
+		if last, ok := m.streams[key]; ok && tx.DeliveredAt < last {
+			m.Report(RuleStreamFIFO, fmt.Sprintf("%s→%s.%s delivered %v after a delivery at %v", tx.From, tx.To, tx.Method, tx.DeliveredAt, last))
+		} else {
+			m.streams[key] = tx.DeliveredAt
+		}
+	})
+}
+
+// AttachWM wires the window manager: its violation handler (overlay
+// underflow, forced-removal failures), plus a z-order consistency check on
+// every attach/detach.
+func (m *Monitor) AttachWM(w *wm.Manager) {
+	w.SetViolationHandler(func(rule, detail string) {
+		switch rule {
+		case "overlay-count-negative":
+			m.Report(RuleOverlayCount, detail)
+		default:
+			m.Report(RuleComponentBreach, rule+": "+detail)
+		}
+	})
+	w.OnOverlayCountChange(m.OverlayCountChanged)
+	w.OnWindowEvent(func(ev wm.WindowEvent) {
+		m.Note(fmt.Sprintf("wm:%s %s %s#%d", ev.Kind, ev.Window.Owner, ev.Window.Type, ev.Window.ID))
+		m.checkZOrder(w.ZOrder())
+	})
+}
+
+// OverlayCountChanged is the overlay-count listener: per-app counts must
+// never go negative. Exported so tests can seed a violation directly.
+func (m *Monitor) OverlayCountChanged(app binder.ProcessID, old, new int) {
+	if new < 0 {
+		m.Report(RuleOverlayCount, fmt.Sprintf("overlay count of %q reached %d", app, new))
+	}
+}
+
+func (m *Monitor) checkZOrder(order []wm.Window) {
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		la, lb := a.Type.Layer(), b.Type.Layer()
+		if la > lb {
+			m.Report(RuleZOrder, fmt.Sprintf("window #%d (layer %d) above #%d (layer %d)", a.ID, la, b.ID, lb))
+			return
+		}
+		if la == lb && (a.AddedAt > b.AddedAt || (a.AddedAt == b.AddedAt && a.ID > b.ID)) {
+			m.Report(RuleZOrder, fmt.Sprintf("window #%d (added %v) out of FIFO order with #%d (added %v)", a.ID, a.AddedAt, b.ID, b.AddedAt))
+			return
+		}
+	}
+}
+
+// ToastQueued checks the per-app toast token cap after an enqueue; the
+// notification manager calls it with the post-enqueue depth.
+func (m *Monitor) ToastQueued(app binder.ProcessID, depth int) {
+	m.Note(fmt.Sprintf("toast:enqueue %s depth=%d", app, depth))
+	if depth > MaxToastQueue {
+		m.Report(RuleToastQueueCap, fmt.Sprintf("app %q holds %d queued toast tokens (cap %d)", app, depth, MaxToastQueue))
+	}
+}
+
+// ToastDisplayed checks toast serialization: at most one toast is in its
+// display slot at any time. displayed is the number of concurrently
+// displayed (pre-fade-out) toasts after a show or hand-off.
+func (m *Monitor) ToastDisplayed(displayed int) {
+	if displayed > 1 {
+		m.Report(RuleToastSerialized, fmt.Sprintf("%d toasts displayed concurrently", displayed))
+	}
+	if displayed < 0 {
+		m.Report(RuleToastSerialized, fmt.Sprintf("displayed-toast count reached %d", displayed))
+	}
+}

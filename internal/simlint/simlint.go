@@ -1,10 +1,16 @@
-// Package simlint implements a vet-style determinism pass for the
-// simulation core: inside internal/ packages, wall-clock reads
+// Package simlint implements a vet-style determinism and robustness pass
+// for the simulation core. Inside internal/ packages, wall-clock reads
 // (time.Now, time.Since) and the global math/rand generators are
 // forbidden, because a single stray call makes week-long simulated runs
 // unreproducible. Virtual time must come from internal/simclock and
 // randomness from internal/simrand; those two packages are the exempt
 // deterministic wrappers.
+//
+// Two robustness rules cover production (non-test) code only: time.Sleep
+// blocks the OS thread instead of advancing virtual time, and a bare
+// panic aborts an entire simulated run where an error return plus the
+// invariant monitor (internal/invariant, which is exempt) would let the
+// run complete and report.
 //
 // The pass is built on the standard library's go/ast so it carries no
 // dependency beyond the toolchain; cmd/simlint is the CLI driver and the
@@ -28,7 +34,16 @@ const (
 	RuleTimeNow   = "time-now"
 	RuleTimeSince = "time-since"
 	RuleMathRand  = "math-rand"
+	RuleTimeSleep = "time-sleep"
+	RulePanic     = "bare-panic"
 )
+
+// panicExemptPackages may keep bare panics: the invariant monitor is the
+// designated assertion layer, and its own internals are allowed to fail
+// hard while everything else reports through it.
+var panicExemptPackages = map[string]bool{
+	"invariant": true,
+}
 
 // ExemptPackages are the deterministic wrappers themselves: they are the
 // only internal/ packages allowed to touch the wall clock or seed global
@@ -83,12 +98,23 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 		}
 	}
 
+	// The robustness rules (time.Sleep, bare panic) apply to production
+	// simulation code only: tests may sleep or panic to probe behaviour,
+	// and the invariant monitor is the designated assertion layer.
+	isTest := strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+	panicExempt := isTest || panicExemptPackages[f.Name.Name]
+
 	forbidden := func(sel string) (rule, msg string, ok bool) {
 		switch sel {
 		case "Now":
 			return RuleTimeNow, "call to time.Now reads the wall clock; use the simulation clock (internal/simclock)", true
 		case "Since":
 			return RuleTimeSince, "time.Since reads the wall clock via an implicit time.Now; compute durations from simulation timestamps", true
+		case "Sleep":
+			if isTest {
+				return "", "", false
+			}
+			return RuleTimeSleep, "time.Sleep blocks the OS thread, not virtual time; schedule work on the simulation clock (internal/simclock)", true
 		}
 		return "", "", false
 	}
@@ -105,7 +131,15 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 				report(n.Sel.Pos(), rule, msg)
 			}
 		case *ast.CallExpr:
-			// Dot-imported time: Now()/Since() appear as bare idents.
+			// Bare panic crashes a whole simulated run; production code
+			// must return errors and let the invariant monitor record
+			// breaches instead.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" && !panicExempt {
+				report(id.Pos(), RulePanic,
+					"bare panic aborts the whole simulated run; return an error and record breaches via internal/invariant")
+			}
+			// Dot-imported time: Now()/Since()/Sleep() appear as bare
+			// idents.
 			if !timeDot {
 				return true
 			}

@@ -140,6 +140,77 @@ func TestRepoInternalIsClean(t *testing.T) {
 	}
 }
 
+func TestFlagsTimeSleep(t *testing.T) {
+	diags := lint(t, `package p
+import "time"
+func f() { time.Sleep(time.Second) }
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleTimeSleep {
+		t.Fatalf("diags = %v, want one %s", diags, RuleTimeSleep)
+	}
+}
+
+func TestFlagsBarePanic(t *testing.T) {
+	diags := lint(t, `package p
+func f(x int) {
+	if x < 0 {
+		panic("negative")
+	}
+}
+`)
+	if len(diags) != 1 || diags[0].Rule != RulePanic {
+		t.Fatalf("diags = %v, want one %s", diags, RulePanic)
+	}
+	if diags[0].Pos.Line != 4 {
+		t.Errorf("finding at line %d, want 4", diags[0].Pos.Line)
+	}
+}
+
+func TestSleepAndPanicAllowedInTestFiles(t *testing.T) {
+	diags, err := LintSource("fixture_test.go", `package p
+import "time"
+func f() {
+	time.Sleep(time.Millisecond)
+	panic("test probes may fail hard")
+}
+`)
+	if err != nil {
+		t.Fatalf("LintSource: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("test-file sleep/panic flagged: %v", diags)
+	}
+}
+
+func TestPanicAllowedInInvariantPackage(t *testing.T) {
+	diags := lint(t, `package invariant
+func f() { panic("assertion layer") }
+`)
+	if len(diags) != 0 {
+		t.Fatalf("invariant-package panic flagged: %v", diags)
+	}
+	// The wall-clock rules still apply there.
+	diags = lint(t, `package invariant
+import "time"
+var t0 = time.Now()
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleTimeNow {
+		t.Fatalf("invariant package escaped the determinism rules: %v", diags)
+	}
+}
+
+func TestRecoverNotFlagged(t *testing.T) {
+	diags := lint(t, `package p
+func f() (err error) {
+	defer func() { _ = recover() }()
+	return nil
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("recover flagged: %v", diags)
+	}
+}
+
 func TestLintDirSkipsExemptPackages(t *testing.T) {
 	// simrand legitimately builds on math/rand sources; the repo-wide pass
 	// (previous test) only stays clean because exempt directories are

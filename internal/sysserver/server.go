@@ -16,7 +16,9 @@ import (
 	"repro/internal/anim"
 	"repro/internal/binder"
 	"repro/internal/device"
+	"repro/internal/faults"
 	"repro/internal/geom"
+	"repro/internal/invariant"
 	"repro/internal/simclock"
 	"repro/internal/simrand"
 	"repro/internal/sysui"
@@ -137,6 +139,18 @@ type Server struct {
 	// toast, forcing a visible flicker between successive toasts.
 	toastGapDefense time.Duration
 
+	// frameFault, when non-nil, perturbs toast fade frame scheduling
+	// (supplied by the fault plane via WithFaults).
+	frameFault anim.FaultFunc
+	// monitor, when non-nil, receives invariant probes and internal
+	// breaches; otherwise breaches land in violations.
+	monitor    *invariant.Monitor
+	violations []string
+	// toastCapOverride, when positive, replaces MaxToastTokensPerApp
+	// (fault ablation hook; raising it past the platform cap lets tests
+	// drive the queue into invariant-violating territory).
+	toastCapOverride int
+
 	toasts *toastService
 	stats  Stats
 }
@@ -184,6 +198,45 @@ func New(cfg Config) (*Server, error) {
 
 // Stats returns the server's counters.
 func (s *Server) Stats() Stats { return s.stats }
+
+// SetMonitor routes the server's invariant probes and internal breaches to
+// the runtime monitor.
+func (s *Server) SetMonitor(m *invariant.Monitor) { s.monitor = m }
+
+// SetFrameFault installs a per-frame fault hook for the toast fade
+// animations (the fault plane supplies it).
+func (s *Server) SetFrameFault(fn anim.FaultFunc) { s.frameFault = fn }
+
+// SetToastCapOverride overrides the 50-token per-app toast cap; n <= 0
+// restores the platform default. The invariant monitor still checks
+// against the platform cap, so raising the override seeds a detectable
+// DESIGN §6 violation.
+func (s *Server) SetToastCapOverride(n int) { s.toastCapOverride = n }
+
+func (s *Server) toastCap() int {
+	if s.toastCapOverride > 0 {
+		return s.toastCapOverride
+	}
+	return MaxToastTokensPerApp
+}
+
+// Violations returns internal breaches recorded while no monitor was
+// attached.
+func (s *Server) Violations() []string {
+	out := make([]string, len(s.violations))
+	copy(out, s.violations)
+	return out
+}
+
+// violation reports an internal-consistency breach without crashing the
+// run: to the monitor when attached, else to the local record.
+func (s *Server) violation(rule, detail string) {
+	if s.monitor != nil {
+		s.monitor.Report(rule, detail)
+		return
+	}
+	s.violations = append(s.violations, rule+": "+detail)
+}
 
 // EnableEnhancedNotificationDefense turns on the Section VII-B defense with
 // removal delay t (the paper validates t = 690 ms on a Pixel 2). A
@@ -381,8 +434,9 @@ func (s *Server) overlayGone(app binder.ProcessID) {
 
 func (s *Server) callSysUI(method string, app binder.ProcessID) {
 	if _, err := s.bus.Call(binder.SystemServer, binder.SystemUI, method, app); err != nil {
-		// System UI missing is a wiring bug in a simulation assembly.
-		panic(fmt.Sprintf("sysserver: call System UI: %v", err))
+		// System UI missing is a wiring bug in a simulation assembly;
+		// record it and degrade instead of crashing the run.
+		s.violation("sysserver-sysui-call", err.Error())
 	}
 }
 
@@ -417,6 +471,12 @@ type Stack struct {
 	UI      *sysui.SystemUI
 	Profile device.Profile
 	RNG     *simrand.Source
+	// Faults is the fault-injection plane when assembled WithFaults;
+	// nil in an unfaulted stack.
+	Faults *faults.Plane
+	// Monitor is the runtime invariant monitor when assembled
+	// WithMonitor; nil otherwise.
+	Monitor *invariant.Monitor
 }
 
 // Option adjusts stack assembly; the ablation experiments use these to
@@ -425,6 +485,8 @@ type Option func(*assembleOptions)
 
 type assembleOptions struct {
 	slideDuration time.Duration
+	plane         *faults.Plane
+	monitor       bool
 }
 
 // WithSlideDuration overrides the notification slide-down animation
@@ -432,6 +494,32 @@ type assembleOptions struct {
 func WithSlideDuration(d time.Duration) Option {
 	return func(o *assembleOptions) { o.slideDuration = d }
 }
+
+// WithFaults threads a fault-injection plane through the stack: binder
+// drops/duplicates/spikes/reordering, frame faults on the slide and toast
+// fade animations, and (when the profile enables it) a toast-pressure
+// pump. A nil plane — or a plane built from a zero profile — leaves the
+// assembled stack byte-identical to an unfaulted one.
+//
+// A profile with toast pressure keeps a recurring pump event scheduled, so
+// such stacks must be driven with bounded runs (RunFor/RunUntil), never
+// the run-to-empty Run().
+func WithFaults(pl *faults.Plane) Option {
+	return func(o *assembleOptions) { o.plane = pl }
+}
+
+// WithMonitor attaches a runtime invariant monitor to the assembled
+// stack's clock, bus, window manager and notification manager. The
+// monitor observes only; the run's event schedule is unchanged.
+func WithMonitor() Option {
+	return func(o *assembleOptions) { o.monitor = true }
+}
+
+// faultsNoiseApp posts the toast-pressure bursts.
+const faultsNoiseApp binder.ProcessID = "com.noise.app"
+
+// toastPumpInterval paces the toast-pressure pump.
+const toastPumpInterval = 250 * time.Millisecond
 
 // Assemble wires a complete stack — clock, Binder bus with the profile's
 // latency model, window manager, system server and System UI — from a
@@ -467,18 +555,22 @@ func Assemble(profile device.Profile, seed int64, opts ...Option) (*Stack, error
 	if err != nil {
 		return nil, fmt.Errorf("sysserver: assemble server: %w", err)
 	}
-	ui, err := sysui.New(sysui.Config{
+	uiCfg := sysui.Config{
 		Clock:             clock,
 		Bus:               bus,
 		RNG:               root.Derive("sysui"),
 		Tv:                profile.Tv,
 		NotifViewHeightPx: profile.NotifViewHeightPx,
 		SlideDuration:     ao.slideDuration,
-	})
+	}
+	if ao.plane != nil {
+		uiCfg.FrameFault = ao.plane.FrameFault
+	}
+	ui, err := sysui.New(uiCfg)
 	if err != nil {
 		return nil, fmt.Errorf("sysserver: assemble sysui: %w", err)
 	}
-	return &Stack{
+	st := &Stack{
 		Clock:   clock,
 		Bus:     bus,
 		WM:      manager,
@@ -486,5 +578,41 @@ func Assemble(profile device.Profile, seed int64, opts ...Option) (*Stack, error
 		UI:      ui,
 		Profile: profile,
 		RNG:     root,
-	}, nil
+	}
+	if ao.monitor {
+		mon := invariant.New(clock)
+		mon.AttachClock()
+		mon.AttachBus(bus)
+		mon.AttachWM(manager)
+		server.SetMonitor(mon)
+		ui.SetViolationHandler(func(rule, detail string) { mon.Report(rule, detail) })
+		st.Monitor = mon
+	}
+	if ao.plane != nil {
+		st.Faults = ao.plane
+		bus.SetFaultInjector(ao.plane)
+		server.SetFrameFault(ao.plane.FrameFault)
+		if ao.plane.ToastPressureActive() {
+			// The pump is armed only when the profile actually exerts
+			// toast pressure; otherwise the event queue must stay exactly
+			// as an unfaulted run would leave it (the clock would also
+			// never drain with a perpetual pump scheduled).
+			noiseBounds := geom.RectWH(0, float64(profile.ScreenH)-200, float64(profile.ScreenW), 120)
+			var pump func()
+			pump = func() {
+				for i := 0; i < ao.plane.ToastBurst(); i++ {
+					// system_server is always registered in an assembled
+					// stack; a failed call is recorded by the bus.
+					_, _ = bus.Call(faultsNoiseApp, binder.SystemServer, MethodEnqueueToast, EnqueueToastRequest{
+						Duration: ToastShort,
+						Bounds:   noiseBounds,
+						Content:  "faults/noise",
+					})
+				}
+				clock.MustAfter(toastPumpInterval, "faults/toastPump", pump)
+			}
+			clock.MustAfter(toastPumpInterval, "faults/toastPump", pump)
+		}
+	}
+	return st, nil
 }

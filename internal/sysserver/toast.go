@@ -81,6 +81,9 @@ type toastService struct {
 	// current is the token whose toast is in its on-screen (pre-fade)
 	// phase; nil when the display slot is free.
 	current *toastToken
+	// displayed counts toast windows in their pre-fade-out phase; the
+	// invariant monitor checks it never exceeds one (toast serialization).
+	displayed int
 	// curExpiry is the pending expiry timer for the current toast;
 	// curExpire runs the expiry early on Toast.cancel().
 	curExpiry *simclock.Event
@@ -106,7 +109,7 @@ func newToastService(s *Server) *toastService {
 // enqueue admits a token to the queue, enforcing the per-app cap, and
 // starts display if the slot is free.
 func (t *toastService) enqueue(from binder.ProcessID, req EnqueueToastRequest) {
-	if t.perApp[from] >= MaxToastTokensPerApp {
+	if t.perApp[from] >= t.s.toastCap() {
 		t.s.stats.ToastsRejected++
 		return
 	}
@@ -129,6 +132,9 @@ func (t *toastService) enqueue(from binder.ProcessID, req EnqueueToastRequest) {
 	t.queue = append(t.queue, tok)
 	t.perApp[from]++
 	t.s.stats.ToastsEnqueued++
+	if t.s.monitor != nil {
+		t.s.monitor.ToastQueued(from, t.perApp[from])
+	}
 	if t.current == nil {
 		t.showNext()
 	}
@@ -177,11 +183,15 @@ func (t *toastService) showNext() {
 			return
 		}
 		t.s.stats.ToastsShown++
+		t.displayed++
+		if t.s.monitor != nil {
+			t.s.monitor.ToastDisplayed(t.displayed)
+		}
 		rec := &ToastRecord{App: tok.app, Content: tok.content, ShownAt: t.s.clock.Now()}
 		t.records = append(t.records, rec)
 		// The window attaches fully transparent and fades in.
 		if err := t.s.wm.SetAlpha(id, 0); err != nil {
-			panic("sysserver: set alpha on fresh toast: " + err.Error())
+			t.s.violation("toast-window", "set alpha on fresh toast: "+err.Error())
 		}
 		t.runFade(id, anim.Decelerate{}, false, nil)
 		// After the on-screen duration, fade out and release the slot.
@@ -189,6 +199,10 @@ func (t *toastService) showNext() {
 			t.current = nil
 			t.curExpiry = nil
 			t.curExpire = nil
+			t.displayed--
+			if t.s.monitor != nil {
+				t.s.monitor.ToastDisplayed(t.displayed)
+			}
 			if gap := t.s.toastGapDefense; gap > 0 {
 				t.nextAllowed[tok.app] = t.s.clock.Now() + t.s.toastFade + gap
 			}
@@ -196,7 +210,7 @@ func (t *toastService) showNext() {
 				rec.GoneAt = t.s.clock.Now()
 				if t.s.wm.Attached(id) {
 					if err := t.s.wm.RemoveWindow(id); err != nil {
-						panic("sysserver: remove toast window: " + err.Error())
+						t.s.violation("toast-window", "remove toast window: "+err.Error())
 					}
 				}
 			})
@@ -217,6 +231,7 @@ func (t *toastService) runFade(id wm.WindowID, ip anim.Interpolator, out bool, o
 		Name:         "sysserver/toastFade",
 		Duration:     t.s.toastFade,
 		Interpolator: ip,
+		FrameFault:   t.s.frameFault,
 		OnFrame: func(v float64) {
 			alpha := v
 			if out {
@@ -233,10 +248,19 @@ func (t *toastService) runFade(id wm.WindowID, ip anim.Interpolator, out bool, o
 		},
 	})
 	if err != nil {
-		panic("sysserver: build toast fade: " + err.Error())
+		// The fade config is validated by construction; degrade by
+		// completing the fade instantly rather than crashing the run.
+		t.s.violation("toast-fade", "build toast fade: "+err.Error())
+		if onDone != nil {
+			onDone()
+		}
+		return
 	}
 	if err := a.Start(); err != nil {
-		panic("sysserver: start toast fade: " + err.Error())
+		t.s.violation("toast-fade", "start toast fade: "+err.Error())
+		if onDone != nil {
+			onDone()
+		}
 	}
 }
 

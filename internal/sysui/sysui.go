@@ -148,6 +148,9 @@ type Config struct {
 	// regardless. Zero selects 4096; long attack soaks would otherwise
 	// accumulate one episode per draw-and-destroy cycle forever.
 	EpisodeHistory int
+	// FrameFault, if non-nil, perturbs the slide animation's frame
+	// scheduling (supplied by the fault plane).
+	FrameFault anim.FaultFunc
 }
 
 // alertState tracks one app's active alert.
@@ -174,6 +177,32 @@ type SystemUI struct {
 	// Exact aggregates over all episodes ever, independent of trimming.
 	episodesTotal uint64
 	worstEver     Outcome
+
+	// onViolation receives internal-consistency breaches; with none
+	// installed they are recorded in violations. Either way the process
+	// degrades instead of crashing.
+	onViolation func(rule, detail string)
+	violations  []string
+}
+
+// SetViolationHandler installs fn to receive internal-consistency
+// breaches (the invariant monitor wires itself in here). A nil fn reverts
+// to internal recording (Violations).
+func (ui *SystemUI) SetViolationHandler(fn func(rule, detail string)) { ui.onViolation = fn }
+
+// Violations returns breaches recorded while no handler was installed.
+func (ui *SystemUI) Violations() []string {
+	out := make([]string, len(ui.violations))
+	copy(out, ui.violations)
+	return out
+}
+
+func (ui *SystemUI) violation(rule, detail string) {
+	if ui.onViolation != nil {
+		ui.onViolation(rule, detail)
+		return
+	}
+	ui.violations = append(ui.violations, rule+": "+detail)
 }
 
 // New builds and registers the System UI endpoint on the bus.
@@ -258,6 +287,7 @@ func (ui *SystemUI) startSlide(app binder.ProcessID, st *alertState) {
 		Name:          "sysui/startTopAnimation",
 		Duration:      ui.cfg.SlideDuration,
 		FrameInterval: ui.cfg.FrameInterval,
+		FrameFault:    ui.cfg.FrameFault,
 		Interpolator:  anim.FastOutSlowIn(),
 		OnFrame: func(v float64) {
 			if v > st.episode.PeakCompleteness {
@@ -274,11 +304,14 @@ func (ui *SystemUI) startSlide(app binder.ProcessID, st *alertState) {
 		},
 	})
 	if err != nil {
-		panic(fmt.Sprintf("sysui: build slide animation: %v", err))
+		// The slide config is validated at New; record the breach and
+		// leave the alert unanimated (it classifies from its zero state).
+		ui.violation("sysui-slide", fmt.Sprintf("build slide animation: %v", err))
+		return
 	}
 	st.slide = slide
 	if err := slide.Start(); err != nil {
-		panic(fmt.Sprintf("sysui: start slide animation: %v", err))
+		ui.violation("sysui-slide", fmt.Sprintf("start slide animation: %v", err))
 	}
 }
 
@@ -350,7 +383,11 @@ func (ui *SystemUI) removeAlert(app binder.ProcessID) {
 		// view is fully off screen.
 		slide := st.slide
 		if err := slide.ReverseNow(); err != nil {
-			panic(fmt.Sprintf("sysui: reverse slide: %v", err))
+			// ReverseNow on a running slide cannot fail; report and end
+			// the episode at its current visual state.
+			ui.violation("sysui-slide", fmt.Sprintf("reverse slide: %v", err))
+			finish()
+			return
 		}
 		if slide.State() == anim.StateFinished {
 			finish()

@@ -90,11 +90,12 @@ func NewView(id, class string, bounds geom.Rect) *View {
 	return &View{ID: id, Class: class, Bounds: bounds, A11yEnabled: true}
 }
 
-// AddChild attaches child to v and returns the child for chaining. Adding
-// a child that already has a parent panics: view nodes belong to one tree.
+// AddChild attaches child to v and returns the child for chaining. A
+// child that already has a parent is left in its original tree and the
+// add is ignored: view nodes belong to exactly one tree.
 func (v *View) AddChild(child *View) *View {
 	if child.parent != nil {
-		panic(fmt.Sprintf("uikit: view %q already has a parent", child.ID))
+		return child
 	}
 	child.parent = v
 	v.children = append(v.children, child)

@@ -61,16 +61,18 @@ func TestTreeNavigation(t *testing.T) {
 	}
 }
 
-func TestAddChildTwicePanics(t *testing.T) {
+func TestAddChildTwiceIgnored(t *testing.T) {
 	root, user, _ := loginTree()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("re-parenting did not panic")
-		}
-	}()
 	other := NewView("other", "FrameLayout", geom.RectWH(0, 0, 1, 1))
-	_ = other
-	root.AddChild(user)
+	if got := other.AddChild(user); got != user {
+		t.Fatal("AddChild did not return the child")
+	}
+	if user.Parent() != root {
+		t.Fatal("re-parenting moved the child; want no-op")
+	}
+	if len(other.Children()) != 0 {
+		t.Fatalf("adopting parent gained children: %v", other.Children())
+	}
 }
 
 // TestAlipayBypassNavigation walks the paper's Alipay bypass: from the

@@ -241,6 +241,13 @@ type Manager struct {
 	countListeners  []OverlayCountListener
 	windowListeners []WindowEventListener
 
+	// onViolation receives internal-consistency breaches (overlay count
+	// underflow, failed forced removals). With no handler installed the
+	// breach is recorded in violations; the state is clamped either way so
+	// a faulted run degrades instead of crashing.
+	onViolation func(rule, detail string)
+	violations  []string
+
 	nextGesture uint64
 	gestures    map[uint64]*gesture
 
@@ -290,6 +297,27 @@ func NewManager(clock *simclock.Clock, screen geom.Rect) (*Manager, error) {
 // Screen reports the screen rectangle.
 func (m *Manager) Screen() geom.Rect { return m.screen }
 
+// SetViolationHandler installs fn to receive internal-consistency
+// breaches; the invariant monitor uses this to collect them with an
+// event-time trace. A nil fn reverts to internal recording (Violations).
+func (m *Manager) SetViolationHandler(fn func(rule, detail string)) { m.onViolation = fn }
+
+// Violations returns breaches recorded while no violation handler was
+// installed.
+func (m *Manager) Violations() []string {
+	out := make([]string, len(m.violations))
+	copy(out, m.violations)
+	return out
+}
+
+func (m *Manager) violation(rule, detail string) {
+	if m.onViolation != nil {
+		m.onViolation(rule, detail)
+		return
+	}
+	m.violations = append(m.violations, rule+": "+detail)
+}
+
 // Stats reports dispatch counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
@@ -302,9 +330,10 @@ func (m *Manager) GrantOverlayPermission(app binder.ProcessID) { m.perms[app] = 
 func (m *Manager) RevokeOverlayPermission(app binder.ProcessID) {
 	delete(m.perms, app)
 	for _, w := range m.windowsOf(app, TypeApplicationOverlay) {
-		// Removal of an attached window cannot fail.
+		// Removal of an attached window cannot fail; report (not crash)
+		// if bookkeeping ever disagrees.
 		if err := m.RemoveWindow(w.ID); err != nil {
-			panic(fmt.Sprintf("wm: revoke removal: %v", err))
+			m.violation("wm-revoke-removal", err.Error())
 		}
 	}
 }
@@ -456,7 +485,11 @@ func (m *Manager) RemoveWindow(id WindowID) error {
 	if w.Type == TypeApplicationOverlay {
 		old := m.overlays[w.Owner]
 		if old <= 0 {
-			panic(fmt.Sprintf("wm: overlay count underflow for %q", w.Owner))
+			// DESIGN §6: per-app overlay counts never go negative. Report
+			// the breach and clamp at zero so the run degrades gracefully.
+			m.violation("overlay-count-negative", fmt.Sprintf("remove of %q would take count %d below zero", w.Owner, old))
+			m.notifyCount(w.Owner, old, old-1)
+			return nil
 		}
 		m.overlays[w.Owner] = old - 1
 		if old-1 == 0 {
@@ -511,6 +544,17 @@ func (m *Manager) OverlayCount(app binder.ProcessID) int { return m.overlays[app
 
 // WindowCount reports the total number of attached windows.
 func (m *Manager) WindowCount() int { return len(m.order) }
+
+// ZOrder returns snapshots of every attached window bottom-to-top; the
+// invariant monitor checks the DESIGN §6 z-order consistency rule
+// (non-decreasing layer, FIFO within a layer) against it.
+func (m *Manager) ZOrder() []Window {
+	out := make([]Window, len(m.order))
+	for i, w := range m.order {
+		out[i] = *w
+	}
+	return out
+}
 
 func (m *Manager) windowsOf(app binder.ProcessID, t WindowType) []*Window {
 	var out []*Window

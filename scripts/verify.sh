@@ -1,0 +1,28 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate, a superset of the tier-1
+# check in ROADMAP.md. Run from the repository root:
+#
+#     sh scripts/verify.sh
+#
+# Steps: build, unit tests, go vet, the simlint determinism/robustness
+# pass, and a race-detector pass over the short tests.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> simlint internal/"
+go run ./cmd/simlint
+
+echo "==> go test -race -short ./..."
+go test -race -short ./...
+
+echo "verify: all checks passed"
