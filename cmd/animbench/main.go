@@ -6,9 +6,21 @@
 //	animbench -exp all
 //	animbench -exp fig7 -seed 42
 //	animbench -exp table2
+//	animbench -exp all -journal /tmp/animbench-journal
 //
 // Experiments: fig2, fig4, fig6, table2, load, fig7, fig8, table3, table4,
 // stealth, corpus, defense-ipc, defense-notif, all.
+//
+// With -journal, the long runners (fig6, table2, fig7/fig8, table3,
+// degradation) fsync every finished trial to a per-experiment journal in
+// the given directory. A run killed at any instant — SIGKILL included —
+// rerun with the same flags resumes from the journal and prints a report
+// byte-identical to an uninterrupted run; a completed experiment deletes
+// its journal.
+//
+// Exit status: 0 on success, 1 on error, 2 on interrupt or usage error,
+// and 3 when `-exp all` completes but some trials were skipped (the report
+// footer shows the count).
 package main
 
 import (
@@ -18,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
@@ -27,19 +40,41 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:]))
 }
 
-func run() int {
+// runConfig carries the flag values into the experiment dispatch.
+type runConfig struct {
+	seed         int64
+	model        string
+	trials       int
+	corpusN      int
+	faultProfile string
+	journalDir   string
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("animbench", flag.ContinueOnError)
 	var (
-		exp          = flag.String("exp", "all", "experiment to run (fig2, fig4, fig6, table2, load, fig7, fig8, table3, table4, stealth, corpus, defense-ipc, defense-notif, degradation, ablations, all)")
-		seed         = flag.Int64("seed", 42, "simulation seed")
-		model        = flag.String("model", "mi8", "device model for single-device experiments (fig6, load)")
-		trials       = flag.Int("trials", 10, "passwords per participant for table3 (paper: 10)")
-		corpus       = flag.Int("corpus", appstore.PaperCorpusSize, "synthetic corpus size for the §VI-C2 study")
-		faultProfile = flag.String("faultprofile", "chaos", "fault profile for the degradation sweep ("+strings.Join(faults.Names(), ", ")+")")
+		exp          = fs.String("exp", "all", "experiment to run (fig2, fig4, fig6, table2, load, fig7, fig8, table3, table4, stealth, corpus, defense-ipc, defense-notif, degradation, ablations, all)")
+		seed         = fs.Int64("seed", 42, "simulation seed")
+		model        = fs.String("model", "mi8", "device model for single-device experiments (fig6, load)")
+		trials       = fs.Int("trials", 10, "passwords per participant for table3 (paper: 10)")
+		corpus       = fs.Int("corpus", appstore.PaperCorpusSize, "synthetic corpus size for the §VI-C2 study")
+		faultProfile = fs.String("faultprofile", "chaos", "fault profile for the degradation sweep ("+strings.Join(faults.Names(), ", ")+")")
+		journalDir   = fs.String("journal", "", "directory for per-trial journals; a killed run rerun with the same flags resumes to a byte-identical report")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := runConfig{
+		seed:         *seed,
+		model:        *model,
+		trials:       *trials,
+		corpusN:      *corpus,
+		faultProfile: *faultProfile,
+		journalDir:   *journalDir,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -48,8 +83,11 @@ func run() int {
 	if *exp == "all" {
 		names = []string{"fig2", "fig4", "fig6", "table2", "load", "fig7", "fig8", "table3", "table4", "stealth", "corpus", "defense-ipc", "defense-notif", "defense-toastgap", "drawer", "sensitivity", "ablations"}
 	}
+	totalSkipped := 0
 	for _, name := range names {
-		if err := runOne(ctx, strings.TrimSpace(name), *seed, *model, *trials, *corpus, *faultProfile); err != nil {
+		skipped, err := runOne(ctx, strings.TrimSpace(name), cfg)
+		totalSkipped += skipped
+		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "animbench: %s: interrupted\n", name)
 				return 2
@@ -59,131 +97,200 @@ func run() int {
 		}
 		fmt.Println()
 	}
+	if totalSkipped > 0 {
+		// The report footer: a run that silently loses trials must say so
+		// in the output...
+		fmt.Printf("animbench: WARNING: %d trial(s) skipped across experiments\n", totalSkipped)
+	}
+	// ...and, for the full suite, in the exit status.
+	return exitStatus(*exp == "all", totalSkipped)
+}
+
+// exitStatus maps a completed run's skipped-trial count to the process
+// exit code: a full `-exp all` suite that lost trials exits 3 so CI and
+// scripts cannot mistake a degraded run for a clean one.
+func exitStatus(expAll bool, skipped int) int {
+	if expAll && skipped > 0 {
+		return 3
+	}
 	return 0
 }
 
-func runOne(ctx context.Context, name string, seed int64, model string, trials, corpusN int, faultProfile string) error {
+// openJournal opens the per-experiment trial journal under cfg.journalDir,
+// or returns nil (journaling disabled) when no directory was given. params
+// must capture every flag that changes the experiment's trial identity.
+func openJournal(cfg runConfig, exp, params string) (*experiment.Journal, error) {
+	if cfg.journalDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(cfg.journalDir, 0o755); err != nil {
+		return nil, fmt.Errorf("animbench: create journal dir: %w", err)
+	}
+	return experiment.OpenJournal(filepath.Join(cfg.journalDir, exp+".journal"), exp, cfg.seed, params)
+}
+
+func runOne(ctx context.Context, name string, cfg runConfig) (skipped int, err error) {
+	seed, model, trials, corpusN, faultProfile := cfg.seed, cfg.model, cfg.trials, cfg.corpusN, cfg.faultProfile
 	switch name {
 	case "fig2":
 		fmt.Print(experiment.RenderFig2())
 	case "fig4":
 		fmt.Print(experiment.RenderFig4())
 	case "fig6":
-		pts, err := experiment.Fig6(model, seed)
+		j, err := openJournal(cfg, "fig6", "model="+model)
 		if err != nil {
-			return err
+			return 0, err
+		}
+		defer j.Close()
+		pts, err := experiment.Fig6Journaled(model, seed, j)
+		if err != nil {
+			return 0, err
 		}
 		fmt.Print(experiment.RenderFig6(model, pts))
+		return 0, j.Finish()
 	case "devices":
 		fmt.Print(experiment.RenderDeviceCatalog())
 	case "table2":
-		rows, err := experiment.TableII(seed)
+		j, err := openJournal(cfg, "table2", "")
 		if err != nil {
-			return err
+			return 0, err
+		}
+		defer j.Close()
+		rows, err := experiment.TableIIJournaled(seed, j)
+		if err != nil {
+			return 0, err
 		}
 		fmt.Print(experiment.RenderTableII(rows))
+		return 0, j.Finish()
 	case "load":
 		rows, err := experiment.LoadImpact(model, seed)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Print(experiment.RenderLoadImpact(model, rows))
 	case "fig7", "fig8":
-		study, err := experiment.RunCaptureStudy(seed)
+		// Both views share one capture study, and therefore one journal.
+		j, err := openJournal(cfg, "capture", "")
 		if err != nil {
-			return err
+			return 0, err
+		}
+		defer j.Close()
+		study, err := experiment.RunCaptureStudyJournaled(seed, j)
+		if err != nil {
+			return 0, err
 		}
 		if name == "fig7" {
 			rows, err := study.Fig7()
 			if err != nil {
-				return err
+				return 0, err
 			}
 			fmt.Print(experiment.RenderFig7(rows))
 			fmt.Println()
 			modelRows, err := experiment.Fig7Model()
 			if err != nil {
-				return err
+				return 0, err
 			}
 			fmt.Print(experiment.RenderFig7Model(modelRows, rows))
-			return nil
+			return 0, j.Finish()
 		}
 		series, err := study.Fig8()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Print(experiment.RenderFig8(study.Ds, series))
+		return 0, j.Finish()
 	case "table3":
-		rows, err := experiment.TableIII(seed, trials)
+		j, err := openJournal(cfg, "table3", fmt.Sprintf("trials=%d", trials))
 		if err != nil {
-			return err
+			return 0, err
+		}
+		defer j.Close()
+		rows, err := experiment.TableIIIJournaled(seed, trials, j)
+		if err != nil {
+			return 0, err
 		}
 		fmt.Print(experiment.RenderTableIII(rows))
+		for _, r := range rows {
+			skipped += r.Skipped
+		}
+		return skipped, j.Finish()
 	case "table4":
 		rows, err := experiment.TableIV(seed)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Print(experiment.RenderTableIV(rows))
 	case "stealth":
 		rep, err := experiment.Stealthiness(seed)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Print(experiment.RenderStealth(rep))
 	case "corpus":
 		rep, err := experiment.CorpusStudy(seed, corpusN)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Println("§VI-C2 — app-market prevalence study")
 		fmt.Println(rep)
 	case "defense-ipc":
 		rep, err := experiment.DefenseIPC(seed)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Print(experiment.RenderDefenseIPC(rep))
 	case "defense-notif":
 		rep, err := experiment.DefenseNotif(seed)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Print(experiment.RenderDefenseNotif(rep))
 	case "degradation":
-		rep, err := experiment.Degradation(ctx, seed, faultProfile)
+		j, err := openJournal(cfg, "degradation", "profile="+faultProfile)
 		if err != nil {
+			return 0, err
+		}
+		defer j.Close()
+		rep, derr := experiment.DegradationJournaled(ctx, seed, faultProfile, j)
+		if rep != nil {
+			for _, pt := range rep.Points {
+				skipped += pt.SkippedTrials
+			}
+		}
+		if derr != nil {
 			if rep != nil && len(rep.Points) > 0 {
 				fmt.Print(experiment.RenderDegradation(rep))
 			}
-			return err
+			return skipped, derr
 		}
 		fmt.Print(experiment.RenderDegradation(rep))
+		return skipped, j.Finish()
 	case "defense-toastgap":
 		rep, err := experiment.DefenseToastGap(seed)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Print(experiment.RenderDefenseToastGap(rep))
 	case "drawer":
 		rep, err := experiment.DrawerCheck(model, seed)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Print(experiment.RenderDrawerCheck(rep))
 	case "sensitivity":
 		rows, err := experiment.ScatterSensitivity(seed)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Print(experiment.RenderScatterSensitivity(rows))
 	case "ablations":
 		rep, err := experiment.Ablations(seed)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		fmt.Print(experiment.RenderAblations(rep))
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return 0, fmt.Errorf("unknown experiment %q", name)
 	}
-	return nil
+	return 0, nil
 }

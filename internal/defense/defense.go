@@ -16,6 +16,7 @@ package defense
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/binder"
@@ -184,12 +185,19 @@ func (d *IPCDetector) evaluate(app binder.ProcessID, w *appWindow, now time.Dura
 	}
 }
 
-// Detections returns all positive findings so far.
+// Detections returns all positive findings so far, ordered by detection
+// time then app so repeated runs render identically.
 func (d *IPCDetector) Detections() []Detection {
 	out := make([]Detection, 0, len(d.detections))
 	for _, det := range d.detections {
 		out = append(out, det)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].App < out[j].App
+	})
 	return out
 }
 

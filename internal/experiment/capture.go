@@ -138,6 +138,14 @@ func runCaptureTrial(p device.Profile, typist *input.Typist, d time.Duration, rn
 // sweep, each of the 30 participants types 100 random characters on their
 // own phone while the attack runs.
 func RunCaptureStudy(seed int64) (*CaptureStudy, error) {
+	return RunCaptureStudyJournaled(seed, nil)
+}
+
+// RunCaptureStudyJournaled is RunCaptureStudy with per-trial journaling:
+// each (D, participant) typing session is fsynced to j on completion, so
+// the 210-trial study survives a kill and resumes to a byte-identical
+// dataset. A nil journal disables journaling.
+func RunCaptureStudyJournaled(seed int64, j *Journal) (*CaptureStudy, error) {
 	root := simrand.New(seed)
 	typists, err := input.Participants(root.Derive("typists"), NumParticipants)
 	if err != nil {
@@ -147,13 +155,24 @@ func RunCaptureStudy(seed int64) (*CaptureStudy, error) {
 	for di, d := range study.Ds {
 		for i := 0; i < NumParticipants; i++ {
 			p := participantDevice(i)
-			var rate float64
-			err := safeTrial(fmt.Sprintf("capture trial (D=%v, participant %d)", d, i), func() error {
-				var terr error
-				rate, terr = runCaptureTrial(p, typists[i], d,
-					root.DeriveIndexed("strings", di*NumParticipants+i),
-					seed+int64(di*1000+i))
-				return terr
+			// Derive the per-trial string and typing streams before the
+			// journal lookup: DeriveIndexed consumes a draw from root, so a
+			// resumed run must perform the derivations of replayed trials
+			// too, or the remaining live trials drift.
+			strRNG := root.DeriveIndexed("strings", di*NumParticipants+i)
+			typist, err := typists[i].WithStream(root.DeriveIndexed("plan", di*NumParticipants+i))
+			if err != nil {
+				return nil, fmt.Errorf("experiment: trial typist: %w", err)
+			}
+			rate, err := journaledTrial(j, fmt.Sprintf("d=%dms/p=%d", d/time.Millisecond, i), func() (float64, error) {
+				var rate float64
+				err := safeTrial(fmt.Sprintf("capture trial (D=%v, participant %d)", d, i), func() error {
+					var terr error
+					rate, terr = runCaptureTrial(p, typist, d, strRNG,
+						seed+int64(di*1000+i))
+					return terr
+				})
+				return rate, err
 			})
 			if err != nil {
 				return nil, err

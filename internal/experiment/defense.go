@@ -189,6 +189,15 @@ type DefenseNotifReport struct {
 // attack run with and without the delayed-removal patch, plus an honest
 // overlay app under the patch.
 func DefenseNotif(seed int64) (DefenseNotifReport, error) {
+	return DefenseNotifWith(seed, faults.None())
+}
+
+// DefenseNotifWith runs the same evaluation with a fault profile active on
+// every stack (each run gets a fresh plane from its own seed), so the
+// degradation sweep can ask whether the delayed-removal patch still wins
+// on a lossy platform. A zero profile attaches no plane at all, keeping
+// DefenseNotifWith(seed, faults.None()) byte-identical to DefenseNotif.
+func DefenseNotifWith(seed int64, prof faults.Profile) (DefenseNotifReport, error) {
 	const delayT = 690 * time.Millisecond
 	rep := DefenseNotifReport{DelayT: delayT}
 	p, ok := device.ByModel("pixel 2")
@@ -196,9 +205,15 @@ func DefenseNotif(seed int64) (DefenseNotifReport, error) {
 		return rep, fmt.Errorf("experiment: pixel 2 profile missing")
 	}
 	d := time.Duration(float64(p.PaperUpperBoundD) * 0.9)
+	planeOpts := func(planeSeed int64) []sysserver.Option {
+		if prof.Zero() {
+			return nil
+		}
+		return []sysserver.Option{sysserver.WithFaults(faults.NewPlane(prof, planeSeed))}
+	}
 
 	run := func(seed int64, enableDefense bool) (sysui.Outcome, error) {
-		st, err := assembleAttackStack(p, seed)
+		st, err := assembleAttackStack(p, seed, planeOpts(seed+100)...)
 		if err != nil {
 			return 0, err
 		}
@@ -227,7 +242,7 @@ func DefenseNotif(seed int64) (DefenseNotifReport, error) {
 	}
 
 	// Honest overlay app under the defense: correct lifecycle.
-	st, err := sysserver.Assemble(p, seed+2)
+	st, err := sysserver.Assemble(p, seed+2, planeOpts(seed+102)...)
 	if err != nil {
 		return rep, fmt.Errorf("experiment: honest stack: %w", err)
 	}

@@ -6,11 +6,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/faults"
 	"repro/internal/input"
+	"repro/internal/invariant"
 	"repro/internal/simrand"
+	"repro/internal/stats"
 	"repro/internal/sysserver"
 	"repro/internal/sysui"
 )
@@ -23,6 +26,11 @@ func DegradationIntensities() []float64 { return []float64{0, 0.25, 0.5, 0.75, 1
 // capture-rate D — enough for a stable mean ordering, small enough that
 // the five-intensity sweep stays fast.
 const degradationParticipants = 4
+
+// degradationStealLen is the password length of the sweep's Table III
+// slice — the paper's middle length, where the error classes are all
+// populated.
+const degradationStealLen = 8
 
 // DegradationPoint is the sweep's measurement at one fault intensity:
 // which headline results of the paper survive and which collapse.
@@ -42,9 +50,27 @@ type DegradationPoint struct {
 	// OrderingHolds reports the Fig. 7 shape: capture at the high D at
 	// least matches the low D.
 	OrderingHolds bool
+	// StealTrials and StealSuccess fold Table III into the sweep: the
+	// number of completed password-stealing trials at this intensity and
+	// the percentage of passwords fully recovered.
+	StealTrials  int
+	StealSuccess float64
+	// IPCDetected, IPCTerminated and BenignFlagged are the §VII-A defense
+	// verdict under faults: the Binder-based detector must still flag and
+	// terminate the attack without flagging the benign workload.
+	IPCDetected   bool
+	IPCTerminated bool
+	BenignFlagged int
+	// NotifHolds is the §VII-B verdict under faults: with the
+	// delayed-removal patch the attack outcome is Λ5 and the honest app's
+	// alert still completes its lifecycle.
+	NotifHolds bool
 	// Violations counts invariant-monitor violations recorded during the
 	// monitored attack run.
 	Violations int
+	// ViolationsByRule bins the monitored run's recorded violations per
+	// invariant rule; the sweep-wide first-break table aggregates it.
+	ViolationsByRule map[string]int
 	// SkippedTrials counts sub-experiments lost to a panic or error.
 	SkippedTrials int
 	// Faults aggregates the faults actually injected at this intensity.
@@ -58,14 +84,78 @@ type DegradationReport struct {
 	Points  []DegradationPoint
 }
 
+// InvariantBreaks aggregates the sweep's invariant violations per rule and
+// reports, most fragile rule first, the lowest intensity at which each
+// first broke. Computed from the points, so it is also meaningful on a
+// partial (interrupted) report.
+func (r *DegradationReport) InvariantBreaks() []invariant.RuleBreak {
+	agg := invariant.NewAggregate()
+	for _, pt := range r.Points {
+		for rule, n := range pt.ViolationsByRule {
+			agg.Add(pt.Intensity, rule, n)
+		}
+	}
+	return agg.Rows()
+}
+
+// The journaled per-sub-experiment records. Each encodes its own skip flag
+// so a deterministic failure is replayed as a skip instead of re-running.
+type degAttackRec struct {
+	Skipped    bool           `json:"skipped,omitempty"`
+	Suppressed bool           `json:"suppressed"`
+	Violations int            `json:"violations"`
+	ViolByRule map[string]int `json:"viol_by_rule,omitempty"`
+	Faults     faults.Stats   `json:"faults"`
+}
+
+type degBoundRec struct {
+	Skipped bool          `json:"skipped,omitempty"`
+	BoundD  time.Duration `json:"bound_d"`
+	Faults  faults.Stats  `json:"faults"`
+}
+
+type degCaptureRec struct {
+	Skipped bool         `json:"skipped,omitempty"`
+	Rate    float64      `json:"rate"`
+	Faults  faults.Stats `json:"faults"`
+}
+
+type degStealRec struct {
+	Skipped bool         `json:"skipped,omitempty"`
+	Success bool         `json:"success"`
+	Faults  faults.Stats `json:"faults"`
+}
+
+type degIPCRec struct {
+	Skipped       bool `json:"skipped,omitempty"`
+	Detected      bool `json:"detected"`
+	Terminated    bool `json:"terminated"`
+	BenignFlagged int  `json:"benign_flagged"`
+}
+
+type degNotifRec struct {
+	Skipped bool `json:"skipped,omitempty"`
+	Holds   bool `json:"holds"`
+}
+
 // Degradation sweeps the named fault profile's intensity from 0 to 1 and
-// re-runs three headline results at every step — the Fig. 6 alert
-// suppression, the Table II Λ1 bound and the Fig. 7 capture ordering —
-// under a live invariant monitor. The zero-intensity point attaches no
-// fault plane at all, so it reproduces the unfaulted baseline exactly.
+// re-runs the headline results at every step — the Fig. 6 alert
+// suppression, the Table II Λ1 bound, the Fig. 7 capture ordering, a
+// Table III password-stealing slice and the §VII defense verdicts — under
+// a live invariant monitor. The zero-intensity point attaches no fault
+// plane at all, so it reproduces the unfaulted baseline exactly.
 // Cancelling ctx returns the points finished so far along with ctx's
 // error.
 func Degradation(ctx context.Context, seed int64, profileName string) (*DegradationReport, error) {
+	return DegradationJournaled(ctx, seed, profileName, nil)
+}
+
+// DegradationJournaled is Degradation with per-sub-experiment journaling:
+// every monitored attack run, bound search, capture trial, steal trial and
+// defense verdict is fsynced to j on completion, so a killed sweep rerun
+// with the same journal resumes and renders a byte-identical report. A nil
+// journal disables journaling.
+func DegradationJournaled(ctx context.Context, seed int64, profileName string, j *Journal) (*DegradationReport, error) {
 	base, err := faults.ByName(profileName)
 	if err != nil {
 		return nil, err
@@ -77,6 +167,18 @@ func Degradation(ctx context.Context, seed int64, profileName string) (*Degradat
 	typists, err := input.Participants(root.Derive("typists"), degradationParticipants)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: participants: %w", err)
+	}
+	// The Table III slice draws from its own root so folding it into the
+	// sweep cannot perturb the pre-existing sub-experiments' streams.
+	stealRoot := simrand.New(seed + 104729)
+	stealTypists, err := input.Participants(stealRoot.Derive("steal-typists"), degradationParticipants)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: steal participants: %w", err)
+	}
+	pwSrc := stealRoot.Derive("steal-passwords")
+	bofa, ok := apps.ByName("Bank of America")
+	if !ok {
+		return nil, fmt.Errorf("experiment: BofA app missing")
 	}
 
 	for ii, x := range DegradationIntensities() {
@@ -96,61 +198,94 @@ func Degradation(ctx context.Context, seed int64, profileName string) (*Degradat
 			pl := faults.NewPlane(prof, planeSeed)
 			return []sysserver.Option{sysserver.WithFaults(pl)}, pl
 		}
-		collect := func(pl *faults.Plane) {
-			if pl != nil {
-				pt.Faults = pt.Faults.Add(pl.Stats())
+		planeStats := func(pl *faults.Plane) faults.Stats {
+			if pl == nil {
+				return faults.Stats{}
 			}
+			return pl.Stats()
 		}
 
 		// Sub-experiment 1 — monitored attack run at 0.9× the bound: does
 		// the alert stay invisible, and do the platform invariants hold?
-		opts, pl := planeOpts(pseed)
-		opts = append(opts, sysserver.WithMonitor())
-		var st *sysserver.Stack
-		err := safeTrial(fmt.Sprintf("degradation attack (x=%.2f)", x), func() error {
-			var terr error
-			st, terr = assembleAttackStack(p, pseed, opts...)
-			if terr != nil {
-				return terr
-			}
-			atk, terr := core.NewOverlayAttack(st, core.OverlayAttackConfig{
-				App:    AttackerApp,
-				D:      attackD,
-				Bounds: screenOf(p),
+		attack, err := journaledTrial(j, fmt.Sprintf("x=%.2f/attack", x), func() (degAttackRec, error) {
+			opts, pl := planeOpts(pseed)
+			opts = append(opts, sysserver.WithMonitor())
+			var st *sysserver.Stack
+			err := safeTrial(fmt.Sprintf("degradation attack (x=%.2f)", x), func() error {
+				var terr error
+				st, terr = assembleAttackStack(p, pseed, opts...)
+				if terr != nil {
+					return terr
+				}
+				atk, terr := core.NewOverlayAttack(st, core.OverlayAttackConfig{
+					App:    AttackerApp,
+					D:      attackD,
+					Bounds: screenOf(p),
+				})
+				if terr != nil {
+					return terr
+				}
+				if terr := atk.Start(); terr != nil {
+					return terr
+				}
+				st.Clock.MustAfter(6*time.Second, "experiment/stop", atk.Stop)
+				return st.Clock.RunFor(11 * time.Second)
 			})
-			if terr != nil {
-				return terr
+			if err != nil {
+				return degAttackRec{Skipped: true}, nil
 			}
-			if terr := atk.Start(); terr != nil {
-				return terr
+			rec := degAttackRec{
+				Suppressed: st.UI.WorstOutcome() == sysui.Lambda1,
+				Faults:     planeStats(pl),
 			}
-			st.Clock.MustAfter(6*time.Second, "experiment/stop", atk.Stop)
-			return st.Clock.RunFor(11 * time.Second)
+			if st.Monitor != nil {
+				rec.Violations = st.Monitor.Count()
+				for _, v := range st.Monitor.Violations() {
+					if rec.ViolByRule == nil {
+						rec.ViolByRule = make(map[string]int)
+					}
+					rec.ViolByRule[v.Rule]++
+				}
+			}
+			return rec, nil
 		})
 		if err != nil {
+			return rep, err
+		}
+		if attack.Skipped {
 			pt.SkippedTrials++
 		} else {
-			pt.AlertSuppressed = st.UI.WorstOutcome() == sysui.Lambda1
-			if st.Monitor != nil {
-				pt.Violations += st.Monitor.Count()
-			}
-			collect(pl)
+			pt.AlertSuppressed = attack.Suppressed
+			pt.Violations += attack.Violations
+			pt.ViolationsByRule = attack.ViolByRule
+			pt.Faults = pt.Faults.Add(attack.Faults)
 		}
 
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
 		// Sub-experiment 2 — the Λ1 bound search under faults.
-		opts, pl = planeOpts(pseed + 1)
-		err = safeTrial(fmt.Sprintf("degradation bound (x=%.2f)", x), func() error {
-			var terr error
-			pt.BoundD, terr = measureUpperBoundD(p, pseed+1, opts...)
-			return terr
+		bound, err := journaledTrial(j, fmt.Sprintf("x=%.2f/bound", x), func() (degBoundRec, error) {
+			opts, pl := planeOpts(pseed + 1)
+			var d time.Duration
+			err := safeTrial(fmt.Sprintf("degradation bound (x=%.2f)", x), func() error {
+				var terr error
+				d, terr = measureUpperBoundD(p, pseed+1, opts...)
+				return terr
+			})
+			if err != nil {
+				return degBoundRec{Skipped: true}, nil
+			}
+			return degBoundRec{BoundD: d, Faults: planeStats(pl)}, nil
 		})
 		if err != nil {
+			return rep, err
+		}
+		if bound.Skipped {
 			pt.SkippedTrials++
 		} else {
-			collect(pl)
+			pt.BoundD = bound.BoundD
+			pt.Faults = pt.Faults.Add(bound.Faults)
 		}
 
 		// Sub-experiment 3 — Fig. 7 capture-rate ordering: mean capture at
@@ -164,21 +299,37 @@ func Degradation(ctx context.Context, seed int64, profileName string) (*Degradat
 			}
 			sum, n := 0.0, 0
 			for i := 0; i < degradationParticipants; i++ {
-				opts, pl = planeOpts(pseed + 2 + int64(di*100+i))
-				var rate float64
-				err := safeTrial(fmt.Sprintf("degradation capture (x=%.2f, D=%v, participant %d)", x, d, i), func() error {
-					var terr error
-					rate, terr = runCaptureTrial(p, typists[i], d,
-						root.DeriveIndexed("strings", ii*100+di*10+i),
-						pseed+2+int64(di*100+i), opts...)
-					return terr
+				// Derived before the journal lookup: the draws from root must
+				// happen on replayed trials too, or the resumed run's later
+				// streams diverge from an uninterrupted one.
+				strRNG := root.DeriveIndexed("strings", ii*100+di*10+i)
+				typist, err := typists[i].WithStream(root.DeriveIndexed("plan", ii*100+di*10+i))
+				if err != nil {
+					return rep, fmt.Errorf("experiment: trial typist: %w", err)
+				}
+				capRec, err := journaledTrial(j, fmt.Sprintf("x=%.2f/capture/d=%dms/p=%d", x, d/time.Millisecond, i), func() (degCaptureRec, error) {
+					opts, pl := planeOpts(pseed + 2 + int64(di*100+i))
+					var rate float64
+					err := safeTrial(fmt.Sprintf("degradation capture (x=%.2f, D=%v, participant %d)", x, d, i), func() error {
+						var terr error
+						rate, terr = runCaptureTrial(p, typist, d, strRNG,
+							pseed+2+int64(di*100+i), opts...)
+						return terr
+					})
+					if err != nil {
+						return degCaptureRec{Skipped: true}, nil
+					}
+					return degCaptureRec{Rate: rate, Faults: planeStats(pl)}, nil
 				})
 				if err != nil {
+					return rep, err
+				}
+				if capRec.Skipped {
 					pt.SkippedTrials++
 					continue
 				}
-				collect(pl)
-				sum += rate
+				pt.Faults = pt.Faults.Add(capRec.Faults)
+				sum += capRec.Rate
 				n++
 			}
 			if n == 0 {
@@ -190,13 +341,164 @@ func Degradation(ctx context.Context, seed int64, profileName string) (*Degradat
 		pt.CaptureLowD, pt.CaptureHighD = means[0], means[1]
 		pt.OrderingHolds = measured && pt.CaptureHighD >= pt.CaptureLowD
 
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		// Sub-experiment 4 — Table III slice: each sweep participant types
+		// one random password while the stealer runs under faults.
+		successes := 0
+		for i := 0; i < degradationParticipants; i++ {
+			// Drawn before the lookup for the same stream-alignment reason
+			// as the capture strings.
+			password := input.RandomPassword(pwSrc, degradationStealLen)
+			typist, err := stealTypists[i].WithStream(stealRoot.DeriveIndexed("steal-plan", ii*degradationParticipants+i))
+			if err != nil {
+				return rep, fmt.Errorf("experiment: trial typist: %w", err)
+			}
+			steal, err := journaledTrial(j, fmt.Sprintf("x=%.2f/steal/p=%d", x, i), func() (degStealRec, error) {
+				opts, pl := planeOpts(pseed + 500 + int64(i))
+				var trial StealTrialResult
+				err := safeTrial(fmt.Sprintf("degradation steal (x=%.2f, participant %d)", x, i), func() error {
+					var terr error
+					trial, terr = RunStealTrial(p, typist, bofa, password,
+						pseed+3000+int64(i), opts...)
+					return terr
+				})
+				if err != nil {
+					return degStealRec{Skipped: true}, nil
+				}
+				return degStealRec{
+					Success: ClassifyTrial(password, trial.Stolen) == ErrorNone,
+					Faults:  planeStats(pl),
+				}, nil
+			})
+			if err != nil {
+				return rep, err
+			}
+			if steal.Skipped {
+				pt.SkippedTrials++
+				continue
+			}
+			pt.Faults = pt.Faults.Add(steal.Faults)
+			pt.StealTrials++
+			if steal.Success {
+				successes++
+			}
+		}
+		pt.StealSuccess = stats.Ratio(successes, pt.StealTrials)
+
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		// Sub-experiment 5 — §VII-A IPC defense verdict under faults.
+		ipc, err := journaledTrial(j, fmt.Sprintf("x=%.2f/defense-ipc", x), func() (degIPCRec, error) {
+			var drep DefenseIPCReport
+			err := safeTrial(fmt.Sprintf("degradation defense-ipc (x=%.2f)", x), func() error {
+				var terr error
+				drep, terr = DefenseIPCWith(pseed+4000, prof)
+				return terr
+			})
+			if err != nil {
+				return degIPCRec{Skipped: true}, nil
+			}
+			return degIPCRec{
+				Detected:      drep.AttackDetected,
+				Terminated:    drep.AttackTerminated,
+				BenignFlagged: drep.BenignFlagged,
+			}, nil
+		})
+		if err != nil {
+			return rep, err
+		}
+		if ipc.Skipped {
+			pt.SkippedTrials++
+		} else {
+			pt.IPCDetected = ipc.Detected
+			pt.IPCTerminated = ipc.Terminated
+			pt.BenignFlagged = ipc.BenignFlagged
+		}
+
+		// Sub-experiment 6 — §VII-B enhanced-notification verdict under
+		// faults.
+		notif, err := journaledTrial(j, fmt.Sprintf("x=%.2f/defense-notif", x), func() (degNotifRec, error) {
+			var nrep DefenseNotifReport
+			err := safeTrial(fmt.Sprintf("degradation defense-notif (x=%.2f)", x), func() error {
+				var terr error
+				nrep, terr = DefenseNotifWith(pseed+5000, prof)
+				return terr
+			})
+			if err != nil {
+				return degNotifRec{Skipped: true}, nil
+			}
+			return degNotifRec{Holds: nrep.OutcomeWith == sysui.Lambda5 && nrep.HonestAlertGone}, nil
+		})
+		if err != nil {
+			return rep, err
+		}
+		if notif.Skipped {
+			pt.SkippedTrials++
+		} else {
+			pt.NotifHolds = notif.Holds
+		}
+
 		rep.Points = append(rep.Points, pt)
 	}
 	return rep, nil
 }
 
+// degradationHeadlines are the sweep's survive/collapse predicates, shared
+// by the survival summary and the monotonicity check.
+func degradationHeadlines() []struct {
+	name  string
+	holds func(DegradationPoint) bool
+} {
+	return []struct {
+		name  string
+		holds func(DegradationPoint) bool
+	}{
+		{"alert suppression (Fig. 6)", func(pt DegradationPoint) bool { return pt.AlertSuppressed }},
+		{"Λ1 bound > 0 (Table II)", func(pt DegradationPoint) bool { return pt.BoundD > 0 }},
+		{"capture ordering (Fig. 7)", func(pt DegradationPoint) bool { return pt.OrderingHolds }},
+		{"password recovery ≥ 50% (Table III)", func(pt DegradationPoint) bool {
+			return pt.StealTrials > 0 && pt.StealSuccess >= 50
+		}},
+		{"IPC defense verdict (§VII-A)", func(pt DegradationPoint) bool {
+			return pt.IPCDetected && pt.IPCTerminated && pt.BenignFlagged == 0
+		}},
+		{"notification defense Λ5 (§VII-B)", func(pt DegradationPoint) bool { return pt.NotifHolds }},
+	}
+}
+
+// MonotoneAnomalies scans the sweep for survive/fail patterns no monotone
+// degradation can produce: a headline that fails at some intensity but
+// holds again at a strictly higher one. Random faults make individual
+// points noisy, so an anomaly is not proof of a bug — but a sweep that
+// recovers under MORE faults most often means a sweep-ordering or seeding
+// error, and the report flags it.
+func MonotoneAnomalies(r *DegradationReport) []string {
+	var out []string
+	for _, h := range degradationHeadlines() {
+		failedAt := -1.0
+		for _, pt := range r.Points {
+			if !h.holds(pt) {
+				if failedAt < 0 {
+					failedAt = pt.Intensity
+				}
+				continue
+			}
+			if failedAt >= 0 && pt.Intensity > failedAt {
+				out = append(out, fmt.Sprintf("%s: fails at intensity %.2f but holds at %.2f",
+					h.name, failedAt, pt.Intensity))
+				break
+			}
+		}
+	}
+	return out
+}
+
 // RenderDegradation formats the sweep as one row per intensity plus a
-// survive/collapse summary per headline result.
+// survive/collapse summary per headline result, the sweep-wide invariant
+// first-break table and any monotonicity anomalies.
 func RenderDegradation(r *DegradationReport) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Degradation — headline results vs fault intensity (profile %q, seed %d)\n", r.Profile, r.Seed)
@@ -206,22 +508,35 @@ func RenderDegradation(r *DegradationReport) string {
 			pt.Intensity, pt.AlertSuppressed, pt.BoundD/time.Millisecond,
 			pt.CaptureLowD, pt.CaptureHighD, pt.OrderingHolds, pt.Violations, pt.SkippedTrials)
 	}
+	sb.WriteString("  intensity  steal-recov  ipc-detect  ipc-term  benign-fp  notif-Λ5\n")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&sb, "  %9.2f  %10.1f%%  %-10v  %-8v  %9d  %-8v\n",
+			pt.Intensity, pt.StealSuccess, pt.IPCDetected, pt.IPCTerminated, pt.BenignFlagged, pt.NotifHolds)
+	}
 	for _, pt := range r.Points {
 		if !pt.Faults.Zero() {
 			fmt.Fprintf(&sb, "  faults @%.2f: %s\n", pt.Intensity, pt.Faults)
 		}
 	}
-	survival := func(name string, holds func(DegradationPoint) bool) {
+	sb.WriteString(invariant.RenderRuleBreaks(r.InvariantBreaks()))
+	for _, h := range degradationHeadlines() {
+		collapsed := false
 		for _, pt := range r.Points {
-			if !holds(pt) {
-				fmt.Fprintf(&sb, "  %s: collapses at intensity %.2f\n", name, pt.Intensity)
-				return
+			if !h.holds(pt) {
+				fmt.Fprintf(&sb, "  %s: collapses at intensity %.2f\n", h.name, pt.Intensity)
+				collapsed = true
+				break
 			}
 		}
-		fmt.Fprintf(&sb, "  %s: survives the full sweep\n", name)
+		if !collapsed {
+			fmt.Fprintf(&sb, "  %s: survives the full sweep\n", h.name)
+		}
 	}
-	survival("alert suppression (Fig. 6)", func(pt DegradationPoint) bool { return pt.AlertSuppressed })
-	survival("Λ1 bound > 0 (Table II)", func(pt DegradationPoint) bool { return pt.BoundD > 0 })
-	survival("capture ordering (Fig. 7)", func(pt DegradationPoint) bool { return pt.OrderingHolds })
+	if anomalies := MonotoneAnomalies(r); len(anomalies) > 0 {
+		sb.WriteString("  WARNING: non-monotone degradation (possible sweep-ordering bug):\n")
+		for _, a := range anomalies {
+			fmt.Fprintf(&sb, "    %s\n", a)
+		}
+	}
 	return sb.String()
 }

@@ -53,6 +53,14 @@ type Fig6Point struct {
 // from well below to well above the device's bound produces the Λ1→Λ5
 // progression of notification-visibility outcomes.
 func Fig6(model string, seed int64) ([]Fig6Point, error) {
+	return Fig6Journaled(model, seed, nil)
+}
+
+// Fig6Journaled is Fig6 with per-point journaling: every completed sweep
+// point is fsynced to j, so an interrupted sweep rerun with the same
+// journal replays finished points and produces a byte-identical result. A
+// nil journal disables journaling.
+func Fig6Journaled(model string, seed int64, j *Journal) ([]Fig6Point, error) {
 	p, ok := device.ByModel(model)
 	if !ok {
 		return nil, fmt.Errorf("experiment: unknown device model %q", model)
@@ -66,11 +74,14 @@ func Fig6(model string, seed int64) ([]Fig6Point, error) {
 	i := 0
 	for d := bound * 2 / 5; d <= bound+750*time.Millisecond; d += 30 * time.Millisecond {
 		d := d
-		var o sysui.Outcome
-		err := safeTrial(fmt.Sprintf("fig6 point D=%v", d), func() error {
-			var perr error
-			o, perr = OutcomeForD(p, d, 6*time.Second, seed+int64(i))
-			return perr
+		o, err := journaledTrial(j, fmt.Sprintf("d=%dms", d/time.Millisecond), func() (sysui.Outcome, error) {
+			var o sysui.Outcome
+			err := safeTrial(fmt.Sprintf("fig6 point D=%v", d), func() error {
+				var perr error
+				o, perr = OutcomeForD(p, d, 6*time.Second, seed+int64(i))
+				return perr
+			})
+			return o, err
 		})
 		if err != nil {
 			return nil, err

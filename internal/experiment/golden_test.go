@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden reports instead of comparing against them:
+//
+//	go test ./internal/experiment -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/golden/*.txt from the current code")
+
+// goldenSeed pins the reference run. Changing it (or any experiment
+// logic) intentionally requires regenerating the goldens with -update and
+// reviewing the diff.
+const goldenSeed = 42
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir golden dir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output drifted from golden %s\n-- got --\n%s\n-- want --\n%s\n(run with -update if the change is intentional)",
+			name, path, got, string(want))
+	}
+}
+
+// TestGoldenFig6 locks the Fig. 6 sweep report at the reference seed.
+func TestGoldenFig6(t *testing.T) {
+	pts, err := Fig6("mi8", goldenSeed)
+	if err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	checkGolden(t, "fig6", RenderFig6("mi8", pts))
+}
+
+// TestGoldenTableII locks the Table II per-device bound report.
+func TestGoldenTableII(t *testing.T) {
+	rows, err := TableII(goldenSeed)
+	if err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	checkGolden(t, "table2", RenderTableII(rows))
+}
+
+// TestGoldenTableIII locks the Table III stealing report (one password per
+// participant to keep the suite fast).
+func TestGoldenTableIII(t *testing.T) {
+	rows, err := TableIII(goldenSeed, 1)
+	if err != nil {
+		t.Fatalf("table3: %v", err)
+	}
+	checkGolden(t, "table3", RenderTableIII(rows))
+}
+
+// TestGoldenFig7 locks the capture-rate box plots.
+func TestGoldenFig7(t *testing.T) {
+	study, err := RunCaptureStudy(goldenSeed)
+	if err != nil {
+		t.Fatalf("capture study: %v", err)
+	}
+	rows, err := study.Fig7()
+	if err != nil {
+		t.Fatalf("fig7: %v", err)
+	}
+	checkGolden(t, "fig7", RenderFig7(rows))
+}
+
+// TestGoldenDegradation locks the full degradation sweep — including the
+// Table III slice, the defense verdicts and the invariant first-break
+// table — at the reference seed and profile. In particular this pins the
+// zero-intensity row, which must track the unfaulted experiments exactly.
+func TestGoldenDegradation(t *testing.T) {
+	rep, err := Degradation(context.Background(), goldenSeed, "chaos")
+	if err != nil {
+		t.Fatalf("degradation: %v", err)
+	}
+	checkGolden(t, "degradation", RenderDegradation(rep))
+}

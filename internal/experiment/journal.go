@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Journal is a crash-safe per-trial result log for the long experiment
+// runners, modelled on the per-chunk checkpoint of the corpus study
+// (appstore/checkpoint.go): an append-only JSONL file, fsynced per record,
+// whose header pins the run's identity (experiment name, seed, parameters).
+// A runner threads the journal through its trial loop with journaledTrial:
+// a trial whose id is already on disk replays the recorded result instead
+// of re-running, so a run killed at any instant — including SIGKILL —
+// resumes from where it died and, because the simulation is deterministic,
+// produces a byte-identical report.
+//
+// A nil *Journal is valid and disables journaling entirely: every runner's
+// unjournaled entry point passes nil and executes exactly the pre-journal
+// code path.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	done map[string]json.RawMessage
+}
+
+// journalHeader is the first line of a journal file. A resume against a
+// different experiment, seed or parameter set must fail loudly rather than
+// replay foreign trials.
+type journalHeader struct {
+	V      int    `json:"v"`
+	Exp    string `json:"exp"`
+	Seed   int64  `json:"seed"`
+	Params string `json:"params"`
+}
+
+// journalLine is one completed trial.
+type journalLine struct {
+	ID     string          `json:"id"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenJournal opens or creates the journal at path for the given run
+// identity. An existing file is loaded for resume; a torn trailing line
+// from a crash mid-append is dropped (that trial re-runs). An existing
+// file with a different identity is an error.
+func OpenJournal(path, exp string, seed int64, params string) (*Journal, error) {
+	hdr := journalHeader{V: 1, Exp: exp, Seed: seed, Params: params}
+	done := make(map[string]json.RawMessage)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("experiment: read journal: %w", err)
+	}
+	if err == nil && len(data) > 0 {
+		lines := strings.Split(string(data), "\n")
+		var got journalHeader
+		if jerr := json.Unmarshal([]byte(lines[0]), &got); jerr != nil || got != hdr {
+			return nil, fmt.Errorf("experiment: journal %s belongs to a different run (want v=%d exp=%s seed=%d params=%q); delete it to start over",
+				path, hdr.V, hdr.Exp, hdr.Seed, hdr.Params)
+		}
+		for _, ln := range lines[1:] {
+			if strings.TrimSpace(ln) == "" {
+				continue
+			}
+			var jl journalLine
+			if jerr := json.Unmarshal([]byte(ln), &jl); jerr != nil || jl.ID == "" {
+				// Torn trailing line from a crash mid-append: drop it; the
+				// trial re-runs.
+				continue
+			}
+			done[jl.ID] = jl.Result
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: open journal: %w", err)
+		}
+		return &Journal{f: f, path: path, done: done}, nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: create journal: %w", err)
+	}
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: encode journal header: %w", err)
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: write journal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: sync journal header: %w", err)
+	}
+	return &Journal{f: f, path: path, done: done}, nil
+}
+
+// Lookup unmarshals the recorded result of trial id into out and reports
+// whether the trial was found. A nil journal never finds anything.
+func (j *Journal) Lookup(id string, out any) (bool, error) {
+	if j == nil {
+		return false, nil
+	}
+	j.mu.Lock()
+	raw, ok := j.done[id]
+	j.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("experiment: decode journaled trial %q: %w", id, err)
+	}
+	return true, nil
+}
+
+// Record appends one finished trial and fsyncs, so a kill at any later
+// instant preserves it. Recording on a nil journal is a no-op.
+func (j *Journal) Record(id string, result any) error {
+	if j == nil {
+		return nil
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("experiment: encode trial %q: %w", id, err)
+	}
+	b, err := json.Marshal(journalLine{ID: id, Result: raw})
+	if err != nil {
+		return fmt.Errorf("experiment: encode journal line %q: %w", id, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("experiment: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("experiment: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("experiment: sync journal: %w", err)
+	}
+	j.done[id] = raw
+	return nil
+}
+
+// Done reports how many trials the journal holds (recorded this run plus
+// replayed from disk). Zero on a nil journal.
+func (j *Journal) Done() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Close closes the file, keeping it on disk for a later resume. Safe on a
+// nil journal.
+func (j *Journal) Close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}
+
+// Finish closes and deletes the journal after a fully completed run. Safe
+// on a nil journal.
+func (j *Journal) Finish() error {
+	if j == nil {
+		return nil
+	}
+	j.Close()
+	if err := os.Remove(j.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("experiment: remove finished journal: %w", err)
+	}
+	return nil
+}
+
+// journaledTrial replays trial id from the journal when present, or runs
+// it live and records the result. run must be deterministic for the run
+// identity pinned in the journal header; trials that can be skipped encode
+// the skip inside T rather than returning an error, so an error from run
+// (or from the journal itself) aborts the whole runner.
+func journaledTrial[T any](j *Journal, id string, run func() (T, error)) (T, error) {
+	var v T
+	if ok, err := j.Lookup(id, &v); err != nil {
+		return v, err
+	} else if ok {
+		return v, nil
+	}
+	v, err := run()
+	if err != nil {
+		return v, err
+	}
+	if err := j.Record(id, v); err != nil {
+		return v, err
+	}
+	return v, nil
+}

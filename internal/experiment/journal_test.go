@@ -1,0 +1,250 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fig6Baseline computes the un-journaled reference render once per test.
+func fig6Baseline(t *testing.T, seed int64) string {
+	t.Helper()
+	pts, err := Fig6("mi8", seed)
+	if err != nil {
+		t.Fatalf("baseline fig6: %v", err)
+	}
+	return RenderFig6("mi8", pts)
+}
+
+// completedFig6Journal runs a journaled fig6 sweep to completion and
+// returns the raw journal bytes (header line + one line per sweep point).
+func completedFig6Journal(t *testing.T, seed int64) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig6.journal")
+	j, err := OpenJournal(path, "fig6", seed, "model=mi8")
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	if _, err := Fig6Journaled("mi8", seed, j); err != nil {
+		t.Fatalf("journaled fig6: %v", err)
+	}
+	j.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	return raw
+}
+
+// resumeFig6From writes raw as the journal file and resumes the sweep from
+// it, returning the rendered report.
+func resumeFig6From(t *testing.T, raw []byte, seed int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig6.journal")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write truncated journal: %v", err)
+	}
+	j, err := OpenJournal(path, "fig6", seed, "model=mi8")
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer j.Close()
+	pts, err := Fig6Journaled("mi8", seed, j)
+	if err != nil {
+		t.Fatalf("resumed fig6: %v", err)
+	}
+	return RenderFig6("mi8", pts)
+}
+
+// TestJournalResumeEveryBoundary simulates a crash after every record
+// boundary of a fig6 sweep: for each prefix of the journal, a resumed run
+// must produce a report byte-identical to the un-journaled baseline.
+func TestJournalResumeEveryBoundary(t *testing.T) {
+	const seed = 7
+	want := fig6Baseline(t, seed)
+	raw := completedFig6Journal(t, seed)
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	// lines[0] is the header; a crash can leave any number of records.
+	for k := 1; k <= len(lines); k++ {
+		prefix := bytes.Join(lines[:k], nil)
+		if got := resumeFig6From(t, prefix, seed); got != want {
+			t.Fatalf("resume from %d/%d journal lines diverges\nwant:\n%s\ngot:\n%s",
+				k, len(lines), want, got)
+		}
+	}
+}
+
+// TestJournalResumeTornRecord simulates a crash mid-write: the journal
+// ends with half a record line. The torn tail must be dropped and the
+// resumed run must still match the baseline byte for byte.
+func TestJournalResumeTornRecord(t *testing.T) {
+	const seed = 7
+	want := fig6Baseline(t, seed)
+	raw := completedFig6Journal(t, seed)
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("journal too short for a torn-record test: %d lines", len(lines))
+	}
+	// Tear the third record in half (keep header + two full records).
+	torn := bytes.Join(lines[:3], nil)
+	half := lines[3][:len(lines[3])/2]
+	torn = append(torn, half...)
+	if got := resumeFig6From(t, torn, seed); got != want {
+		t.Fatalf("resume from torn journal diverges\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestJournalIdentityMismatch: a journal written under one identity must
+// refuse to resume under another instead of silently mixing streams.
+func TestJournalIdentityMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.journal")
+	j, err := OpenJournal(path, "fig6", 7, "model=mi8")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := j.Record("a", 1); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	j.Close()
+	cases := []struct {
+		name, exp, params string
+		seed              int64
+	}{
+		{"seed", "fig6", "model=mi8", 8},
+		{"exp", "table2", "model=mi8", 7},
+		{"params", "fig6", "model=op6", 7},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := OpenJournal(path, c.exp, c.seed, c.params); err == nil {
+				t.Fatal("mismatched journal accepted")
+			} else if !strings.Contains(err.Error(), "delete it") {
+				t.Errorf("error does not tell the operator the way out: %v", err)
+			}
+		})
+	}
+}
+
+// TestJournalRoundTrip covers the basic record/lookup/done cycle and that
+// Finish removes the file.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rt.journal")
+	j, err := OpenJournal(path, "exp", 1, "p=1")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	type rec struct {
+		N int     `json:"n"`
+		F float64 `json:"f"`
+	}
+	if ok, err := j.Lookup("t1", &rec{}); err != nil || ok {
+		t.Fatalf("lookup before record = (%v, %v), want (false, nil)", ok, err)
+	}
+	if err := j.Record("t1", rec{N: 3, F: 1.5}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	var got rec
+	if ok, err := j.Lookup("t1", &got); err != nil || !ok {
+		t.Fatalf("lookup after record = (%v, %v), want (true, nil)", ok, err)
+	}
+	if got != (rec{N: 3, F: 1.5}) {
+		t.Fatalf("lookup returned %+v", got)
+	}
+	if n := j.Done(); n != 1 {
+		t.Fatalf("Done() = %d, want 1", n)
+	}
+
+	// Reopen with the same identity: the record must still be there.
+	j.Close()
+	j2, err := OpenJournal(path, "exp", 1, "p=1")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got = rec{}
+	if ok, err := j2.Lookup("t1", &got); err != nil || !ok || got.N != 3 {
+		t.Fatalf("lookup after reopen = (%v, %v, %+v)", ok, err, got)
+	}
+	if err := j2.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("journal survives Finish (stat err: %v)", err)
+	}
+}
+
+// TestJournalNil: a nil journal disables journaling but keeps every entry
+// point usable.
+func TestJournalNil(t *testing.T) {
+	var j *Journal
+	if ok, err := j.Lookup("x", new(int)); err != nil || ok {
+		t.Fatalf("nil Lookup = (%v, %v)", ok, err)
+	}
+	if err := j.Record("x", 1); err != nil {
+		t.Fatalf("nil Record: %v", err)
+	}
+	if n := j.Done(); n != 0 {
+		t.Fatalf("nil Done = %d", n)
+	}
+	j.Close()
+	if err := j.Finish(); err != nil {
+		t.Fatalf("nil Finish: %v", err)
+	}
+	v, err := journaledTrial(j, "x", func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("journaledTrial(nil) = (%d, %v)", v, err)
+	}
+}
+
+// TestJournalResumeTableIIIBoundaries spot-checks the heavyweight runner:
+// resuming a Table III run from a handful of record boundaries must give a
+// table byte-identical to the un-journaled baseline. (The typist and
+// password streams are shared across trials, so this catches any drift a
+// replayed trial introduces into later live trials.)
+func TestJournalResumeTableIIIBoundaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run resume test skipped in -short mode")
+	}
+	const seed = 11
+	rows, err := TableIII(seed, 1)
+	if err != nil {
+		t.Fatalf("baseline table3: %v", err)
+	}
+	want := RenderTableIII(rows)
+
+	path := filepath.Join(t.TempDir(), "t3.journal")
+	j, err := OpenJournal(path, "table3", seed, "trials=1")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := TableIIIJournaled(seed, 1, j); err != nil {
+		t.Fatalf("journaled table3: %v", err)
+	}
+	j.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	for _, k := range []int{1, 2, len(lines) / 2, len(lines) - 2, len(lines)} {
+		prefix := bytes.Join(lines[:k], nil)
+		p2 := filepath.Join(t.TempDir(), "t3.journal")
+		if err := os.WriteFile(p2, prefix, 0o644); err != nil {
+			t.Fatalf("write prefix: %v", err)
+		}
+		j2, err := OpenJournal(p2, "table3", seed, "trials=1")
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		rows, err := TableIIIJournaled(seed, 1, j2)
+		if err != nil {
+			t.Fatalf("resume from %d lines: %v", k, err)
+		}
+		j2.Close()
+		if got := RenderTableIII(rows); got != want {
+			t.Fatalf("resume from %d/%d journal lines diverges\nwant:\n%s\ngot:\n%s",
+				k, len(lines), want, got)
+		}
+	}
+}

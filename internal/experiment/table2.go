@@ -71,10 +71,21 @@ func measureUpperBoundD(p device.Profile, seed int64, opts ...sysserver.Option) 
 
 // TableII regenerates Table II: the upper boundary of D per device.
 func TableII(seed int64) ([]TableIIRow, error) {
+	return TableIIJournaled(seed, nil)
+}
+
+// TableIIJournaled is TableII with per-device journaling: every device's
+// completed bound search is fsynced to j, so an interrupted run rerun with
+// the same journal only re-measures the devices it lost. A nil journal
+// disables journaling.
+func TableIIJournaled(seed int64, j *Journal) ([]TableIIRow, error) {
 	profiles := device.Profiles()
 	out := make([]TableIIRow, 0, len(profiles))
 	for i, p := range profiles {
-		measured, err := measureUpperBoundD(p, seed+int64(i)*1009)
+		i, p := i, p
+		measured, err := journaledTrial(j, "device="+p.Name(), func() (time.Duration, error) {
+			return measureUpperBoundD(p, seed+int64(i)*1009)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: table II for %s: %w", p.Name(), err)
 		}

@@ -206,10 +206,27 @@ type TableIIIRow struct {
 // SuccessRate reports the percentage of fully recovered passwords.
 func (r TableIIIRow) SuccessRate() float64 { return stats.Ratio(r.Successes, r.Trials) }
 
+// stealTrialRecord is the journaled outcome of one Table III steal trial.
+// The password itself is regenerated deterministically on replay (the
+// generator stream must advance either way), so only the attacker's output
+// and the skip flag need to persist.
+type stealTrialRecord struct {
+	Skipped bool   `json:"skipped,omitempty"`
+	Stolen  string `json:"stolen"`
+}
+
 // TableIII regenerates Table III: for each password length, each of the
 // 30 participants enters perParticipant random passwords spanning the
 // sub-keyboards (10 in the paper).
 func TableIII(seed int64, perParticipant int) ([]TableIIIRow, error) {
+	return TableIIIJournaled(seed, perParticipant, nil)
+}
+
+// TableIIIJournaled is TableIII with per-trial journaling: every completed
+// steal trial is fsynced to j, so the 300-trials-per-length run survives a
+// kill at any instant and a rerun with the same journal resumes to a
+// byte-identical table. A nil journal disables journaling.
+func TableIIIJournaled(seed int64, perParticipant int, j *Journal) ([]TableIIIRow, error) {
 	if perParticipant <= 0 {
 		return nil, fmt.Errorf("experiment: non-positive trials per participant %d", perParticipant)
 	}
@@ -229,22 +246,41 @@ func TableIII(seed int64, perParticipant int) ([]TableIIIRow, error) {
 		for i := 0; i < NumParticipants; i++ {
 			p := participantDevice(i)
 			for tr := 0; tr < perParticipant; tr++ {
+				// The password and typing-stream draws happen before the
+				// journal lookup so a resumed run's generator streams stay
+				// aligned with an uninterrupted one: replaying a trial from
+				// the journal must consume exactly the draws a live trial
+				// would have taken from the shared roots.
 				password := input.RandomPassword(pwRNG, length)
-				var trial StealTrialResult
-				err := safeTrial(fmt.Sprintf("steal trial (len %d, participant %d, trial %d)", length, i, tr), func() error {
-					var terr error
-					trial, terr = RunStealTrial(p, typists[i], bofa, password,
-						seed+int64(li*100000+i*1000+tr))
-					return terr
+				typist, err := typists[i].WithStream(root.DeriveIndexed("plan",
+					(li*NumParticipants+i)*perParticipant+tr))
+				if err != nil {
+					return nil, fmt.Errorf("experiment: trial typist: %w", err)
+				}
+				rec, err := journaledTrial(j, fmt.Sprintf("len=%d/p=%d/t=%d", length, i, tr), func() (stealTrialRecord, error) {
+					var trial StealTrialResult
+					err := safeTrial(fmt.Sprintf("steal trial (len %d, participant %d, trial %d)", length, i, tr), func() error {
+						var terr error
+						trial, terr = RunStealTrial(p, typist, bofa, password,
+							seed+int64(li*100000+i*1000+tr))
+						return terr
+					})
+					if err != nil {
+						// One bad trial must not kill the 150-trial sweep:
+						// count it and move on.
+						return stealTrialRecord{Skipped: true}, nil
+					}
+					return stealTrialRecord{Stolen: trial.Stolen}, nil
 				})
 				if err != nil {
-					// One bad trial must not kill the 150-trial sweep:
-					// count it and move on.
+					return nil, err
+				}
+				if rec.Skipped {
 					row.Skipped++
 					continue
 				}
 				row.Trials++
-				switch ClassifyTrial(password, trial.Stolen) {
+				switch ClassifyTrial(password, rec.Stolen) {
 				case ErrorNone:
 					row.Successes++
 				case ErrorLength:

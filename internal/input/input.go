@@ -62,6 +62,20 @@ func NewTypist(rng *simrand.Source) (*Typist, error) {
 	}, nil
 }
 
+// WithStream returns a copy of the typist whose planning randomness comes
+// from rng; the participant's drawn parameters (cadence, press window,
+// scatter, misspell rate) are kept. Journaled runners give every trial its
+// own derived stream so that replaying a finished trial from the journal
+// leaves the randomness of the remaining trials untouched.
+func (t *Typist) WithStream(rng *simrand.Source) (*Typist, error) {
+	if rng == nil {
+		return nil, errors.New("input: nil rng")
+	}
+	c := *t
+	c.rng = rng
+	return &c, nil
+}
+
 // MeanCadence reports the typist's average inter-keystroke delay; the
 // attacker sizes the total attacking period T = S × L from it.
 func (t *Typist) MeanCadence() time.Duration { return t.InterKey.MeanDuration() }

@@ -1,0 +1,98 @@
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Aggregate folds per-run violation statistics across a parameter sweep,
+// answering the quantitative robustness question the per-run Monitor
+// cannot: at which fault intensity does each invariant FIRST break, and
+// how often does it break over the whole sweep. Runners feed it one call
+// per swept run (Observe with the run's violations, or Add with pre-binned
+// per-rule counts when replaying journaled results); intensities may
+// arrive in any order.
+type Aggregate struct {
+	rules map[string]*ruleTotals
+}
+
+type ruleTotals struct {
+	total int
+	first float64
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{rules: make(map[string]*ruleTotals)}
+}
+
+// Add folds count violations of rule observed at the given sweep
+// intensity. Zero or negative counts are ignored.
+func (a *Aggregate) Add(intensity float64, rule string, count int) {
+	if count <= 0 {
+		return
+	}
+	rt, ok := a.rules[rule]
+	if !ok {
+		a.rules[rule] = &ruleTotals{total: count, first: intensity}
+		return
+	}
+	rt.total += count
+	if intensity < rt.first {
+		rt.first = intensity
+	}
+}
+
+// Observe folds one monitored run's violations at the given intensity.
+func (a *Aggregate) Observe(intensity float64, vs []Violation) {
+	for _, v := range vs {
+		a.Add(intensity, v.Rule, 1)
+	}
+}
+
+// Empty reports whether no rule broke anywhere in the sweep.
+func (a *Aggregate) Empty() bool { return len(a.rules) == 0 }
+
+// RuleBreak is one rule's sweep-wide breakage summary.
+type RuleBreak struct {
+	// Rule names the invariant (Rule* constants).
+	Rule string
+	// FirstIntensity is the lowest sweep intensity at which the rule
+	// broke at least once.
+	FirstIntensity float64
+	// Total counts the rule's violations across the whole sweep.
+	Total int
+}
+
+// Rows returns one RuleBreak per broken rule, most fragile first (lowest
+// first-breaking intensity, ties by rule name) — the "which invariant
+// gives out first" table.
+func (a *Aggregate) Rows() []RuleBreak {
+	out := make([]RuleBreak, 0, len(a.rules))
+	for rule, rt := range a.rules {
+		out = append(out, RuleBreak{Rule: rule, FirstIntensity: rt.first, Total: rt.total})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FirstIntensity != out[j].FirstIntensity {
+			return out[i].FirstIntensity < out[j].FirstIntensity
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// RenderRuleBreaks formats the sweep-wide breakage table, one row per
+// broken rule; an empty slice renders the clean-sweep line.
+func RenderRuleBreaks(rows []RuleBreak) string {
+	if len(rows) == 0 {
+		return "  invariants: no rule broke at any intensity\n"
+	}
+	var sb strings.Builder
+	sb.WriteString("  invariant first-break across the sweep:\n")
+	sb.WriteString("    rule                           first@  total\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "    %-30s  %5.2f  %5d\n", r.Rule, r.FirstIntensity, r.Total)
+	}
+	return sb.String()
+}

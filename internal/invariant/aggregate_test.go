@@ -1,0 +1,94 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAggregateEmpty(t *testing.T) {
+	a := NewAggregate()
+	if !a.Empty() {
+		t.Fatal("fresh aggregate not empty")
+	}
+	if rows := a.Rows(); len(rows) != 0 {
+		t.Fatalf("fresh aggregate has rows: %v", rows)
+	}
+	// Zero and negative counts must not create a row.
+	a.Add(0.5, RuleToastSerialized, 0)
+	a.Add(0.5, RuleToastSerialized, -3)
+	if !a.Empty() {
+		t.Fatal("zero/negative counts created a rule entry")
+	}
+}
+
+func TestAggregateFirstIntensityIsMinimum(t *testing.T) {
+	a := NewAggregate()
+	// Out-of-order arrival: the sweep may be replayed from a journal in
+	// any order, so the first-break intensity must be the minimum, not
+	// the first seen.
+	a.Add(0.75, "rule-a", 2)
+	a.Add(0.25, "rule-a", 1)
+	a.Add(1.0, "rule-a", 4)
+	rows := a.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v, want 1 row", rows)
+	}
+	if rows[0].FirstIntensity != 0.25 {
+		t.Errorf("FirstIntensity = %v, want 0.25", rows[0].FirstIntensity)
+	}
+	if rows[0].Total != 7 {
+		t.Errorf("Total = %d, want 7", rows[0].Total)
+	}
+}
+
+func TestAggregateRowOrdering(t *testing.T) {
+	a := NewAggregate()
+	a.Add(0.75, "zeta", 1)
+	a.Add(0.25, "beta", 1)
+	a.Add(0.25, "alpha", 1)
+	rows := a.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v, want 3", rows)
+	}
+	// Most fragile first; ties broken by rule name.
+	want := []string{"alpha", "beta", "zeta"}
+	for i, r := range rows {
+		if r.Rule != want[i] {
+			t.Errorf("rows[%d].Rule = %q, want %q", i, r.Rule, want[i])
+		}
+	}
+}
+
+func TestAggregateObserve(t *testing.T) {
+	a := NewAggregate()
+	a.Observe(0.5, []Violation{
+		{Rule: "rule-a"},
+		{Rule: "rule-a"},
+		{Rule: "rule-b"},
+	})
+	a.Observe(0.25, nil) // a clean run adds nothing
+	rows := a.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v, want 2", rows)
+	}
+	if rows[0].Rule != "rule-a" || rows[0].Total != 2 || rows[0].FirstIntensity != 0.5 {
+		t.Errorf("rows[0] = %+v", rows[0])
+	}
+	if rows[1].Rule != "rule-b" || rows[1].Total != 1 {
+		t.Errorf("rows[1] = %+v", rows[1])
+	}
+}
+
+func TestRenderRuleBreaks(t *testing.T) {
+	if got := RenderRuleBreaks(nil); !strings.Contains(got, "no rule broke") {
+		t.Errorf("empty render = %q", got)
+	}
+	got := RenderRuleBreaks([]RuleBreak{
+		{Rule: "wm-toast-ownership", FirstIntensity: 0.25, Total: 12},
+	})
+	for _, want := range []string{"wm-toast-ownership", "0.25", "12", "first@"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("render missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -12,6 +12,13 @@
 // invariant monitor (internal/invariant, which is exempt) would let the
 // run complete and report.
 //
+// A third production-only rule guards the crash-safety layer: inside
+// files implementing journals or checkpoints (base filename containing
+// "journal" or "checkpoint"), os.WriteFile and ioutil.WriteFile are
+// rejected — they neither append nor fsync, so a crash can truncate the
+// very state the file exists to preserve. Crash-safe state must go
+// through a fsynced append.
+//
 // The pass is built on the standard library's go/ast so it carries no
 // dependency beyond the toolchain; cmd/simlint is the CLI driver and the
 // package API lets tests run the pass in-process.
@@ -36,6 +43,11 @@ const (
 	RuleMathRand  = "math-rand"
 	RuleTimeSleep = "time-sleep"
 	RulePanic     = "bare-panic"
+	// RuleUnsyncedWrite guards the crash-safety layer: journal and
+	// checkpoint files exist to survive a kill at any instant, and
+	// os.WriteFile neither appends nor fsyncs — a crash mid-call can leave
+	// the file truncated or the data in the page cache only.
+	RuleUnsyncedWrite = "unsynced-write"
 )
 
 // panicExemptPackages may keep bare panics: the invariant monitor is the
@@ -76,6 +88,7 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 	// aliased imports) and whether time is dot-imported; flag math/rand
 	// imports outright — any use of the package is a determinism leak.
 	timeNames := map[string]bool{}
+	writeFileNames := map[string]bool{} // local names of os / io/ioutil
 	timeDot := false
 	for _, imp := range f.Imports {
 		path, err := strconv.Unquote(imp.Path.Value)
@@ -92,6 +105,13 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 			case imp.Name.Name != "_":
 				timeNames[imp.Name.Name] = true
 			}
+		case "os", "io/ioutil":
+			switch {
+			case imp.Name == nil:
+				writeFileNames[filepath.Base(path)] = true
+			case imp.Name.Name != "." && imp.Name.Name != "_":
+				writeFileNames[imp.Name.Name] = true
+			}
 		case "math/rand", "math/rand/v2":
 			report(imp.Pos(), RuleMathRand,
 				fmt.Sprintf("import of %s in a simulation package; use internal/simrand", path))
@@ -101,8 +121,13 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 	// The robustness rules (time.Sleep, bare panic) apply to production
 	// simulation code only: tests may sleep or panic to probe behaviour,
 	// and the invariant monitor is the designated assertion layer.
-	isTest := strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+	filename := fset.Position(f.Pos()).Filename
+	isTest := strings.HasSuffix(filename, "_test.go")
 	panicExempt := isTest || panicExemptPackages[f.Name.Name]
+	// The unsynced-write rule applies only to production files implementing
+	// the crash-safe persistence layer, identified by filename.
+	base := filepath.Base(filename)
+	crashSafeFile := !isTest && (strings.Contains(base, "journal") || strings.Contains(base, "checkpoint"))
 
 	forbidden := func(sel string) (rule, msg string, ok bool) {
 		switch sel {
@@ -124,7 +149,14 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 		case *ast.SelectorExpr:
 			// Flag both calls and method values (f := time.Now).
 			id, ok := n.X.(*ast.Ident)
-			if !ok || !timeNames[id.Name] {
+			if !ok {
+				return true
+			}
+			if crashSafeFile && writeFileNames[id.Name] && n.Sel.Name == "WriteFile" {
+				report(n.Sel.Pos(), RuleUnsyncedWrite,
+					"os.WriteFile in a journal/checkpoint file neither appends nor fsyncs; crash-safe state must go through a fsynced append (O_APPEND + File.Sync)")
+			}
+			if !timeNames[id.Name] {
 				return true
 			}
 			if rule, msg, ok := forbidden(n.Sel.Name); ok {

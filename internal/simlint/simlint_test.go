@@ -223,3 +223,68 @@ func TestLintDirSkipsExemptPackages(t *testing.T) {
 		t.Fatalf("exempt package produced findings: %v", diags)
 	}
 }
+
+const unsyncedWriteSrc = `package p
+import "os"
+func save(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }
+`
+
+func lintAs(t *testing.T, filename, src string) []Diagnostic {
+	t.Helper()
+	diags, err := LintSource(filename, src)
+	if err != nil {
+		t.Fatalf("LintSource: %v", err)
+	}
+	return diags
+}
+
+func TestFlagsUnsyncedWriteInJournalFile(t *testing.T) {
+	for _, name := range []string{"journal.go", "trial_journal.go", "checkpoint.go", "appstore_checkpoint.go"} {
+		diags := lintAs(t, name, unsyncedWriteSrc)
+		if len(diags) != 1 || diags[0].Rule != RuleUnsyncedWrite {
+			t.Errorf("%s: diags = %v, want one %s", name, diags, RuleUnsyncedWrite)
+		}
+	}
+}
+
+func TestFlagsUnsyncedWriteAliasedImport(t *testing.T) {
+	diags := lintAs(t, "journal.go", `package p
+import sys "os"
+func save(path string, b []byte) error { return sys.WriteFile(path, b, 0o644) }
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleUnsyncedWrite {
+		t.Fatalf("aliased os.WriteFile not flagged: %v", diags)
+	}
+}
+
+func TestFlagsUnsyncedWriteIoutil(t *testing.T) {
+	diags := lintAs(t, "checkpoint.go", `package p
+import "io/ioutil"
+func save(path string, b []byte) error { return ioutil.WriteFile(path, b, 0o644) }
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleUnsyncedWrite {
+		t.Fatalf("ioutil.WriteFile not flagged: %v", diags)
+	}
+}
+
+func TestAllowsWriteFileOutsideCrashSafeFiles(t *testing.T) {
+	// Ordinary production files and journal/checkpoint TESTS may use
+	// os.WriteFile (tests deliberately fabricate torn files with it).
+	for _, name := range []string{"render.go", "journal_test.go", "checkpoint_test.go"} {
+		if diags := lintAs(t, name, unsyncedWriteSrc); len(diags) != 0 {
+			t.Errorf("%s: unexpected diags %v", name, diags)
+		}
+	}
+}
+
+func TestAllowsOtherOsCallsInJournalFiles(t *testing.T) {
+	diags := lintAs(t, "journal.go", `package p
+import "os"
+func open(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("os.OpenFile flagged: %v", diags)
+	}
+}

@@ -5,7 +5,8 @@
 #     sh scripts/verify.sh
 #
 # Steps: build, unit tests, go vet, the simlint determinism/robustness
-# pass, and a race-detector pass over the short tests.
+# pass, a race-detector pass over the short tests, and a coverage floor
+# on the experiment-harness core packages.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,5 +25,22 @@ go run ./cmd/simlint
 
 echo "==> go test -race -short ./..."
 go test -race -short ./...
+
+# Coverage floor for the experiment-harness core: the journaled runners and
+# the sweep-wide invariant aggregation are the crash-safety layer, and a
+# drop below the floor means resume paths lost their tests. Both packages
+# currently sit well above it (~78% / ~85%).
+COVER_FLOOR=65
+echo "==> go test -cover ./internal/experiment ./internal/invariant (floor ${COVER_FLOOR}%)"
+go test -cover ./internal/experiment ./internal/invariant | tee /tmp/verify-cover.$$
+awk -v floor="$COVER_FLOOR" '
+	/coverage:/ {
+		for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i + 1)
+		sub(/%$/, "", pct)
+		if (pct + 0 < floor) { print "coverage below floor (" floor "%): " $0; bad = 1 }
+	}
+	END { exit bad }
+' /tmp/verify-cover.$$
+rm -f /tmp/verify-cover.$$
 
 echo "verify: all checks passed"
