@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -52,132 +53,82 @@ func BenchmarkFig4(b *testing.B) {
 	b.ReportMetric(100*exitAt100, "%exit@100ms")
 }
 
-// BenchmarkFig6 sweeps D through the five Λ outcomes on one device.
-func BenchmarkFig6(b *testing.B) {
-	var lambdas int
-	for i := 0; i < b.N; i++ {
-		pts, err := experiment.Fig6("mi8", benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		seen := map[sysui.Outcome]bool{}
-		for _, p := range pts {
-			seen[p.Outcome] = true
-		}
-		lambdas = len(seen)
+// runExp resolves a registered experiment and drives it end to end through
+// the unified Run API — the same path cmd/animbench takes.
+func runExp(b *testing.B, name string, seed int64, workers int, cfg experiment.Config) experiment.Output {
+	b.Helper()
+	exp, err := experiment.New(name, cfg)
+	if err != nil {
+		b.Fatal(err)
 	}
-	b.ReportMetric(float64(lambdas), "distinct-outcomes")
+	out, err := experiment.Run(exp, experiment.RunOpts{Seed: seed, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
 }
 
-// BenchmarkTableII measures the Λ1 upper bound of D on all 30 devices and
-// reports the mean absolute deviation from the paper's Table II.
-func BenchmarkTableII(b *testing.B) {
-	var meanAbsDev float64
+// BenchmarkFig6 sweeps D through the five Λ outcomes on one device.
+func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.TableII(benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var sum time.Duration
-		for _, r := range rows {
-			d := r.MeasuredD - r.PaperD
-			if d < 0 {
-				d = -d
-			}
-			sum += d
-		}
-		meanAbsDev = float64(sum/time.Duration(len(rows))) / float64(time.Millisecond)
+		runExp(b, "fig6", benchSeed, 1, experiment.Config{Model: "mi8"})
 	}
-	b.ReportMetric(meanAbsDev, "mean|Δ|ms-vs-paper")
+}
+
+// BenchmarkTableII measures the Λ1 upper bound of D on all 30 devices.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runExp(b, "table2", benchSeed, 1, experiment.Config{})
+	}
 }
 
 // BenchmarkLoadImpact reruns the Section VI-B background-load experiment.
 func BenchmarkLoadImpact(b *testing.B) {
-	var spreadMS float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.LoadImpact("mi8", benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		lo, hi := rows[0].MeasuredD, rows[0].MeasuredD
-		for _, r := range rows {
-			if r.MeasuredD < lo {
-				lo = r.MeasuredD
-			}
-			if r.MeasuredD > hi {
-				hi = r.MeasuredD
-			}
-		}
-		spreadMS = float64(hi-lo) / float64(time.Millisecond)
+		runExp(b, "load", benchSeed, 1, experiment.Config{Model: "mi8"})
 	}
-	b.ReportMetric(spreadMS, "bound-spread-ms")
 }
 
-// BenchmarkFig7 runs the full 30-participant capture-rate study and
-// reports the mean capture at the sweep's endpoints.
+// BenchmarkFig7 runs the full 30-participant capture-rate study.
 func BenchmarkFig7(b *testing.B) {
-	var at50, at200 float64
 	for i := 0; i < b.N; i++ {
-		study, err := experiment.RunCaptureStudy(benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rows, err := study.Fig7()
-		if err != nil {
-			b.Fatal(err)
-		}
-		at50 = rows[0].Box.Mean
-		at200 = rows[len(rows)-1].Box.Mean
+		runExp(b, "fig7", benchSeed, 1, experiment.Config{})
 	}
-	b.ReportMetric(at50, "%capture@50ms")
-	b.ReportMetric(at200, "%capture@200ms")
 }
 
-// BenchmarkFig8 runs the capture study grouped by Android version and
-// reports the Android 9 − Android 10 separation at D = 200 ms.
+// BenchmarkFig8 runs the capture study grouped by Android version.
 func BenchmarkFig8(b *testing.B) {
-	var sep float64
 	for i := 0; i < b.N; i++ {
-		study, err := experiment.RunCaptureStudy(benchSeed + 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		series, err := study.Fig8()
-		if err != nil {
-			b.Fatal(err)
-		}
-		last := len(study.Ds) - 1
-		var v9, v10 float64
-		for _, s := range series {
-			switch s.VersionMajor {
-			case 9:
-				v9 = s.MeanByD[last]
-			case 10:
-				v10 = s.MeanByD[last]
-			}
-		}
-		sep = v9 - v10
+		runExp(b, "fig8", benchSeed+1, 1, experiment.Config{})
 	}
-	b.ReportMetric(sep, "v9-v10-gap@200ms")
 }
 
 // BenchmarkTableIII runs the password-stealing study at the paper's scale
 // (10 passwords per participant per length — 1500 full attack runs) and
-// reports the success rate at length 8.
+// reports how many attack runs the fault layer skipped (zero here; the
+// bench runs unfaulted).
 func BenchmarkTableIII(b *testing.B) {
-	var successAt8 float64
+	var skipped int
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.TableIII(benchSeed, 10)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			if r.Length == 8 {
-				successAt8 = r.SuccessRate()
-			}
-		}
+		out := runExp(b, "table3", benchSeed, 1, experiment.Config{Trials: 10})
+		skipped = out.Skipped
 	}
-	b.ReportMetric(successAt8, "%success-len8")
+	b.ReportMetric(float64(skipped), "skipped-trials")
+}
+
+// BenchmarkDegradation runs the full §VIII fault-intensity sweep at one and
+// four workers. The workers=4 sub-benchmark is the scheduler's wall-clock
+// acceptance check: the sweep's six sub-experiments per intensity shard
+// across the pool, so it must run well under the sequential time while the
+// report stays byte-identical (TestParallelDeterminism pins that part).
+func BenchmarkDegradation(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runExp(b, "degradation", benchSeed, workers, experiment.Config{FaultProfile: "chaos"})
+			}
+		})
+	}
 }
 
 // BenchmarkTableIV attacks the eight real-world apps.

@@ -5,18 +5,20 @@
 //
 //	animbench -exp all
 //	animbench -exp fig7 -seed 42
-//	animbench -exp table2
+//	animbench -exp table2 -workers 4
 //	animbench -exp all -journal /tmp/animbench-journal
 //
-// Experiments: fig2, fig4, fig6, table2, load, fig7, fig8, table3, table4,
-// stealth, corpus, defense-ipc, defense-notif, all.
+// Every experiment is dispatched through the experiment registry and runs
+// on the unified driver: -workers N executes independent trials on a
+// bounded worker pool, and the report is byte-identical to -workers 1 for
+// every experiment and worker count.
 //
-// With -journal, the long runners (fig6, table2, fig7/fig8, table3,
-// degradation) fsync every finished trial to a per-experiment journal in
-// the given directory. A run killed at any instant — SIGKILL included —
-// rerun with the same flags resumes from the journal and prints a report
-// byte-identical to an uninterrupted run; a completed experiment deletes
-// its journal.
+// With -journal, every finished trial is fsynced to a per-experiment
+// journal in the given directory. A run killed at any instant — SIGKILL
+// included — rerun with the same flags resumes from the journal and prints
+// a report byte-identical to an uninterrupted run; a completed experiment
+// deletes its journal. Journals key trials by a content hash of their
+// inputs, so out-of-order commits from the worker pool resume correctly.
 //
 // Exit status: 0 on success, 1 on error, 2 on interrupt or usage error,
 // and 3 when `-exp all` completes but some trials were skipped (the report
@@ -51,18 +53,20 @@ type runConfig struct {
 	corpusN      int
 	faultProfile string
 	journalDir   string
+	workers      int
 }
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("animbench", flag.ContinueOnError)
 	var (
-		exp          = fs.String("exp", "all", "experiment to run (fig2, fig4, fig6, table2, load, fig7, fig8, table3, table4, stealth, corpus, defense-ipc, defense-notif, degradation, ablations, all)")
+		exp          = fs.String("exp", "all", "experiment to run ("+strings.Join(experiment.Names(), ", ")+", all)")
 		seed         = fs.Int64("seed", 42, "simulation seed")
 		model        = fs.String("model", "mi8", "device model for single-device experiments (fig6, load)")
 		trials       = fs.Int("trials", 10, "passwords per participant for table3 (paper: 10)")
 		corpus       = fs.Int("corpus", appstore.PaperCorpusSize, "synthetic corpus size for the §VI-C2 study")
 		faultProfile = fs.String("faultprofile", "chaos", "fault profile for the degradation sweep ("+strings.Join(faults.Names(), ", ")+")")
 		journalDir   = fs.String("journal", "", "directory for per-trial journals; a killed run rerun with the same flags resumes to a byte-identical report")
+		workers      = fs.Int("workers", 1, "trial worker pool size; any value renders byte-identical reports")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,6 +78,7 @@ func run(args []string) int {
 		corpusN:      *corpus,
 		faultProfile: *faultProfile,
 		journalDir:   *journalDir,
+		workers:      *workers,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -81,7 +86,7 @@ func run(args []string) int {
 
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
-		names = []string{"fig2", "fig4", "fig6", "table2", "load", "fig7", "fig8", "table3", "table4", "stealth", "corpus", "defense-ipc", "defense-notif", "defense-toastgap", "drawer", "sensitivity", "ablations"}
+		names = experiment.SuiteNames()
 	}
 	totalSkipped := 0
 	for _, name := range names {
@@ -129,168 +134,33 @@ func openJournal(cfg runConfig, exp, params string) (*experiment.Journal, error)
 	return experiment.OpenJournal(filepath.Join(cfg.journalDir, exp+".journal"), exp, cfg.seed, params)
 }
 
+// runOne builds the named experiment from the registry and hands it to the
+// unified driver: the one code path covers journaling, resume and the
+// worker pool for every experiment.
 func runOne(ctx context.Context, name string, cfg runConfig) (skipped int, err error) {
-	seed, model, trials, corpusN, faultProfile := cfg.seed, cfg.model, cfg.trials, cfg.corpusN, cfg.faultProfile
-	switch name {
-	case "fig2":
-		fmt.Print(experiment.RenderFig2())
-	case "fig4":
-		fmt.Print(experiment.RenderFig4())
-	case "fig6":
-		j, err := openJournal(cfg, "fig6", "model="+model)
-		if err != nil {
-			return 0, err
-		}
-		defer j.Close()
-		pts, err := experiment.Fig6Journaled(model, seed, j)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderFig6(model, pts))
-		return 0, j.Finish()
-	case "devices":
-		fmt.Print(experiment.RenderDeviceCatalog())
-	case "table2":
-		j, err := openJournal(cfg, "table2", "")
-		if err != nil {
-			return 0, err
-		}
-		defer j.Close()
-		rows, err := experiment.TableIIJournaled(seed, j)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderTableII(rows))
-		return 0, j.Finish()
-	case "load":
-		rows, err := experiment.LoadImpact(model, seed)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderLoadImpact(model, rows))
-	case "fig7", "fig8":
-		// Both views share one capture study, and therefore one journal.
-		j, err := openJournal(cfg, "capture", "")
-		if err != nil {
-			return 0, err
-		}
-		defer j.Close()
-		study, err := experiment.RunCaptureStudyJournaled(seed, j)
-		if err != nil {
-			return 0, err
-		}
-		if name == "fig7" {
-			rows, err := study.Fig7()
-			if err != nil {
-				return 0, err
-			}
-			fmt.Print(experiment.RenderFig7(rows))
-			fmt.Println()
-			modelRows, err := experiment.Fig7Model()
-			if err != nil {
-				return 0, err
-			}
-			fmt.Print(experiment.RenderFig7Model(modelRows, rows))
-			return 0, j.Finish()
-		}
-		series, err := study.Fig8()
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderFig8(study.Ds, series))
-		return 0, j.Finish()
-	case "table3":
-		j, err := openJournal(cfg, "table3", fmt.Sprintf("trials=%d", trials))
-		if err != nil {
-			return 0, err
-		}
-		defer j.Close()
-		rows, err := experiment.TableIIIJournaled(seed, trials, j)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderTableIII(rows))
-		for _, r := range rows {
-			skipped += r.Skipped
-		}
-		return skipped, j.Finish()
-	case "table4":
-		rows, err := experiment.TableIV(seed)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderTableIV(rows))
-	case "stealth":
-		rep, err := experiment.Stealthiness(seed)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderStealth(rep))
-	case "corpus":
-		rep, err := experiment.CorpusStudy(seed, corpusN)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Println("§VI-C2 — app-market prevalence study")
-		fmt.Println(rep)
-	case "defense-ipc":
-		rep, err := experiment.DefenseIPC(seed)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderDefenseIPC(rep))
-	case "defense-notif":
-		rep, err := experiment.DefenseNotif(seed)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderDefenseNotif(rep))
-	case "degradation":
-		j, err := openJournal(cfg, "degradation", "profile="+faultProfile)
-		if err != nil {
-			return 0, err
-		}
-		defer j.Close()
-		rep, derr := experiment.DegradationJournaled(ctx, seed, faultProfile, j)
-		if rep != nil {
-			for _, pt := range rep.Points {
-				skipped += pt.SkippedTrials
-			}
-		}
-		if derr != nil {
-			if rep != nil && len(rep.Points) > 0 {
-				fmt.Print(experiment.RenderDegradation(rep))
-			}
-			return skipped, derr
-		}
-		fmt.Print(experiment.RenderDegradation(rep))
-		return skipped, j.Finish()
-	case "defense-toastgap":
-		rep, err := experiment.DefenseToastGap(seed)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderDefenseToastGap(rep))
-	case "drawer":
-		rep, err := experiment.DrawerCheck(model, seed)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderDrawerCheck(rep))
-	case "sensitivity":
-		rows, err := experiment.ScatterSensitivity(seed)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderScatterSensitivity(rows))
-	case "ablations":
-		rep, err := experiment.Ablations(seed)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Print(experiment.RenderAblations(rep))
-	default:
-		return 0, fmt.Errorf("unknown experiment %q", name)
+	exp, err := experiment.New(name, experiment.Config{
+		Model:        cfg.model,
+		Trials:       cfg.trials,
+		CorpusN:      cfg.corpusN,
+		FaultProfile: cfg.faultProfile,
+	})
+	if err != nil {
+		return 0, err
 	}
-	return 0, nil
+	j, err := openJournal(cfg, experiment.JournalNameOf(exp), exp.Params())
+	if err != nil {
+		return 0, err
+	}
+	defer j.Close()
+	out, err := experiment.Run(exp, experiment.RunOpts{
+		Ctx:     ctx,
+		Seed:    cfg.seed,
+		Workers: cfg.workers,
+		Journal: j,
+	})
+	if err != nil {
+		return 0, err
+	}
+	fmt.Print(out.Text)
+	return out.Skipped, j.Finish()
 }

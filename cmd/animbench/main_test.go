@@ -29,7 +29,7 @@ func TestMain(m *testing.M) {
 }
 
 func cfgWith(seed int64, model string, trials, corpusN int, faultProfile string) runConfig {
-	return runConfig{seed: seed, model: model, trials: trials, corpusN: corpusN, faultProfile: faultProfile}
+	return runConfig{seed: seed, model: model, trials: trials, corpusN: corpusN, faultProfile: faultProfile, workers: 1}
 }
 
 // TestRunOneFastExperiments exercises the dispatch wiring for every cheap
@@ -55,6 +55,22 @@ func TestRunOneCorpusSmall(t *testing.T) {
 func TestRunOneDegradation(t *testing.T) {
 	if _, err := runOne(context.Background(), "degradation", cfgWith(1, "mi8", 1, 1000, "binder")); err != nil {
 		t.Fatalf("runOne(degradation): %v", err)
+	}
+}
+
+// TestRunOneWorkersParity: the CLI contract behind -workers — the pooled
+// dispatch must not change an experiment's skip count or fail where the
+// sequential one succeeds.
+func TestRunOneWorkersParity(t *testing.T) {
+	cfg := cfgWith(1, "mi8", 1, 1000, "binder")
+	cfg.workers = 4
+	for _, name := range []string{"fig6", "load", "degradation"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if _, err := runOne(context.Background(), name, cfg); err != nil {
+				t.Fatalf("runOne(%s, workers=4): %v", name, err)
+			}
+		})
 	}
 }
 
@@ -117,58 +133,66 @@ func helperCmd(t *testing.T, args ...string) *exec.Cmd {
 // TestJournalResumeAfterSIGKILL is the headline crash-safety check: a
 // journaled table3 run is SIGKILLed mid-flight, then rerun with the same
 // journal directory, and the resumed run's stdout must be byte-identical
-// to an uninterrupted run's.
+// to an uninterrupted run's. The workers=4 variant kills the run while the
+// pool is committing trials out of order, proving the content-addressed
+// journal resumes correctly from an out-of-order prefix.
 func TestJournalResumeAfterSIGKILL(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess crash test skipped in -short mode")
 	}
-	args := []string{"-exp", "table3", "-seed", "9", "-trials", "3"}
+	for _, workers := range []string{"1", "4"} {
+		workers := workers
+		t.Run("workers="+workers, func(t *testing.T) {
+			args := []string{"-exp", "table3", "-seed", "9", "-trials", "3", "-workers", workers}
 
-	// Uninterrupted baseline, no journal.
-	base := helperCmd(t, args...)
-	var baseOut bytes.Buffer
-	base.Stdout = &baseOut
-	base.Stderr = os.Stderr
-	if err := base.Run(); err != nil {
-		t.Fatalf("baseline run: %v", err)
-	}
+			// Uninterrupted baseline, no journal.
+			base := helperCmd(t, args...)
+			var baseOut bytes.Buffer
+			base.Stdout = &baseOut
+			base.Stderr = os.Stderr
+			if err := base.Run(); err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
 
-	// Journaled run, killed mid-flight with SIGKILL.
-	dir := t.TempDir()
-	jargs := append(args, "-journal", dir)
-	victim := helperCmd(t, jargs...)
-	victim.Stdout = new(bytes.Buffer)
-	if err := victim.Start(); err != nil {
-		t.Fatalf("start victim: %v", err)
-	}
-	time.Sleep(250 * time.Millisecond)
-	_ = victim.Process.Kill()
-	_ = victim.Wait() // reap; exit error expected
+			// Journaled run, killed mid-flight with SIGKILL.
+			dir := t.TempDir()
+			jargs := append(args, "-journal", dir)
+			victim := helperCmd(t, jargs...)
+			victim.Stdout = new(bytes.Buffer)
+			if err := victim.Start(); err != nil {
+				t.Fatalf("start victim: %v", err)
+			}
+			time.Sleep(250 * time.Millisecond)
+			_ = victim.Process.Kill()
+			_ = victim.Wait() // reap; exit error expected
 
-	// The journal should have caught some finished trials before the kill.
-	// If the victim somehow completed, the journal was deleted and the
-	// rerun below degenerates to a fresh run — still a valid comparison,
-	// but log it so a chronically-too-fast victim is noticed.
-	if _, err := os.Stat(filepath.Join(dir, "table3.journal")); err != nil {
-		t.Logf("no journal left after kill (victim finished early?): %v", err)
-	}
+			// The journal should have caught some finished trials before the
+			// kill. If the victim somehow completed, the journal was deleted
+			// and the rerun below degenerates to a fresh run — still a valid
+			// comparison, but log it so a chronically-too-fast victim is
+			// noticed.
+			if _, err := os.Stat(filepath.Join(dir, "table3.journal")); err != nil {
+				t.Logf("no journal left after kill (victim finished early?): %v", err)
+			}
 
-	// Resume with the same flags and journal directory.
-	resumed := helperCmd(t, jargs...)
-	var resumedOut bytes.Buffer
-	resumed.Stdout = &resumedOut
-	resumed.Stderr = os.Stderr
-	if err := resumed.Run(); err != nil {
-		t.Fatalf("resumed run: %v", err)
-	}
+			// Resume with the same flags and journal directory.
+			resumed := helperCmd(t, jargs...)
+			var resumedOut bytes.Buffer
+			resumed.Stdout = &resumedOut
+			resumed.Stderr = os.Stderr
+			if err := resumed.Run(); err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
 
-	if !bytes.Equal(baseOut.Bytes(), resumedOut.Bytes()) {
-		t.Errorf("resumed output differs from uninterrupted run\nbaseline:\n%s\nresumed:\n%s",
-			baseOut.String(), resumedOut.String())
-	}
-	// A finished experiment must clean up its journal.
-	if _, err := os.Stat(filepath.Join(dir, "table3.journal")); !os.IsNotExist(err) {
-		t.Errorf("journal not deleted after successful resume (stat err: %v)", err)
+			if !bytes.Equal(baseOut.Bytes(), resumedOut.Bytes()) {
+				t.Errorf("resumed output differs from uninterrupted run\nbaseline:\n%s\nresumed:\n%s",
+					baseOut.String(), resumedOut.String())
+			}
+			// A finished experiment must clean up its journal.
+			if _, err := os.Stat(filepath.Join(dir, "table3.journal")); !os.IsNotExist(err) {
+				t.Errorf("journal not deleted after successful resume (stat err: %v)", err)
+			}
+		})
 	}
 }
 

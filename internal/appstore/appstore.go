@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"repro/internal/dexir"
+	"repro/internal/experiment/sched"
 	"repro/internal/simrand"
 	"repro/internal/staticanalysis"
 )
@@ -784,48 +785,40 @@ func StudyWith(seed int64, n int, opts StudyOptions) (Report, error) {
 		}
 	}
 
-	work := make(chan int)
-	var (
-		wg     sync.WaitGroup
-		progMu sync.Mutex
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range work {
-				size := chunkLen(c)
-				rep, err := scanChunk(seed, c, size, rates)
-				if err == nil && cp != nil {
-					err = cp.record(c, rep)
-				}
-				partial[c], errs[c] = rep, err
-				progMu.Lock()
-				done[c] = err == nil
-				if opts.Progress != nil {
-					scanned += size
-					opts.Progress(scanned, n)
-				}
-				progMu.Unlock()
-			}
-		}()
-	}
-feed:
+	pending := make([]int, 0, chunks)
 	for c := 0; c < chunks; c++ {
-		if done[c] {
-			continue
-		}
-		select {
-		case work <- c:
-		case <-ctx.Done():
-			break feed
+		if !done[c] {
+			pending = append(pending, c)
 		}
 	}
-	close(work)
-	wg.Wait()
+	var progMu sync.Mutex
+	runErr := sched.Run(ctx, workers, len(pending), func(i int) error {
+		c := pending[i]
+		size := chunkLen(c)
+		rep, err := scanChunk(seed, c, size, rates)
+		if err == nil && cp != nil {
+			err = cp.record(c, rep)
+		}
+		// Distinct chunk slots: lock-free per-index writes, published to the
+		// post-Run reads below by sched.Run's completion barrier.
+		partial[c], errs[c] = rep, err
+		done[c] = err == nil
+		progMu.Lock()
+		if opts.Progress != nil {
+			scanned += size
+			opts.Progress(scanned, n)
+		}
+		progMu.Unlock()
+		return nil
+	})
 
 	if err := ctx.Err(); err != nil {
 		return Report{}, interruption(done, err)
+	}
+	if runErr != nil {
+		// The tasks never return errors (per-chunk failures land in errs),
+		// so this is a confined panic from the scheduler.
+		return Report{}, runErr
 	}
 	var rep Report
 	for c := 0; c < chunks; c++ {

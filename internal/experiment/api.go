@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/experiment/sched"
+)
+
+// Trial is one independent unit of experiment work. An experiment's
+// Trials method performs every shared-stream RNG derivation up front and
+// closes the per-trial streams into run, so trials are independent by
+// construction and the driver may execute them in any order — sequentially,
+// on a worker pool, or partially replayed from a journal — with identical
+// results.
+type Trial struct {
+	// Inputs is the canonical description of everything that determines
+	// the trial's result: experiment name, seed, parameters and the
+	// trial's own coordinates. The journal keys records by a hash of this
+	// string (see Key), so a journal survives refactors that reorder or
+	// renumber trials as long as the trial inputs themselves are unchanged.
+	Inputs string
+	// Label names the trial in error messages.
+	Label string
+
+	run    func() (any, error)
+	newRes func() any
+}
+
+// NewTrial builds a Trial whose run function produces a T. T must survive
+// a JSON round trip unchanged (exported fields of integer, float64, string,
+// bool, Duration or map/slice thereof): the driver round-trips every
+// result — live or journal-replayed — through JSON before rendering, so
+// a resumed run cannot render differently from an uninterrupted one.
+func NewTrial[T any](inputs, label string, run func() (T, error)) Trial {
+	return Trial{
+		Inputs: inputs,
+		Label:  label,
+		run:    func() (any, error) { return run() },
+		newRes: func() any { return new(T) },
+	}
+}
+
+// Key is the trial's content-addressed journal id: a hash of Inputs.
+func (t Trial) Key() string {
+	sum := sha256.Sum256([]byte(t.Inputs))
+	return hex.EncodeToString(sum[:12])
+}
+
+// Output is a finished experiment's rendered report.
+type Output struct {
+	// Text is the report, ready to print.
+	Text string
+	// Skipped counts trials that failed inside a recoverable sweep and
+	// were excluded from the report (always 0 on a healthy run).
+	Skipped int
+}
+
+// Experiment is the unified interface every table and figure implements.
+// The lifecycle is Trials-then-Render on the same value: Trials performs
+// the run's shared RNG derivations in a fixed order and may stash per-trial
+// metadata on the receiver; Render receives one result per trial, in trial
+// order, each the *T produced by that trial's NewTrial round trip.
+type Experiment interface {
+	// Name is the registry and CLI name (also the journal identity).
+	Name() string
+	// Params describes every parameter besides the seed that changes
+	// trial identity, e.g. "model=mi8"; it is pinned in the journal
+	// header so a resume under different flags fails loudly.
+	Params() string
+	// Trials derives the run's trial set for a seed.
+	Trials(seed int64) ([]Trial, error)
+	// Render assembles the report from the per-trial results.
+	Render(results []any) (Output, error)
+}
+
+// RunOpts configures one experiment run.
+type RunOpts struct {
+	// Ctx cancels the run between trials; nil means background.
+	Ctx context.Context
+	// Seed is the run's root seed.
+	Seed int64
+	// Workers bounds the trial worker pool; < 2 runs sequentially. Any
+	// worker count produces byte-identical output.
+	Workers int
+	// Journal, if non-nil, replays completed trials and fsyncs newly
+	// finished ones, making the run crash-resumable. The journal must
+	// have been opened with the experiment's identity (name, seed,
+	// params).
+	Journal *Journal
+}
+
+// Collect runs the experiment's trials — concurrently when opts.Workers
+// allows — and returns the decoded per-trial results in trial order,
+// without rendering. Most callers want Run; Collect exists for callers
+// that need the typed results themselves.
+func Collect(exp Experiment, opts RunOpts) ([]any, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	trials, err := exp.Trials(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Content-addressed journal keys require distinct inputs per trial; a
+	// collision would silently replay one trial's result as another's.
+	seen := make(map[string]int, len(trials))
+	for i, t := range trials {
+		if prev, dup := seen[t.Key()]; dup {
+			return nil, fmt.Errorf("experiment: %s: trials %d and %d share inputs %q", exp.Name(), prev, i, t.Inputs)
+		}
+		seen[t.Key()] = i
+	}
+	results := make([]any, len(trials))
+	err = sched.Run(ctx, opts.Workers, len(trials), func(i int) error {
+		t := trials[i]
+		out := t.newRes()
+		if ok, err := opts.Journal.Lookup(t.Key(), out); err != nil {
+			return err
+		} else if ok {
+			results[i] = out
+			return nil
+		}
+		v, err := t.run()
+		if err != nil {
+			return fmt.Errorf("experiment: %s: %w", t.Label, err)
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("experiment: encode %s: %w", t.Label, err)
+		}
+		if err := opts.Journal.Record(t.Key(), t.Inputs, raw); err != nil {
+			return err
+		}
+		// Decode the just-encoded result instead of keeping v: a live
+		// trial and a journal replay must hand Render the exact same
+		// value, or a resumed report could differ from an uninterrupted
+		// one.
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("experiment: round-trip %s: %w", t.Label, err)
+		}
+		results[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Run is the one generic driver: derive the trial set, execute it on the
+// scheduler (replaying journaled trials), and render the report. For every
+// experiment the output is byte-identical across worker counts and across
+// kill/resume cycles.
+func Run(exp Experiment, opts RunOpts) (Output, error) {
+	results, err := Collect(exp, opts)
+	if err != nil {
+		return Output{}, err
+	}
+	return exp.Render(results)
+}
+
+// Res extracts trial i's result from a Collect/Render results slice as the
+// T its NewTrial produced.
+func Res[T any](results []any, i int) T {
+	return *(results[i].(*T))
+}

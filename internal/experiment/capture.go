@@ -134,58 +134,104 @@ func runCaptureTrial(p device.Profile, typist *input.Typist, d time.Duration, rn
 	return stats.Ratio(ups, total), nil
 }
 
-// RunCaptureStudy runs the Fig. 7/Fig. 8 user study: for every D in the
-// sweep, each of the 30 participants types 100 random characters on their
-// own phone while the attack runs.
-func RunCaptureStudy(seed int64) (*CaptureStudy, error) {
-	return RunCaptureStudyJournaled(seed, nil)
+// captureExp runs the Fig. 7/Fig. 8 user study: for every D in the sweep,
+// each of the 30 participants types 100 random characters on their own
+// phone while the attack runs. The fig7 and fig8 registry entries are the
+// same experiment rendered two ways, so they share one trial set — and,
+// via JournalName, one journal.
+type captureExp struct {
+	fig8 bool
+	ds   []time.Duration
 }
 
-// RunCaptureStudyJournaled is RunCaptureStudy with per-trial journaling:
-// each (D, participant) typing session is fsynced to j on completion, so
-// the 210-trial study survives a kill and resumes to a byte-identical
-// dataset. A nil journal disables journaling.
-func RunCaptureStudyJournaled(seed int64, j *Journal) (*CaptureStudy, error) {
+func (e *captureExp) Name() string {
+	if e.fig8 {
+		return "fig8"
+	}
+	return "fig7"
+}
+
+// JournalName makes fig7 and fig8 share one journal identity: both render
+// the same 210-trial capture study.
+func (e *captureExp) JournalName() string { return "capture" }
+
+func (e *captureExp) Params() string { return "" }
+
+func (e *captureExp) Trials(seed int64) ([]Trial, error) {
 	root := simrand.New(seed)
 	typists, err := input.Participants(root.Derive("typists"), NumParticipants)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: participants: %w", err)
 	}
-	study := &CaptureStudy{Ds: CaptureDs(), Results: make(map[time.Duration][]ParticipantCapture)}
-	for di, d := range study.Ds {
+	e.ds = CaptureDs()
+	trials := make([]Trial, 0, len(e.ds)*NumParticipants)
+	for di, d := range e.ds {
 		for i := 0; i < NumParticipants; i++ {
+			di, d, i := di, d, i
 			p := participantDevice(i)
-			// Derive the per-trial string and typing streams before the
-			// journal lookup: DeriveIndexed consumes a draw from root, so a
-			// resumed run must perform the derivations of replayed trials
-			// too, or the remaining live trials drift.
+			// Every shared-stream derivation happens here, in the exact
+			// order the old sequential runner performed them, so the trial
+			// closures are independent and the driver may run them in any
+			// order (or replay them from a journal) without stream drift.
 			strRNG := root.DeriveIndexed("strings", di*NumParticipants+i)
 			typist, err := typists[i].WithStream(root.DeriveIndexed("plan", di*NumParticipants+i))
 			if err != nil {
 				return nil, fmt.Errorf("experiment: trial typist: %w", err)
 			}
-			rate, err := journaledTrial(j, fmt.Sprintf("d=%dms/p=%d", d/time.Millisecond, i), func() (float64, error) {
-				var rate float64
-				err := safeTrial(fmt.Sprintf("capture trial (D=%v, participant %d)", d, i), func() error {
-					var terr error
-					rate, terr = runCaptureTrial(p, typist, d, strRNG,
-						seed+int64(di*1000+i))
-					return terr
-				})
-				return rate, err
-			})
-			if err != nil {
-				return nil, err
-			}
+			label := fmt.Sprintf("capture trial (D=%v, participant %d)", d, i)
+			trials = append(trials, NewTrial(
+				fmt.Sprintf("capture seed=%d d=%dms p=%d", seed, d/time.Millisecond, i),
+				label,
+				func() (float64, error) {
+					var rate float64
+					err := safeTrial(label, func() error {
+						var terr error
+						rate, terr = runCaptureTrial(p, typist, d, strRNG,
+							seed+int64(di*1000+i))
+						return terr
+					})
+					return rate, err
+				}))
+		}
+	}
+	return trials, nil
+}
+
+// study reassembles the CaptureStudy dataset from the per-trial rates.
+func (e *captureExp) study(results []any) *CaptureStudy {
+	study := &CaptureStudy{Ds: e.ds, Results: make(map[time.Duration][]ParticipantCapture)}
+	for di, d := range e.ds {
+		for i := 0; i < NumParticipants; i++ {
+			p := participantDevice(i)
 			study.Results[d] = append(study.Results[d], ParticipantCapture{
 				Participant:  i,
 				Model:        p.Model,
 				VersionMajor: p.Version.Major,
-				Rate:         rate,
+				Rate:         Res[float64](results, di*NumParticipants+i),
 			})
 		}
 	}
-	return study, nil
+	return study
+}
+
+func (e *captureExp) Render(results []any) (Output, error) {
+	study := e.study(results)
+	if e.fig8 {
+		series, err := study.Fig8()
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Text: RenderFig8(study.Ds, series)}, nil
+	}
+	rows, err := study.Fig7()
+	if err != nil {
+		return Output{}, err
+	}
+	modelRows, err := Fig7Model()
+	if err != nil {
+		return Output{}, err
+	}
+	return Output{Text: RenderFig7(rows) + "\n" + RenderFig7Model(modelRows, rows)}, nil
 }
 
 // Fig7Row is one box-plot column of Figure 7.

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -138,29 +137,53 @@ type degNotifRec struct {
 	Holds   bool `json:"holds"`
 }
 
-// Degradation sweeps the named fault profile's intensity from 0 to 1 and
-// re-runs the headline results at every step — the Fig. 6 alert
+// degTrialKind labels which sub-experiment a degradation trial belongs to.
+type degTrialKind int
+
+const (
+	degKindAttack degTrialKind = iota
+	degKindBound
+	degKindCapture
+	degKindSteal
+	degKindIPC
+	degKindNotif
+)
+
+// degMeta is the per-trial context degradationExp.Trials stashes for
+// Render: which intensity step and sub-experiment the trial belongs to,
+// and (for steal trials) the password the participant was asked to type.
+type degMeta struct {
+	kind     degTrialKind
+	ii       int // index into DegradationIntensities
+	di       int // capture D index (capture trials only)
+	password string
+}
+
+// degradationExp sweeps the named fault profile's intensity from 0 to 1
+// and re-runs the headline results at every step — the Fig. 6 alert
 // suppression, the Table II Λ1 bound, the Fig. 7 capture ordering, a
 // Table III password-stealing slice and the §VII defense verdicts — under
 // a live invariant monitor. The zero-intensity point attaches no fault
-// plane at all, so it reproduces the unfaulted baseline exactly.
-// Cancelling ctx returns the points finished so far along with ctx's
-// error.
-func Degradation(ctx context.Context, seed int64, profileName string) (*DegradationReport, error) {
-	return DegradationJournaled(ctx, seed, profileName, nil)
+// plane at all, so it reproduces the unfaulted baseline exactly. The six
+// sub-experiments of every intensity step become independent trials, so
+// the sweep shards across the driver's worker pool.
+type degradationExp struct {
+	profileName string
+	meta        []degMeta
+	profile     string
+	seed        int64
 }
 
-// DegradationJournaled is Degradation with per-sub-experiment journaling:
-// every monitored attack run, bound search, capture trial, steal trial and
-// defense verdict is fsynced to j on completion, so a killed sweep rerun
-// with the same journal resumes and renders a byte-identical report. A nil
-// journal disables journaling.
-func DegradationJournaled(ctx context.Context, seed int64, profileName string, j *Journal) (*DegradationReport, error) {
-	base, err := faults.ByName(profileName)
+func (e *degradationExp) Name() string   { return "degradation" }
+func (e *degradationExp) Params() string { return "profile=" + e.profileName }
+
+func (e *degradationExp) Trials(seed int64) ([]Trial, error) {
+	base, err := faults.ByName(e.profileName)
 	if err != nil {
 		return nil, err
 	}
-	rep := &DegradationReport{Profile: base.Name, Seed: seed}
+	e.profile = base.Name
+	e.seed = seed
 	p := device.Default()
 	attackD := time.Duration(float64(p.PaperUpperBoundD) * 0.9)
 	root := simrand.New(seed)
@@ -181,16 +204,21 @@ func DegradationJournaled(ctx context.Context, seed int64, profileName string, j
 		return nil, fmt.Errorf("experiment: BofA app missing")
 	}
 
+	e.meta = e.meta[:0]
+	var trials []Trial
+	add := func(m degMeta, t Trial) {
+		e.meta = append(e.meta, m)
+		trials = append(trials, t)
+	}
 	for ii, x := range DegradationIntensities() {
-		if err := ctx.Err(); err != nil {
-			return rep, err
-		}
+		ii, x := ii, x
 		prof := base.Scale(x)
-		pt := DegradationPoint{Intensity: x}
 		pseed := seed + int64(ii)*7919
 
 		// A fresh plane per sub-experiment keeps each one's fault stream
-		// independent of how long the previous one ran.
+		// independent of how long the previous one ran. Planes are built
+		// inside the trial closures from fixed seeds, so they draw nothing
+		// from the shared roots.
 		planeOpts := func(planeSeed int64) ([]sysserver.Option, *faults.Plane) {
 			if prof.Zero() {
 				return nil, nil
@@ -207,243 +235,280 @@ func DegradationJournaled(ctx context.Context, seed int64, profileName string, j
 
 		// Sub-experiment 1 — monitored attack run at 0.9× the bound: does
 		// the alert stay invisible, and do the platform invariants hold?
-		attack, err := journaledTrial(j, fmt.Sprintf("x=%.2f/attack", x), func() (degAttackRec, error) {
-			opts, pl := planeOpts(pseed)
-			opts = append(opts, sysserver.WithMonitor())
-			var st *sysserver.Stack
-			err := safeTrial(fmt.Sprintf("degradation attack (x=%.2f)", x), func() error {
-				var terr error
-				st, terr = assembleAttackStack(p, pseed, opts...)
-				if terr != nil {
-					return terr
-				}
-				atk, terr := core.NewOverlayAttack(st, core.OverlayAttackConfig{
-					App:    AttackerApp,
-					D:      attackD,
-					Bounds: screenOf(p),
-				})
-				if terr != nil {
-					return terr
-				}
-				if terr := atk.Start(); terr != nil {
-					return terr
-				}
-				st.Clock.MustAfter(6*time.Second, "experiment/stop", atk.Stop)
-				return st.Clock.RunFor(11 * time.Second)
-			})
-			if err != nil {
-				return degAttackRec{Skipped: true}, nil
-			}
-			rec := degAttackRec{
-				Suppressed: st.UI.WorstOutcome() == sysui.Lambda1,
-				Faults:     planeStats(pl),
-			}
-			if st.Monitor != nil {
-				rec.Violations = st.Monitor.Count()
-				for _, v := range st.Monitor.Violations() {
-					if rec.ViolByRule == nil {
-						rec.ViolByRule = make(map[string]int)
+		add(degMeta{kind: degKindAttack, ii: ii}, NewTrial(
+			fmt.Sprintf("degradation seed=%d profile=%s x=%.2f attack", seed, base.Name, x),
+			fmt.Sprintf("degradation attack (x=%.2f)", x),
+			func() (degAttackRec, error) {
+				opts, pl := planeOpts(pseed)
+				opts = append(opts, sysserver.WithMonitor())
+				var st *sysserver.Stack
+				err := safeTrial(fmt.Sprintf("degradation attack (x=%.2f)", x), func() error {
+					var terr error
+					st, terr = assembleAttackStack(p, pseed, opts...)
+					if terr != nil {
+						return terr
 					}
-					rec.ViolByRule[v.Rule]++
+					atk, terr := core.NewOverlayAttack(st, core.OverlayAttackConfig{
+						App:    AttackerApp,
+						D:      attackD,
+						Bounds: screenOf(p),
+					})
+					if terr != nil {
+						return terr
+					}
+					if terr := atk.Start(); terr != nil {
+						return terr
+					}
+					st.Clock.MustAfter(6*time.Second, "experiment/stop", atk.Stop)
+					return st.Clock.RunFor(11 * time.Second)
+				})
+				if err != nil {
+					return degAttackRec{Skipped: true}, nil
 				}
-			}
-			return rec, nil
-		})
-		if err != nil {
-			return rep, err
-		}
-		if attack.Skipped {
-			pt.SkippedTrials++
-		} else {
-			pt.AlertSuppressed = attack.Suppressed
-			pt.Violations += attack.Violations
-			pt.ViolationsByRule = attack.ViolByRule
-			pt.Faults = pt.Faults.Add(attack.Faults)
-		}
+				rec := degAttackRec{
+					Suppressed: st.UI.WorstOutcome() == sysui.Lambda1,
+					Faults:     planeStats(pl),
+				}
+				if st.Monitor != nil {
+					rec.Violations = st.Monitor.Count()
+					for _, v := range st.Monitor.Violations() {
+						if rec.ViolByRule == nil {
+							rec.ViolByRule = make(map[string]int)
+						}
+						rec.ViolByRule[v.Rule]++
+					}
+				}
+				return rec, nil
+			}))
 
-		if err := ctx.Err(); err != nil {
-			return rep, err
-		}
 		// Sub-experiment 2 — the Λ1 bound search under faults.
-		bound, err := journaledTrial(j, fmt.Sprintf("x=%.2f/bound", x), func() (degBoundRec, error) {
-			opts, pl := planeOpts(pseed + 1)
-			var d time.Duration
-			err := safeTrial(fmt.Sprintf("degradation bound (x=%.2f)", x), func() error {
-				var terr error
-				d, terr = measureUpperBoundD(p, pseed+1, opts...)
-				return terr
-			})
-			if err != nil {
-				return degBoundRec{Skipped: true}, nil
-			}
-			return degBoundRec{BoundD: d, Faults: planeStats(pl)}, nil
-		})
-		if err != nil {
-			return rep, err
-		}
-		if bound.Skipped {
-			pt.SkippedTrials++
-		} else {
-			pt.BoundD = bound.BoundD
-			pt.Faults = pt.Faults.Add(bound.Faults)
-		}
+		add(degMeta{kind: degKindBound, ii: ii}, NewTrial(
+			fmt.Sprintf("degradation seed=%d profile=%s x=%.2f bound", seed, base.Name, x),
+			fmt.Sprintf("degradation bound (x=%.2f)", x),
+			func() (degBoundRec, error) {
+				opts, pl := planeOpts(pseed + 1)
+				var d time.Duration
+				err := safeTrial(fmt.Sprintf("degradation bound (x=%.2f)", x), func() error {
+					var terr error
+					d, terr = measureUpperBoundD(p, pseed+1, opts...)
+					return terr
+				})
+				if err != nil {
+					return degBoundRec{Skipped: true}, nil
+				}
+				return degBoundRec{BoundD: d, Faults: planeStats(pl)}, nil
+			}))
 
 		// Sub-experiment 3 — Fig. 7 capture-rate ordering: mean capture at
 		// D = 50 ms must not beat D = 200 ms.
-		lowDs := []time.Duration{50 * time.Millisecond, 200 * time.Millisecond}
-		means := make([]float64, len(lowDs))
-		measured := true
-		for di, d := range lowDs {
-			if err := ctx.Err(); err != nil {
-				return rep, err
-			}
-			sum, n := 0.0, 0
+		for di, d := range degradationCaptureDs() {
+			di, d := di, d
 			for i := 0; i < degradationParticipants; i++ {
-				// Derived before the journal lookup: the draws from root must
-				// happen on replayed trials too, or the resumed run's later
-				// streams diverge from an uninterrupted one.
+				i := i
+				// Derived here, in the old sequential order, so the shared
+				// roots advance identically whatever order the trials run in.
 				strRNG := root.DeriveIndexed("strings", ii*100+di*10+i)
 				typist, err := typists[i].WithStream(root.DeriveIndexed("plan", ii*100+di*10+i))
 				if err != nil {
-					return rep, fmt.Errorf("experiment: trial typist: %w", err)
+					return nil, fmt.Errorf("experiment: trial typist: %w", err)
 				}
-				capRec, err := journaledTrial(j, fmt.Sprintf("x=%.2f/capture/d=%dms/p=%d", x, d/time.Millisecond, i), func() (degCaptureRec, error) {
-					opts, pl := planeOpts(pseed + 2 + int64(di*100+i))
-					var rate float64
-					err := safeTrial(fmt.Sprintf("degradation capture (x=%.2f, D=%v, participant %d)", x, d, i), func() error {
-						var terr error
-						rate, terr = runCaptureTrial(p, typist, d, strRNG,
-							pseed+2+int64(di*100+i), opts...)
-						return terr
-					})
-					if err != nil {
-						return degCaptureRec{Skipped: true}, nil
-					}
-					return degCaptureRec{Rate: rate, Faults: planeStats(pl)}, nil
-				})
-				if err != nil {
-					return rep, err
-				}
-				if capRec.Skipped {
-					pt.SkippedTrials++
-					continue
-				}
-				pt.Faults = pt.Faults.Add(capRec.Faults)
-				sum += capRec.Rate
-				n++
+				add(degMeta{kind: degKindCapture, ii: ii, di: di}, NewTrial(
+					fmt.Sprintf("degradation seed=%d profile=%s x=%.2f capture d=%dms p=%d", seed, base.Name, x, d/time.Millisecond, i),
+					fmt.Sprintf("degradation capture (x=%.2f, D=%v, participant %d)", x, d, i),
+					func() (degCaptureRec, error) {
+						opts, pl := planeOpts(pseed + 2 + int64(di*100+i))
+						var rate float64
+						err := safeTrial(fmt.Sprintf("degradation capture (x=%.2f, D=%v, participant %d)", x, d, i), func() error {
+							var terr error
+							rate, terr = runCaptureTrial(p, typist, d, strRNG,
+								pseed+2+int64(di*100+i), opts...)
+							return terr
+						})
+						if err != nil {
+							return degCaptureRec{Skipped: true}, nil
+						}
+						return degCaptureRec{Rate: rate, Faults: planeStats(pl)}, nil
+					}))
 			}
-			if n == 0 {
-				measured = false
-				continue
-			}
-			means[di] = sum / float64(n)
 		}
-		pt.CaptureLowD, pt.CaptureHighD = means[0], means[1]
-		pt.OrderingHolds = measured && pt.CaptureHighD >= pt.CaptureLowD
 
-		if err := ctx.Err(); err != nil {
-			return rep, err
-		}
 		// Sub-experiment 4 — Table III slice: each sweep participant types
 		// one random password while the stealer runs under faults.
-		successes := 0
 		for i := 0; i < degradationParticipants; i++ {
-			// Drawn before the lookup for the same stream-alignment reason
-			// as the capture strings.
+			i := i
 			password := input.RandomPassword(pwSrc, degradationStealLen)
 			typist, err := stealTypists[i].WithStream(stealRoot.DeriveIndexed("steal-plan", ii*degradationParticipants+i))
 			if err != nil {
-				return rep, fmt.Errorf("experiment: trial typist: %w", err)
+				return nil, fmt.Errorf("experiment: trial typist: %w", err)
 			}
-			steal, err := journaledTrial(j, fmt.Sprintf("x=%.2f/steal/p=%d", x, i), func() (degStealRec, error) {
-				opts, pl := planeOpts(pseed + 500 + int64(i))
-				var trial StealTrialResult
-				err := safeTrial(fmt.Sprintf("degradation steal (x=%.2f, participant %d)", x, i), func() error {
+			add(degMeta{kind: degKindSteal, ii: ii, password: password}, NewTrial(
+				fmt.Sprintf("degradation seed=%d profile=%s x=%.2f steal p=%d", seed, base.Name, x, i),
+				fmt.Sprintf("degradation steal (x=%.2f, participant %d)", x, i),
+				func() (degStealRec, error) {
+					opts, pl := planeOpts(pseed + 500 + int64(i))
+					var trial StealTrialResult
+					err := safeTrial(fmt.Sprintf("degradation steal (x=%.2f, participant %d)", x, i), func() error {
+						var terr error
+						trial, terr = RunStealTrial(p, typist, bofa, password,
+							pseed+3000+int64(i), opts...)
+						return terr
+					})
+					if err != nil {
+						return degStealRec{Skipped: true}, nil
+					}
+					return degStealRec{
+						Success: ClassifyTrial(password, trial.Stolen) == ErrorNone,
+						Faults:  planeStats(pl),
+					}, nil
+				}))
+		}
+
+		// Sub-experiment 5 — §VII-A IPC defense verdict under faults.
+		add(degMeta{kind: degKindIPC, ii: ii}, NewTrial(
+			fmt.Sprintf("degradation seed=%d profile=%s x=%.2f defense-ipc", seed, base.Name, x),
+			fmt.Sprintf("degradation defense-ipc (x=%.2f)", x),
+			func() (degIPCRec, error) {
+				var drep DefenseIPCReport
+				err := safeTrial(fmt.Sprintf("degradation defense-ipc (x=%.2f)", x), func() error {
 					var terr error
-					trial, terr = RunStealTrial(p, typist, bofa, password,
-						pseed+3000+int64(i), opts...)
+					drep, terr = DefenseIPCWith(pseed+4000, prof)
 					return terr
 				})
 				if err != nil {
-					return degStealRec{Skipped: true}, nil
+					return degIPCRec{Skipped: true}, nil
 				}
-				return degStealRec{
-					Success: ClassifyTrial(password, trial.Stolen) == ErrorNone,
-					Faults:  planeStats(pl),
+				return degIPCRec{
+					Detected:      drep.AttackDetected,
+					Terminated:    drep.AttackTerminated,
+					BenignFlagged: drep.BenignFlagged,
 				}, nil
-			})
-			if err != nil {
-				return rep, err
-			}
-			if steal.Skipped {
-				pt.SkippedTrials++
-				continue
-			}
-			pt.Faults = pt.Faults.Add(steal.Faults)
-			pt.StealTrials++
-			if steal.Success {
-				successes++
-			}
-		}
-		pt.StealSuccess = stats.Ratio(successes, pt.StealTrials)
-
-		if err := ctx.Err(); err != nil {
-			return rep, err
-		}
-		// Sub-experiment 5 — §VII-A IPC defense verdict under faults.
-		ipc, err := journaledTrial(j, fmt.Sprintf("x=%.2f/defense-ipc", x), func() (degIPCRec, error) {
-			var drep DefenseIPCReport
-			err := safeTrial(fmt.Sprintf("degradation defense-ipc (x=%.2f)", x), func() error {
-				var terr error
-				drep, terr = DefenseIPCWith(pseed+4000, prof)
-				return terr
-			})
-			if err != nil {
-				return degIPCRec{Skipped: true}, nil
-			}
-			return degIPCRec{
-				Detected:      drep.AttackDetected,
-				Terminated:    drep.AttackTerminated,
-				BenignFlagged: drep.BenignFlagged,
-			}, nil
-		})
-		if err != nil {
-			return rep, err
-		}
-		if ipc.Skipped {
-			pt.SkippedTrials++
-		} else {
-			pt.IPCDetected = ipc.Detected
-			pt.IPCTerminated = ipc.Terminated
-			pt.BenignFlagged = ipc.BenignFlagged
-		}
+			}))
 
 		// Sub-experiment 6 — §VII-B enhanced-notification verdict under
 		// faults.
-		notif, err := journaledTrial(j, fmt.Sprintf("x=%.2f/defense-notif", x), func() (degNotifRec, error) {
-			var nrep DefenseNotifReport
-			err := safeTrial(fmt.Sprintf("degradation defense-notif (x=%.2f)", x), func() error {
-				var terr error
-				nrep, terr = DefenseNotifWith(pseed+5000, prof)
-				return terr
-			})
-			if err != nil {
-				return degNotifRec{Skipped: true}, nil
-			}
-			return degNotifRec{Holds: nrep.OutcomeWith == sysui.Lambda5 && nrep.HonestAlertGone}, nil
-		})
-		if err != nil {
-			return rep, err
-		}
-		if notif.Skipped {
-			pt.SkippedTrials++
-		} else {
-			pt.NotifHolds = notif.Holds
-		}
-
-		rep.Points = append(rep.Points, pt)
+		add(degMeta{kind: degKindNotif, ii: ii}, NewTrial(
+			fmt.Sprintf("degradation seed=%d profile=%s x=%.2f defense-notif", seed, base.Name, x),
+			fmt.Sprintf("degradation defense-notif (x=%.2f)", x),
+			func() (degNotifRec, error) {
+				var nrep DefenseNotifReport
+				err := safeTrial(fmt.Sprintf("degradation defense-notif (x=%.2f)", x), func() error {
+					var terr error
+					nrep, terr = DefenseNotifWith(pseed+5000, prof)
+					return terr
+				})
+				if err != nil {
+					return degNotifRec{Skipped: true}, nil
+				}
+				return degNotifRec{Holds: nrep.OutcomeWith == sysui.Lambda5 && nrep.HonestAlertGone}, nil
+			}))
 	}
-	return rep, nil
+	return trials, nil
+}
+
+// degradationCaptureDs are the sweep's two Fig. 7 probe windows.
+func degradationCaptureDs() []time.Duration {
+	return []time.Duration{50 * time.Millisecond, 200 * time.Millisecond}
+}
+
+// report reassembles the sweep report from the per-trial records, walking
+// the trials in their original sequential order so every accumulation
+// (fault stats, capture-rate sums) happens exactly as the old runner did.
+func (e *degradationExp) report(results []any) *DegradationReport {
+	ints := DegradationIntensities()
+	points := make([]DegradationPoint, len(ints))
+	type capAcc struct {
+		sum [2]float64
+		n   [2]int
+	}
+	caps := make([]capAcc, len(ints))
+	stealSucc := make([]int, len(ints))
+	for ii, x := range ints {
+		points[ii].Intensity = x
+	}
+	for ti, m := range e.meta {
+		pt := &points[m.ii]
+		switch m.kind {
+		case degKindAttack:
+			rec := Res[degAttackRec](results, ti)
+			if rec.Skipped {
+				pt.SkippedTrials++
+				continue
+			}
+			pt.AlertSuppressed = rec.Suppressed
+			pt.Violations += rec.Violations
+			pt.ViolationsByRule = rec.ViolByRule
+			pt.Faults = pt.Faults.Add(rec.Faults)
+		case degKindBound:
+			rec := Res[degBoundRec](results, ti)
+			if rec.Skipped {
+				pt.SkippedTrials++
+				continue
+			}
+			pt.BoundD = rec.BoundD
+			pt.Faults = pt.Faults.Add(rec.Faults)
+		case degKindCapture:
+			rec := Res[degCaptureRec](results, ti)
+			if rec.Skipped {
+				pt.SkippedTrials++
+				continue
+			}
+			pt.Faults = pt.Faults.Add(rec.Faults)
+			caps[m.ii].sum[m.di] += rec.Rate
+			caps[m.ii].n[m.di]++
+		case degKindSteal:
+			rec := Res[degStealRec](results, ti)
+			if rec.Skipped {
+				pt.SkippedTrials++
+				continue
+			}
+			pt.Faults = pt.Faults.Add(rec.Faults)
+			pt.StealTrials++
+			if rec.Success {
+				stealSucc[m.ii]++
+			}
+		case degKindIPC:
+			rec := Res[degIPCRec](results, ti)
+			if rec.Skipped {
+				pt.SkippedTrials++
+				continue
+			}
+			pt.IPCDetected = rec.Detected
+			pt.IPCTerminated = rec.Terminated
+			pt.BenignFlagged = rec.BenignFlagged
+		case degKindNotif:
+			rec := Res[degNotifRec](results, ti)
+			if rec.Skipped {
+				pt.SkippedTrials++
+				continue
+			}
+			pt.NotifHolds = rec.Holds
+		}
+	}
+	for ii := range points {
+		pt := &points[ii]
+		measured := true
+		var means [2]float64
+		for di := 0; di < 2; di++ {
+			if caps[ii].n[di] == 0 {
+				measured = false
+				continue
+			}
+			means[di] = caps[ii].sum[di] / float64(caps[ii].n[di])
+		}
+		pt.CaptureLowD, pt.CaptureHighD = means[0], means[1]
+		pt.OrderingHolds = measured && pt.CaptureHighD >= pt.CaptureLowD
+		pt.StealSuccess = stats.Ratio(stealSucc[ii], pt.StealTrials)
+	}
+	return &DegradationReport{Profile: e.profile, Seed: e.seed, Points: points}
+}
+
+func (e *degradationExp) Render(results []any) (Output, error) {
+	rep := e.report(results)
+	skipped := 0
+	for _, pt := range rep.Points {
+		skipped += pt.SkippedTrials
+	}
+	return Output{Text: RenderDegradation(rep), Skipped: skipped}, nil
 }
 
 // degradationHeadlines are the sweep's survive/collapse predicates, shared

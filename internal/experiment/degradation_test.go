@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -17,11 +18,11 @@ import (
 // the same seed and profile produce a byte-identical degradation report.
 func TestDegradationDeterministic(t *testing.T) {
 	run := func() string {
-		rep, err := Degradation(context.Background(), 42, "chaos")
+		out, err := Run(&degradationExp{profileName: "chaos"}, RunOpts{Seed: 42})
 		if err != nil {
-			t.Fatalf("Degradation: %v", err)
+			t.Fatalf("degradation: %v", err)
 		}
-		return RenderDegradation(rep)
+		return out.Text
 	}
 	first, second := run(), run()
 	if first != second {
@@ -36,10 +37,12 @@ func TestDegradationDeterministic(t *testing.T) {
 // is a genuinely unfaulted run — no injections, no skipped trials, no
 // invariant violations.
 func TestDegradationZeroIntensityMatchesBaseline(t *testing.T) {
-	rep, err := Degradation(context.Background(), 7, "binder")
+	e := &degradationExp{profileName: "binder"}
+	results, err := Collect(e, RunOpts{Seed: 7})
 	if err != nil {
-		t.Fatalf("Degradation: %v", err)
+		t.Fatalf("degradation: %v", err)
 	}
+	rep := e.report(results)
 	if len(rep.Points) == 0 || rep.Points[0].Intensity != 0 {
 		t.Fatalf("sweep does not start at intensity 0: %+v", rep.Points)
 	}
@@ -52,17 +55,14 @@ func TestDegradationZeroIntensityMatchesBaseline(t *testing.T) {
 	}
 }
 
-// TestDegradationCancelReturnsPartial: cancelling mid-sweep surfaces the
-// context error together with whatever points completed.
-func TestDegradationCancelReturnsPartial(t *testing.T) {
+// TestDegradationCancel: cancelling the sweep surfaces the context error;
+// with a journal attached the finished trials are preserved for a resume.
+func TestDegradationCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	rep, err := Degradation(ctx, 1, "chaos")
-	if err == nil {
-		t.Fatal("cancelled sweep returned no error")
-	}
-	if rep == nil {
-		t.Fatal("cancelled sweep returned nil report")
+	_, err := Run(&degradationExp{profileName: "chaos"}, RunOpts{Ctx: ctx, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
 	}
 }
 
@@ -117,11 +117,12 @@ func TestDefenseIPCZeroProfileIdentical(t *testing.T) {
 // zero-fault answers.
 func TestDegradationZeroIntensityTracksUnfaultedRunners(t *testing.T) {
 	const seed = 42
-	rep, err := Degradation(context.Background(), seed, "chaos")
+	e := &degradationExp{profileName: "chaos"}
+	results, err := Collect(e, RunOpts{Seed: seed})
 	if err != nil {
-		t.Fatalf("Degradation: %v", err)
+		t.Fatalf("degradation: %v", err)
 	}
-	p0 := rep.Points[0]
+	p0 := e.report(results).Points[0]
 	if p0.Intensity != 0 {
 		t.Fatalf("first point at intensity %v", p0.Intensity)
 	}

@@ -51,10 +51,12 @@ func TestFig4EnterAboveExit(t *testing.T) {
 // TestFig6Progression: sweeping D on one device must show the Λ1→Λ5
 // progression with a monotone non-decreasing outcome sequence.
 func TestFig6Progression(t *testing.T) {
-	pts, err := Fig6("mi8", 1)
+	e := &fig6Exp{model: "mi8"}
+	results, err := Collect(e, RunOpts{Seed: 1})
 	if err != nil {
-		t.Fatalf("Fig6: %v", err)
+		t.Fatalf("fig6: %v", err)
 	}
+	pts := e.points(results)
 	if pts[0].Outcome != sysui.Lambda1 {
 		t.Fatalf("outcome at smallest D = %v, want Λ1", pts[0].Outcome)
 	}
@@ -73,7 +75,7 @@ func TestFig6Progression(t *testing.T) {
 	if s := RenderFig6("mi8", pts); s == "" {
 		t.Fatal("empty render")
 	}
-	if _, err := Fig6("no-such-phone", 1); err == nil {
+	if _, err := Collect(&fig6Exp{model: "no-such-phone"}, RunOpts{Seed: 1}); err == nil {
 		t.Fatal("unknown model accepted")
 	}
 }
@@ -106,10 +108,12 @@ func TestMeasuredUpperBoundMatchesTableII(t *testing.T) {
 
 // TestLoadImpactNegligible reproduces the Section VI-B finding.
 func TestLoadImpactNegligible(t *testing.T) {
-	rows, err := LoadImpact("mi8", 3)
+	e := &loadExp{model: "mi8"}
+	results, err := Collect(e, RunOpts{Seed: 3})
 	if err != nil {
-		t.Fatalf("LoadImpact: %v", err)
+		t.Fatalf("load: %v", err)
 	}
+	rows := e.rows(results)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(rows))
 	}
@@ -207,10 +211,12 @@ func TestClassifyTrial(t *testing.T) {
 // per length) and checks the paper's qualitative findings: high success
 // everywhere, decreasing with length, length errors the dominant class.
 func TestTableIIIBand(t *testing.T) {
-	rows, err := TableIII(7, 1)
+	e := &table3Exp{perParticipant: 1}
+	results, err := Collect(e, RunOpts{Seed: 7})
 	if err != nil {
-		t.Fatalf("TableIII: %v", err)
+		t.Fatalf("table3: %v", err)
 	}
+	rows := e.rows(results)
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d, want 5", len(rows))
 	}
@@ -234,7 +240,7 @@ func TestTableIIIBand(t *testing.T) {
 	if s := RenderTableIII(rows); s == "" {
 		t.Fatal("empty render")
 	}
-	if _, err := TableIII(7, 0); err == nil {
+	if _, err := Collect(&table3Exp{perParticipant: 0}, RunOpts{Seed: 7}); err == nil {
 		t.Fatal("zero trials accepted")
 	}
 }

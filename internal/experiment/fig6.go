@@ -49,47 +49,62 @@ type Fig6Point struct {
 	Outcome sysui.Outcome
 }
 
-// Fig6 regenerates the Figure 6 phenomenology on one device: sweeping D
+// fig6Exp regenerates the Figure 6 phenomenology on one device: sweeping D
 // from well below to well above the device's bound produces the Λ1→Λ5
-// progression of notification-visibility outcomes.
-func Fig6(model string, seed int64) ([]Fig6Point, error) {
-	return Fig6Journaled(model, seed, nil)
+// progression of notification-visibility outcomes. One trial per sweep
+// point.
+type fig6Exp struct {
+	model string
+	ds    []time.Duration
 }
 
-// Fig6Journaled is Fig6 with per-point journaling: every completed sweep
-// point is fsynced to j, so an interrupted sweep rerun with the same
-// journal replays finished points and produces a byte-identical result. A
-// nil journal disables journaling.
-func Fig6Journaled(model string, seed int64, j *Journal) ([]Fig6Point, error) {
-	p, ok := device.ByModel(model)
+func (e *fig6Exp) Name() string   { return "fig6" }
+func (e *fig6Exp) Params() string { return "model=" + e.model }
+
+func (e *fig6Exp) Trials(seed int64) ([]Trial, error) {
+	p, ok := device.ByModel(e.model)
 	if !ok {
-		return nil, fmt.Errorf("experiment: unknown device model %q", model)
+		return nil, fmt.Errorf("experiment: unknown device model %q", e.model)
 	}
 	bound := p.PaperUpperBoundD
 	// Sweep from 40% of the bound to bound + 750 ms in 30 ms steps: the
 	// five outcome regimes all live in this range (Λ5 needs D past the
 	// slide, text layout and message render), and the narrowest regime
 	// (Λ3) is ~60 ms wide, so a 30 ms step cannot miss it.
-	var out []Fig6Point
+	e.ds = nil
+	var trials []Trial
 	i := 0
 	for d := bound * 2 / 5; d <= bound+750*time.Millisecond; d += 30 * time.Millisecond {
-		d := d
-		o, err := journaledTrial(j, fmt.Sprintf("d=%dms", d/time.Millisecond), func() (sysui.Outcome, error) {
-			var o sysui.Outcome
-			err := safeTrial(fmt.Sprintf("fig6 point D=%v", d), func() error {
-				var perr error
-				o, perr = OutcomeForD(p, d, 6*time.Second, seed+int64(i))
-				return perr
-			})
-			return o, err
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Fig6Point{D: d, Outcome: o})
+		d, i := d, i
+		e.ds = append(e.ds, d)
+		trials = append(trials, NewTrial(
+			fmt.Sprintf("fig6 model=%s seed=%d d=%dms", e.model, seed, d/time.Millisecond),
+			fmt.Sprintf("fig6 point D=%v", d),
+			func() (sysui.Outcome, error) {
+				var o sysui.Outcome
+				err := safeTrial(fmt.Sprintf("fig6 point D=%v", d), func() error {
+					var perr error
+					o, perr = OutcomeForD(p, d, 6*time.Second, seed+int64(i))
+					return perr
+				})
+				return o, err
+			}))
 		i++
 	}
-	return out, nil
+	return trials, nil
+}
+
+// points pairs the sweep's D values with the trial results.
+func (e *fig6Exp) points(results []any) []Fig6Point {
+	pts := make([]Fig6Point, len(results))
+	for i := range results {
+		pts[i] = Fig6Point{D: e.ds[i], Outcome: Res[sysui.Outcome](results, i)}
+	}
+	return pts
+}
+
+func (e *fig6Exp) Render(results []any) (Output, error) {
+	return Output{Text: RenderFig6(e.model, e.points(results))}, nil
 }
 
 // Regimes compresses a Fig. 6 sweep into the first D at which each outcome

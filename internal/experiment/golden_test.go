@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -13,10 +12,27 @@ import (
 //	go test ./internal/experiment -run TestGolden -update
 var update = flag.Bool("update", false, "rewrite testdata/golden/*.txt from the current code")
 
-// goldenSeed pins the reference run. Changing it (or any experiment
-// logic) intentionally requires regenerating the goldens with -update and
-// reviewing the diff.
-const goldenSeed = 42
+// goldenSeeds pins the reference runs: the original seed-42 reports plus a
+// second seed so a seed-dependent bug (a hard-coded 42 anywhere in the
+// pipeline) cannot hide behind one golden. Changing experiment logic
+// intentionally requires regenerating with -update and reviewing the diff.
+func goldenSeeds() []struct {
+	seed   int64
+	suffix string
+} {
+	return []struct {
+		seed   int64
+		suffix string
+	}{
+		{42, ""},
+		{7, "-seed7"},
+	}
+}
+
+// goldenWorkers runs the golden sweeps on a worker pool: the goldens were
+// recorded from the old sequential runners, so passing them from a
+// parallel run is itself a determinism check.
+const goldenWorkers = 8
 
 func checkGolden(t *testing.T, name, got string) {
 	t.Helper()
@@ -40,55 +56,70 @@ func checkGolden(t *testing.T, name, got string) {
 	}
 }
 
-// TestGoldenFig6 locks the Fig. 6 sweep report at the reference seed.
+// TestGoldenFig6 locks the Fig. 6 sweep report at the reference seeds.
 func TestGoldenFig6(t *testing.T) {
-	pts, err := Fig6("mi8", goldenSeed)
-	if err != nil {
-		t.Fatalf("fig6: %v", err)
+	for _, c := range goldenSeeds() {
+		e := &fig6Exp{model: "mi8"}
+		results, err := Collect(e, RunOpts{Seed: c.seed, Workers: goldenWorkers})
+		if err != nil {
+			t.Fatalf("fig6 (seed %d): %v", c.seed, err)
+		}
+		checkGolden(t, "fig6"+c.suffix, RenderFig6("mi8", e.points(results)))
 	}
-	checkGolden(t, "fig6", RenderFig6("mi8", pts))
 }
 
 // TestGoldenTableII locks the Table II per-device bound report.
 func TestGoldenTableII(t *testing.T) {
-	rows, err := TableII(goldenSeed)
-	if err != nil {
-		t.Fatalf("table2: %v", err)
+	for _, c := range goldenSeeds() {
+		e := &table2Exp{}
+		results, err := Collect(e, RunOpts{Seed: c.seed, Workers: goldenWorkers})
+		if err != nil {
+			t.Fatalf("table2 (seed %d): %v", c.seed, err)
+		}
+		checkGolden(t, "table2"+c.suffix, RenderTableII(e.rows(results)))
 	}
-	checkGolden(t, "table2", RenderTableII(rows))
 }
 
 // TestGoldenTableIII locks the Table III stealing report (one password per
 // participant to keep the suite fast).
 func TestGoldenTableIII(t *testing.T) {
-	rows, err := TableIII(goldenSeed, 1)
-	if err != nil {
-		t.Fatalf("table3: %v", err)
+	for _, c := range goldenSeeds() {
+		e := &table3Exp{perParticipant: 1}
+		results, err := Collect(e, RunOpts{Seed: c.seed, Workers: goldenWorkers})
+		if err != nil {
+			t.Fatalf("table3 (seed %d): %v", c.seed, err)
+		}
+		checkGolden(t, "table3"+c.suffix, RenderTableIII(e.rows(results)))
 	}
-	checkGolden(t, "table3", RenderTableIII(rows))
 }
 
 // TestGoldenFig7 locks the capture-rate box plots.
 func TestGoldenFig7(t *testing.T) {
-	study, err := RunCaptureStudy(goldenSeed)
-	if err != nil {
-		t.Fatalf("capture study: %v", err)
+	for _, c := range goldenSeeds() {
+		e := &captureExp{}
+		results, err := Collect(e, RunOpts{Seed: c.seed, Workers: goldenWorkers})
+		if err != nil {
+			t.Fatalf("capture study (seed %d): %v", c.seed, err)
+		}
+		rows, err := e.study(results).Fig7()
+		if err != nil {
+			t.Fatalf("fig7 (seed %d): %v", c.seed, err)
+		}
+		checkGolden(t, "fig7"+c.suffix, RenderFig7(rows))
 	}
-	rows, err := study.Fig7()
-	if err != nil {
-		t.Fatalf("fig7: %v", err)
-	}
-	checkGolden(t, "fig7", RenderFig7(rows))
 }
 
 // TestGoldenDegradation locks the full degradation sweep — including the
 // Table III slice, the defense verdicts and the invariant first-break
-// table — at the reference seed and profile. In particular this pins the
+// table — at the reference seeds and profile. In particular this pins the
 // zero-intensity row, which must track the unfaulted experiments exactly.
 func TestGoldenDegradation(t *testing.T) {
-	rep, err := Degradation(context.Background(), goldenSeed, "chaos")
-	if err != nil {
-		t.Fatalf("degradation: %v", err)
+	for _, c := range goldenSeeds() {
+		e := &degradationExp{profileName: "chaos"}
+		results, err := Collect(e, RunOpts{Seed: c.seed, Workers: goldenWorkers})
+		if err != nil {
+			t.Fatalf("degradation (seed %d): %v", c.seed, err)
+		}
+		checkGolden(t, "degradation"+c.suffix, RenderDegradation(e.report(results)))
 	}
-	checkGolden(t, "degradation", RenderDegradation(rep))
 }

@@ -9,25 +9,35 @@ import (
 	"sync"
 )
 
-// Journal is a crash-safe per-trial result log for the long experiment
-// runners, modelled on the per-chunk checkpoint of the corpus study
+// Journal is a crash-safe per-trial result log for the experiment driver,
+// modelled on the per-chunk checkpoint of the corpus study
 // (appstore/checkpoint.go): an append-only JSONL file, fsynced per record,
 // whose header pins the run's identity (experiment name, seed, parameters).
-// A runner threads the journal through its trial loop with journaledTrial:
-// a trial whose id is already on disk replays the recorded result instead
+// The driver (Run/Collect) checks the journal before executing each trial:
+// a trial whose key is already on disk replays the recorded result instead
 // of re-running, so a run killed at any instant — including SIGKILL —
 // resumes from where it died and, because the simulation is deterministic,
 // produces a byte-identical report.
 //
-// A nil *Journal is valid and disables journaling entirely: every runner's
-// unjournaled entry point passes nil and executes exactly the pre-journal
-// code path.
+// Records are keyed by a content address — a hash of the trial's inputs
+// (Trial.Key) — not by position, so records may be committed out of order
+// by a worker pool and a journal survives refactors that reorder trials.
+// Format v1 journals were keyed positionally and are refused.
+//
+// A nil *Journal is valid and disables journaling entirely: the driver
+// then executes every trial live.
 type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
 	done map[string]json.RawMessage
 }
+
+// journalVersion is the current format: content-addressed trial keys.
+// Version 1 keyed records by trial position/loop indices; replaying one
+// against the current trial sets would silently mismatch results, so v1
+// files are refused with an explicit error.
+const journalVersion = 2
 
 // journalHeader is the first line of a journal file. A resume against a
 // different experiment, seed or parameter set must fail loudly rather than
@@ -39,18 +49,21 @@ type journalHeader struct {
 	Params string `json:"params"`
 }
 
-// journalLine is one completed trial.
+// journalLine is one completed trial: the content key, the inputs it
+// hashes (kept verbatim for debuggability) and the encoded result.
 type journalLine struct {
 	ID     string          `json:"id"`
+	Inputs string          `json:"inputs,omitempty"`
 	Result json.RawMessage `json:"result"`
 }
 
 // OpenJournal opens or creates the journal at path for the given run
 // identity. An existing file is loaded for resume; a torn trailing line
 // from a crash mid-append is dropped (that trial re-runs). An existing
-// file with a different identity is an error.
+// file with a different identity — or a stale positional-format (v1)
+// journal — is an error.
 func OpenJournal(path, exp string, seed int64, params string) (*Journal, error) {
-	hdr := journalHeader{V: 1, Exp: exp, Seed: seed, Params: params}
+	hdr := journalHeader{V: journalVersion, Exp: exp, Seed: seed, Params: params}
 	done := make(map[string]json.RawMessage)
 	data, err := os.ReadFile(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
@@ -59,7 +72,10 @@ func OpenJournal(path, exp string, seed int64, params string) (*Journal, error) 
 	if err == nil && len(data) > 0 {
 		lines := strings.Split(string(data), "\n")
 		var got journalHeader
-		if jerr := json.Unmarshal([]byte(lines[0]), &got); jerr != nil || got != hdr {
+		if jerr := json.Unmarshal([]byte(lines[0]), &got); jerr == nil && got.V == 1 {
+			return nil, fmt.Errorf("experiment: journal %s uses stale positional trial keys (format v1, this build writes v%d); its records cannot be replayed safely — delete it to start over",
+				path, journalVersion)
+		} else if jerr != nil || got != hdr {
 			return nil, fmt.Errorf("experiment: journal %s belongs to a different run (want v=%d exp=%s seed=%d params=%q); delete it to start over",
 				path, hdr.V, hdr.Exp, hdr.Seed, hdr.Params)
 		}
@@ -101,8 +117,8 @@ func OpenJournal(path, exp string, seed int64, params string) (*Journal, error) 
 	return &Journal{f: f, path: path, done: done}, nil
 }
 
-// Lookup unmarshals the recorded result of trial id into out and reports
-// whether the trial was found. A nil journal never finds anything.
+// Lookup unmarshals the recorded result of trial key id into out and
+// reports whether the trial was found. A nil journal never finds anything.
 func (j *Journal) Lookup(id string, out any) (bool, error) {
 	if j == nil {
 		return false, nil
@@ -120,16 +136,14 @@ func (j *Journal) Lookup(id string, out any) (bool, error) {
 }
 
 // Record appends one finished trial and fsyncs, so a kill at any later
-// instant preserves it. Recording on a nil journal is a no-op.
-func (j *Journal) Record(id string, result any) error {
+// instant preserves it. id is the trial's content key, inputs the string
+// it hashes. Safe to call from multiple workers; recording on a nil
+// journal is a no-op.
+func (j *Journal) Record(id, inputs string, result json.RawMessage) error {
 	if j == nil {
 		return nil
 	}
-	raw, err := json.Marshal(result)
-	if err != nil {
-		return fmt.Errorf("experiment: encode trial %q: %w", id, err)
-	}
-	b, err := json.Marshal(journalLine{ID: id, Result: raw})
+	b, err := json.Marshal(journalLine{ID: id, Inputs: inputs, Result: result})
 	if err != nil {
 		return fmt.Errorf("experiment: encode journal line %q: %w", id, err)
 	}
@@ -144,7 +158,7 @@ func (j *Journal) Record(id string, result any) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("experiment: sync journal: %w", err)
 	}
-	j.done[id] = raw
+	j.done[id] = result
 	return nil
 }
 
@@ -184,26 +198,4 @@ func (j *Journal) Finish() error {
 		return fmt.Errorf("experiment: remove finished journal: %w", err)
 	}
 	return nil
-}
-
-// journaledTrial replays trial id from the journal when present, or runs
-// it live and records the result. run must be deterministic for the run
-// identity pinned in the journal header; trials that can be skipped encode
-// the skip inside T rather than returning an error, so an error from run
-// (or from the journal itself) aborts the whole runner.
-func journaledTrial[T any](j *Journal, id string, run func() (T, error)) (T, error) {
-	var v T
-	if ok, err := j.Lookup(id, &v); err != nil {
-		return v, err
-	} else if ok {
-		return v, nil
-	}
-	v, err := run()
-	if err != nil {
-		return v, err
-	}
-	if err := j.Record(id, v); err != nil {
-		return v, err
-	}
-	return v, nil
 }

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,11 +12,11 @@ import (
 // fig6Baseline computes the un-journaled reference render once per test.
 func fig6Baseline(t *testing.T, seed int64) string {
 	t.Helper()
-	pts, err := Fig6("mi8", seed)
+	out, err := Run(&fig6Exp{model: "mi8"}, RunOpts{Seed: seed})
 	if err != nil {
 		t.Fatalf("baseline fig6: %v", err)
 	}
-	return RenderFig6("mi8", pts)
+	return out.Text
 }
 
 // completedFig6Journal runs a journaled fig6 sweep to completion and
@@ -27,7 +28,7 @@ func completedFig6Journal(t *testing.T, seed int64) []byte {
 	if err != nil {
 		t.Fatalf("open journal: %v", err)
 	}
-	if _, err := Fig6Journaled("mi8", seed, j); err != nil {
+	if _, err := Run(&fig6Exp{model: "mi8"}, RunOpts{Seed: seed, Journal: j}); err != nil {
 		t.Fatalf("journaled fig6: %v", err)
 	}
 	j.Close()
@@ -51,11 +52,11 @@ func resumeFig6From(t *testing.T, raw []byte, seed int64) string {
 		t.Fatalf("reopen journal: %v", err)
 	}
 	defer j.Close()
-	pts, err := Fig6Journaled("mi8", seed, j)
+	out, err := Run(&fig6Exp{model: "mi8"}, RunOpts{Seed: seed, Journal: j})
 	if err != nil {
 		t.Fatalf("resumed fig6: %v", err)
 	}
-	return RenderFig6("mi8", pts)
+	return out.Text
 }
 
 // TestJournalResumeEveryBoundary simulates a crash after every record
@@ -73,6 +74,28 @@ func TestJournalResumeEveryBoundary(t *testing.T) {
 			t.Fatalf("resume from %d/%d journal lines diverges\nwant:\n%s\ngot:\n%s",
 				k, len(lines), want, got)
 		}
+	}
+}
+
+// TestJournalResumeShuffledRecords: records committed out of order by a
+// worker pool must resume exactly like in-order ones — the journal is
+// keyed by trial content, not position.
+func TestJournalResumeShuffledRecords(t *testing.T) {
+	const seed = 7
+	want := fig6Baseline(t, seed)
+	raw := completedFig6Journal(t, seed)
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("journal too short: %d lines", len(lines))
+	}
+	// Header first, then the records reversed — the most out-of-order a
+	// pool could be.
+	shuffled := append([]byte{}, lines[0]...)
+	for k := len(lines) - 1; k >= 1; k-- {
+		shuffled = append(shuffled, lines[k]...)
+	}
+	if got := resumeFig6From(t, shuffled, seed); got != want {
+		t.Fatalf("resume from shuffled journal diverges\nwant:\n%s\ngot:\n%s", want, got)
 	}
 }
 
@@ -104,7 +127,7 @@ func TestJournalIdentityMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
-	if err := j.Record("a", 1); err != nil {
+	if err := j.Record("a", "trial a", json.RawMessage("1")); err != nil {
 		t.Fatalf("record: %v", err)
 	}
 	j.Close()
@@ -127,6 +150,28 @@ func TestJournalIdentityMismatch(t *testing.T) {
 	}
 }
 
+// TestJournalRefusesStaleV1: a positional-format (v1) journal cannot be
+// replayed against content-addressed trials; opening one must fail with an
+// error that names the problem and the way out.
+func TestJournalRefusesStaleV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.journal")
+	v1 := `{"v":1,"exp":"fig6","seed":7,"params":"model=mi8"}` + "\n" +
+		`{"id":"trial-0","result":1}` + "\n"
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatalf("write v1 journal: %v", err)
+	}
+	_, err := OpenJournal(path, "fig6", 7, "model=mi8")
+	if err == nil {
+		t.Fatal("stale v1 journal accepted")
+	}
+	if !strings.Contains(err.Error(), "positional") {
+		t.Errorf("error does not name the stale key format: %v", err)
+	}
+	if !strings.Contains(err.Error(), "delete it") {
+		t.Errorf("error does not tell the operator the way out: %v", err)
+	}
+}
+
 // TestJournalRoundTrip covers the basic record/lookup/done cycle and that
 // Finish removes the file.
 func TestJournalRoundTrip(t *testing.T) {
@@ -142,7 +187,11 @@ func TestJournalRoundTrip(t *testing.T) {
 	if ok, err := j.Lookup("t1", &rec{}); err != nil || ok {
 		t.Fatalf("lookup before record = (%v, %v), want (false, nil)", ok, err)
 	}
-	if err := j.Record("t1", rec{N: 3, F: 1.5}); err != nil {
+	raw, err := json.Marshal(rec{N: 3, F: 1.5})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := j.Record("t1", "trial one", raw); err != nil {
 		t.Fatalf("record: %v", err)
 	}
 	var got rec
@@ -175,13 +224,13 @@ func TestJournalRoundTrip(t *testing.T) {
 }
 
 // TestJournalNil: a nil journal disables journaling but keeps every entry
-// point usable.
+// point usable, including the driver itself.
 func TestJournalNil(t *testing.T) {
 	var j *Journal
 	if ok, err := j.Lookup("x", new(int)); err != nil || ok {
 		t.Fatalf("nil Lookup = (%v, %v)", ok, err)
 	}
-	if err := j.Record("x", 1); err != nil {
+	if err := j.Record("x", "trial x", json.RawMessage("1")); err != nil {
 		t.Fatalf("nil Record: %v", err)
 	}
 	if n := j.Done(); n != 0 {
@@ -191,11 +240,45 @@ func TestJournalNil(t *testing.T) {
 	if err := j.Finish(); err != nil {
 		t.Fatalf("nil Finish: %v", err)
 	}
-	v, err := journaledTrial(j, "x", func() (int, error) { return 42, nil })
-	if err != nil || v != 42 {
-		t.Fatalf("journaledTrial(nil) = (%d, %v)", v, err)
+}
+
+// TestTrialKeyContentAddressed: the journal key is a pure function of the
+// trial inputs — stable across runs, distinct across inputs.
+func TestTrialKeyContentAddressed(t *testing.T) {
+	a := NewTrial("fig6 model=mi8 seed=7 d=100ms", "a", func() (int, error) { return 0, nil })
+	b := NewTrial("fig6 model=mi8 seed=7 d=100ms", "b", func() (int, error) { return 1, nil })
+	c := NewTrial("fig6 model=mi8 seed=7 d=130ms", "c", func() (int, error) { return 2, nil })
+	if a.Key() != b.Key() {
+		t.Fatalf("same inputs, different keys: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() == c.Key() {
+		t.Fatalf("different inputs share key %q", a.Key())
+	}
+	if len(a.Key()) != 24 {
+		t.Fatalf("key %q not a 12-byte hex digest", a.Key())
 	}
 }
+
+// TestCollectRejectsDuplicateInputs: two trials with identical inputs
+// would silently share a journal record; the driver must refuse the trial
+// set outright.
+func TestCollectRejectsDuplicateInputs(t *testing.T) {
+	_, err := Collect(dupExp{}, RunOpts{Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "share inputs") {
+		t.Fatalf("duplicate trial inputs accepted (err = %v)", err)
+	}
+}
+
+// dupExp is a synthetic experiment with a colliding trial set.
+type dupExp struct{}
+
+func (dupExp) Name() string   { return "dup" }
+func (dupExp) Params() string { return "" }
+func (dupExp) Trials(int64) ([]Trial, error) {
+	mk := func() Trial { return NewTrial("same-inputs", "t", func() (int, error) { return 0, nil }) }
+	return []Trial{mk(), mk()}, nil
+}
+func (dupExp) Render([]any) (Output, error) { return Output{}, nil }
 
 // TestJournalResumeTableIIIBoundaries spot-checks the heavyweight runner:
 // resuming a Table III run from a handful of record boundaries must give a
@@ -207,18 +290,18 @@ func TestJournalResumeTableIIIBoundaries(t *testing.T) {
 		t.Skip("multi-run resume test skipped in -short mode")
 	}
 	const seed = 11
-	rows, err := TableIII(seed, 1)
+	baseline, err := Run(&table3Exp{perParticipant: 1}, RunOpts{Seed: seed})
 	if err != nil {
 		t.Fatalf("baseline table3: %v", err)
 	}
-	want := RenderTableIII(rows)
+	want := baseline.Text
 
 	path := filepath.Join(t.TempDir(), "t3.journal")
 	j, err := OpenJournal(path, "table3", seed, "trials=1")
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
-	if _, err := TableIIIJournaled(seed, 1, j); err != nil {
+	if _, err := Run(&table3Exp{perParticipant: 1}, RunOpts{Seed: seed, Journal: j}); err != nil {
 		t.Fatalf("journaled table3: %v", err)
 	}
 	j.Close()
@@ -237,14 +320,14 @@ func TestJournalResumeTableIIIBoundaries(t *testing.T) {
 		if err != nil {
 			t.Fatalf("reopen: %v", err)
 		}
-		rows, err := TableIIIJournaled(seed, 1, j2)
+		out, err := Run(&table3Exp{perParticipant: 1}, RunOpts{Seed: seed, Journal: j2})
 		if err != nil {
 			t.Fatalf("resume from %d lines: %v", k, err)
 		}
 		j2.Close()
-		if got := RenderTableIII(rows); got != want {
+		if out.Text != want {
 			t.Fatalf("resume from %d/%d journal lines diverges\nwant:\n%s\ngot:\n%s",
-				k, len(lines), want, got)
+				k, len(lines), want, out.Text)
 		}
 	}
 }

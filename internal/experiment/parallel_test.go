@@ -1,0 +1,53 @@
+package experiment
+
+import "testing"
+
+// parallelHeavy marks the registered experiments whose full trial sets are
+// expensive enough to skip under -short; the cheap ones always run at
+// every worker count.
+var parallelHeavy = map[string]bool{
+	"table2":      true,
+	"fig7":        true,
+	"fig8":        true,
+	"table3":      true,
+	"corpus":      true,
+	"degradation": true,
+}
+
+// TestParallelDeterminism is the scheduler's contract: every registered
+// experiment renders byte-identically at workers 1, 2 and 8. Any drift
+// means a trial closure still touches a shared RNG stream at run time
+// instead of deriving it in Trials.
+func TestParallelDeterminism(t *testing.T) {
+	cfg := Config{Model: "mi8", Trials: 1, CorpusN: 20000, FaultProfile: "chaos"}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && parallelHeavy[name] {
+				t.Skip("heavy experiment skipped in -short mode")
+			}
+			var want Output
+			for i, workers := range []int{1, 2, 8} {
+				exp, err := New(name, cfg)
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				out, err := Run(exp, RunOpts{Seed: 42, Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if i == 0 {
+					want = out
+					continue
+				}
+				if out.Text != want.Text {
+					t.Fatalf("workers=%d render differs from workers=1\n-- workers=1 --\n%s\n-- workers=%d --\n%s",
+						workers, want.Text, workers, out.Text)
+				}
+				if out.Skipped != want.Skipped {
+					t.Fatalf("workers=%d skipped %d trials, workers=1 skipped %d", workers, out.Skipped, want.Skipped)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,177 @@
+package experiment
+
+import "fmt"
+
+// Config carries the CLI-level parameters an experiment constructor may
+// need besides the seed. Zero values fall back to the flag defaults the
+// paper uses, so tests can build experiments from a partial Config.
+type Config struct {
+	// Model is the device model for single-device experiments (fig6, load,
+	// drawer).
+	Model string
+	// Trials is the passwords-per-participant count for table3 (paper: 10).
+	Trials int
+	// CorpusN is the synthetic corpus size for the §VI-C2 study.
+	CorpusN int
+	// FaultProfile names the fault profile for the degradation sweep.
+	FaultProfile string
+}
+
+// journalNamer lets an experiment override the journal identity its runs
+// share: fig7 and fig8 render one capture study, so they declare one
+// journal name and a run of either resumes the other's trials.
+type journalNamer interface {
+	JournalName() string
+}
+
+// JournalNameOf reports the journal identity for an experiment: its
+// JournalName if it declares one, its Name otherwise.
+func JournalNameOf(exp Experiment) string {
+	if n, ok := exp.(journalNamer); ok {
+		return n.JournalName()
+	}
+	return exp.Name()
+}
+
+// registration is one registry entry. suite marks the experiments `-exp
+// all` runs; the heavyweight sweeps (degradation) and pure catalogs
+// (devices) stay callable by name only.
+type registration struct {
+	name  string
+	suite bool
+	build func(cfg Config) Experiment
+}
+
+// registrations is the ordered experiment registry; the suite subset, in
+// this order, is the `-exp all` sequence.
+var registrations = []registration{
+	{"fig2", true, func(Config) Experiment {
+		return &oneShot{name: "fig2", run: func(int64) (string, error) { return RenderFig2(), nil }}
+	}},
+	{"fig4", true, func(Config) Experiment {
+		return &oneShot{name: "fig4", run: func(int64) (string, error) { return RenderFig4(), nil }}
+	}},
+	{"fig6", true, func(cfg Config) Experiment { return &fig6Exp{model: cfg.Model} }},
+	{"table2", true, func(Config) Experiment { return &table2Exp{} }},
+	{"load", true, func(cfg Config) Experiment { return &loadExp{model: cfg.Model} }},
+	{"fig7", true, func(Config) Experiment { return &captureExp{} }},
+	{"fig8", true, func(Config) Experiment { return &captureExp{fig8: true} }},
+	{"table3", true, func(cfg Config) Experiment { return &table3Exp{perParticipant: cfg.Trials} }},
+	{"table4", true, func(Config) Experiment {
+		return &oneShot{name: "table4", run: func(seed int64) (string, error) {
+			rows, err := TableIV(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderTableIV(rows), nil
+		}}
+	}},
+	{"stealth", true, func(Config) Experiment {
+		return &oneShot{name: "stealth", run: func(seed int64) (string, error) {
+			rep, err := Stealthiness(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderStealth(rep), nil
+		}}
+	}},
+	{"corpus", true, func(cfg Config) Experiment {
+		return &oneShot{name: "corpus", params: fmt.Sprintf("corpus=%d", cfg.CorpusN), run: func(seed int64) (string, error) {
+			rep, err := CorpusStudy(seed, cfg.CorpusN)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("§VI-C2 — app-market prevalence study\n%v\n", rep), nil
+		}}
+	}},
+	{"defense-ipc", true, func(Config) Experiment {
+		return &oneShot{name: "defense-ipc", run: func(seed int64) (string, error) {
+			rep, err := DefenseIPC(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderDefenseIPC(rep), nil
+		}}
+	}},
+	{"defense-notif", true, func(Config) Experiment {
+		return &oneShot{name: "defense-notif", run: func(seed int64) (string, error) {
+			rep, err := DefenseNotif(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderDefenseNotif(rep), nil
+		}}
+	}},
+	{"defense-toastgap", true, func(Config) Experiment {
+		return &oneShot{name: "defense-toastgap", run: func(seed int64) (string, error) {
+			rep, err := DefenseToastGap(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderDefenseToastGap(rep), nil
+		}}
+	}},
+	{"drawer", true, func(cfg Config) Experiment {
+		return &oneShot{name: "drawer", params: "model=" + cfg.Model, run: func(seed int64) (string, error) {
+			rep, err := DrawerCheck(cfg.Model, seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderDrawerCheck(rep), nil
+		}}
+	}},
+	{"sensitivity", true, func(Config) Experiment {
+		return &oneShot{name: "sensitivity", run: func(seed int64) (string, error) {
+			rows, err := ScatterSensitivity(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderScatterSensitivity(rows), nil
+		}}
+	}},
+	{"ablations", true, func(Config) Experiment {
+		return &oneShot{name: "ablations", run: func(seed int64) (string, error) {
+			rep, err := Ablations(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderAblations(rep), nil
+		}}
+	}},
+	{"devices", false, func(Config) Experiment {
+		return &oneShot{name: "devices", run: func(int64) (string, error) { return RenderDeviceCatalog(), nil }}
+	}},
+	{"degradation", false, func(cfg Config) Experiment {
+		return &degradationExp{profileName: cfg.FaultProfile}
+	}},
+}
+
+// Names lists every registered experiment, in registry order.
+func Names() []string {
+	out := make([]string, 0, len(registrations))
+	for _, r := range registrations {
+		out = append(out, r.name)
+	}
+	return out
+}
+
+// SuiteNames lists the experiments `-exp all` runs, in order.
+func SuiteNames() []string {
+	var out []string
+	for _, r := range registrations {
+		if r.suite {
+			out = append(out, r.name)
+		}
+	}
+	return out
+}
+
+// New builds the named experiment from cfg.
+func New(name string, cfg Config) (Experiment, error) {
+	for _, r := range registrations {
+		if r.name == name {
+			return r.build(cfg), nil
+		}
+	}
+	return nil, fmt.Errorf("experiment: unknown experiment %q", name)
+}

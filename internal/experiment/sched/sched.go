@@ -1,0 +1,78 @@
+// Package sched is the repository's single audited home for goroutine
+// concurrency in the simulation layer: a bounded worker pool that executes
+// independently-seeded tasks and reports results deterministically. Every
+// experiment trial and every corpus chunk runs through Run; nothing else
+// inside internal/ may use the go keyword (enforced by simlint's bare-go
+// rule), so reasoning about replay-exact parallelism stays local to this
+// file.
+//
+// Determinism contract: tasks must be independent — each owns its derived
+// RNG stream and writes only to its own result slot — so any interleaving
+// produces the same per-task results. Run then makes the *aggregate*
+// deterministic too: tasks are handed out in index order, the first error
+// by task index wins regardless of which worker hit it first, and a panic
+// inside a task is confined to that task's error slot instead of tearing
+// down the process.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(0..n-1) on a pool of at most workers goroutines and
+// blocks until every started task finished. workers < 1 means 1; a pool is
+// never larger than n. Cancelling ctx stops handing out new tasks (tasks
+// already running complete); Run then returns ctx.Err() unless some task
+// failed first. When tasks fail, Run returns the error of the
+// lowest-indexed failed task — the same error a sequential loop would have
+// surfaced — independent of scheduling order. A panic inside fn is
+// converted into that task's error.
+func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = protect(fn, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return ctx.Err()
+}
+
+// protect runs one task, converting a panic into an error so a single bad
+// task cannot kill the whole pool (mirroring the per-trial recover the
+// sequential runners used).
+func protect(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: task %d: panic: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunExecutesAll: every index runs exactly once, for worker counts
+// below, at and above n.
+func TestRunExecutesAll(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 23
+			counts := make([]int64, n)
+			if err := Run(context.Background(), workers, n, func(i int) error {
+				atomic.AddInt64(&counts[i], 1)
+				return nil
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("task %d ran %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+// TestRunZeroTasks: an empty task set is a no-op.
+func TestRunZeroTasks(t *testing.T) {
+	if err := Run(context.Background(), 4, 0, func(int) error {
+		t.Fatal("task ran")
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestRunFirstErrorByIndex: with many failing tasks racing on many
+// workers, the returned error must always be the lowest-indexed failure —
+// what a sequential loop would have reported.
+func TestRunFirstErrorByIndex(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		err := Run(context.Background(), 8, 50, func(i int) error {
+			if i >= 7 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Fatalf("trial %d: err = %v, want task 7 failed", trial, err)
+		}
+	}
+}
+
+// TestRunPanicConfined: a panicking task becomes that task's error; the
+// other tasks still run.
+func TestRunPanicConfined(t *testing.T) {
+	var ran int64
+	err := Run(context.Background(), 4, 10, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 3 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "task 3") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want task 3 panic", err)
+	}
+	if ran != 10 {
+		t.Fatalf("ran %d tasks, want 10", ran)
+	}
+}
+
+// TestRunCancelStopsDispatch: after ctx is cancelled no new task starts,
+// in-flight tasks finish, and ctx.Err() is returned.
+func TestRunCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int64
+	var once sync.Once
+	release := make(chan struct{})
+	err := Run(ctx, 2, 100, func(i int) error {
+		atomic.AddInt64(&started, 1)
+		once.Do(func() {
+			cancel()
+			close(release)
+		})
+		<-release
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Both workers may have picked up a task before observing the cancel,
+	// but dispatch must stop shortly after: nowhere near all 100.
+	if s := atomic.LoadInt64(&started); s > 4 {
+		t.Fatalf("%d tasks started after cancel", s)
+	}
+}
+
+// TestRunCancelledBeforeStart: a pre-cancelled context runs nothing.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	err := Run(ctx, 4, 10, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d tasks ran on a dead context", ran)
+	}
+}
+
+// TestRunTaskErrorBeatsCancel: a task failure surfaces even when the
+// context is also cancelled — the error identifies the real cause.
+func TestRunTaskErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := Run(ctx, 1, 3, func(i int) error {
+		if i == 1 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

@@ -69,35 +69,50 @@ func measureUpperBoundD(p device.Profile, seed int64, opts ...sysserver.Option) 
 	return lo, nil
 }
 
-// TableII regenerates Table II: the upper boundary of D per device.
-func TableII(seed int64) ([]TableIIRow, error) {
-	return TableIIJournaled(seed, nil)
+// table2Exp regenerates Table II: the upper boundary of D per device, one
+// trial per device.
+type table2Exp struct{}
+
+func (e *table2Exp) Name() string   { return "table2" }
+func (e *table2Exp) Params() string { return "" }
+
+func (e *table2Exp) Trials(seed int64) ([]Trial, error) {
+	profiles := device.Profiles()
+	trials := make([]Trial, 0, len(profiles))
+	for i, p := range profiles {
+		i, p := i, p
+		trials = append(trials, NewTrial(
+			fmt.Sprintf("table2 seed=%d device=%s", seed, p.Name()),
+			fmt.Sprintf("table II bound for %s", p.Name()),
+			func() (time.Duration, error) {
+				d, err := measureUpperBoundD(p, seed+int64(i)*1009)
+				if err != nil {
+					return 0, fmt.Errorf("experiment: table II for %s: %w", p.Name(), err)
+				}
+				return d, nil
+			}))
+	}
+	return trials, nil
 }
 
-// TableIIJournaled is TableII with per-device journaling: every device's
-// completed bound search is fsynced to j, so an interrupted run rerun with
-// the same journal only re-measures the devices it lost. A nil journal
-// disables journaling.
-func TableIIJournaled(seed int64, j *Journal) ([]TableIIRow, error) {
+// rows pairs the device catalog with the measured bounds.
+func (e *table2Exp) rows(results []any) []TableIIRow {
 	profiles := device.Profiles()
 	out := make([]TableIIRow, 0, len(profiles))
 	for i, p := range profiles {
-		i, p := i, p
-		measured, err := journaledTrial(j, "device="+p.Name(), func() (time.Duration, error) {
-			return measureUpperBoundD(p, seed+int64(i)*1009)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: table II for %s: %w", p.Name(), err)
-		}
 		out = append(out, TableIIRow{
 			Manufacturer: p.Manufacturer,
 			Model:        p.Model,
 			Version:      p.Version.String(),
 			PaperD:       p.PaperUpperBoundD,
-			MeasuredD:    measured,
+			MeasuredD:    Res[time.Duration](results, i),
 		})
 	}
-	return out, nil
+	return out
+}
+
+func (e *table2Exp) Render(results []any) (Output, error) {
+	return Output{Text: RenderTableII(e.rows(results))}, nil
 }
 
 // RenderTableII formats the table next to the paper's values.
@@ -136,23 +151,47 @@ type LoadImpactRow struct {
 	MeasuredD      time.Duration
 }
 
-// LoadImpact regenerates the Section VI-B load experiment: the upper
-// boundary of D on one device with 0, 3 and 5 background apps. The paper
-// finds the bounds "almost the same".
-func LoadImpact(model string, seed int64) ([]LoadImpactRow, error) {
-	p, ok := device.ByModel(model)
+// loadExp regenerates the Section VI-B load experiment: the upper boundary
+// of D on one device with 0, 3 and 5 background apps. The paper finds the
+// bounds "almost the same".
+type loadExp struct {
+	model string
+	loads []int
+}
+
+func (e *loadExp) Name() string   { return "load" }
+func (e *loadExp) Params() string { return "model=" + e.model }
+
+func (e *loadExp) Trials(seed int64) ([]Trial, error) {
+	p, ok := device.ByModel(e.model)
 	if !ok {
-		return nil, fmt.Errorf("experiment: unknown device model %q", model)
+		return nil, fmt.Errorf("experiment: unknown device model %q", e.model)
 	}
-	out := make([]LoadImpactRow, 0, 3)
-	for _, n := range []int{0, 3, 5} {
-		d, err := measureUpperBoundD(p.WithLoad(n), seed+int64(n)*37)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, LoadImpactRow{BackgroundApps: n, MeasuredD: d})
+	e.loads = []int{0, 3, 5}
+	trials := make([]Trial, 0, len(e.loads))
+	for _, n := range e.loads {
+		n := n
+		trials = append(trials, NewTrial(
+			fmt.Sprintf("load model=%s seed=%d apps=%d", e.model, seed, n),
+			fmt.Sprintf("load bound with %d background apps", n),
+			func() (time.Duration, error) {
+				return measureUpperBoundD(p.WithLoad(n), seed+int64(n)*37)
+			}))
 	}
-	return out, nil
+	return trials, nil
+}
+
+// rows pairs the load levels with the measured bounds.
+func (e *loadExp) rows(results []any) []LoadImpactRow {
+	out := make([]LoadImpactRow, len(e.loads))
+	for i, n := range e.loads {
+		out[i] = LoadImpactRow{BackgroundApps: n, MeasuredD: Res[time.Duration](results, i)}
+	}
+	return out
+}
+
+func (e *loadExp) Render(results []any) (Output, error) {
+	return Output{Text: RenderLoadImpact(e.model, e.rows(results))}, nil
 }
 
 // RenderLoadImpact formats the load rows.

@@ -215,20 +215,29 @@ type stealTrialRecord struct {
 	Stolen  string `json:"stolen"`
 }
 
-// TableIII regenerates Table III: for each password length, each of the
-// 30 participants enters perParticipant random passwords spanning the
-// sub-keyboards (10 in the paper).
-func TableIII(seed int64, perParticipant int) ([]TableIIIRow, error) {
-	return TableIIIJournaled(seed, perParticipant, nil)
+// stealTrialMeta is the per-trial context table3Exp.Trials stashes for
+// Render: which row the trial belongs to and which password the
+// participant was asked to type (needed to classify the stolen one).
+type stealTrialMeta struct {
+	length      int
+	participant int
+	password    string
 }
 
-// TableIIIJournaled is TableIII with per-trial journaling: every completed
-// steal trial is fsynced to j, so the 300-trials-per-length run survives a
-// kill at any instant and a rerun with the same journal resumes to a
-// byte-identical table. A nil journal disables journaling.
-func TableIIIJournaled(seed int64, perParticipant int, j *Journal) ([]TableIIIRow, error) {
-	if perParticipant <= 0 {
-		return nil, fmt.Errorf("experiment: non-positive trials per participant %d", perParticipant)
+// table3Exp regenerates Table III: for each password length, each of the
+// 30 participants enters perParticipant random passwords spanning the
+// sub-keyboards (10 in the paper).
+type table3Exp struct {
+	perParticipant int
+	meta           []stealTrialMeta
+}
+
+func (e *table3Exp) Name() string   { return "table3" }
+func (e *table3Exp) Params() string { return fmt.Sprintf("trials=%d", e.perParticipant) }
+
+func (e *table3Exp) Trials(seed int64) ([]Trial, error) {
+	if e.perParticipant <= 0 {
+		return nil, fmt.Errorf("experiment: non-positive trials per participant %d", e.perParticipant)
 	}
 	root := simrand.New(seed)
 	typists, err := input.Participants(root.Derive("typists"), NumParticipants)
@@ -240,61 +249,85 @@ func TableIIIJournaled(seed int64, perParticipant int, j *Journal) ([]TableIIIRo
 		return nil, fmt.Errorf("experiment: BofA app missing")
 	}
 	pwRNG := root.Derive("passwords")
-	out := make([]TableIIIRow, 0, len(PasswordLengths()))
+	e.meta = e.meta[:0]
+	var trials []Trial
 	for li, length := range PasswordLengths() {
-		row := TableIIIRow{Length: length}
 		for i := 0; i < NumParticipants; i++ {
 			p := participantDevice(i)
-			for tr := 0; tr < perParticipant; tr++ {
-				// The password and typing-stream draws happen before the
-				// journal lookup so a resumed run's generator streams stay
-				// aligned with an uninterrupted one: replaying a trial from
-				// the journal must consume exactly the draws a live trial
-				// would have taken from the shared roots.
+			for tr := 0; tr < e.perParticipant; tr++ {
+				li, length, i, tr := li, length, i, tr
+				// Every shared-stream draw happens here, in the exact order
+				// the old sequential runner performed them — password first,
+				// then the typing stream — so the trial closures are
+				// independent and order-insensitive.
 				password := input.RandomPassword(pwRNG, length)
 				typist, err := typists[i].WithStream(root.DeriveIndexed("plan",
-					(li*NumParticipants+i)*perParticipant+tr))
+					(li*NumParticipants+i)*e.perParticipant+tr))
 				if err != nil {
 					return nil, fmt.Errorf("experiment: trial typist: %w", err)
 				}
-				rec, err := journaledTrial(j, fmt.Sprintf("len=%d/p=%d/t=%d", length, i, tr), func() (stealTrialRecord, error) {
-					var trial StealTrialResult
-					err := safeTrial(fmt.Sprintf("steal trial (len %d, participant %d, trial %d)", length, i, tr), func() error {
-						var terr error
-						trial, terr = RunStealTrial(p, typist, bofa, password,
-							seed+int64(li*100000+i*1000+tr))
-						return terr
-					})
-					if err != nil {
-						// One bad trial must not kill the 150-trial sweep:
-						// count it and move on.
-						return stealTrialRecord{Skipped: true}, nil
-					}
-					return stealTrialRecord{Stolen: trial.Stolen}, nil
-				})
-				if err != nil {
-					return nil, err
-				}
-				if rec.Skipped {
-					row.Skipped++
-					continue
-				}
-				row.Trials++
-				switch ClassifyTrial(password, rec.Stolen) {
-				case ErrorNone:
-					row.Successes++
-				case ErrorLength:
-					row.LengthErrors++
-				case ErrorCapitalization:
-					row.CapitalizationErrors++
-				case ErrorWrongKey:
-					row.WrongKeyErrors++
-				}
+				e.meta = append(e.meta, stealTrialMeta{length: length, participant: i, password: password})
+				trials = append(trials, NewTrial(
+					fmt.Sprintf("table3 seed=%d trials=%d len=%d p=%d t=%d", seed, e.perParticipant, length, i, tr),
+					fmt.Sprintf("steal trial (len %d, participant %d, trial %d)", length, i, tr),
+					func() (stealTrialRecord, error) {
+						var trial StealTrialResult
+						err := safeTrial(fmt.Sprintf("steal trial (len %d, participant %d, trial %d)", length, i, tr), func() error {
+							var terr error
+							trial, terr = RunStealTrial(p, typist, bofa, password,
+								seed+int64(li*100000+i*1000+tr))
+							return terr
+						})
+						if err != nil {
+							// One bad trial must not kill the sweep: record
+							// the skip and move on.
+							return stealTrialRecord{Skipped: true}, nil
+						}
+						return stealTrialRecord{Stolen: trial.Stolen}, nil
+					}))
 			}
 		}
-		out = append(out, row)
 	}
-	return out, nil
+	return trials, nil
+}
+
+// rows aggregates the per-trial records into the Table III rows.
+func (e *table3Exp) rows(results []any) []TableIIIRow {
+	byLength := make(map[int]*TableIIIRow)
+	out := make([]TableIIIRow, len(PasswordLengths()))
+	for li, length := range PasswordLengths() {
+		out[li] = TableIIIRow{Length: length}
+		byLength[length] = &out[li]
+	}
+	for ti, m := range e.meta {
+		rec := Res[stealTrialRecord](results, ti)
+		row := byLength[m.length]
+		if rec.Skipped {
+			row.Skipped++
+			continue
+		}
+		row.Trials++
+		switch ClassifyTrial(m.password, rec.Stolen) {
+		case ErrorNone:
+			row.Successes++
+		case ErrorLength:
+			row.LengthErrors++
+		case ErrorCapitalization:
+			row.CapitalizationErrors++
+		case ErrorWrongKey:
+			row.WrongKeyErrors++
+		}
+	}
+	return out
+}
+
+func (e *table3Exp) Render(results []any) (Output, error) {
+	rows := e.rows(results)
+	skipped := 0
+	for _, r := range rows {
+		skipped += r.Skipped
+	}
+	return Output{Text: RenderTableIII(rows), Skipped: skipped}, nil
 }
 
 // RenderTableIII formats the table next to the paper's numbers.

@@ -51,6 +51,19 @@ func (a *Aggregate) Observe(intensity float64, vs []Violation) {
 	}
 }
 
+// Merge folds other's sweep statistics into a. Totals add and each rule's
+// first-breaking intensity takes the minimum, so folding per-shard
+// aggregates from a parallel sweep yields the same Rows in any merge
+// order. A nil other is a no-op.
+func (a *Aggregate) Merge(other *Aggregate) {
+	if other == nil {
+		return
+	}
+	for rule, rt := range other.rules {
+		a.Add(rt.first, rule, rt.total)
+	}
+}
+
 // Empty reports whether no rule broke anywhere in the sweep.
 func (a *Aggregate) Empty() bool { return len(a.rules) == 0 }
 

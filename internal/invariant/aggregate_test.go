@@ -79,6 +79,57 @@ func TestAggregateObserve(t *testing.T) {
 	}
 }
 
+// TestAggregateMergeOrderIndependent: folding per-shard aggregates from a
+// parallel sweep must yield the same table regardless of which shard
+// finishes first.
+func TestAggregateMergeOrderIndependent(t *testing.T) {
+	s1 := NewAggregate()
+	s1.Add(0.75, "rule-a", 2)
+	s1.Add(0.5, "rule-b", 1)
+	s2 := NewAggregate()
+	s2.Add(0.25, "rule-a", 3)
+	s3 := NewAggregate()
+	s3.Add(1.0, "rule-b", 4)
+
+	fold := func(order ...*Aggregate) []RuleBreak {
+		a := NewAggregate()
+		for _, s := range order {
+			a.Merge(s)
+		}
+		return a.Rows()
+	}
+	want := fold(s1, s2, s3)
+	if len(want) != 2 {
+		t.Fatalf("rows = %+v, want 2", want)
+	}
+	if want[0].Rule != "rule-a" || want[0].FirstIntensity != 0.25 || want[0].Total != 5 {
+		t.Errorf("rows[0] = %+v", want[0])
+	}
+	if want[1].Rule != "rule-b" || want[1].FirstIntensity != 0.5 || want[1].Total != 5 {
+		t.Errorf("rows[1] = %+v", want[1])
+	}
+	for _, order := range [][]*Aggregate{{s3, s2, s1}, {s2, s3, s1}, {s1, s3, s2}} {
+		got := fold(order...)
+		if len(got) != len(want) {
+			t.Fatalf("merge order changed row count: %+v vs %+v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("merge order changed rows[%d]: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+	// Merging must not disturb the source shards or choke on nil.
+	if rows := s2.Rows(); len(rows) != 1 || rows[0].Total != 3 {
+		t.Errorf("source shard mutated by merge: %+v", rows)
+	}
+	a := NewAggregate()
+	a.Merge(nil)
+	if !a.Empty() {
+		t.Error("nil merge created rows")
+	}
+}
+
 func TestRenderRuleBreaks(t *testing.T) {
 	if got := RenderRuleBreaks(nil); !strings.Contains(got, "no rule broke") {
 		t.Errorf("empty render = %q", got)

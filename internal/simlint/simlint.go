@@ -19,6 +19,14 @@
 // very state the file exists to preserve. Crash-safe state must go
 // through a fsynced append.
 //
+// Two concurrency rules back the parallel trial scheduler's determinism
+// contract. The bare go keyword is forbidden everywhere in internal/,
+// tests included, except inside internal/experiment/sched — the managed
+// worker pool all concurrent work must go through. And a trial closure
+// passed to NewTrial may not capture a simrand source that is also drawn
+// outside the closure: whichever worker runs first would advance the
+// shared stream, making results depend on scheduling order.
+//
 // The pass is built on the standard library's go/ast so it carries no
 // dependency beyond the toolchain; cmd/simlint is the CLI driver and the
 // package API lets tests run the pass in-process.
@@ -48,7 +56,26 @@ const (
 	// os.WriteFile neither appends nor fsyncs — a crash mid-call can leave
 	// the file truncated or the data in the page cache only.
 	RuleUnsyncedWrite = "unsynced-write"
+	// RuleBareGo forbids the bare go keyword everywhere in internal/
+	// (tests included): an unmanaged goroutine escapes the deterministic
+	// trial scheduler, so its side effects land in seed-dependent order.
+	// internal/experiment/sched is the one exempt package — it is the
+	// managed pool everything else must go through.
+	RuleBareGo = "bare-go"
+	// RuleSharedSource catches the classic parallel-determinism bug: a
+	// trial closure capturing a *simrand.Source that is also drawn from
+	// outside the closure. Whichever worker runs the trial first advances
+	// the shared stream, so results depend on scheduling. Per-trial
+	// streams must be derived up front in Trials and the closure must
+	// capture only its own stream.
+	RuleSharedSource = "shared-source-capture"
 )
+
+// goExemptPackages may spawn goroutines: the trial scheduler is the
+// designated concurrency layer, and everything else submits work to it.
+var goExemptPackages = map[string]bool{
+	"sched": true,
+}
 
 // panicExemptPackages may keep bare panics: the invariant monitor is the
 // designated assertion layer, and its own internals are allowed to fail
@@ -144,8 +171,15 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 		return "", "", false
 	}
 
+	goExempt := goExemptPackages[f.Name.Name]
+
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.GoStmt:
+			if !goExempt {
+				report(n.Pos(), RuleBareGo,
+					"bare go statement spawns an unmanaged goroutine; run concurrent work through internal/experiment/sched")
+			}
 		case *ast.SelectorExpr:
 			// Flag both calls and method values (f := time.Now).
 			id, ok := n.X.(*ast.Ident)
@@ -183,8 +217,163 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 		}
 		return true
 	})
+	if !goExempt {
+		lintSharedSources(f, report)
+	}
+
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos.Offset < diags[j].Pos.Offset })
 	return diags
+}
+
+// isSourceExpr reports whether e constructs or derives a simrand stream:
+// simrand.New(...), x.Derive(...), or x.DeriveIndexed(...). The pass has
+// no type information, so the Derive method names are treated as
+// distinctive — they exist nowhere else in the tree.
+func isSourceExpr(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Derive", "DeriveIndexed":
+		return true
+	case "New":
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Name == "simrand"
+	}
+	return false
+}
+
+// isNewTrialFun reports whether fun names the experiment trial
+// constructor, unwrapping a generic instantiation (NewTrial[T]) and a
+// package qualifier (experiment.NewTrial).
+func isNewTrialFun(fun ast.Expr) bool {
+	switch fn := fun.(type) {
+	case *ast.IndexExpr:
+		return isNewTrialFun(fn.X)
+	case *ast.IndexListExpr:
+		return isNewTrialFun(fn.X)
+	case *ast.Ident:
+		return fn.Name == "NewTrial"
+	case *ast.SelectorExpr:
+		return fn.Sel.Name == "NewTrial"
+	}
+	return false
+}
+
+// lintSharedSources implements RuleSharedSource: for every variable
+// assigned from a simrand constructor or Derive call, a use inside a
+// NewTrial closure is only legal if the variable has no other use outside
+// that closure (its defining assignment aside). A variable drawn from both
+// inside and outside trial closures is a scheduling-order dependence.
+func lintSharedSources(f *ast.File, report func(pos token.Pos, rule, msg string)) {
+	// Pass 1: source variables and the positions of assignment targets
+	// (excluded from the use scan below).
+	sourceVars := map[string]bool{}
+	assignPos := map[token.Pos]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				assignPos[id.Pos()] = true
+			}
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isSourceExpr(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				sourceVars[id.Name] = true
+			}
+		}
+		return true
+	})
+	if len(sourceVars) == 0 {
+		return
+	}
+
+	// Pass 2: the spans of closure literals passed to NewTrial, and the
+	// positions of selector field/method names (x.Derive's "Derive" is an
+	// ident too, but never a variable use).
+	type span struct{ lo, hi token.Pos }
+	var closures []span
+	selPos := map[token.Pos]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			selPos[n.Sel.Pos()] = true
+		case *ast.CallExpr:
+			if !isNewTrialFun(n.Fun) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					closures = append(closures, span{fl.Pos(), fl.End()})
+				}
+			}
+		}
+		return true
+	})
+	if len(closures) == 0 {
+		return
+	}
+
+	// Pass 3: classify every remaining use of each source variable.
+	type uses struct {
+		firstInside token.Pos
+		inside      bool
+		outside     bool
+	}
+	byVar := map[string]*uses{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || !sourceVars[id.Name] || assignPos[id.Pos()] || selPos[id.Pos()] {
+			return true
+		}
+		u := byVar[id.Name]
+		if u == nil {
+			u = &uses{}
+			byVar[id.Name] = u
+		}
+		in := false
+		for _, c := range closures {
+			if id.Pos() >= c.lo && id.Pos() < c.hi {
+				in = true
+				break
+			}
+		}
+		if in {
+			if !u.inside {
+				u.firstInside = id.Pos()
+			}
+			u.inside = true
+		} else {
+			u.outside = true
+		}
+		return true
+	})
+
+	var names []string
+	for name, u := range byVar {
+		if u.inside && u.outside {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		report(byVar[name].firstInside, RuleSharedSource,
+			fmt.Sprintf("trial closure captures simrand source %q that is also drawn outside the closure; derive a per-trial stream in Trials and capture only that", name))
+	}
 }
 
 // LintSource parses src (attributed to filename) and lints it; it exists

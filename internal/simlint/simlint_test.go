@@ -224,6 +224,126 @@ func TestLintDirSkipsExemptPackages(t *testing.T) {
 	}
 }
 
+func TestFlagsBareGo(t *testing.T) {
+	diags := lint(t, `package p
+func f(ch chan int) {
+	go func() { ch <- 1 }()
+}
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleBareGo {
+		t.Fatalf("diags = %v, want one %s", diags, RuleBareGo)
+	}
+	if diags[0].Pos.Line != 3 {
+		t.Errorf("finding at line %d, want 3", diags[0].Pos.Line)
+	}
+}
+
+func TestFlagsBareGoInTestFiles(t *testing.T) {
+	// Unlike sleep/panic, goroutines are forbidden in tests too: a test
+	// that races unmanaged goroutines against the scheduler is exactly as
+	// flaky as production code doing it.
+	diags := lintAs(t, "fixture_test.go", `package p
+func f() { go helper() }
+func helper() {}
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleBareGo {
+		t.Fatalf("test-file go statement not flagged: %v", diags)
+	}
+}
+
+func TestAllowsGoInSchedPackage(t *testing.T) {
+	diags := lint(t, `package sched
+func pool(n int, work func()) {
+	for i := 0; i < n; i++ {
+		go work()
+	}
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("scheduler pool flagged: %v", diags)
+	}
+}
+
+func TestFlagsSharedSourceCapture(t *testing.T) {
+	diags := lint(t, `package p
+func trials(seed int64) []Trial {
+	root := simrand.New(seed)
+	shared := root.Derive("strings")
+	var ts []Trial
+	for i := 0; i < 3; i++ {
+		ts = append(ts, NewTrial("in", "l", func() (int, error) {
+			return int(shared.Uint64()), nil // scheduling-order dependent
+		}))
+	}
+	_ = shared.Uint64() // and drawn outside the closure too
+	return ts
+}
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleSharedSource {
+		t.Fatalf("diags = %v, want one %s", diags, RuleSharedSource)
+	}
+	if !strings.Contains(diags[0].Msg, `"shared"`) {
+		t.Errorf("finding does not name the variable: %s", diags[0].Msg)
+	}
+}
+
+func TestFlagsRootSourceCapturedByTrial(t *testing.T) {
+	// The parent stream is derived from in Trials AND drawn inside a
+	// closure — the bug the parallel scheduler contract forbids.
+	diags := lint(t, `package p
+func trials(seed int64) []Trial {
+	root := simrand.New(seed)
+	plan := root.Derive("plan")
+	_ = plan
+	return []Trial{NewTrial("in", "l", func() (int, error) {
+		return int(root.Uint64()), nil
+	})}
+}
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleSharedSource {
+		t.Fatalf("diags = %v, want one %s", diags, RuleSharedSource)
+	}
+}
+
+func TestAllowsPerTrialDerivedStream(t *testing.T) {
+	// The sanctioned pattern: each closure captures only the stream
+	// derived for it, so no source crosses the closure boundary both ways.
+	diags := lint(t, `package p
+func trials(seed int64) []Trial {
+	root := simrand.New(seed)
+	var ts []Trial
+	for i := 0; i < 3; i++ {
+		stream := root.DeriveIndexed("trial", i)
+		ts = append(ts, NewTrial("in", "l", func() (int, error) {
+			return int(stream.Uint64()), nil
+		}))
+	}
+	return ts
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("per-trial derived stream flagged: %v", diags)
+	}
+}
+
+func TestAllowsGenericAndQualifiedNewTrial(t *testing.T) {
+	// The closure scan must see through NewTrial[T] instantiations and
+	// experiment.NewTrial qualification.
+	diags := lint(t, `package p
+func trials(seed int64) []Trial {
+	shared := simrand.New(seed)
+	t1 := NewTrial[int]("a", "l", func() (int, error) { return int(shared.Uint64()), nil })
+	t2 := experiment.NewTrial("b", "l", func() (int, error) { return int(shared.Uint64()), nil })
+	_ = shared.Uint64()
+	return []Trial{t1, t2}
+}
+`)
+	got := rules(diags)
+	if len(got) != 1 || got[0] != RuleSharedSource {
+		t.Fatalf("rules = %v, want one %s", got, RuleSharedSource)
+	}
+}
+
 const unsyncedWriteSrc = `package p
 import "os"
 func save(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

@@ -43,4 +43,28 @@ awk -v floor="$COVER_FLOOR" '
 ' /tmp/verify-cover.$$
 rm -f /tmp/verify-cover.$$
 
+# Parallel-scheduler contract: the full suite must render byte-identically
+# at one worker and four. Any diff means a trial still draws from a shared
+# RNG stream at run time.
+echo "==> animbench -workers 1 vs -workers 4 parity"
+ANIMBENCH=/tmp/verify-animbench.$$
+go build -o "$ANIMBENCH" ./cmd/animbench
+set +e
+"$ANIMBENCH" -exp all -seed 42 -trials 1 -corpus 20000 -workers 1 >/tmp/verify-w1.$$ 2>&1
+W1=$?
+"$ANIMBENCH" -exp all -seed 42 -trials 1 -corpus 20000 -workers 4 >/tmp/verify-w4.$$ 2>&1
+W4=$?
+set -e
+# Exit 3 just flags skipped trials in an -exp all suite; both runs must
+# agree on it, and any other nonzero status is a real failure.
+[ "$W1" -eq 0 ] || [ "$W1" -eq 3 ] || { echo "workers=1 run failed ($W1)"; exit 1; }
+[ "$W4" -eq "$W1" ] || { echo "exit status differs: workers=1 -> $W1, workers=4 -> $W4"; exit 1; }
+diff -u /tmp/verify-w1.$$ /tmp/verify-w4.$$ || { echo "workers=4 output differs from workers=1"; exit 1; }
+rm -f "$ANIMBENCH" /tmp/verify-w1.$$ /tmp/verify-w4.$$
+
+# Measure the degradation sweep's parallel speedup (ns/op at workers=1 vs
+# workers=4). Informational: the ratio depends on the host's core count.
+echo "==> go test -bench=Degradation -benchtime=1x"
+go test -run '^$' -bench Degradation -benchtime 1x .
+
 echo "verify: all checks passed"
