@@ -7,7 +7,11 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -21,6 +25,7 @@ import (
 	"repro/internal/simrand"
 	"repro/internal/sysserver"
 	"repro/internal/sysui"
+	"repro/internal/vetd"
 )
 
 const benchSeed = 42
@@ -280,6 +285,56 @@ func BenchmarkDetectorObserve(b *testing.B) {
 		tx.DeliveredAt = time.Duration(i) * 150 * time.Millisecond
 		det.Observe(tx)
 	}
+}
+
+// BenchmarkVetServe measures one vetting request through the full vetd
+// serving stack (HTTP decode, content hash, cache or analysis pool,
+// encode) in two regimes: cold — caching disabled, every request pays a
+// defense.Vet call-graph analysis — and warm — every request hits the
+// content-addressed verdict cache. The gap isolates the analysis cost a
+// hit avoids; for the small synthetic IRs the floor under both is JSON
+// decode + hashing, so the delta grows with app size while warm stays
+// near the floor.
+func BenchmarkVetServe(b *testing.B) {
+	const distinct = 64
+	apks, err := appstore.GenerateApps(benchSeed, 0, distinct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := make([][]byte, distinct)
+	for i, apk := range apks {
+		if bodies[i], err = json.Marshal(vetd.VetRequest{App: apk.IR}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	serve := func(b *testing.B, s *vetd.Server) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/vet", bytes.NewReader(bodies[i%distinct]))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		s := vetd.New(vetd.Config{CacheCapacity: -1, QueueDepth: 1 << 16})
+		defer s.Close()
+		serve(b, s)
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := vetd.New(vetd.Config{QueueDepth: 1 << 16})
+		defer s.Close()
+		for i := range bodies { // pre-warm: one analysis per distinct app
+			req := httptest.NewRequest("POST", "/v1/vet", bytes.NewReader(bodies[i]))
+			s.ServeHTTP(httptest.NewRecorder(), req)
+		}
+		b.ResetTimer()
+		serve(b, s)
+		m := s.Metrics()
+		b.ReportMetric(100*float64(m.Hits.Load())/float64(m.Requests.Load()), "%cache-hit")
+	})
 }
 
 // BenchmarkInterpolatorFastOutSlowIn measures the Bézier solve per frame.

@@ -1,0 +1,115 @@
+// Command vetd serves the scan-before-install vetting service
+// (internal/vetd) over HTTP: POST /v1/vet, POST /v1/vet/batch,
+// GET /healthz, GET /metrics, GET /stats.
+//
+// It prints "vetd: listening on ADDR" once the listener is bound (with
+// -addr :0 the printed address carries the ephemeral port, which is how
+// the verify.sh smoke stage finds it) and shuts down cleanly on SIGINT
+// or SIGTERM: stop accepting, drain in-flight requests, stop the
+// analysis pool, exit 0.
+//
+// Usage:
+//
+//	vetd -addr :8474 -cache 8192 -workers 8 -deadline 2s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/vetd"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", ":8474", "listen address (host:port; :0 picks an ephemeral port)")
+		cacheCap = flag.String("cache", "8192", "verdict cache capacity in entries (\"off\" disables caching)")
+		shards   = flag.Int("shards", 16, "verdict cache shard count")
+		queue    = flag.Int("queue", 256, "analysis admission queue depth (full queue sheds with 429)")
+		workers  = flag.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
+		deadline = flag.Duration("deadline", 2*time.Second, "per-request analysis deadline")
+		maxBatch = flag.Int("max-batch", 256, "maximum apps per batch request")
+		logDest  = flag.String("log", "", "structured request log destination (\"-\" for stderr, path for a file, empty to disable)")
+	)
+	flag.Parse()
+
+	cfg := vetd.Config{
+		CacheShards: *shards,
+		QueueDepth:  *queue,
+		Workers:     *workers,
+		Deadline:    *deadline,
+		MaxBatch:    *maxBatch,
+	}
+	if *cacheCap == "off" {
+		cfg.CacheCapacity = -1
+	} else if _, err := fmt.Sscanf(*cacheCap, "%d", &cfg.CacheCapacity); err != nil {
+		fmt.Fprintf(os.Stderr, "vetd: bad -cache %q: %v\n", *cacheCap, err)
+		return 2
+	}
+	switch *logDest {
+	case "":
+	case "-":
+		cfg.LogWriter = os.Stderr
+	default:
+		f, err := os.Create(*logDest)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vetd: open log: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		cfg.LogWriter = f
+	}
+
+	srv := vetd.New(cfg)
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetd: listen: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("vetd: listening on %s\n", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("vetd: signal received, shutting down")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "vetd: serve: %v\n", err)
+		return 1
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "vetd: shutdown: %v\n", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "vetd: serve: %v\n", err)
+		return 1
+	}
+	srv.Close()
+	stats := srv.Metrics().Snapshot()
+	fmt.Printf("vetd: shutdown complete (requests=%d hits=%d misses=%d sheds=%d analyses=%d)\n",
+		stats.Requests, stats.Hits, stats.Misses, stats.Sheds, stats.Analyses)
+	return 0
+}

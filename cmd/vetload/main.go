@@ -1,0 +1,389 @@
+// Command vetload is the deterministic load generator and benchmark
+// client for vetd. It replays a seeded synthetic install workload drawn
+// from the appstore corpus (the same generator the §VI market study
+// scans, so the malicious fraction matches the paper's rates), with a
+// Zipf-skewed duplicate distribution — a handful of popular APKs
+// dominate install traffic, which is exactly what makes the
+// content-addressed verdict cache pay — and reports throughput, client
+// -observed latency percentiles, cache hit rate and shed rate.
+//
+// With -check, every 200 verdict is compared byte-for-byte (on the
+// deadline- and transport-independent Verdict core) against a direct
+// in-process defense.Vet of the same IR, proving the serving layer —
+// cache, coalescing, batching — never changes a verdict. The run exits
+// nonzero on any mismatch.
+//
+// Usage:
+//
+//	vetload -addr http://127.0.0.1:8474 -n 10000 -check
+//	vetload -addr http://127.0.0.1:8474 -duration 10s -clients 32 -qps 500
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/appstore"
+	"repro/internal/defense"
+	"repro/internal/simrand"
+	"repro/internal/vetd"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type config struct {
+	addr       string
+	seed       int64
+	n          int
+	duration   time.Duration
+	clients    int
+	distinct   int
+	zipfS      float64
+	qps        float64
+	batch      int
+	deadlineMS int
+	check      bool
+}
+
+// target is one corpus app, pre-encoded and (under -check) pre-vetted.
+type target struct {
+	pkg      string
+	body     []byte // marshaled VetRequest
+	app      json.RawMessage
+	wantCore []byte // expected Verdict.Core bytes, nil unless -check
+}
+
+// sample aggregates one client's observations.
+type sample struct {
+	latencies  []time.Duration
+	ok, shed   int
+	expired    int
+	other      int
+	hits       int
+	denies     int
+	mismatches int
+	errs       int
+}
+
+func run() int {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8474", "vetd base URL")
+	flag.Int64Var(&cfg.seed, "seed", 42, "workload seed (corpus content and request order)")
+	flag.IntVar(&cfg.n, "n", 10000, "total requests to send (ignored when -duration is set)")
+	flag.DurationVar(&cfg.duration, "duration", 0, "run for a wall-clock duration instead of a fixed count")
+	flag.IntVar(&cfg.clients, "clients", 8, "concurrent client connections")
+	flag.IntVar(&cfg.distinct, "distinct", 512, "distinct apps in the replayed corpus")
+	flag.Float64Var(&cfg.zipfS, "zipf", 1.1, "Zipf skew exponent for app popularity (0 = uniform)")
+	flag.Float64Var(&cfg.qps, "qps", 0, "aggregate request rate target (0 = unlimited)")
+	flag.IntVar(&cfg.batch, "batch", 1, "apps per request; >1 uses POST /v1/vet/batch")
+	flag.IntVar(&cfg.deadlineMS, "deadline-ms", 0, "per-request deadline_ms hint (0 = server default)")
+	flag.BoolVar(&cfg.check, "check", false, "verify every served verdict byte-identical to direct defense.Vet")
+	flag.Parse()
+	if cfg.clients < 1 || cfg.distinct < 1 || cfg.batch < 1 {
+		fmt.Fprintln(os.Stderr, "vetload: -clients, -distinct and -batch must be >= 1")
+		return 2
+	}
+
+	targets, corpusDenies, err := buildCorpus(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetload: corpus: %v\n", err)
+		return 1
+	}
+	fmt.Printf("vetload: corpus %d distinct apps, %d denied by direct policy (%.1f%%), zipf s=%.2f\n",
+		len(targets), corpusDenies, 100*float64(corpusDenies)/float64(len(targets)), cfg.zipfS)
+
+	picker := newZipf(cfg.zipfS, cfg.distinct, simrand.New(cfg.seed).Derive("vetload/perm"))
+
+	var sent atomic.Int64
+	stopAt := time.Time{}
+	if cfg.duration > 0 {
+		stopAt = time.Now().Add(cfg.duration)
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.clients}}
+
+	samples := make([]sample, cfg.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			runClient(cfg, c, client, targets, picker, &sent, stopAt, &samples[c])
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return report(cfg, samples, elapsed, client)
+}
+
+// buildCorpus generates the seeded corpus slice and pre-encodes request
+// bodies; under -check it also computes each app's expected verdict core.
+func buildCorpus(cfg config) ([]target, int, error) {
+	apks, err := appstore.GenerateApps(cfg.seed, 0, cfg.distinct)
+	if err != nil {
+		return nil, 0, err
+	}
+	targets := make([]target, len(apks))
+	denies := 0
+	for i, apk := range apks {
+		raw, err := json.Marshal(apk.IR)
+		if err != nil {
+			return nil, 0, err
+		}
+		body, err := json.Marshal(vetd.VetRequest{App: apk.IR})
+		if err != nil {
+			return nil, 0, err
+		}
+		targets[i] = target{pkg: apk.Package, body: body, app: raw}
+		v, err := defense.Vet(apk.IR)
+		if err != nil {
+			return nil, 0, fmt.Errorf("direct vet of %s: %w", apk.Package, err)
+		}
+		if !v.Allow {
+			denies++
+		}
+		if cfg.check {
+			hash, err := vetd.HashIR(apk.IR)
+			if err != nil {
+				return nil, 0, err
+			}
+			core, err := vetd.NewVerdict(v, hash, false).Core()
+			if err != nil {
+				return nil, 0, err
+			}
+			targets[i].wantCore = core
+		}
+	}
+	return targets, denies, nil
+}
+
+// zipf is a precomputed rank-frequency sampler: rank r (1-based) has
+// weight r^-s, and ranks map onto corpus indices through a seeded
+// permutation so the hot set is not simply the first generated apps.
+type zipf struct {
+	cdf  []float64
+	perm []int
+}
+
+func newZipf(s float64, n int, rng *simrand.Source) *zipf {
+	z := &zipf{cdf: make([]float64, n), perm: rng.Perm(n)}
+	total := 0.0
+	for r := 1; r <= n; r++ {
+		total += math.Pow(float64(r), -s)
+		z.cdf[r-1] = total
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	return z
+}
+
+func (z *zipf) pick(rng *simrand.Source) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.perm) {
+		i = len(z.perm) - 1
+	}
+	return z.perm[i]
+}
+
+func runClient(cfg config, id int, client *http.Client, targets []target, picker *zipf, sent *atomic.Int64, stopAt time.Time, out *sample) {
+	rng := simrand.New(cfg.seed).DeriveIndexed("vetload/client", id)
+	var interval time.Duration
+	if cfg.qps > 0 {
+		interval = time.Duration(float64(cfg.clients) / cfg.qps * float64(time.Second))
+	}
+	next := time.Now()
+	for {
+		if stopAt.IsZero() {
+			if sent.Add(int64(cfg.batch)) > int64(cfg.n) {
+				return
+			}
+		} else if time.Now().After(stopAt) {
+			return
+		}
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		if cfg.batch > 1 {
+			doBatch(cfg, client, targets, picker, rng, out)
+		} else {
+			doVet(cfg, client, &targets[picker.pick(rng)], out)
+		}
+	}
+}
+
+func urlSuffix(cfg config) string {
+	if cfg.deadlineMS > 0 {
+		return fmt.Sprintf("?deadline_ms=%d", cfg.deadlineMS)
+	}
+	return ""
+}
+
+func doVet(cfg config, client *http.Client, tg *target, out *sample) {
+	start := time.Now()
+	resp, err := client.Post(cfg.addr+"/v1/vet"+urlSuffix(cfg), "application/json", bytes.NewReader(tg.body))
+	if err != nil {
+		out.errs++
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out.latencies = append(out.latencies, time.Since(start))
+	classify(resp.StatusCode, out)
+	if resp.StatusCode == http.StatusOK {
+		checkVerdict(cfg, tg, body, out)
+	}
+}
+
+func doBatch(cfg config, client *http.Client, targets []target, picker *zipf, rng *simrand.Source, out *sample) {
+	picks := make([]int, cfg.batch)
+	apps := make([]json.RawMessage, cfg.batch)
+	for i := range picks {
+		picks[i] = picker.pick(rng)
+		apps[i] = targets[picks[i]].app
+	}
+	body, _ := json.Marshal(map[string]any{"apps": apps})
+	start := time.Now()
+	resp, err := client.Post(cfg.addr+"/v1/vet/batch"+urlSuffix(cfg), "application/json", bytes.NewReader(body))
+	if err != nil {
+		out.errs += cfg.batch
+		return
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out.latencies = append(out.latencies, time.Since(start))
+	if resp.StatusCode != http.StatusOK {
+		out.other += cfg.batch
+		return
+	}
+	var br vetd.BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil || len(br.Verdicts) != cfg.batch {
+		out.errs += cfg.batch
+		return
+	}
+	for i, item := range br.Verdicts {
+		classify(item.Status, out)
+		if item.Status == http.StatusOK && item.Verdict != nil {
+			vb, _ := json.Marshal(item.Verdict)
+			checkVerdict(cfg, &targets[picks[i]], vb, out)
+		}
+	}
+}
+
+func classify(status int, out *sample) {
+	switch status {
+	case http.StatusOK:
+		out.ok++
+	case http.StatusTooManyRequests:
+		out.shed++
+	case http.StatusGatewayTimeout:
+		out.expired++
+	default:
+		out.other++
+	}
+}
+
+func checkVerdict(cfg config, tg *target, body []byte, out *sample) {
+	var v vetd.Verdict
+	if err := json.Unmarshal(body, &v); err != nil {
+		out.errs++
+		return
+	}
+	if v.Cached {
+		out.hits++
+	}
+	if !v.Allow {
+		out.denies++
+	}
+	if cfg.check {
+		core, err := v.Core()
+		if err != nil || !bytes.Equal(core, tg.wantCore) {
+			out.mismatches++
+			if out.mismatches <= 3 {
+				fmt.Fprintf(os.Stderr, "vetload: MISMATCH %s:\n  got  %s\n  want %s\n", tg.pkg, core, tg.wantCore)
+			}
+		}
+	}
+}
+
+func report(cfg config, samples []sample, elapsed time.Duration, client *http.Client) int {
+	var all sample
+	for _, s := range samples {
+		all.latencies = append(all.latencies, s.latencies...)
+		all.ok += s.ok
+		all.shed += s.shed
+		all.expired += s.expired
+		all.other += s.other
+		all.hits += s.hits
+		all.denies += s.denies
+		all.mismatches += s.mismatches
+		all.errs += s.errs
+	}
+	total := all.ok + all.shed + all.expired + all.other
+	sort.Slice(all.latencies, func(i, j int) bool { return all.latencies[i] < all.latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(all.latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all.latencies)))
+		if i >= len(all.latencies) {
+			i = len(all.latencies) - 1
+		}
+		return all.latencies[i]
+	}
+
+	fmt.Printf("vetload: %d requests in %v (%.0f req/s), %d transport errors\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), all.errs)
+	fmt.Printf("vetload: 200 ok %d, 429 shed %d, 504 expired %d, other %d\n",
+		all.ok, all.shed, all.expired, all.other)
+	if all.ok > 0 {
+		fmt.Printf("vetload: cache hit rate %.1f%% (client-observed), deny rate %.1f%%\n",
+			100*float64(all.hits)/float64(all.ok), 100*float64(all.denies)/float64(all.ok))
+	}
+	if total > 0 {
+		fmt.Printf("vetload: shed rate %.1f%%\n", 100*float64(all.shed)/float64(total))
+	}
+	fmt.Printf("vetload: latency p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(0.50), pct(0.90), pct(0.99), pct(1))
+
+	if resp, err := client.Get(cfg.addr + "/stats"); err == nil {
+		var st vetd.Stats
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			fmt.Printf("vetload: server stats: requests=%d hits=%d misses=%d (coalesced=%d) sheds=%d analyses=%d queue_depth=%d hit_rate=%.1f%%\n",
+				st.Requests, st.Hits, st.Misses, st.Coalesced, st.Sheds, st.Analyses, st.QueueDepth, 100*st.HitRate)
+			if st.Hits+st.Misses+st.Sheds != st.Requests {
+				fmt.Fprintf(os.Stderr, "vetload: SERVER ACCOUNTING BROKEN: hits+misses+sheds != requests\n")
+				return 1
+			}
+		}
+		resp.Body.Close()
+	}
+
+	if cfg.check {
+		fmt.Printf("vetload: check mode: %d mismatches across %d served verdicts\n", all.mismatches, all.ok)
+		if all.mismatches > 0 {
+			return 1
+		}
+	}
+	if all.errs > 0 {
+		return 1
+	}
+	return 0
+}

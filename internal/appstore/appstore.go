@@ -460,6 +460,54 @@ func buildIR(pkg string, f features) *dexir.App {
 	return app
 }
 
+// GenerateApps returns apps start..start+n-1 (0-based) of the seeded
+// synthetic corpus — the exact APKs the market study scans at those
+// positions, for any worker count. The corpus is a pure function of the
+// seed: app i lives in chunk i/studyChunkSize, whose generator stream is
+// derived from (seed, chunk), so a range is produced by regenerating each
+// touched chunk's prefix once. vetd's tests and cmd/vetload share this
+// accessor with the study instead of duplicating the generator.
+func GenerateApps(seed int64, start, n int) ([]APK, error) {
+	if start < 0 {
+		return nil, fmt.Errorf("appstore: negative corpus index %d", start)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("appstore: non-positive app count %d", n)
+	}
+	rates := PaperRates()
+	if err := validateRates(rates); err != nil {
+		return nil, err
+	}
+	out := make([]APK, 0, n)
+	for chunk := start / studyChunkSize; len(out) < n; chunk++ {
+		gen, err := newGeneratorAt(chunkStream(seed, chunk), rates, chunk*studyChunkSize)
+		if err != nil {
+			return nil, err
+		}
+		lo := chunk * studyChunkSize
+		for j := 0; j < studyChunkSize && len(out) < n; j++ {
+			apk := gen.Next()
+			if lo+j >= start {
+				out = append(out, apk)
+			}
+		}
+	}
+	return out, nil
+}
+
+// GenerateApp returns one app of the seeded corpus: app i's IR plus its
+// ground-truth label, identical to what the study's scan visits at
+// position i. Cost is O(i mod studyChunkSize) — the chunk prefix is
+// regenerated — so callers wanting a contiguous range should use
+// GenerateApps.
+func GenerateApp(seed int64, i int) (*dexir.App, Truth, error) {
+	apks, err := GenerateApps(seed, i, 1)
+	if err != nil {
+		return nil, Truth{}, err
+	}
+	return apks[0].IR, apks[0].Truth, nil
+}
+
 // ScanResult is the grep baseline's per-app outcome.
 type ScanResult struct {
 	HasSAW          bool

@@ -1,6 +1,7 @@
 package appstore
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -452,5 +453,64 @@ func TestDetectorStats(t *testing.T) {
 	var empty DetectorStats
 	if empty.Precision() != 1 || empty.Recall() != 1 {
 		t.Error("empty stats should report perfect precision/recall")
+	}
+}
+
+// TestGenerateAppsMatchesStudyCorpus pins the public corpus accessor to
+// the study's own generation: the report assembled by scanning
+// GenerateApps output must be byte-identical to StudyWith over the same
+// seed and size, including across a chunk boundary.
+func TestGenerateAppsMatchesStudyCorpus(t *testing.T) {
+	const seed, n = 42, studyChunkSize + 257
+	apks, err := GenerateApps(seed, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apks) != n {
+		t.Fatalf("got %d apps, want %d", len(apks), n)
+	}
+	var got Report
+	for _, apk := range apks {
+		got.Add(ScanApp(apk))
+	}
+	want, err := Study(seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("GenerateApps corpus diverges from Study:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestGenerateAppRandomAccess checks a single-app lookup deep inside a
+// later chunk agrees with the contiguous range accessor, and that the
+// returned label is the generator's own truth.
+func TestGenerateAppRandomAccess(t *testing.T) {
+	const seed = 7
+	const idx = studyChunkSize + 904
+	ir, truth, err := GenerateApp(seed, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apks, err := GenerateApps(seed, studyChunkSize, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := apks[idx-studyChunkSize]
+	if ir.Package != want.IR.Package || truth != want.Truth {
+		t.Fatalf("GenerateApp(%d) = %s %+v, want %s %+v", idx, ir.Package, truth, want.IR.Package, want.Truth)
+	}
+	wantPkg := fmt.Sprintf("com.gen.app%06d", idx+1)
+	if ir.Package != wantPkg {
+		t.Fatalf("package %s, want %s", ir.Package, wantPkg)
+	}
+}
+
+func TestGenerateAppsRejectsBadRange(t *testing.T) {
+	if _, err := GenerateApps(42, -1, 1); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := GenerateApps(42, 0, 0); err == nil {
+		t.Error("zero count accepted")
 	}
 }

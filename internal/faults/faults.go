@@ -63,6 +63,20 @@ type Profile struct {
 	// system_server toast queue toward its 50-token cap.
 	ToastBurstProb float64
 	ToastBurstMax  int
+
+	// Burst gate: a seeded two-state (quiet/burst) Markov chain, stepped
+	// once per binder transaction, that correlates the drop and dup
+	// classes into bursts. With BurstEnterProb > 0 the gate is enabled:
+	// DropProb and DupProb then apply only while the chain is in its
+	// burst state, entered with probability BurstEnterProb per quiet
+	// transaction and left with probability BurstExitProb per burst
+	// transaction (mean burst length 1/BurstExitProb transactions). With
+	// BurstEnterProb = 0 the gate is absent and drop/dup behave exactly
+	// as before — uncorrelated per-transaction coin flips. The gate draws
+	// from its own private sub-stream, so enabling it never perturbs the
+	// draws of any other fault class.
+	BurstEnterProb float64
+	BurstExitProb  float64
 }
 
 // Zero reports whether the profile injects nothing at all.
@@ -73,8 +87,9 @@ func (p Profile) Zero() bool {
 }
 
 // Scale returns a copy with every probability multiplied by x (clamped to
-// [0,1]); fault magnitudes (the Dists and the burst size) are unchanged.
-// Scale(0) is a zero profile; Scale(1) is p itself.
+// [0,1]); fault magnitudes (the Dists, the toast burst size, and
+// BurstExitProb — the reciprocal of the mean binder-burst length) are
+// unchanged. Scale(0) is a zero profile; Scale(1) is p itself.
 func (p Profile) Scale(x float64) Profile {
 	if x < 0 {
 		x = 0
@@ -95,6 +110,7 @@ func (p Profile) Scale(x float64) Profile {
 	q.FrameJitterProb = mul(p.FrameJitterProb)
 	q.PreemptProb = mul(p.PreemptProb)
 	q.ToastBurstProb = mul(p.ToastBurstProb)
+	q.BurstEnterProb = mul(p.BurstEnterProb)
 	return q
 }
 
@@ -145,6 +161,24 @@ func ToastStress() Profile {
 	}
 }
 
+// BinderBurst models correlated binder-fault bursts: most of the time the
+// bus is clean, but a seeded Markov gate occasionally opens a burst window
+// (mean length 1/BurstExitProb = 4 transactions) during which drops and
+// duplicates are heavy. The stationary burst duty cycle is
+// enter/(enter+exit) ≈ 7.4%, putting the long-run drop rate near
+// BinderStress's 2% while concentrating the losses into runs — the
+// correlated-failure texture of a congested Binder rather than
+// independent per-transaction coin flips.
+func BinderBurst() Profile {
+	return Profile{
+		Name:           "burst",
+		DropProb:       0.35,
+		DupProb:        0.10,
+		BurstEnterProb: 0.02,
+		BurstExitProb:  0.25,
+	}
+}
+
 // Chaos combines every fault class at moderate rates.
 func Chaos() Profile {
 	return Profile{
@@ -168,6 +202,7 @@ func Chaos() Profile {
 var profilesByName = map[string]func() Profile{
 	"none":   None,
 	"binder": BinderStress,
+	"burst":  BinderBurst,
 	"anim":   AnimStress,
 	"sched":  SchedStress,
 	"toast":  ToastStress,
@@ -200,6 +235,13 @@ type Stats struct {
 	TxSpiked     uint64
 	TxReordered  uint64
 
+	// BurstsEntered counts quiet→burst transitions of the binder burst
+	// gate; BurstTx counts transactions that passed while the gate was in
+	// its burst state (drops and dups can only occur among these when the
+	// gate is enabled).
+	BurstsEntered uint64
+	BurstTx       uint64
+
 	FramesDropped  uint64
 	FramesJittered uint64
 
@@ -216,6 +258,8 @@ func (s Stats) Add(o Stats) Stats {
 	s.TxDuplicated += o.TxDuplicated
 	s.TxSpiked += o.TxSpiked
 	s.TxReordered += o.TxReordered
+	s.BurstsEntered += o.BurstsEntered
+	s.BurstTx += o.BurstTx
 	s.FramesDropped += o.FramesDropped
 	s.FramesJittered += o.FramesJittered
 	s.Preemptions += o.Preemptions
@@ -240,6 +284,8 @@ func (s Stats) String() string {
 	add("txDup", s.TxDuplicated)
 	add("txSpike", s.TxSpiked)
 	add("txReorder", s.TxReordered)
+	add("burst", s.BurstsEntered)
+	add("burstTx", s.BurstTx)
 	add("frameDrop", s.FramesDropped)
 	add("frameJitter", s.FramesJittered)
 	add("preempt", s.Preemptions)
@@ -262,6 +308,10 @@ type Plane struct {
 	animRng   *simrand.Source
 	schedRng  *simrand.Source
 	toastRng  *simrand.Source
+	burstRng  *simrand.Source
+
+	// inBurst is the binder burst gate's Markov state.
+	inBurst bool
 
 	stats Stats
 }
@@ -277,6 +327,7 @@ func NewPlane(p Profile, seed int64) *Plane {
 		animRng:   root.Derive("faults/anim"),
 		schedRng:  root.Derive("faults/sched"),
 		toastRng:  root.Derive("faults/toast"),
+		burstRng:  root.Derive("faults/burst"),
 	}
 }
 
@@ -292,12 +343,33 @@ func (pl *Plane) Stats() Stats { return pl.stats }
 func (pl *Plane) TransactionFault(from, to binder.ProcessID, method string) binder.TxFault {
 	var f binder.TxFault
 	p := pl.prof
-	if p.DropProb > 0 && pl.binderRng.Bool(p.DropProb) {
+	// Step the burst gate first: with the gate enabled, the drop and dup
+	// classes fire only inside a burst window. The gate draws exactly one
+	// Bool per transaction from its private stream, so the chain's
+	// trajectory — and hence the burst placement — is a pure function of
+	// the plane's seed, independent of which effect classes are enabled.
+	dropProb, dupProb := p.DropProb, p.DupProb
+	if p.BurstEnterProb > 0 {
+		if pl.inBurst {
+			if pl.burstRng.Bool(p.BurstExitProb) {
+				pl.inBurst = false
+			}
+		} else if pl.burstRng.Bool(p.BurstEnterProb) {
+			pl.inBurst = true
+			pl.stats.BurstsEntered++
+		}
+		if pl.inBurst {
+			pl.stats.BurstTx++
+		} else {
+			dropProb, dupProb = 0, 0
+		}
+	}
+	if dropProb > 0 && pl.binderRng.Bool(dropProb) {
 		pl.stats.TxDropped++
 		f.Drop = true
 		return f
 	}
-	if p.DupProb > 0 && pl.binderRng.Bool(p.DupProb) {
+	if dupProb > 0 && pl.binderRng.Bool(dupProb) {
 		pl.stats.TxDuplicated++
 		f.Duplicate = true
 	}

@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/binder"
+)
+
+// pump runs n transactions through the plane's binder hook and returns
+// the final stats.
+func pump(pl *Plane, n int) Stats {
+	for i := 0; i < n; i++ {
+		pl.TransactionFault("app", "system_server", "notify")
+	}
+	return pl.Stats()
+}
+
+func TestBurstProfileRegistered(t *testing.T) {
+	p, err := ByName("burst")
+	if err != nil {
+		t.Fatalf("ByName(burst): %v", err)
+	}
+	if p.Name != "burst" || p.BurstEnterProb <= 0 || p.BurstExitProb <= 0 {
+		t.Fatalf("burst profile misconfigured: %+v", p)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "burst" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing burst", Names())
+	}
+}
+
+func TestBurstGateDeterministic(t *testing.T) {
+	const n = 50000
+	a := pump(NewPlane(BinderBurst(), 7), n)
+	b := pump(NewPlane(BinderBurst(), 7), n)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := pump(NewPlane(BinderBurst(), 8), n)
+	if a == c {
+		t.Fatalf("different seeds produced identical stats %+v", a)
+	}
+}
+
+func TestBurstFaultsConfinedToBursts(t *testing.T) {
+	const n = 100000
+	s := pump(NewPlane(BinderBurst(), 42), n)
+	if s.BurstsEntered == 0 || s.TxDropped == 0 || s.TxDuplicated == 0 {
+		t.Fatalf("burst plane injected nothing over %d tx: %+v", n, s)
+	}
+	// Drops and dups fire only while the gate is open, so each is bounded
+	// by the number of in-burst transactions.
+	if s.TxDropped > s.BurstTx || s.TxDuplicated > s.BurstTx {
+		t.Fatalf("faults outside burst windows: %+v", s)
+	}
+	// The duty cycle should sit near enter/(enter+exit) ≈ 7.4%.
+	duty := float64(s.BurstTx) / float64(n)
+	if duty < 0.03 || duty > 0.15 {
+		t.Errorf("burst duty cycle %.3f implausibly far from 0.074 (%+v)", duty, s)
+	}
+	// Mean burst length should sit near 1/exit = 4 transactions.
+	mean := float64(s.BurstTx) / float64(s.BurstsEntered)
+	if mean < 2 || mean > 8 {
+		t.Errorf("mean burst length %.2f implausibly far from 4 (%+v)", mean, s)
+	}
+}
+
+func TestBurstScaleZeroIsStrictNoOp(t *testing.T) {
+	zero := BinderBurst().Scale(0)
+	if !zero.Zero() {
+		t.Fatalf("BinderBurst().Scale(0) = %+v, want zero profile", zero)
+	}
+	pl := NewPlane(zero, 42)
+	if s := pump(pl, 10000); !s.Zero() {
+		t.Fatalf("zero-scaled burst plane injected faults: %+v", s)
+	}
+	if f := pl.TransactionFault("app", "system_server", "notify"); f != (binder.TxFault{}) {
+		t.Fatalf("zero-scaled burst plane returned non-zero fault %+v", f)
+	}
+}
+
+func TestBurstScaleKeepsBurstLength(t *testing.T) {
+	half := BinderBurst().Scale(0.5)
+	if half.BurstExitProb != BinderBurst().BurstExitProb {
+		t.Errorf("Scale touched BurstExitProb: %v", half.BurstExitProb)
+	}
+	if half.BurstEnterProb != BinderBurst().BurstEnterProb/2 {
+		t.Errorf("Scale(0.5) BurstEnterProb = %v, want %v", half.BurstEnterProb, BinderBurst().BurstEnterProb/2)
+	}
+}
+
+// TestBurstGateStreamIsolation checks the gate draws from its own private
+// sub-stream: enabling the gate on a spike-only profile must not change
+// which transactions spike.
+func TestBurstGateStreamIsolation(t *testing.T) {
+	base := BinderStress()
+	base.DropProb, base.DupProb = 0, 0 // spike+reorder only
+	gated := base
+	gated.BurstEnterProb, gated.BurstExitProb = 0.02, 0.25
+
+	const n = 20000
+	a := pump(NewPlane(base, 42), n)
+	b := pump(NewPlane(gated, 42), n)
+	if a.TxSpiked != b.TxSpiked || a.TxReordered != b.TxReordered {
+		t.Fatalf("burst gate perturbed other fault classes: %+v vs %+v", a, b)
+	}
+}

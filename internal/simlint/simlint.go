@@ -27,6 +27,13 @@
 // outside the closure: whichever worker runs first would advance the
 // shared stream, making results depend on scheduling order.
 //
+// Serving packages (ServingPackages — currently internal/vetd, the
+// scan-before-install vetting service) are exempt from the determinism
+// rules only: they run on the wall clock by design, measuring real
+// latencies, enforcing real deadlines and owning their own goroutines.
+// The robustness rules and the math-rand ban still bind them, and the
+// exemption is matched on the package clause, never the directory.
+//
 // The pass is built on the standard library's go/ast so it carries no
 // dependency beyond the toolchain; cmd/simlint is the CLI driver and the
 // package API lets tests run the pass in-process.
@@ -75,6 +82,24 @@ const (
 // designated concurrency layer, and everything else submits work to it.
 var goExemptPackages = map[string]bool{
 	"sched": true,
+}
+
+// ServingPackages is the explicit allowlist of wall-clock serving
+// packages: long-running network services that answer real traffic on
+// real time, outside the simulation clock. They are exempt from the
+// determinism rules only — time-now, time-since, time-sleep, bare-go and
+// shared-source-capture — because a serving path legitimately measures
+// wall-clock latency, enforces real deadlines and runs its own goroutine
+// pool. The robustness rules (bare-panic, unsynced-write) and the
+// math-rand ban still apply: a server that panics drops every in-flight
+// request, and any randomness it needs must stay seeded through
+// internal/simrand so served verdicts remain reproducible.
+//
+// The exemption is package-scoped (matched on the file's package clause,
+// not its directory), so a simulation file cannot opt out by moving next
+// to serving code.
+var ServingPackages = map[string]bool{
+	"vetd": true,
 }
 
 // panicExemptPackages may keep bare panics: the invariant monitor is the
@@ -151,12 +176,19 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 	filename := fset.Position(f.Pos()).Filename
 	isTest := strings.HasSuffix(filename, "_test.go")
 	panicExempt := isTest || panicExemptPackages[f.Name.Name]
+	// Serving exemption, scoped by package clause; an external test
+	// package (pkg_test) inherits its subject package's serving status.
+	serving := ServingPackages[strings.TrimSuffix(f.Name.Name, "_test")]
 	// The unsynced-write rule applies only to production files implementing
 	// the crash-safe persistence layer, identified by filename.
 	base := filepath.Base(filename)
 	crashSafeFile := !isTest && (strings.Contains(base, "journal") || strings.Contains(base, "checkpoint"))
 
 	forbidden := func(sel string) (rule, msg string, ok bool) {
+		if serving {
+			// Wall-clock serving packages are exempt from every time rule.
+			return "", "", false
+		}
 		switch sel {
 		case "Now":
 			return RuleTimeNow, "call to time.Now reads the wall clock; use the simulation clock (internal/simclock)", true
@@ -171,7 +203,7 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 		return "", "", false
 	}
 
-	goExempt := goExemptPackages[f.Name.Name]
+	goExempt := goExemptPackages[f.Name.Name] || serving
 
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {

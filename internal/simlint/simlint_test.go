@@ -1,6 +1,7 @@
 package simlint
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -406,5 +407,62 @@ func open(path string) (*os.File, error) {
 `)
 	if len(diags) != 0 {
 		t.Fatalf("os.OpenFile flagged: %v", diags)
+	}
+}
+
+// servingSrc exercises every determinism rule the serving allowlist
+// lifts: wall-clock reads, sleeping, and a bare goroutine.
+const servingSrc = `package %s
+import "time"
+func serve(f func()) time.Duration {
+	start := time.Now()
+	go f()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+`
+
+func TestServingExemptionLiftsDeterminismRules(t *testing.T) {
+	diags := lintAs(t, "server.go", fmt.Sprintf(servingSrc, "vetd"))
+	if len(diags) != 0 {
+		t.Fatalf("serving package vetd flagged: %v", diags)
+	}
+}
+
+func TestServingExemptionIsPackageScoped(t *testing.T) {
+	// The identical source under a simulation package clause — even in a
+	// file that happens to sit in a serving directory — keeps every
+	// finding: the allowlist matches the package clause, not the path.
+	diags := lintAs(t, "internal/vetd/impostor.go", fmt.Sprintf(servingSrc, "anim"))
+	want := []string{RuleTimeNow, RuleBareGo, RuleTimeSleep, RuleTimeSince}
+	got := rules(diags)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("package anim rules = %v, want %v", got, want)
+	}
+}
+
+func TestServingExemptionCoversExternalTestPackage(t *testing.T) {
+	diags := lintAs(t, "server_test.go", fmt.Sprintf(servingSrc, "vetd_test"))
+	if len(diags) != 0 {
+		t.Fatalf("external test package vetd_test flagged: %v", diags)
+	}
+}
+
+func TestServingPackagesKeepRobustnessRules(t *testing.T) {
+	// The exemption is determinism-only: a bare panic in serving
+	// production code still drops every in-flight request and is flagged,
+	// and math/rand stays banned in favour of seeded simrand streams.
+	diags := lintAs(t, "server.go", `package vetd
+func overload() { panic("queue full") }
+`)
+	if len(diags) != 1 || diags[0].Rule != RulePanic {
+		t.Fatalf("bare panic in vetd not flagged: %v", diags)
+	}
+	diags = lintAs(t, "server.go", `package vetd
+import "math/rand"
+func jitter() int { return rand.Int() }
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleMathRand {
+		t.Fatalf("math/rand in vetd not flagged: %v", diags)
 	}
 }

@@ -1,0 +1,126 @@
+package vetd
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/defense"
+)
+
+// Cache is a sharded, content-addressed verdict cache: verdicts are
+// keyed by the SHA-256 of the app's IR (HashIR), so identical uploads —
+// the common case at install-traffic rates, where one popular APK is
+// vetted once and queried millions of times — cost one map lookup
+// instead of a call-graph analysis. Each shard holds an independent
+// mutex, map and LRU list, so lookups on different shards never contend;
+// keys are uniformly distributed (they are cryptographic hashes), so
+// shards stay balanced.
+//
+// Accounting: the cache itself counts only evictions and entries. Hit
+// and miss classification lives in the server's Metrics, where it can be
+// made exclusive with load sheds (hits + misses + sheds == requests);
+// see Metrics.
+type Cache struct {
+	shards    []cacheShard
+	perShard  int
+	evictions atomic.Uint64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	lru   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key     string
+	verdict defense.VetVerdict
+}
+
+// NewCache builds a cache holding at most capacity verdicts across
+// shards shards (both floored to sane minimums). capacity <= 0 disables
+// the cache entirely: Get always misses and Put is a no-op.
+func NewCache(capacity, shards int) *Cache {
+	if capacity <= 0 {
+		return &Cache{}
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &Cache{
+		shards:   make([]cacheShard, shards),
+		perShard: (capacity + shards - 1) / shards,
+	}
+	for i := range c.shards {
+		c.shards[i].items = make(map[string]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// shard picks the shard for a key by FNV-1a, so any shard count works.
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get returns the cached verdict for key, refreshing its recency.
+func (c *Cache) Get(key string) (defense.VetVerdict, bool) {
+	if len(c.shards) == 0 {
+		return defense.VetVerdict{}, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return defense.VetVerdict{}, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).verdict, true
+}
+
+// Put inserts or refreshes a verdict, evicting the shard's least
+// recently used entry when the shard is full.
+func (c *Cache) Put(key string, v defense.VetVerdict) {
+	if len(c.shards) == 0 {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).verdict = v
+		s.lru.MoveToFront(el)
+		return
+	}
+	if s.lru.Len() >= c.perShard {
+		oldest := s.lru.Back()
+		if oldest != nil {
+			s.lru.Remove(oldest)
+			delete(s.items, oldest.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	s.items[key] = s.lru.PushFront(&cacheEntry{key: key, verdict: v})
+}
+
+// Len reports the number of cached verdicts.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].lru.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Evictions reports how many entries LRU pressure has pushed out.
+func (c *Cache) Evictions() uint64 { return c.evictions.Load() }

@@ -1,0 +1,212 @@
+package vetd
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/dexir"
+	"repro/internal/simrand"
+)
+
+// countingAnalyze returns an analyze func that counts executions per
+// package and optionally stalls, plus the per-key counters.
+func countingAnalyze(stall time.Duration) (func(*dexir.App) (defense.VetVerdict, error), *sync.Map) {
+	var perKey sync.Map // package -> *atomic.Uint64
+	return func(app *dexir.App) (defense.VetVerdict, error) {
+		n, _ := perKey.LoadOrStore(app.Package, new(atomic.Uint64))
+		n.(*atomic.Uint64).Add(1)
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		return defense.VetVerdict{Package: app.Package, Allow: true}, nil
+	}, &perKey
+}
+
+// skewedKey draws a key index with a heavy head: half the draws land on
+// a handful of hot keys, the rest spread over the tail — the shape that
+// makes singleflight coalescing and shard contention actually fire.
+func skewedKey(rng *simrand.Source, distinct int) int {
+	if rng.Bool(0.5) {
+		return rng.Intn(4)
+	}
+	return rng.Intn(distinct)
+}
+
+// TestContentionNoDuplicateAnalyses hammers the sharded cache and the
+// singleflight layer from 32 goroutines with a skewed key distribution
+// and asserts the two core serving invariants under -race:
+//
+//  1. no key is ever analyzed twice (cache large enough that nothing is
+//     evicted, so coalescing plus the late-hit re-check must make every
+//     repeat a hit or a coalesced miss), and
+//  2. the classification is exhaustive and exclusive:
+//     hits + misses + sheds == requests, with sheds == 0 here because
+//     the queue is deep enough to never refuse admission.
+func TestContentionNoDuplicateAnalyses(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 200
+		distinct   = 64
+	)
+	analyze, perKey := countingAnalyze(100 * time.Microsecond)
+	s := newServer(Config{
+		CacheCapacity: 4 * distinct, // no evictions
+		QueueDepth:    goroutines * perG,
+		Workers:       8,
+		Deadline:      30 * time.Second,
+	}, analyze)
+	defer s.Close()
+
+	apps := make([]*dexir.App, distinct)
+	for i := range apps {
+		apps[i] = testApp(i)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := simrand.New(99).DeriveIndexed("contender", g)
+			for i := 0; i < perG; i++ {
+				rec := postJSON(t, s, "/v1/vet", VetRequest{App: apps[skewedKey(rng, distinct)]})
+				if rec.Code != http.StatusOK {
+					t.Errorf("goroutine %d: status %d: %s", g, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	analyses := uint64(0)
+	perKey.Range(func(k, v any) bool {
+		n := v.(*atomic.Uint64).Load()
+		analyses += n
+		if n != 1 {
+			t.Errorf("key %v analyzed %d times; coalescing must make it exactly 1", k, n)
+		}
+		return true
+	})
+
+	m := s.Metrics()
+	req, hits, misses, sheds := m.Requests.Load(), m.Hits.Load(), m.Misses.Load(), m.Sheds.Load()
+	if req != goroutines*perG {
+		t.Fatalf("requests %d, want %d", req, goroutines*perG)
+	}
+	if hits+misses+sheds != req {
+		t.Fatalf("accounting broken: hits %d + misses %d + sheds %d != requests %d", hits, misses, sheds, req)
+	}
+	if sheds != 0 {
+		t.Fatalf("%d sheds with an over-provisioned queue", sheds)
+	}
+	if m.Analyses.Load() != analyses {
+		t.Fatalf("metrics report %d analyses, analyze ran %d times", m.Analyses.Load(), analyses)
+	}
+	if m.Coalesced.Load() > misses {
+		t.Fatalf("coalesced %d exceeds misses %d", m.Coalesced.Load(), misses)
+	}
+}
+
+// TestContentionUnderShedKeepsAccountingExact repeats the hammer with a
+// starved pool (1 worker, tiny queue, slow analyses) so a large fraction
+// of requests shed, and asserts the classification identity still holds
+// exactly — the property the paper-style degradation story depends on:
+// overload changes which bucket a request lands in, never loses one.
+func TestContentionUnderShedKeepsAccountingExact(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 50
+		distinct   = 256
+	)
+	analyze, _ := countingAnalyze(2 * time.Millisecond)
+	s := newServer(Config{
+		CacheCapacity: 4 * distinct,
+		QueueDepth:    2,
+		Workers:       1,
+		Deadline:      30 * time.Second,
+	}, analyze)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	var ok200, shed429, other atomic.Uint64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := simrand.New(7).DeriveIndexed("shedder", g)
+			for i := 0; i < perG; i++ {
+				rec := postJSON(t, s, "/v1/vet", VetRequest{App: testApp(skewedKey(rng, distinct))})
+				switch rec.Code {
+				case http.StatusOK:
+					ok200.Add(1)
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+				default:
+					other.Add(1)
+					t.Errorf("unexpected status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	m := s.Metrics()
+	req, hits, misses, sheds := m.Requests.Load(), m.Hits.Load(), m.Misses.Load(), m.Sheds.Load()
+	if req != goroutines*perG {
+		t.Fatalf("requests %d, want %d", req, goroutines*perG)
+	}
+	if hits+misses+sheds != req {
+		t.Fatalf("accounting broken: hits %d + misses %d + sheds %d != requests %d", hits, misses, sheds, req)
+	}
+	if sheds == 0 {
+		t.Fatal("starved pool shed nothing; overload path untested")
+	}
+	if sheds != shed429.Load() {
+		t.Fatalf("shed counter %d but %d 429 responses observed", sheds, shed429.Load())
+	}
+	if hits+misses != ok200.Load() {
+		t.Fatalf("hits %d + misses %d != %d 200 responses", hits, misses, ok200.Load())
+	}
+	t.Logf("req=%d hits=%d misses=%d (coalesced=%d) sheds=%d", req, hits, misses, m.Coalesced.Load(), sheds)
+}
+
+// TestCacheSharding exercises the cache directly from many goroutines to
+// give the race detector shard-level coverage independent of the server.
+func TestCacheSharding(t *testing.T) {
+	c := NewCache(512, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", (g*31+i)%300)
+				if v, ok := c.Get(k); ok && v.Package != k {
+					t.Errorf("cache returned %q for key %q", v.Package, k)
+				}
+				c.Put(k, defense.VetVerdict{Package: k, Allow: true})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 512 {
+		t.Fatalf("cache over capacity: %d", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1, 8)
+	c.Put("k", defense.VetVerdict{Package: "k"})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache served a hit")
+	}
+	if c.Len() != 0 || c.Evictions() != 0 {
+		t.Fatal("disabled cache reports contents")
+	}
+}

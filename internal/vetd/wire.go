@@ -1,0 +1,103 @@
+package vetd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/defense"
+	"repro/internal/dexir"
+	"repro/internal/staticanalysis"
+)
+
+// VetRequest is the POST /v1/vet body: one app's IR, exactly the
+// dexir.App the batch scanners consume.
+type VetRequest struct {
+	App *dexir.App `json:"app"`
+}
+
+// BatchRequest is the POST /v1/vet/batch body.
+type BatchRequest struct {
+	Apps []*dexir.App `json:"apps"`
+}
+
+// Verdict is the wire form of one scan-before-install verdict. The
+// verdict-determined fields (Package, Allow, Capabilities, Findings) are
+// a pure function of the app's IR — cmd/vetload's -check mode re-derives
+// them with defense.Vet and compares canonical bytes (see Core).
+type Verdict struct {
+	Package      string                   `json:"package"`
+	Allow        bool                     `json:"allow"`
+	Capabilities []string                 `json:"capabilities,omitempty"`
+	Findings     []staticanalysis.Finding `json:"findings,omitempty"`
+	// IRHash is the content address the verdict is cached under.
+	IRHash string `json:"ir_hash"`
+	// Cached reports whether this response was served from the verdict
+	// cache (excluded from Core so hit and miss responses stay
+	// byte-identical on the verdict itself).
+	Cached bool `json:"cached"`
+}
+
+// NewVerdict converts a defense verdict to its wire form.
+func NewVerdict(v defense.VetVerdict, irHash string, cached bool) Verdict {
+	var caps []string
+	for _, c := range v.Capabilities() {
+		caps = append(caps, c.String())
+	}
+	return Verdict{
+		Package:      v.Package,
+		Allow:        v.Allow,
+		Capabilities: caps,
+		Findings:     v.Findings,
+		IRHash:       irHash,
+		Cached:       cached,
+	}
+}
+
+// Core returns the canonical bytes of the verdict-determined fields —
+// what -check compares between a served response and a direct
+// defense.Vet call. Serving metadata (IRHash, Cached) is excluded.
+func (v Verdict) Core() ([]byte, error) {
+	v.IRHash = ""
+	v.Cached = false
+	return json.Marshal(v)
+}
+
+// BatchItem is one entry of a batch response, in request order. Exactly
+// one of Verdict and Error is set; Status carries the per-item HTTP-style
+// status (200, 429, 504, ...).
+type BatchItem struct {
+	Status  int      `json:"status"`
+	Verdict *Verdict `json:"verdict,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/vet/batch reply.
+type BatchResponse struct {
+	Verdicts []BatchItem `json:"verdicts"`
+}
+
+// ErrorResponse is the JSON body of every non-200 reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSec mirrors the Retry-After header on 429 sheds.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// HashIR computes the content address of an app's IR: SHA-256 over the
+// canonical JSON encoding (struct fields in declaration order; the IR
+// holds no maps, so the encoding is deterministic). Two requests carrying
+// byte-equal IR therefore share a cache slot and coalesce in flight —
+// the serving-path reuse of the journal-v2 content-addressed trial keys.
+func HashIR(app *dexir.App) (string, error) {
+	if app == nil {
+		return "", fmt.Errorf("vetd: nil app")
+	}
+	b, err := json.Marshal(app)
+	if err != nil {
+		return "", fmt.Errorf("vetd: encode IR: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -5,8 +5,9 @@
 #     sh scripts/verify.sh
 #
 # Steps: build, unit tests, go vet, the simlint determinism/robustness
-# pass, a race-detector pass over the short tests, and a coverage floor
-# on the experiment-harness core packages.
+# pass, a race-detector pass over the short tests, a coverage floor on
+# the experiment-harness core packages, the scheduler parity diff, and a
+# vetd serving smoke (checked vetload replay + clean SIGINT shutdown).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -66,5 +67,31 @@ rm -f "$ANIMBENCH" /tmp/verify-w1.$$ /tmp/verify-w4.$$
 # workers=4). Informational: the ratio depends on the host's core count.
 echo "==> go test -bench=Degradation -benchtime=1x"
 go test -run '^$' -bench Degradation -benchtime 1x .
+
+# vetd serving smoke: boot the vetting service on an ephemeral port, replay
+# a short seeded workload with -check (every served verdict compared
+# byte-for-byte against a direct defense.Vet), and require a clean SIGINT
+# shutdown. A nonzero vetload exit means a verdict mismatch, a transport
+# error, or broken hit/miss/shed accounting.
+echo "==> vetd smoke (vetload -duration 2s -check)"
+VETD=/tmp/verify-vetd.$$
+VETLOAD=/tmp/verify-vetload.$$
+VETDLOG=/tmp/verify-vetd-log.$$
+go build -o "$VETD" ./cmd/vetd
+go build -o "$VETLOAD" ./cmd/vetload
+"$VETD" -addr 127.0.0.1:0 >"$VETDLOG" 2>&1 &
+VETD_PID=$!
+ADDR=""
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+	ADDR=$(sed -n 's/^vetd: listening on //p' "$VETDLOG")
+	[ -n "$ADDR" ] && break
+	sleep 0.5
+done
+[ -n "$ADDR" ] || { echo "vetd never reported its listen address"; cat "$VETDLOG"; kill "$VETD_PID" 2>/dev/null; exit 1; }
+"$VETLOAD" -addr "http://$ADDR" -duration 2s -check || { echo "vetload -check failed"; kill "$VETD_PID" 2>/dev/null; exit 1; }
+kill -INT "$VETD_PID"
+wait "$VETD_PID" || { echo "vetd did not shut down cleanly on SIGINT"; cat "$VETDLOG"; exit 1; }
+grep -q "shutdown complete" "$VETDLOG" || { echo "vetd missing shutdown line"; cat "$VETDLOG"; exit 1; }
+rm -f "$VETD" "$VETLOAD" "$VETDLOG"
 
 echo "verify: all checks passed"
