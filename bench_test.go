@@ -21,8 +21,10 @@ import (
 	"repro/internal/defense"
 	"repro/internal/device"
 	"repro/internal/experiment"
+	"repro/internal/dexir"
 	"repro/internal/simclock"
 	"repro/internal/simrand"
+	"repro/internal/staticanalysis"
 	"repro/internal/sysserver"
 	"repro/internal/sysui"
 	"repro/internal/vetd"
@@ -199,6 +201,43 @@ func BenchmarkCorpusScan(b *testing.B) {
 	}
 	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "apps/sec")
 	b.ReportMetric(100*precision, "%static-precision")
+}
+
+// BenchmarkAnalyzeTier isolates the static pass itself: one fixed
+// obfuscated corpus slice (PrecisionRates, so every decoy family is
+// present) pushed through AnalyzeTier at each precision tier. The
+// per-tier deltas price what dead-branch pruning (tier1) and
+// interprocedural constant propagation (tier2) cost per app;
+// scripts/bench.sh records the result in BENCH_static.json. The
+// flagged-apps metric anchors behaviour as well as speed: tier1 prunes
+// flag-decoy false positives, tier2 additionally recovers reflective
+// false negatives, so the three counts differ.
+func BenchmarkAnalyzeTier(b *testing.B) {
+	const n = 8192
+	gen, err := appstore.NewGenerator(simrand.New(benchSeed), appstore.PrecisionRates())
+	if err != nil {
+		b.Fatal(err)
+	}
+	apps := make([]*dexir.App, n)
+	for i := range apps {
+		apps[i] = gen.Next().IR
+	}
+	for _, tier := range staticanalysis.Tiers() {
+		tier := tier
+		b.Run(tier.String(), func(b *testing.B) {
+			var flagged int
+			for i := 0; i < b.N; i++ {
+				flagged = 0
+				for _, app := range apps {
+					if staticanalysis.AnalyzeTier(app, tier).DrawAndDestroy {
+						flagged++
+					}
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "apps/sec")
+			b.ReportMetric(float64(flagged), "flagged-apps")
+		})
+	}
 }
 
 // BenchmarkDefenseIPC evaluates the Binder-log detector end to end.

@@ -8,7 +8,9 @@
 // regardless of worker count. With -checkpoint the finished chunks are
 // journaled to disk: a run killed by SIGINT (or the machine) resumes from
 // the journal on the next invocation and still produces the identical
-// report.
+// report. The static pass runs at a selectable precision tier (-tier
+// 0..2; see internal/staticanalysis); checkpoints record the tier, so a
+// journal from one tier cannot resume a study at another.
 //
 // Usage:
 //
@@ -16,6 +18,7 @@
 //	corpusscan -n 100000 -workers 4  # smaller corpus, 4 scan workers
 //	corpusscan -progress             # report progress every 100k apps
 //	corpusscan -checkpoint scan.ckpt # crash-safe resumable run
+//	corpusscan -tier 2               # interprocedural constant propagation
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/appstore"
+	"repro/internal/staticanalysis"
 )
 
 func main() {
@@ -43,15 +47,21 @@ func run() int {
 		workers    = flag.Int("workers", 0, "scan workers (0 = GOMAXPROCS)")
 		progress   = flag.Bool("progress", false, "print progress while scanning")
 		checkpoint = flag.String("checkpoint", "", "journal finished chunks to this file and resume from it")
+		tierArg    = flag.String("tier", "0", "static analysis precision tier (0..2)")
 	)
 	flag.Parse()
+	tier, err := staticanalysis.ParseTier(*tierArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corpusscan: %v\n", err)
+		return 2
+	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	start := time.Now()
-	opts := appstore.StudyOptions{Workers: *workers, Ctx: ctx, CheckpointPath: *checkpoint}
+	opts := appstore.StudyOptions{Workers: *workers, Ctx: ctx, CheckpointPath: *checkpoint, Tier: tier}
 	if *progress {
 		const step = 100_000
 		next := step

@@ -1,7 +1,11 @@
 // Command simlint is the determinism and robustness vet pass for the
 // simulation core: it forbids wall-clock reads (time.Now, time.Since) and
 // global math/rand use inside internal/ packages, exempting
-// internal/simrand and internal/simclock (the deterministic wrappers).
+// internal/simrand and internal/simclock (the deterministic wrappers),
+// and flags ranges over maps that append to a slice or write output in
+// the loop body — map iteration order is randomized per run, so the
+// aggregate must be sorted after the loop (the collect-keys-then-sort
+// idiom is recognized and allowed).
 // In production (non-test) files it additionally forbids time.Sleep and
 // bare panic calls (internal/invariant, the assertion layer, is exempt
 // from the panic rule). Run it alongside `go vet ./...` in the tier-1

@@ -8,9 +8,14 @@
 // or SIGTERM: stop accepting, drain in-flight requests, stop the
 // analysis pool, exit 0.
 //
+// The static pass runs at a selectable precision tier (-tier 0..2; see
+// internal/staticanalysis). The tier is part of every verdict cache key,
+// so restarting the daemon at a different tier never serves a verdict
+// computed at the old one.
+//
 // Usage:
 //
-//	vetd -addr :8474 -cache 8192 -workers 8 -deadline 2s
+//	vetd -addr :8474 -cache 8192 -workers 8 -deadline 2s -tier 2
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/staticanalysis"
 	"repro/internal/vetd"
 )
 
@@ -42,8 +48,14 @@ func run() int {
 		deadline = flag.Duration("deadline", 2*time.Second, "per-request analysis deadline")
 		maxBatch = flag.Int("max-batch", 256, "maximum apps per batch request")
 		logDest  = flag.String("log", "", "structured request log destination (\"-\" for stderr, path for a file, empty to disable)")
+		tierArg  = flag.String("tier", "0", "static analysis precision tier (0..2)")
 	)
 	flag.Parse()
+	tier, err := staticanalysis.ParseTier(*tierArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetd: %v\n", err)
+		return 2
+	}
 
 	cfg := vetd.Config{
 		CacheShards: *shards,
@@ -51,6 +63,7 @@ func run() int {
 		Workers:     *workers,
 		Deadline:    *deadline,
 		MaxBatch:    *maxBatch,
+		Tier:        tier,
 	}
 	if *cacheCap == "off" {
 		cfg.CacheCapacity = -1

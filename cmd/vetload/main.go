@@ -11,12 +11,15 @@
 // deadline- and transport-independent Verdict core) against a direct
 // in-process defense.Vet of the same IR, proving the serving layer —
 // cache, coalescing, batching — never changes a verdict. The run exits
-// nonzero on any mismatch.
+// nonzero on any mismatch. -tier must match the server's -tier: the
+// verdict core includes the tier, so a mismatch fails loudly instead of
+// silently comparing different analyses.
 //
 // Usage:
 //
 //	vetload -addr http://127.0.0.1:8474 -n 10000 -check
 //	vetload -addr http://127.0.0.1:8474 -duration 10s -clients 32 -qps 500
+//	vetload -addr http://127.0.0.1:8474 -n 10000 -tier 2 -check
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"repro/internal/appstore"
 	"repro/internal/defense"
 	"repro/internal/simrand"
+	"repro/internal/staticanalysis"
 	"repro/internal/vetd"
 )
 
@@ -55,6 +59,7 @@ type config struct {
 	batch      int
 	deadlineMS int
 	check      bool
+	tier       staticanalysis.Tier
 }
 
 // target is one corpus app, pre-encoded and (under -check) pre-vetted.
@@ -90,7 +95,14 @@ func run() int {
 	flag.IntVar(&cfg.batch, "batch", 1, "apps per request; >1 uses POST /v1/vet/batch")
 	flag.IntVar(&cfg.deadlineMS, "deadline-ms", 0, "per-request deadline_ms hint (0 = server default)")
 	flag.BoolVar(&cfg.check, "check", false, "verify every served verdict byte-identical to direct defense.Vet")
+	tierArg := flag.String("tier", "0", "static precision tier the server runs at (must match vetd -tier)")
 	flag.Parse()
+	tier, err := staticanalysis.ParseTier(*tierArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetload: %v\n", err)
+		return 2
+	}
+	cfg.tier = tier
 	if cfg.clients < 1 || cfg.distinct < 1 || cfg.batch < 1 {
 		fmt.Fprintln(os.Stderr, "vetload: -clients, -distinct and -batch must be >= 1")
 		return 2
@@ -148,7 +160,7 @@ func buildCorpus(cfg config) ([]target, int, error) {
 			return nil, 0, err
 		}
 		targets[i] = target{pkg: apk.Package, body: body, app: raw}
-		v, err := defense.Vet(apk.IR)
+		v, err := defense.VetTier(apk.IR, cfg.tier)
 		if err != nil {
 			return nil, 0, fmt.Errorf("direct vet of %s: %w", apk.Package, err)
 		}

@@ -20,6 +20,14 @@
 // and reflectively dispatched overlay calls (grep false negatives), plus a
 // per-app ground-truth label so the study can report each analyzer's
 // precision and recall, not just its aggregate counts.
+//
+// A second family of decoys — disabled at the paper's rates, enabled by
+// PrecisionRates — separates the staticanalysis precision tiers from each
+// other: reflective sinks whose names are split across concatenated
+// fragments or returned by helper methods (invisible below Tier2), and
+// reachable attack wiring behind constant-false BuildConfig-style flags
+// (a false positive below Tier2). The `precision` experiment scans this
+// corpus at every tier and scores each against the ground truth.
 package appstore
 
 import (
@@ -104,6 +112,32 @@ type Rates struct {
 	// the overlay calls | a11y service ∧ overlay-capable) — the §V
 	// trigger.
 	A11yAttackGivenCapable float64
+
+	// The tier-separating obfuscation rates below are all zero at
+	// PaperRates (the legacy corpus is byte-identical); PrecisionRates
+	// enables them for the precision experiment's corpus.
+
+	// SplitReflectGivenCapable is P(reflective overlay dispatch whose
+	// class/method names are concatenated from fragments | capable):
+	// a false negative for grep and for the Tier0/Tier1 const-string
+	// window, recovered by Tier2 constant propagation.
+	SplitReflectGivenCapable float64
+	// CrossReflectGivenCapable is P(reflective overlay dispatch whose
+	// names are returned by helper methods | capable): resolved only by
+	// Tier2's interprocedural constant-return summaries.
+	CrossReflectGivenCapable float64
+	// FlagOverlayGivenSAW is P(reachable overlay pair behind a
+	// constant-false flag guard | SAW without the capability): a false
+	// positive for Tier0 and Tier1, pruned by Tier2's flag table.
+	FlagOverlayGivenSAW float64
+	// FlagToastGivenToast is P(flag-guarded toast re-enqueue | customized
+	// toast without the replace capability): a Tier0/Tier1 toast-replace
+	// false positive.
+	FlagToastGivenToast float64
+	// FlagA11yGivenBenign is P(flag-guarded event-handler wiring to the
+	// overlay calls | benign a11y service in a capable app): a
+	// Tier0/Tier1 a11y-timing false positive.
+	FlagA11yGivenBenign float64
 }
 
 // probabilities lists every rate field for validation.
@@ -114,7 +148,17 @@ func (r Rates) probabilities() []float64 {
 		r.DeepReflectionGivenCapable, r.DeadOverlayGivenSAW,
 		r.GuardedOverlayGivenSAW, r.ToastReplaceGivenToast,
 		r.DeadToastGivenNoToast, r.A11yAttackGivenCapable,
+		r.SplitReflectGivenCapable, r.CrossReflectGivenCapable,
+		r.FlagOverlayGivenSAW, r.FlagToastGivenToast, r.FlagA11yGivenBenign,
 	}
+}
+
+// obfuscated reports whether any tier-separating decoy is enabled; the
+// generator derives its obfuscation stream only then, so the legacy
+// corpus (all obfuscation rates zero) is reproduced draw-for-draw.
+func (r Rates) obfuscated() bool {
+	return r.SplitReflectGivenCapable > 0 || r.CrossReflectGivenCapable > 0 ||
+		r.FlagOverlayGivenSAW > 0 || r.FlagToastGivenToast > 0 || r.FlagA11yGivenBenign > 0
 }
 
 func validateRates(r Rates) error {
@@ -158,6 +202,21 @@ func PaperRates() Rates {
 		DeadToastGivenNoToast:      0.005,
 		A11yAttackGivenCapable:     0.50,
 	}
+}
+
+// PrecisionRates returns the paper rates with the tier-separating decoys
+// enabled — the corpus the `precision` experiment scans. Each rate is
+// large enough that every tier-to-tier delta is visible at modest corpus
+// sizes, and the decoys are mutually exclusive with the legacy ones so a
+// single app never mixes obfuscation styles.
+func PrecisionRates() Rates {
+	r := PaperRates()
+	r.SplitReflectGivenCapable = 0.12
+	r.CrossReflectGivenCapable = 0.12
+	r.FlagOverlayGivenSAW = 0.10
+	r.FlagToastGivenToast = 0.10
+	r.FlagA11yGivenBenign = 0.50
+	return r
 }
 
 // Truth is the generator's ground-truth label for one app — what a
@@ -219,6 +278,7 @@ var fillerRefs = []dexir.MethodRef{
 // Generator emits synthetic APKs with the configured feature rates.
 type Generator struct {
 	rng   *simrand.Source
+	obf   *simrand.Source // tier-separating decoy draws; nil at paper rates
 	rates Rates
 	base  int
 	n     int
@@ -232,7 +292,14 @@ func NewGenerator(rng *simrand.Source, rates Rates) (*Generator, error) {
 	if err := validateRates(rates); err != nil {
 		return nil, err
 	}
-	return &Generator{rng: rng, rates: rates}, nil
+	g := &Generator{rng: rng, rates: rates}
+	if rates.obfuscated() {
+		// A dedicated sub-stream keeps the legacy draw sequence intact:
+		// Derive consumes from rng, so it runs only when some obfuscation
+		// rate is nonzero — at PaperRates the corpus stays byte-identical.
+		g.obf = rng.Derive("obfuscation")
+	}
+	return g, nil
 }
 
 // newGeneratorAt builds a generator whose package ids start at base+1;
@@ -253,6 +320,10 @@ type features struct {
 	deadOverlay, guardedOverlay bool
 	toastReplace, deadToast     bool
 	a11yAttack                  bool
+	// Tier-separating decoys (PrecisionRates corpus only).
+	splitReflect, crossReflect  bool
+	flagOverlay, flagToast      bool
+	flagA11y                    bool
 	fillerPermIdx, fillerRefIdx []int
 }
 
@@ -292,6 +363,27 @@ func (g *Generator) draw() features {
 	}
 	f.fillerPermIdx = g.rng.Perm(len(fillerPermissions))[:2+g.rng.Intn(4)]
 	f.fillerRefIdx = g.rng.Perm(len(fillerRefs))[:2+g.rng.Intn(3)]
+	// Tier-separating decoys draw from the dedicated obfuscation stream,
+	// after every legacy draw, so enabling them cannot shift the features
+	// above. Each decoy excludes the legacy obfuscations/decoys of the
+	// same app so one app carries one dispatch style.
+	if g.obf != nil {
+		if f.addRemove && !f.reflect && !f.deepReflect {
+			f.splitReflect = g.obf.Bool(r.SplitReflectGivenCapable)
+			if !f.splitReflect {
+				f.crossReflect = g.obf.Bool(r.CrossReflectGivenCapable)
+			}
+		}
+		if f.saw && !f.addRemove && !f.deadOverlay && !f.guardedOverlay {
+			f.flagOverlay = g.obf.Bool(r.FlagOverlayGivenSAW)
+		}
+		if f.toast && !f.toastReplace {
+			f.flagToast = g.obf.Bool(r.FlagToastGivenToast)
+		}
+		if f.a11y && f.saw && f.addRemove && !f.a11yAttack {
+			f.flagA11y = g.obf.Bool(r.FlagA11yGivenBenign)
+		}
+	}
 	return f
 }
 
@@ -336,8 +428,10 @@ func buildManifest(pkg string, f features) string {
 }
 
 // overlayCallPair emits the addView+removeView call sites for a capable
-// app in the requested dispatch style.
-func overlayCallPair(f features) []dexir.Instruction {
+// app in the requested dispatch style. The split and cross-method styles
+// also return the helper methods the dispatch depends on (an Obf class),
+// which the caller installs alongside Main.
+func overlayCallPair(pkg string, f features) (body []dexir.Instruction, helpers []dexir.Method) {
 	switch {
 	case f.deepReflect:
 		// Class/method strings assembled at runtime: the const-strings
@@ -348,7 +442,7 @@ func overlayCallPair(f features) []dexir.Instruction {
 			{Op: dexir.OpReflectInvoke, InLoop: true},
 			{Op: dexir.OpConstString, Str: "remove"},
 			{Op: dexir.OpReflectInvoke, InLoop: true},
-		}
+		}, nil
 	case f.reflect:
 		return []dexir.Instruction{
 			{Op: dexir.OpConstString, Str: "android.view.WindowManager"},
@@ -357,12 +451,60 @@ func overlayCallPair(f features) []dexir.Instruction {
 			{Op: dexir.OpConstString, Str: "android.view.WindowManager"},
 			{Op: dexir.OpConstString, Str: "removeView"},
 			{Op: dexir.OpReflectInvoke, InLoop: true},
+		}, nil
+	case f.splitReflect:
+		// Names split across concatenated fragments: the rolling window
+		// sees pairs like ("add","View") that resolve to nothing, so only
+		// register-tracking constant propagation recovers the sinks.
+		return []dexir.Instruction{
+			{Op: dexir.OpConstString, Dst: 1, Str: "android.view.Window"},
+			{Op: dexir.OpConstString, Dst: 2, Str: "Manager"},
+			{Op: dexir.OpConcat, Dst: 3, SrcA: 1, SrcB: 2},
+			{Op: dexir.OpConstString, Dst: 4, Str: "add"},
+			{Op: dexir.OpConstString, Dst: 5, Str: "View"},
+			{Op: dexir.OpConcat, Dst: 6, SrcA: 4, SrcB: 5},
+			{Op: dexir.OpReflectInvoke, ClassReg: 3, MethodReg: 6, InLoop: true},
+			{Op: dexir.OpConstString, Dst: 7, Str: "remove"},
+			{Op: dexir.OpConcat, Dst: 8, SrcA: 7, SrcB: 5},
+			{Op: dexir.OpMove, Dst: 9, SrcA: 3},
+			{Op: dexir.OpReflectInvoke, ClassReg: 9, MethodReg: 8, InLoop: true},
+		}, nil
+	case f.crossReflect:
+		// Names returned by helper methods: no const-string appears in the
+		// dispatching body at all, so only interprocedural constant-return
+		// summaries recover the sinks.
+		obfCls := dexir.ClassName(pkg, "Obf")
+		target := dexir.Ref(obfCls, "target", "()Ljava/lang/String;")
+		action := dexir.Ref(obfCls, "action", "()Ljava/lang/String;")
+		undo := dexir.Ref(obfCls, "undo", "()Ljava/lang/String;")
+		helpers = []dexir.Method{
+			{Ref: target, Body: []dexir.Instruction{
+				{Op: dexir.OpConstString, Dst: 1, Str: "android.view.Window"},
+				{Op: dexir.OpConstString, Dst: 2, Str: "Manager"},
+				{Op: dexir.OpConcat, Dst: 3, SrcA: 1, SrcB: 2},
+				{Op: dexir.OpReturn, SrcA: 3},
+			}},
+			{Ref: action, Body: []dexir.Instruction{
+				{Op: dexir.OpConstString, Dst: 1, Str: "addView"},
+				{Op: dexir.OpReturn, SrcA: 1},
+			}},
+			{Ref: undo, Body: []dexir.Instruction{
+				{Op: dexir.OpConstString, Dst: 1, Str: "removeView"},
+				{Op: dexir.OpReturn, SrcA: 1},
+			}},
 		}
+		return []dexir.Instruction{
+			{Op: dexir.OpInvoke, Target: target, Dst: 1},
+			{Op: dexir.OpInvoke, Target: action, Dst: 2},
+			{Op: dexir.OpReflectInvoke, ClassReg: 1, MethodReg: 2, InLoop: true},
+			{Op: dexir.OpInvoke, Target: undo, Dst: 3},
+			{Op: dexir.OpReflectInvoke, ClassReg: 1, MethodReg: 3, InLoop: true},
+		}, helpers
 	default:
 		return []dexir.Instruction{
 			{Op: dexir.OpInvoke, Target: dexir.RefAddView, InLoop: true},
 			{Op: dexir.OpInvoke, Target: dexir.RefRemoveView, InLoop: true},
-		}
+		}, nil
 	}
 }
 
@@ -373,18 +515,28 @@ func buildIR(pkg string, f features) *dexir.App {
 	swap := dexir.Ref(mainCls, "swap", "()V")
 	toastLoop := dexir.Ref(mainCls, "toastLoop", "()V")
 	debugOverlay := dexir.Ref(mainCls, "debugOverlay", "()V")
+	betaOverlay := dexir.Ref(mainCls, "betaOverlay", "()V")
+
+	// Flag-guarded decoys share one constant-false BuildConfig-style flag
+	// per app, assigned by a <clinit> the Tier2 flag table reads.
+	var decoyFlag string
+	if f.flagOverlay || f.flagToast || f.flagA11y {
+		decoyFlag = dexir.ClassName(pkg, "BuildConfig") + "->DEBUG_DECOR"
+	}
 
 	var onCreateBody []dexir.Instruction
 	for _, i := range f.fillerRefIdx {
 		onCreateBody = append(onCreateBody, dexir.Instruction{Op: dexir.OpInvoke, Target: fillerRefs[i]})
 	}
 	mainMethods := []dexir.Method{{}} // onCreate placeholder, filled below
+	var obfMethods []dexir.Method
 
 	if f.addRemove {
 		onCreateBody = append(onCreateBody, dexir.Instruction{
 			Op: dexir.OpRegisterCallback, Target: dexir.RefHandlerPostDelayed, Callback: swap,
 		})
-		body := overlayCallPair(f)
+		body, helpers := overlayCallPair(pkg, f)
+		obfMethods = helpers
 		body = append(body, dexir.Instruction{
 			Op: dexir.OpRegisterCallback, Target: dexir.RefHandlerPostDelayed, Callback: swap,
 		})
@@ -395,6 +547,13 @@ func buildIR(pkg string, f features) *dexir.App {
 		mainMethods = append(mainMethods, dexir.Method{Ref: debugOverlay, Body: []dexir.Instruction{
 			{Op: dexir.OpInvoke, Target: dexir.RefAddView, Guard: dexir.GuardAlwaysFalse},
 			{Op: dexir.OpInvoke, Target: dexir.RefRemoveView, Guard: dexir.GuardAlwaysFalse},
+		}})
+	}
+	if f.flagOverlay {
+		onCreateBody = append(onCreateBody, dexir.Instruction{Op: dexir.OpInvoke, Target: betaOverlay})
+		mainMethods = append(mainMethods, dexir.Method{Ref: betaOverlay, Body: []dexir.Instruction{
+			{Op: dexir.OpInvoke, Target: dexir.RefAddView, Guard: dexir.GuardFlag, Flag: decoyFlag},
+			{Op: dexir.OpInvoke, Target: dexir.RefRemoveView, Guard: dexir.GuardFlag, Flag: decoyFlag},
 		}})
 	}
 	if f.toast {
@@ -410,6 +569,14 @@ func buildIR(pkg string, f features) *dexir.App {
 				Op: dexir.OpRegisterCallback, Target: dexir.RefHandlerPostDelayed, Callback: toastLoop,
 			})
 		}
+		if f.flagToast {
+			// A flag-guarded self re-enqueue: the re-show signature exists
+			// on paths a Tier2 pass can prove dead.
+			body = append(body, dexir.Instruction{
+				Op: dexir.OpRegisterCallback, Target: dexir.RefHandlerPostDelayed, Callback: toastLoop,
+				Guard: dexir.GuardFlag, Flag: decoyFlag,
+			})
+		}
 		mainMethods = append(mainMethods, dexir.Method{Ref: toastLoop, Body: body})
 	}
 	mainMethods[0] = dexir.Method{Ref: onCreate, Body: onCreateBody}
@@ -420,6 +587,17 @@ func buildIR(pkg string, f features) *dexir.App {
 		Components: []dexir.Component{
 			{Name: mainCls, Kind: dexir.Activity, EntryPoints: []dexir.MethodRef{onCreate}},
 		},
+	}
+	if len(obfMethods) > 0 {
+		app.Classes = append(app.Classes, dexir.Class{Name: dexir.ClassName(pkg, "Obf"), Methods: obfMethods})
+	}
+	if decoyFlag != "" {
+		cfgCls := dexir.ClassName(pkg, "BuildConfig")
+		app.Classes = append(app.Classes, dexir.Class{Name: cfgCls, Methods: []dexir.Method{
+			{Ref: dexir.Ref(cfgCls, "<clinit>", "()V"), Body: []dexir.Instruction{
+				{Op: dexir.OpSetFlag, Flag: decoyFlag, BoolVal: false},
+			}},
+		}})
 	}
 	if f.saw {
 		app.Permissions = append(app.Permissions, PermSystemAlertWindow)
@@ -451,6 +629,14 @@ func buildIR(pkg string, f features) *dexir.App {
 			evBody = append(evBody, dexir.Instruction{Op: dexir.OpInvoke, Target: swap})
 		} else {
 			evBody = append(evBody, dexir.Instruction{Op: dexir.OpNop})
+			if f.flagA11y {
+				// Benign service with flag-guarded attack wiring: the event
+				// handler reaches the overlay pair only on a path Tier2
+				// proves dead.
+				evBody = append(evBody, dexir.Instruction{
+					Op: dexir.OpInvoke, Target: swap, Guard: dexir.GuardFlag, Flag: decoyFlag,
+				})
+			}
 		}
 		app.Classes = append(app.Classes, dexir.Class{Name: accCls, Methods: []dexir.Method{{Ref: onEvent, Body: evBody}}})
 		app.Components = append(app.Components, dexir.Component{
@@ -584,9 +770,16 @@ type AppScan struct {
 	Truth  Truth
 }
 
-// ScanApp runs every analyzer over one APK.
+// ScanApp runs every analyzer over one APK at Tier0, the paper-baseline
+// static configuration.
 func ScanApp(apk APK) AppScan {
-	return AppScan{Grep: Scan(apk), Static: staticanalysis.Analyze(apk.IR), Truth: apk.Truth}
+	return ScanAppTier(apk, staticanalysis.Tier0)
+}
+
+// ScanAppTier runs every analyzer over one APK with the static pass at
+// the given precision tier (the grep baseline has no tiers).
+func ScanAppTier(apk APK, tier staticanalysis.Tier) AppScan {
+	return AppScan{Grep: Scan(apk), Static: staticanalysis.AnalyzeTier(apk.IR, tier), Truth: apk.Truth}
 }
 
 // DetectorStats is a per-analyzer confusion matrix against ground truth.
@@ -630,6 +823,15 @@ func (d DetectorStats) Recall() float64 {
 	return float64(d.TP) / float64(d.TP+d.FN)
 }
 
+// F1 is the harmonic mean of precision and recall; 0 when both are 0.
+func (d DetectorStats) F1() float64 {
+	p, r := d.Precision(), d.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
 // Report aggregates the Section VI-C2 counts for every analyzer plus the
 // confusion matrices against ground truth.
 type Report struct {
@@ -657,15 +859,31 @@ type Report struct {
 
 	// ToastReplaceCapable and A11yTimingCapable are the static analyzer's
 	// capability sub-counts (no paper row; reported for the §VII vetting
-	// defense).
+	// defense), with TruthToastReplace and TruthA11yTiming the matching
+	// ground-truth counts.
 	ToastReplaceCapable int
 	A11yTimingCapable   int
+	TruthToastReplace   int
+	TruthA11yTiming     int
+
+	// Tier is the static pass's precision tier for every scan in the
+	// report (the grep rows are tier-independent).
+	Tier staticanalysis.Tier
+
+	// Sink-evidence breakdown across all static findings: total call
+	// sites, and how many were guarded (dead or flag-dead paths — gone at
+	// Tier1/Tier2) or reflective (const-string resolved — more at Tier2).
+	SinkSites           int
+	GuardedSinkSites    int
+	ReflectiveSinkSites int
 
 	// Confusion matrices against ground truth.
-	StaticOverlay DetectorStats
-	GrepOverlay   DetectorStats
-	StaticToast   DetectorStats
-	GrepToast     DetectorStats
+	StaticOverlay      DetectorStats
+	GrepOverlay        DetectorStats
+	StaticToast        DetectorStats
+	GrepToast          DetectorStats
+	StaticToastReplace DetectorStats
+	StaticA11y         DetectorStats
 }
 
 // Add folds one scanned app into the report.
@@ -699,10 +917,22 @@ func (r *Report) Add(s AppScan) {
 	if s.Static.A11yTiming {
 		r.A11yTimingCapable++
 	}
+	if s.Truth.ToastReplace {
+		r.TruthToastReplace++
+	}
+	if s.Truth.A11yTiming {
+		r.TruthA11yTiming++
+	}
+	r.Tier = s.Static.Tier
+	r.SinkSites += s.Static.SinkSites
+	r.GuardedSinkSites += s.Static.GuardedSinkSites
+	r.ReflectiveSinkSites += s.Static.ReflectiveSinkSites
 	r.StaticOverlay.add(s.Static.DrawAndDestroy, s.Truth.Overlay)
 	r.GrepOverlay.add(grepOverlay, s.Truth.Overlay)
 	r.StaticToast.add(s.Static.SetViewReachable, s.Truth.Toast)
 	r.GrepToast.add(s.Grep.UsesCustomToast, s.Truth.Toast)
+	r.StaticToastReplace.add(s.Static.ToastReplace, s.Truth.ToastReplace)
+	r.StaticA11y.add(s.Static.A11yTiming, s.Truth.A11yTiming)
 }
 
 // Merge folds another report (e.g. a worker's chunk) into r.
@@ -717,10 +947,18 @@ func (r *Report) Merge(o Report) {
 	r.TruthCustomToast += o.TruthCustomToast
 	r.ToastReplaceCapable += o.ToastReplaceCapable
 	r.A11yTimingCapable += o.A11yTimingCapable
+	r.TruthToastReplace += o.TruthToastReplace
+	r.TruthA11yTiming += o.TruthA11yTiming
+	r.Tier = o.Tier
+	r.SinkSites += o.SinkSites
+	r.GuardedSinkSites += o.GuardedSinkSites
+	r.ReflectiveSinkSites += o.ReflectiveSinkSites
 	r.StaticOverlay.merge(o.StaticOverlay)
 	r.GrepOverlay.merge(o.GrepOverlay)
 	r.StaticToast.merge(o.StaticToast)
 	r.GrepToast.merge(o.GrepToast)
+	r.StaticToastReplace.merge(o.StaticToastReplace)
+	r.StaticA11y.merge(o.StaticA11y)
 }
 
 // String renders the report next to the paper's numbers, including the
@@ -737,6 +975,9 @@ func (r Report) String() string {
 		r.CustomToast, PaperCustomToast, scale*PaperCustomToast)
 	fmt.Fprintf(&sb, "  capability sub-counts: toast-replace %d, a11y-timing %d\n",
 		r.ToastReplaceCapable, r.A11yTimingCapable)
+	fmt.Fprintf(&sb, "  static pass: %s (%s)\n", r.Tier, r.Tier.Describe())
+	fmt.Fprintf(&sb, "  sink evidence: %d call sites (%d guarded, %d reflective)\n",
+		r.SinkSites, r.GuardedSinkSites, r.ReflectiveSinkSites)
 	sb.WriteString("  analyzer comparison (vs generator ground truth):\n")
 	fmt.Fprintf(&sb, "    %-28s %8s %8s %10s %8s\n", "detector", "count", "truth", "precision", "recall")
 	row := func(name string, count, truth int, st DetectorStats) {
@@ -747,6 +988,8 @@ func (r Report) String() string {
 	row("overlay  grep baseline", r.GrepAddRemoveWithSAW, r.TruthAddRemoveWithSAW, r.GrepOverlay)
 	row("toast    call-graph", r.CustomToast, r.TruthCustomToast, r.StaticToast)
 	row("toast    grep baseline", r.GrepCustomToast, r.TruthCustomToast, r.GrepToast)
+	row("toast-replace call-graph", r.ToastReplaceCapable, r.TruthToastReplace, r.StaticToastReplace)
+	row("a11y-timing call-graph", r.A11yTimingCapable, r.TruthA11yTiming, r.StaticA11y)
 	return sb.String()
 }
 
@@ -755,6 +998,12 @@ func (r Report) String() string {
 // the corpus content is a pure function of the seed — identical for any
 // worker count.
 const studyChunkSize = 4096
+
+// StudyChunkSize exports the study's generation/scan unit so callers
+// slicing the corpus themselves (the precision experiment's per-chunk
+// trials) can align ranges to chunk boundaries and pay no prefix
+// regeneration.
+const StudyChunkSize = studyChunkSize
 
 // chunkStream derives the deterministic stream for one chunk.
 func chunkStream(seed int64, chunk int) *simrand.Source {
@@ -775,8 +1024,16 @@ type StudyOptions struct {
 	// CheckpointPath, if non-empty, journals every finished chunk to this
 	// file (fsynced per chunk). A later run with the same seed, n and path
 	// resumes from the journal and still produces a Report byte-identical
-	// to an uninterrupted run; the file is deleted on success.
+	// to an uninterrupted run; the file is deleted on success. The
+	// checkpoint header pins the tier and rates, so a resume under a
+	// different analysis configuration fails loudly instead of merging
+	// incompatible chunks.
 	CheckpointPath string
+	// Tier selects the static pass's precision tier (zero value: Tier0,
+	// the paper baseline).
+	Tier staticanalysis.Tier
+	// Rates, if non-nil, overrides the corpus rates (default PaperRates).
+	Rates *Rates
 }
 
 // StudyWith generates and scans a synthetic corpus of n apps with a
@@ -788,6 +1045,9 @@ func StudyWith(seed int64, n int, opts StudyOptions) (Report, error) {
 		return Report{}, fmt.Errorf("appstore: non-positive corpus size %d", n)
 	}
 	rates := PaperRates()
+	if opts.Rates != nil {
+		rates = *opts.Rates
+	}
 	if err := validateRates(rates); err != nil {
 		return Report{}, err
 	}
@@ -813,7 +1073,7 @@ func StudyWith(seed int64, n int, opts StudyOptions) (Report, error) {
 	var cp *checkpoint
 	if opts.CheckpointPath != "" {
 		var err error
-		cp, err = openCheckpoint(opts.CheckpointPath, seed, n)
+		cp, err = openCheckpoint(opts.CheckpointPath, seed, n, opts.Tier, rates)
 		if err != nil {
 			return Report{}, err
 		}
@@ -843,7 +1103,7 @@ func StudyWith(seed int64, n int, opts StudyOptions) (Report, error) {
 	runErr := sched.Run(ctx, workers, len(pending), func(i int) error {
 		c := pending[i]
 		size := chunkLen(c)
-		rep, err := scanChunk(seed, c, size, rates)
+		rep, err := scanChunk(seed, c, size, rates, opts.Tier)
 		if err == nil && cp != nil {
 			err = cp.record(c, rep)
 		}
@@ -897,14 +1157,48 @@ func interruption(done []bool, cause error) *InterruptedError {
 }
 
 // scanChunk generates and scans one chunk.
-func scanChunk(seed int64, chunk, size int, rates Rates) (Report, error) {
+func scanChunk(seed int64, chunk, size int, rates Rates, tier staticanalysis.Tier) (Report, error) {
 	gen, err := newGeneratorAt(chunkStream(seed, chunk), rates, chunk*studyChunkSize)
 	if err != nil {
 		return Report{}, err
 	}
-	var rep Report
+	rep := Report{Tier: tier}
 	for i := 0; i < size; i++ {
-		rep.Add(ScanApp(gen.Next()))
+		rep.Add(ScanAppTier(gen.Next(), tier))
+	}
+	return rep, nil
+}
+
+// ScanRange generates and scans apps [start, start+n) of the corpus
+// seeded by seed — the same apps a full study visits at those positions —
+// with the given rates and analysis tier. Ranges aligned to
+// StudyChunkSize regenerate no prefix; the precision experiment's trials
+// are exactly such ranges, one Report each, merged in trial order.
+func ScanRange(seed int64, start, n int, rates Rates, tier staticanalysis.Tier) (Report, error) {
+	if start < 0 {
+		return Report{}, fmt.Errorf("appstore: negative corpus index %d", start)
+	}
+	if n <= 0 {
+		return Report{}, fmt.Errorf("appstore: non-positive app count %d", n)
+	}
+	if err := validateRates(rates); err != nil {
+		return Report{}, err
+	}
+	rep := Report{Tier: tier}
+	scanned := 0
+	for chunk := start / studyChunkSize; scanned < n; chunk++ {
+		gen, err := newGeneratorAt(chunkStream(seed, chunk), rates, chunk*studyChunkSize)
+		if err != nil {
+			return Report{}, err
+		}
+		lo := chunk * studyChunkSize
+		for j := 0; j < studyChunkSize && scanned < n; j++ {
+			apk := gen.Next()
+			if lo+j >= start {
+				rep.Add(ScanAppTier(apk, tier))
+				scanned++
+			}
+		}
 	}
 	return rep, nil
 }

@@ -7,6 +7,8 @@ import (
 	"os"
 	"strings"
 	"sync"
+
+	"repro/internal/staticanalysis"
 )
 
 // InterruptedError reports a corpus study stopped before completion — by
@@ -33,12 +35,25 @@ func (e *InterruptedError) Unwrap() error { return e.Err }
 
 // checkpointHeader is the first line of a checkpoint file and pins the
 // study's identity; a resume against a different study must fail loudly
-// rather than merge incompatible chunks.
+// rather than merge incompatible chunks. Tier and Rates are omitted at
+// the defaults (Tier0, PaperRates), so checkpoints written before tiers
+// existed still resume a default study.
 type checkpointHeader struct {
-	V         int   `json:"v"`
-	Seed      int64 `json:"seed"`
-	N         int   `json:"n"`
-	ChunkSize int   `json:"chunk_size"`
+	V         int    `json:"v"`
+	Seed      int64  `json:"seed"`
+	N         int    `json:"n"`
+	ChunkSize int    `json:"chunk_size"`
+	Tier      int    `json:"tier,omitempty"`
+	Rates     string `json:"rates,omitempty"`
+}
+
+// ratesID fingerprints non-default corpus rates for the header; the
+// default (paper) rates map to "" for backward compatibility.
+func ratesID(r Rates) string {
+	if r == PaperRates() {
+		return ""
+	}
+	return fmt.Sprintf("%+v", r)
 }
 
 // checkpointLine records one finished chunk's report. Lines are appended
@@ -63,8 +78,8 @@ type checkpoint struct {
 
 // openCheckpoint opens or creates the journal for the given study
 // identity. An existing file with a different identity is an error.
-func openCheckpoint(path string, seed int64, n int) (*checkpoint, error) {
-	hdr := checkpointHeader{V: 1, Seed: seed, N: n, ChunkSize: studyChunkSize}
+func openCheckpoint(path string, seed int64, n int, tier staticanalysis.Tier, rates Rates) (*checkpoint, error) {
+	hdr := checkpointHeader{V: 1, Seed: seed, N: n, ChunkSize: studyChunkSize, Tier: int(tier), Rates: ratesID(rates)}
 	done := make(map[int]Report)
 	data, err := os.ReadFile(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
@@ -74,8 +89,8 @@ func openCheckpoint(path string, seed int64, n int) (*checkpoint, error) {
 		lines := strings.Split(string(data), "\n")
 		var got checkpointHeader
 		if jerr := json.Unmarshal([]byte(lines[0]), &got); jerr != nil || got != hdr {
-			return nil, fmt.Errorf("appstore: checkpoint %s belongs to a different study (want v=%d seed=%d n=%d chunk_size=%d); delete it to start over",
-				path, hdr.V, hdr.Seed, hdr.N, hdr.ChunkSize)
+			return nil, fmt.Errorf("appstore: checkpoint %s belongs to a different study (want v=%d seed=%d n=%d chunk_size=%d tier=%d); delete it to start over",
+				path, hdr.V, hdr.Seed, hdr.N, hdr.ChunkSize, hdr.Tier)
 		}
 		for _, ln := range lines[1:] {
 			if strings.TrimSpace(ln) == "" {

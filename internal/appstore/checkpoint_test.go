@@ -8,6 +8,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/staticanalysis"
 )
 
 // TestStudyCheckpointResumeIdentity is the crash-safety headline: a study
@@ -63,7 +65,7 @@ func TestStudyCheckpointResumeIdentity(t *testing.T) {
 // must not silently corrupt a different study.
 func TestStudyCheckpointIdentityMismatch(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "study.ckpt")
-	cp, err := openCheckpoint(path, 1, 10*studyChunkSize)
+	cp, err := openCheckpoint(path, 1, 10*studyChunkSize, staticanalysis.Tier0, PaperRates())
 	if err != nil {
 		t.Fatalf("openCheckpoint: %v", err)
 	}
@@ -78,7 +80,7 @@ func TestStudyCheckpointIdentityMismatch(t *testing.T) {
 // line; reopening must keep every fully written chunk and drop the torn one.
 func TestCheckpointTornLineTolerated(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "study.ckpt")
-	cp, err := openCheckpoint(path, 7, 3*studyChunkSize)
+	cp, err := openCheckpoint(path, 7, 3*studyChunkSize, staticanalysis.Tier0, PaperRates())
 	if err != nil {
 		t.Fatalf("openCheckpoint: %v", err)
 	}
@@ -95,7 +97,7 @@ func TestCheckpointTornLineTolerated(t *testing.T) {
 	}
 	f.Close()
 
-	cp2, err := openCheckpoint(path, 7, 3*studyChunkSize)
+	cp2, err := openCheckpoint(path, 7, 3*studyChunkSize, staticanalysis.Tier0, PaperRates())
 	if err != nil {
 		t.Fatalf("reopen with torn line: %v", err)
 	}

@@ -22,6 +22,10 @@ type VetVerdict struct {
 	Package string
 	// Allow is false when any capability detector fired.
 	Allow bool
+	// Tier is the static precision tier the verdict was computed at; a
+	// verdict is only comparable/cacheable against another at the same
+	// tier.
+	Tier staticanalysis.Tier
 	// Findings carries the per-detector evidence behind a rejection.
 	Findings []staticanalysis.Finding
 }
@@ -64,10 +68,16 @@ type Vetter struct {
 	analyzer *staticanalysis.Analyzer
 }
 
-// NewVetter builds a vetter; with no arguments it uses the default
+// NewVetter builds a Tier0 vetter; with no arguments it uses the default
 // detector suite (draw-and-destroy, toast-replace, a11y-timing).
 func NewVetter(detectors ...staticanalysis.Detector) *Vetter {
-	return &Vetter{analyzer: staticanalysis.NewAnalyzer(detectors...)}
+	return NewVetterTier(staticanalysis.Tier0, detectors...)
+}
+
+// NewVetterTier builds a vetter whose static pass runs at the given
+// precision tier; with no detectors it uses the default suite.
+func NewVetterTier(tier staticanalysis.Tier, detectors ...staticanalysis.Detector) *Vetter {
+	return &Vetter{analyzer: staticanalysis.NewAnalyzerTier(tier, detectors...)}
 }
 
 // Vet analyzes one app and renders the install verdict.
@@ -79,12 +89,18 @@ func (v *Vetter) Vet(app *dexir.App) (VetVerdict, error) {
 	return VetVerdict{
 		Package:  app.Package,
 		Allow:    len(res.Findings) == 0,
+		Tier:     v.analyzer.Tier(),
 		Findings: res.Findings,
 	}, nil
 }
 
-// Vet runs the default vetter over one app — the package-level
+// Vet runs the default Tier0 vetter over one app — the package-level
 // scan-before-install entry point.
 func Vet(app *dexir.App) (VetVerdict, error) {
 	return NewVetter().Vet(app)
+}
+
+// VetTier vets one app with the static pass at the given precision tier.
+func VetTier(app *dexir.App, tier staticanalysis.Tier) (VetVerdict, error) {
+	return NewVetterTier(tier).Vet(app)
 }

@@ -18,9 +18,18 @@
 //     the *strings* are in the string table but the resolved target never
 //     appears in the method-reference table, so grep misses it while a
 //     FlowDroid-style constant-string resolver does not.
+//   - OpMove / OpConcat / OpReturn model the register dataflow that
+//     obfuscated reflection rides on: class and method names split across
+//     concatenated const-string fragments, or returned as constants from
+//     helper methods. Only an interprocedural constant-propagation pass
+//     (staticanalysis Tier2) follows them; the rolling const-string window
+//     of the baseline pass does not.
 //   - GuardAlwaysFalse marks an instruction behind a branch that can never
 //     execute; a path-insensitive reachability pass still traverses it
-//     (a deliberate over-approximation, as in real analyzers).
+//     (a deliberate over-approximation, as in real analyzers). GuardFlag
+//     marks a branch on a named whole-program boolean (a BuildConfig-style
+//     constant set by OpSetFlag); a pass that propagates those constants
+//     can prune the branch when the flag is statically false.
 //
 // Manifest-declared components carry their lifecycle entry points, the
 // roots of the reachability pass.
@@ -115,8 +124,20 @@ const (
 	OpConstString
 	// OpReflectInvoke calls java.lang.reflect.Method.invoke. The actual
 	// target is whatever the two preceding OpConstString instructions
-	// resolve to; if they don't resolve, the call is opaque.
+	// resolve to; if they don't resolve, the call is opaque. When ClassReg
+	// and MethodReg are both set, the class/method names live in registers
+	// instead, and only a register-tracking pass can resolve the call.
 	OpReflectInvoke
+	// OpMove copies register SrcA into Dst.
+	OpMove
+	// OpConcat stores SrcA + SrcB (string concatenation) into Dst.
+	OpConcat
+	// OpReturn returns the string in register SrcA to the caller; an
+	// OpInvoke with Dst set receives it.
+	OpReturn
+	// OpSetFlag assigns the whole-program boolean Flag the constant
+	// BoolVal, modeling a BuildConfig-style static field initializer.
+	OpSetFlag
 )
 
 // Guard marks control-flow context for an instruction.
@@ -130,7 +151,16 @@ const (
 	// condition is statically (but not syntactically) false — dead at
 	// runtime, alive to a path-insensitive analysis.
 	GuardAlwaysFalse
+	// GuardFlag: the instruction sits behind a branch on the named
+	// whole-program boolean Flag. It is live unless a pass proves the
+	// flag constant-false from the app's OpSetFlag assignments.
+	GuardFlag
 )
+
+// Reg names a string register inside a method body. Registers are method-
+// local; 0 means "no register" so the zero-valued Instruction keeps its
+// pre-dataflow meaning.
+type Reg int
 
 // Instruction is one IR instruction.
 type Instruction struct {
@@ -145,6 +175,21 @@ type Instruction struct {
 	InLoop bool
 	// Guard marks unreachable-at-runtime context.
 	Guard Guard
+	// Flag names the whole-program boolean for OpSetFlag and GuardFlag.
+	Flag string `json:",omitempty"`
+	// BoolVal is the constant OpSetFlag assigns to Flag.
+	BoolVal bool `json:",omitempty"`
+	// Dst receives the result of OpConstString, OpMove, OpConcat, or an
+	// OpInvoke of a string-returning method.
+	Dst Reg `json:",omitempty"`
+	// SrcA is the source register of OpMove and OpReturn, and the left
+	// operand of OpConcat; SrcB is OpConcat's right operand.
+	SrcA Reg `json:",omitempty"`
+	SrcB Reg `json:",omitempty"`
+	// ClassReg and MethodReg, when both nonzero, carry the class and
+	// method name of an OpReflectInvoke in registers.
+	ClassReg  Reg `json:",omitempty"`
+	MethodReg Reg `json:",omitempty"`
 }
 
 // Method is an app-defined method with a body.

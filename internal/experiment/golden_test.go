@@ -109,6 +109,39 @@ func TestGoldenFig7(t *testing.T) {
 	}
 }
 
+// TestGoldenPrecision locks the precision-tier study at the reference
+// seeds and asserts its headline on top of the byte-identity check:
+// Tier1 never loses precision to Tier0, and Tier2 strictly improves
+// precision on every capability without reducing recall.
+func TestGoldenPrecision(t *testing.T) {
+	for _, c := range goldenSeeds() {
+		e := &precisionExp{corpusN: 20000}
+		results, err := Collect(e, RunOpts{Seed: c.seed, Workers: goldenWorkers})
+		if err != nil {
+			t.Fatalf("precision (seed %d): %v", c.seed, err)
+		}
+		reps := e.reports(results)
+		checkGolden(t, "precision"+c.suffix, RenderPrecision(c.seed, e.corpusN, reps))
+
+		base := CapabilityStats(reps[0])
+		mid := CapabilityStats(reps[1])
+		top := CapabilityStats(reps[len(reps)-1])
+		for name, b := range base {
+			if m := mid[name]; m.Precision() < b.Precision() {
+				t.Errorf("seed %d: %s: tier1 precision %.4f below tier0 %.4f", c.seed, name, m.Precision(), b.Precision())
+			}
+			tp := top[name]
+			if tp.Precision() <= b.Precision() {
+				t.Errorf("seed %d: %s: tier2 precision %.4f does not strictly improve on tier0 %.4f",
+					c.seed, name, tp.Precision(), b.Precision())
+			}
+			if tp.Recall() < b.Recall() {
+				t.Errorf("seed %d: %s: tier2 recall %.4f below tier0 %.4f", c.seed, name, tp.Recall(), b.Recall())
+			}
+		}
+	}
+}
+
 // TestGoldenDegradation locks the full degradation sweep — including the
 // Table III slice, the defense verdicts and the invariant first-break
 // table — at the reference seeds and profile. In particular this pins the

@@ -11,6 +11,7 @@ var parallelHeavy = map[string]bool{
 	"fig8":        true,
 	"table3":      true,
 	"corpus":      true,
+	"precision":   true,
 	"degradation": true,
 }
 

@@ -84,6 +84,9 @@ var registrations = []registration{
 			return fmt.Sprintf("§VI-C2 — app-market prevalence study\n%v\n", rep), nil
 		}}
 	}},
+	{"precision", true, func(cfg Config) Experiment {
+		return &precisionExp{corpusN: cfg.CorpusN}
+	}},
 	{"defense-ipc", true, func(Config) Experiment {
 		return &oneShot{name: "defense-ipc", run: func(seed int64) (string, error) {
 			rep, err := DefenseIPC(seed)

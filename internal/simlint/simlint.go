@@ -27,6 +27,13 @@
 // outside the closure: whichever worker runs first would advance the
 // shared stream, making results depend on scheduling order.
 //
+// A map-iteration rule rounds out the determinism set: ranging over a
+// map while appending to a slice or writing output emits the aggregate
+// in Go's per-run-randomized iteration order, the kind of bug that only
+// shows up as an occasional golden-file diff. The collect-keys-then-sort
+// idiom — appending inside the loop and sorting the destination after it
+// — is recognized and allowed.
+//
 // Serving packages (ServingPackages — currently internal/vetd, the
 // scan-before-install vetting service) are exempt from the determinism
 // rules only: they run on the wall clock by design, measuring real
@@ -76,6 +83,14 @@ const (
 	// streams must be derived up front in Trials and the closure must
 	// capture only its own stream.
 	RuleSharedSource = "shared-source-capture"
+	// RuleMapRangeOrder flags ranging over a map while appending to a
+	// slice or writing output in the loop body: Go randomizes map
+	// iteration order per run, so the aggregate comes out shuffled — a
+	// report that diffs against its golden only sometimes, a checkpoint
+	// that hashes differently on resume. The collect-keys-then-sort idiom
+	// is exempt: an append whose destination is passed to a sort.* call
+	// after the loop is order-insensitive by construction.
+	RuleMapRangeOrder = "map-range-order"
 )
 
 // goExemptPackages may spawn goroutines: the trial scheduler is the
@@ -252,6 +267,9 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 	if !goExempt {
 		lintSharedSources(f, report)
 	}
+	if !serving {
+		lintMapRangeOrder(f, report)
+	}
 
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos.Offset < diags[j].Pos.Offset })
 	return diags
@@ -406,6 +424,197 @@ func lintSharedSources(f *ast.File, report func(pos token.Pos, rule, msg string)
 		report(byVar[name].firstInside, RuleSharedSource,
 			fmt.Sprintf("trial closure captures simrand source %q that is also drawn outside the closure; derive a per-trial stream in Trials and capture only that", name))
 	}
+}
+
+// mapRangeWriters are the call names treated as order-sensitive output
+// when invoked inside a map range body: stream writers and the fmt print
+// family. Anything they emit lands in map-iteration order.
+var mapRangeWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// lintMapRangeOrder implements RuleMapRangeOrder. The pass has no type
+// information, so map values are tracked by name: variables made with
+// make(map...), assigned a map composite literal, declared with a map
+// type (parameters and results included), plus struct fields of map type
+// declared in the same file for ranges of the form `range x.field`.
+// Inside a range over such a value, two sinks are order-sensitive: an
+// append (unless its destination is sorted after the loop — the
+// collect-keys-then-sort idiom) and a write call from mapRangeWriters.
+func lintMapRangeOrder(f *ast.File, report func(pos token.Pos, rule, msg string)) {
+	isMapExpr := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+				_, isMap := e.Args[0].(*ast.MapType)
+				return isMap
+			}
+		case *ast.CompositeLit:
+			_, isMap := e.Type.(*ast.MapType)
+			return isMap
+		}
+		return false
+	}
+	addNames := func(names []*ast.Ident, set map[string]bool) {
+		for _, id := range names {
+			if id.Name != "_" {
+				set[id.Name] = true
+			}
+		}
+	}
+
+	// Pass 1: names known to hold maps, and struct fields of map type.
+	mapVars := map[string]bool{}
+	mapFields := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if isMapExpr(rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						mapVars[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if _, ok := n.Type.(*ast.MapType); ok {
+				addNames(n.Names, mapVars)
+				return true
+			}
+			for i, v := range n.Values {
+				if isMapExpr(v) && i < len(n.Names) {
+					mapVars[n.Names[i].Name] = true
+				}
+			}
+		case *ast.FuncType:
+			for _, fl := range []*ast.FieldList{n.Params, n.Results} {
+				if fl == nil {
+					continue
+				}
+				for _, fd := range fl.List {
+					if _, ok := fd.Type.(*ast.MapType); ok {
+						addNames(fd.Names, mapVars)
+					}
+				}
+			}
+		case *ast.StructType:
+			for _, fd := range n.Fields.List {
+				if _, ok := fd.Type.(*ast.MapType); ok {
+					addNames(fd.Names, mapFields)
+				}
+			}
+		}
+		return true
+	})
+	if len(mapVars) == 0 && len(mapFields) == 0 {
+		return
+	}
+
+	// Pass 2: sort.* calls and every ident mentioned in their arguments.
+	// An append destination that reaches one of these after its loop is
+	// order-insensitive.
+	type sortCall struct {
+		pos   token.Pos
+		names map[string]bool
+	}
+	var sortCalls []sortCall
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "sort" {
+			return true
+		}
+		names := map[string]bool{}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					names[id.Name] = true
+				}
+				return true
+			})
+		}
+		sortCalls = append(sortCalls, sortCall{call.Pos(), names})
+		return true
+	})
+	sortedAfter := func(name string, end token.Pos) bool {
+		for _, sc := range sortCalls {
+			if sc.pos >= end && sc.names[name] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 3: scan each range over a known map for order-sensitive sinks.
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		var subject string
+		switch x := rng.X.(type) {
+		case *ast.Ident:
+			if mapVars[x.Name] {
+				subject = x.Name
+			}
+		case *ast.SelectorExpr:
+			if mapFields[x.Sel.Name] {
+				subject = x.Sel.Name
+			}
+		}
+		if subject == "" {
+			return true
+		}
+		var hazardPos token.Pos
+		var hazard string
+		note := func(pos token.Pos, what string) {
+			if hazardPos == token.NoPos {
+				hazardPos, hazard = pos, what
+			}
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				if len(m.Lhs) != len(m.Rhs) {
+					return true
+				}
+				for i, rhs := range m.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+						continue
+					}
+					if id, ok := m.Lhs[i].(*ast.Ident); ok && sortedAfter(id.Name, rng.End()) {
+						continue
+					}
+					note(call.Pos(), "appends in map-iteration order")
+				}
+			case *ast.CallExpr:
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && mapRangeWriters[sel.Sel.Name] {
+					note(sel.Sel.Pos(), fmt.Sprintf("writes output (%s) in map-iteration order", sel.Sel.Name))
+				}
+			}
+			return true
+		})
+		if hazardPos != token.NoPos {
+			report(hazardPos, RuleMapRangeOrder,
+				fmt.Sprintf("range over map %q %s, which Go randomizes per run; collect the keys, sort, then iterate (or sort the result after the loop)", subject, hazard))
+		}
+		return true
+	})
 }
 
 // LintSource parses src (attributed to filename) and lints it; it exists

@@ -466,3 +466,149 @@ func jitter() int { return rand.Int() }
 		t.Fatalf("math/rand in vetd not flagged: %v", diags)
 	}
 }
+
+func TestFlagsMapRangeAppend(t *testing.T) {
+	diags := lint(t, `package p
+func keys() []string {
+	m := make(map[string]int)
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleMapRangeOrder {
+		t.Fatalf("diags = %v, want one %s", diags, RuleMapRangeOrder)
+	}
+	if diags[0].Pos.Line != 6 {
+		t.Errorf("finding at line %d, want 6", diags[0].Pos.Line)
+	}
+}
+
+func TestFlagsMapRangeWrite(t *testing.T) {
+	// Map-typed parameter, fmt.Fprintf in the loop body: the report's
+	// line order is whatever the runtime's hash seed made it.
+	diags := lint(t, `package p
+import (
+	"fmt"
+	"io"
+)
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleMapRangeOrder {
+		t.Fatalf("diags = %v, want one %s", diags, RuleMapRangeOrder)
+	}
+}
+
+func TestFlagsMapRangeWriteStructField(t *testing.T) {
+	// Struct fields of map type declared in the same file are tracked
+	// too, so `range r.counts` is recognized as a map range.
+	diags := lint(t, `package p
+import "strings"
+type report struct {
+	counts map[string]int
+}
+func (r *report) String() string {
+	var sb strings.Builder
+	for k := range r.counts {
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleMapRangeOrder {
+		t.Fatalf("diags = %v, want one %s", diags, RuleMapRangeOrder)
+	}
+}
+
+func TestAllowsCollectThenSort(t *testing.T) {
+	// The canonical fix is itself clean: append inside the loop, sort
+	// the destination after it.
+	diags := lint(t, `package p
+import "sort"
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("collect-then-sort flagged: %v", diags)
+	}
+}
+
+func TestAllowsOrderInsensitiveMapRange(t *testing.T) {
+	// Aggregation over a map is order-insensitive and stays legal.
+	diags := lint(t, `package p
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("map aggregation flagged: %v", diags)
+	}
+}
+
+func TestAllowsSliceRangeAppend(t *testing.T) {
+	// Only names known to hold maps trigger the rule; slice iteration
+	// order is defined.
+	diags := lint(t, `package p
+func double(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("slice range flagged: %v", diags)
+	}
+}
+
+// mapRangeSrc is the minimal unsorted collect loop, parameterized on the
+// package clause for the serving-exemption tests.
+const mapRangeSrc = `package %s
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+func TestFlagsMapRangeAppendInTestFiles(t *testing.T) {
+	// A nondeterministic test is a flaky test: the rule applies to
+	// _test.go files like the other determinism rules.
+	diags := lintAs(t, "fixture_test.go", fmt.Sprintf(mapRangeSrc, "p"))
+	if len(diags) != 1 || diags[0].Rule != RuleMapRangeOrder {
+		t.Fatalf("diags = %v, want one %s", diags, RuleMapRangeOrder)
+	}
+}
+
+func TestMapRangeOrderServingExempt(t *testing.T) {
+	// Serving packages answer live traffic; their response ordering is
+	// not part of the simulation's reproducibility contract. As with the
+	// other determinism rules the allowlist matches the package clause,
+	// so an impostor package in the serving directory keeps the finding.
+	if diags := lintAs(t, "server.go", fmt.Sprintf(mapRangeSrc, "vetd")); len(diags) != 0 {
+		t.Fatalf("serving package vetd flagged: %v", diags)
+	}
+	diags := lintAs(t, "internal/vetd/impostor.go", fmt.Sprintf(mapRangeSrc, "appstore"))
+	if len(diags) != 1 || diags[0].Rule != RuleMapRangeOrder {
+		t.Fatalf("impostor package diags = %v, want one %s", rules(diags), RuleMapRangeOrder)
+	}
+}

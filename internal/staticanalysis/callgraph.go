@@ -5,11 +5,18 @@
 // detectors (draw-and-destroy overlay, toast replacement, accessibility-
 // assisted timing) that return per-component evidence traces.
 //
-// The pass is deliberately path-insensitive: an instruction behind an
-// always-false guard is still "reachable", matching the over-approximation
-// of real call-graph analyzers. Reflective calls are resolved only when
-// their class/method const-strings are directly visible, matching the
-// easy-case reflection handling of FlowDroid configurations.
+// The pass runs at a selectable precision Tier. Tier0 reproduces the
+// paper's baseline configuration exactly: path-insensitive (an instruction
+// behind an always-false guard is still "reachable", the deliberate
+// over-approximation of basic call-graph analyzers) with reflection
+// resolved only from the two const-strings immediately preceding the call
+// — FlowDroid's easy case. Tier1 prunes statically dead always-false
+// branches before reachability. Tier2 adds interprocedural constant
+// propagation (constprop.go): whole-program boolean flags decide GuardFlag
+// branches, and string registers — const loads, moves, concatenations and
+// constant-returning helper calls — resolve reflective sinks whose names
+// never appear contiguously. The `precision` experiment measures what each
+// step buys against the generator's ground truth.
 package staticanalysis
 
 import (
@@ -60,18 +67,40 @@ type node struct {
 	registersSelf bool
 }
 
-// CallGraph is the whole-app call graph.
+// CallGraph is the whole-app call graph, built at one analysis tier.
 type CallGraph struct {
 	app   *dexir.App
 	nodes map[dexir.MethodRef]*node
+	tier  Tier
+
+	// Tier2 state: the whole-program flag-constant table and the memoized
+	// constant-return summaries (see constprop.go).
+	flags     map[string]bool
+	retMemo   map[dexir.MethodRef]constRet
+	retActive map[dexir.MethodRef]bool
 }
 
-// BuildCallGraph constructs the call graph for one app. Direct invokes of
-// app methods become direct edges; callback registrations become callback
-// edges; resolvable reflective invokes of framework sinks become sink
-// calls flagged Reflective; unresolvable reflective invokes stay opaque.
+// BuildCallGraph constructs the Tier0 (paper-baseline) call graph for one
+// app. Direct invokes of app methods become direct edges; callback
+// registrations become callback edges; resolvable reflective invokes of
+// framework sinks become sink calls flagged Reflective; unresolvable
+// reflective invokes stay opaque.
 func BuildCallGraph(app *dexir.App) *CallGraph {
-	g := &CallGraph{app: app, nodes: make(map[dexir.MethodRef]*node)}
+	return BuildCallGraphTier(app, Tier0)
+}
+
+// BuildCallGraphTier constructs the call graph at the given precision
+// tier. Tier1 drops instructions behind always-false guards before any
+// edge or sink is extracted; Tier2 additionally resolves flag guards from
+// the whole-program constant table and reflective targets from register
+// dataflow.
+func BuildCallGraphTier(app *dexir.App, tier Tier) *CallGraph {
+	g := &CallGraph{app: app, nodes: make(map[dexir.MethodRef]*node), tier: tier}
+	if tier >= Tier2 {
+		g.flags = buildFlagTable(app)
+		g.retMemo = make(map[dexir.MethodRef]constRet)
+		g.retActive = make(map[dexir.MethodRef]bool)
+	}
 	for ci := range app.Classes {
 		for mi := range app.Classes[ci].Methods {
 			m := &app.Classes[ci].Methods[mi]
@@ -81,12 +110,23 @@ func BuildCallGraph(app *dexir.App) *CallGraph {
 	return g
 }
 
+// Tier reports the precision tier the graph was built at.
+func (g *CallGraph) Tier() Tier { return g.tier }
+
 func (g *CallGraph) buildNode(app *dexir.App, m *dexir.Method) *node {
 	n := &node{}
 	// Rolling window of the last two const-strings, feeding reflective
-	// resolution the way a constant-propagation pass would.
+	// resolution the way FlowDroid's easy case would.
 	var c1, c2 string // c1 = older (class), c2 = newer (method)
+	// Tier2 tracks string registers alongside the window.
+	var regs map[dexir.Reg]string
+	if g.tier >= Tier2 {
+		regs = make(map[dexir.Reg]string, 8)
+	}
 	for _, in := range m.Body {
+		if g.pruned(in) {
+			continue
+		}
 		switch in.Op {
 		case dexir.OpConstString:
 			c1, c2 = c2, in.Str
@@ -95,7 +135,7 @@ func (g *CallGraph) buildNode(app *dexir.App, m *dexir.Method) *node {
 				n.sinks = append(n.sinks, SinkCall{
 					Sink: in.Target, In: m.Ref,
 					InLoop:  in.InLoop,
-					Guarded: in.Guard == dexir.GuardAlwaysFalse,
+					Guarded: in.Guard != dexir.GuardNone,
 				})
 			} else if _, ok := app.Method(in.Target); ok {
 				n.callees = append(n.callees, edge{to: in.Target})
@@ -112,14 +152,25 @@ func (g *CallGraph) buildNode(app *dexir.App, m *dexir.Method) *node {
 				}
 			}
 		case dexir.OpReflectInvoke:
-			if ref, ok := dexir.ResolveReflective(c1, c2); ok && sinkRefs[ref] {
-				n.sinks = append(n.sinks, SinkCall{
-					Sink: ref, In: m.Ref,
-					InLoop:     in.InLoop,
-					Guarded:    in.Guard == dexir.GuardAlwaysFalse,
-					Reflective: true,
-				})
+			class, method, known := c1, c2, true
+			if regs != nil && (in.ClassReg != 0 || in.MethodReg != 0) {
+				// Register-carried names: resolvable only at Tier2, and
+				// only when both registers hold known constants.
+				class, method, known = regPair(regs, in.ClassReg, in.MethodReg)
 			}
+			if known {
+				if ref, ok := dexir.ResolveReflective(class, method); ok && sinkRefs[ref] {
+					n.sinks = append(n.sinks, SinkCall{
+						Sink: ref, In: m.Ref,
+						InLoop:     in.InLoop,
+						Guarded:    in.Guard != dexir.GuardNone,
+						Reflective: true,
+					})
+				}
+			}
+		}
+		if regs != nil {
+			g.stepRegs(regs, in)
 		}
 	}
 	return n

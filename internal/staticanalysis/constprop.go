@@ -1,0 +1,151 @@
+package staticanalysis
+
+import (
+	"repro/internal/dexir"
+)
+
+// This file is the Tier2 dataflow machinery: a whole-program boolean-flag
+// constant table, a per-method abstract interpretation over string
+// registers, and memoized constant-return summaries for app methods. All
+// of it is sound-by-forgetting — anything not provably a single constant
+// is treated as unknown, so Tier2 only ever prunes what is statically
+// dead and resolves what is statically certain.
+
+// buildFlagTable resolves every whole-program boolean set by OpSetFlag to
+// its constant value. A flag assigned conflicting values anywhere in the
+// app stays out of the table (unknown), so guarded code under it remains
+// reachable.
+func buildFlagTable(app *dexir.App) map[string]bool {
+	var known map[string]bool
+	conflicted := map[string]bool{}
+	for ci := range app.Classes {
+		for mi := range app.Classes[ci].Methods {
+			for _, in := range app.Classes[ci].Methods[mi].Body {
+				if in.Op != dexir.OpSetFlag || in.Flag == "" {
+					continue
+				}
+				if known == nil {
+					known = make(map[string]bool, 2)
+				}
+				if v, ok := known[in.Flag]; ok && v != in.BoolVal {
+					conflicted[in.Flag] = true
+				}
+				known[in.Flag] = in.BoolVal
+			}
+		}
+	}
+	for flag := range conflicted {
+		delete(known, flag)
+	}
+	return known
+}
+
+// pruned reports whether the tier removes the instruction before any
+// graph or sink extraction. Tier0 prunes nothing (the paper baseline);
+// Tier1 prunes statically dead always-false branches; Tier2 additionally
+// prunes branches on a flag the table proves constant-false.
+func (g *CallGraph) pruned(in dexir.Instruction) bool {
+	switch in.Guard {
+	case dexir.GuardAlwaysFalse:
+		return g.tier >= Tier1
+	case dexir.GuardFlag:
+		if g.tier >= Tier2 {
+			v, ok := g.flags[in.Flag]
+			return ok && !v
+		}
+	}
+	return false
+}
+
+// constRet is one memoized constant-return summary.
+type constRet struct {
+	val string
+	ok  bool
+}
+
+// constReturn resolves an app method to the single constant string it
+// always returns, following moves, concats and nested constant-returning
+// calls. Summaries are memoized on the graph; recursion breaks to
+// unknown, so cyclic helpers terminate without resolving.
+func (g *CallGraph) constReturn(ref dexir.MethodRef) (string, bool) {
+	if r, ok := g.retMemo[ref]; ok {
+		return r.val, r.ok
+	}
+	if g.retActive[ref] {
+		return "", false
+	}
+	m, ok := g.app.Method(ref)
+	if !ok {
+		return "", false
+	}
+	g.retActive[ref] = true
+	regs := make(map[dexir.Reg]string, 4)
+	var val string
+	resolved, conflicted := false, false
+	for _, in := range m.Body {
+		if g.pruned(in) {
+			continue
+		}
+		if in.Op == dexir.OpReturn {
+			v, known := regs[in.SrcA]
+			switch {
+			case !known:
+				conflicted = true
+			case resolved && v != val:
+				conflicted = true
+			default:
+				val, resolved = v, true
+			}
+			continue
+		}
+		g.stepRegs(regs, in)
+	}
+	delete(g.retActive, ref)
+	res := constRet{val: val, ok: resolved && !conflicted}
+	if !res.ok {
+		res.val = ""
+	}
+	g.retMemo[ref] = res
+	return res.val, res.ok
+}
+
+// stepRegs applies one instruction's effect to the abstract register
+// state: registers hold either a known constant string or nothing
+// (unknown). Any write the interpretation cannot model clobbers the
+// destination to unknown.
+func (g *CallGraph) stepRegs(regs map[dexir.Reg]string, in dexir.Instruction) {
+	if in.Dst <= 0 {
+		return
+	}
+	switch in.Op {
+	case dexir.OpConstString:
+		regs[in.Dst] = in.Str
+		return
+	case dexir.OpMove:
+		if v, ok := regs[in.SrcA]; ok {
+			regs[in.Dst] = v
+			return
+		}
+	case dexir.OpConcat:
+		a, okA := regs[in.SrcA]
+		b, okB := regs[in.SrcB]
+		if okA && okB {
+			regs[in.Dst] = a + b
+			return
+		}
+	case dexir.OpInvoke:
+		if v, ok := g.constReturn(in.Target); ok {
+			regs[in.Dst] = v
+			return
+		}
+	}
+	delete(regs, in.Dst)
+}
+
+// regPair reads an OpReflectInvoke's class/method name registers; the
+// pair resolves only when both registers hold known constants.
+func regPair(regs map[dexir.Reg]string, class, method dexir.Reg) (string, string, bool) {
+	c, okC := regs[class]
+	m, okM := regs[method]
+	return c, m, okC && okM
+}

@@ -262,28 +262,49 @@ type Result struct {
 	// Toast.setView call reachable from some component (capability or
 	// not).
 	SetViewReachable bool
+	// Tier records the precision tier the analysis ran at.
+	Tier Tier
+	// SinkSites counts the evidence call sites across all findings;
+	// GuardedSinkSites and ReflectiveSinkSites break them down by the
+	// SinkCall flags, so a tier-to-tier verdict delta is explainable
+	// from the evidence mix (guarded sites vanish at Tier1+, reflective
+	// sites appear at Tier2).
+	SinkSites           int
+	GuardedSinkSites    int
+	ReflectiveSinkSites int
 	// Findings carries the evidence traces behind the verdicts.
 	Findings []Finding
 }
 
-// Analyzer runs a detector suite over apps.
+// Analyzer runs a detector suite over apps at one precision tier.
 type Analyzer struct {
 	detectors []Detector
+	tier      Tier
 }
 
-// NewAnalyzer builds an analyzer; with no arguments it uses the default
-// detector suite.
+// NewAnalyzer builds a Tier0 (paper-baseline) analyzer; with no arguments
+// it uses the default detector suite.
 func NewAnalyzer(detectors ...Detector) *Analyzer {
+	return NewAnalyzerTier(Tier0, detectors...)
+}
+
+// NewAnalyzerTier builds an analyzer running at the given precision tier;
+// with no detectors it uses the default suite.
+func NewAnalyzerTier(tier Tier, detectors ...Detector) *Analyzer {
 	if len(detectors) == 0 {
 		detectors = DefaultDetectors()
 	}
-	return &Analyzer{detectors: detectors}
+	return &Analyzer{detectors: detectors, tier: tier}
 }
 
-// Analyze builds the call graph and runs every detector.
+// Tier reports the analyzer's precision tier.
+func (a *Analyzer) Tier() Tier { return a.tier }
+
+// Analyze builds the call graph at the analyzer's tier and runs every
+// detector.
 func (a *Analyzer) Analyze(app *dexir.App) Result {
-	g := BuildCallGraph(app)
-	var res Result
+	g := BuildCallGraphTier(app, a.tier)
+	res := Result{Tier: a.tier}
 	for _, d := range a.detectors {
 		for _, f := range d.Detect(app, g) {
 			res.Findings = append(res.Findings, f)
@@ -294,6 +315,15 @@ func (a *Analyzer) Analyze(app *dexir.App) Result {
 				res.ToastReplace = true
 			case CapA11yTiming:
 				res.A11yTiming = true
+			}
+			for _, e := range f.Evidence {
+				res.SinkSites++
+				if e.Guarded {
+					res.GuardedSinkSites++
+				}
+				if e.Reflective {
+					res.ReflectiveSinkSites++
+				}
 			}
 		}
 	}
@@ -308,7 +338,14 @@ func (a *Analyzer) Analyze(app *dexir.App) Result {
 	return res
 }
 
-// Analyze runs the default detector suite over one app.
+// Analyze runs the default detector suite over one app at Tier0, the
+// paper-baseline configuration.
 func Analyze(app *dexir.App) Result {
 	return NewAnalyzer().Analyze(app)
+}
+
+// AnalyzeTier runs the default detector suite over one app at the given
+// precision tier.
+func AnalyzeTier(app *dexir.App, tier Tier) Result {
+	return NewAnalyzerTier(tier).Analyze(app)
 }

@@ -1,0 +1,148 @@
+package staticanalysis
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dexir"
+)
+
+// fuzzReflectApp assembles a one-activity app whose entry point performs
+// one reflective call of (class, method), obfuscated per mode:
+//
+//	mode 0 — names split at cut and rebuilt with OpConcat
+//	mode 1 — names fetched from constant-returning helper methods
+//	mode 2 — names routed through an OpMove chain
+//	mode 3 — names loaded directly into the registers
+//
+// Every variant carries both SYSTEM_ALERT_WINDOW and the sink call, so
+// whether the analyzer flags the app depends only on whether Tier2's
+// constant propagation recovers the pair.
+func fuzzReflectApp(class, method string, cut int, mode uint8) *dexir.App {
+	cls := dexir.ClassName("com.fuzz", "Main")
+	obf := dexir.ClassName("com.fuzz", "Obf")
+	onCreate := dexir.Ref(cls, "onCreate", "(Landroid/os/Bundle;)V")
+	clsHelper := dexir.Ref(obf, "cls", "()Ljava/lang/String;")
+	mthHelper := dexir.Ref(obf, "mth", "()Ljava/lang/String;")
+
+	split := func(s string) (string, string) {
+		if len(s) == 0 {
+			return "", ""
+		}
+		k := cut % len(s)
+		if k < 0 {
+			k += len(s)
+		}
+		return s[:k], s[k:]
+	}
+	var body []dexir.Instruction
+	var helpers []dexir.Method
+	switch mode % 4 {
+	case 0:
+		ca, cb := split(class)
+		ma, mb := split(method)
+		body = []dexir.Instruction{
+			{Op: dexir.OpConstString, Dst: 1, Str: ca},
+			{Op: dexir.OpConstString, Dst: 2, Str: cb},
+			{Op: dexir.OpConcat, Dst: 3, SrcA: 1, SrcB: 2},
+			{Op: dexir.OpConstString, Dst: 4, Str: ma},
+			{Op: dexir.OpConstString, Dst: 5, Str: mb},
+			{Op: dexir.OpConcat, Dst: 6, SrcA: 4, SrcB: 5},
+			{Op: dexir.OpReflectInvoke, ClassReg: 3, MethodReg: 6},
+		}
+	case 1:
+		body = []dexir.Instruction{
+			{Op: dexir.OpInvoke, Target: clsHelper, Dst: 1},
+			{Op: dexir.OpInvoke, Target: mthHelper, Dst: 2},
+			{Op: dexir.OpReflectInvoke, ClassReg: 1, MethodReg: 2},
+		}
+		helpers = []dexir.Method{
+			{Ref: clsHelper, Body: []dexir.Instruction{
+				{Op: dexir.OpConstString, Dst: 1, Str: class},
+				{Op: dexir.OpReturn, SrcA: 1},
+			}},
+			{Ref: mthHelper, Body: []dexir.Instruction{
+				{Op: dexir.OpConstString, Dst: 1, Str: method},
+				{Op: dexir.OpReturn, SrcA: 1},
+			}},
+		}
+	case 2:
+		body = []dexir.Instruction{
+			{Op: dexir.OpConstString, Dst: 1, Str: class},
+			{Op: dexir.OpMove, Dst: 2, SrcA: 1},
+			{Op: dexir.OpMove, Dst: 3, SrcA: 2},
+			{Op: dexir.OpConstString, Dst: 4, Str: method},
+			{Op: dexir.OpMove, Dst: 5, SrcA: 4},
+			{Op: dexir.OpReflectInvoke, ClassReg: 3, MethodReg: 5},
+		}
+	default:
+		body = []dexir.Instruction{
+			{Op: dexir.OpConstString, Dst: 1, Str: class},
+			{Op: dexir.OpConstString, Dst: 2, Str: method},
+			{Op: dexir.OpReflectInvoke, ClassReg: 1, MethodReg: 2},
+		}
+	}
+	app := &dexir.App{
+		Package:     "com.fuzz",
+		Permissions: []string{dexir.PermSystemAlertWindow},
+		Components:  []dexir.Component{{Name: cls, Kind: dexir.Activity, EntryPoints: []dexir.MethodRef{onCreate}}},
+		Classes:     []dexir.Class{{Name: cls, Methods: []dexir.Method{{Ref: onCreate, Body: body}}}},
+	}
+	if helpers != nil {
+		app.Classes = append(app.Classes, dexir.Class{Name: obf, Methods: helpers})
+	}
+	return app
+}
+
+// FuzzReflectiveConstProp drives the Tier2 resolver with arbitrary name
+// pairs and obfuscation shapes. Invariants: the analyzer never panics;
+// its sink evidence agrees exactly with the direct dexir.ResolveReflective
+// oracle on the unobfuscated pair; and a JSON round trip of the IR — the
+// vetd wire path — analyzes identically.
+func FuzzReflectiveConstProp(f *testing.F) {
+	f.Add("android.view.WindowManager", "addView", 7, uint8(0))
+	f.Add("android.view.WindowManager", "removeView", 3, uint8(1))
+	f.Add("android.widget.Toast", "setView", 10, uint8(2))
+	f.Add("android.widget.Toast", "show", 0, uint8(3))
+	f.Add("", "", 0, uint8(0))
+	f.Add("java.lang.Runtime", "exec", -5, uint8(1))
+	f.Add("android.view.WindowManager", "addView\x00", 1, uint8(2))
+	f.Fuzz(func(t *testing.T, class, method string, cut int, mode uint8) {
+		app := fuzzReflectApp(class, method, cut, mode)
+		onCreate := app.Components[0].EntryPoints[0]
+		sinksOf := func(a *dexir.App) []SinkCall {
+			return BuildCallGraphTier(a, Tier2).Sinks(onCreate)
+		}
+		sinks := sinksOf(app)
+
+		ref, ok := dexir.ResolveReflective(class, method)
+		if ok && sinkRefs[ref] {
+			if len(sinks) != 1 || sinks[0].Sink != ref || !sinks[0].Reflective {
+				t.Fatalf("mode %d: Tier2 resolved %v, oracle wants one reflective %s for (%q, %q)",
+					mode%4, sinks, ref, class, method)
+			}
+		} else if len(sinks) != 0 {
+			t.Fatalf("mode %d: Tier2 invented sinks %v for (%q, %q)", mode%4, sinks, class, method)
+		}
+
+		// Analyze (detectors + evidence accounting) must not panic either.
+		res := AnalyzeTier(app, Tier2)
+
+		raw, err := json.Marshal(app)
+		if err != nil {
+			t.Fatalf("encode IR: %v", err)
+		}
+		var back dexir.App
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("decode IR: %v", err)
+		}
+		if s2 := sinksOf(&back); len(s2) != len(sinks) {
+			t.Fatalf("JSON round trip changed resolution: %v vs %v", sinks, s2)
+		}
+		res2 := AnalyzeTier(&back, Tier2)
+		if res2.SinkSites != res.SinkSites || res2.DrawAndDestroy != res.DrawAndDestroy ||
+			res2.ReflectiveSinkSites != res.ReflectiveSinkSites {
+			t.Fatalf("JSON round trip changed the analysis: %+v vs %+v", res, res2)
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package staticanalysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tier selects the precision of the static pass. Higher tiers cost more
+// per app and reject more decoys; Tier0 reproduces the paper's baseline
+// configuration byte-for-byte.
+type Tier int
+
+// The three analysis tiers, in increasing precision.
+const (
+	// Tier0 is the baseline: path-insensitive reachability with the
+	// rolling two-const-string window for reflection — every guard is
+	// traversed, every register is opaque. This is the configuration the
+	// §VI-C2 market study ran.
+	Tier0 Tier = iota
+	// Tier1 adds guard sensitivity: instructions behind a statically
+	// always-false branch (dexir.GuardAlwaysFalse) are pruned before
+	// reachability, killing the dead-code decoys.
+	Tier1
+	// Tier2 adds interprocedural constant propagation: whole-program
+	// boolean flags (dexir.OpSetFlag) resolve GuardFlag branches, and a
+	// per-method register interpretation — const-strings, moves, concats
+	// and constant-returning helper calls — resolves reflective sinks
+	// whose names are split across fragments or returned by helpers.
+	Tier2
+)
+
+// Tiers lists every analysis tier, lowest precision first.
+func Tiers() []Tier { return []Tier{Tier0, Tier1, Tier2} }
+
+// String names the tier for flags, reports and cache keys.
+func (t Tier) String() string {
+	switch t {
+	case Tier0:
+		return "tier0"
+	case Tier1:
+		return "tier1"
+	case Tier2:
+		return "tier2"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Describe returns the one-line explanation reports attach to the tier.
+func (t Tier) Describe() string {
+	switch t {
+	case Tier0:
+		return "path-insensitive reachability, window-resolved reflection"
+	case Tier1:
+		return "dead always-false branches pruned before reachability"
+	case Tier2:
+		return "interprocedural constant propagation: flag guards resolved, split/cross-method reflection recovered"
+	}
+	return "unknown tier"
+}
+
+// ParseTier parses a -tier flag value: "0".."2" or "tier0".."tier2".
+func ParseTier(s string) (Tier, error) {
+	switch strings.TrimPrefix(strings.ToLower(strings.TrimSpace(s)), "tier") {
+	case "0":
+		return Tier0, nil
+	case "1":
+		return Tier1, nil
+	case "2":
+		return Tier2, nil
+	}
+	return Tier0, fmt.Errorf("staticanalysis: unknown tier %q (want 0, 1, 2 or tier0..tier2)", s)
+}

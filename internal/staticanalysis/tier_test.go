@@ -1,0 +1,293 @@
+package staticanalysis
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dexir"
+)
+
+func TestTierParseAndString(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Tier
+	}{
+		{"0", Tier0}, {"1", Tier1}, {"2", Tier2},
+		{"tier0", Tier0}, {"tier2", Tier2}, {"Tier1", Tier1}, {" 2 ", Tier2},
+	} {
+		got, err := ParseTier(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "3", "-1", "tierX", "full"} {
+		if _, err := ParseTier(bad); err == nil {
+			t.Errorf("ParseTier(%q) accepted", bad)
+		}
+	}
+	for i, tier := range Tiers() {
+		if int(tier) != i {
+			t.Errorf("Tiers()[%d] = %v", i, tier)
+		}
+		if tier.String() == "" || tier.Describe() == "" {
+			t.Errorf("%v missing String/Describe", tier)
+		}
+	}
+}
+
+// guardedOverlayApp reaches both overlay sinks, but only behind
+// always-false guards — the Tier0 false positive Tier1 exists to kill.
+func guardedOverlayApp() *dexir.App {
+	cls := dexir.ClassName("com.guard", "Main")
+	onCreate := dexir.Ref(cls, "onCreate", "(Landroid/os/Bundle;)V")
+	return buildApp("com.guard", saw(), dexir.Activity, []dexir.MethodRef{onCreate}, []dexir.Method{
+		{Ref: onCreate, Body: []dexir.Instruction{
+			{Op: dexir.OpInvoke, Target: dexir.RefAddView, Guard: dexir.GuardAlwaysFalse},
+			{Op: dexir.OpInvoke, Target: dexir.RefRemoveView, Guard: dexir.GuardAlwaysFalse},
+		}},
+	})
+}
+
+func TestTier1PrunesAlwaysFalseGuards(t *testing.T) {
+	app := guardedOverlayApp()
+	if res := AnalyzeTier(app, Tier0); !res.DrawAndDestroy {
+		t.Fatal("Tier0 must keep the paper's over-approximation")
+	} else if res.GuardedSinkSites != 2 {
+		t.Fatalf("Tier0 guarded evidence sites = %d, want 2", res.GuardedSinkSites)
+	}
+	for _, tier := range []Tier{Tier1, Tier2} {
+		if res := AnalyzeTier(app, tier); res.DrawAndDestroy {
+			t.Fatalf("%v reached always-false-guarded sinks", tier)
+		}
+	}
+}
+
+// flagApp guards both overlay sinks with a whole-program boolean flag;
+// setVal (and optionally a conflicting second write) defines it.
+func flagApp(setVal bool, conflict bool) *dexir.App {
+	cls := dexir.ClassName("com.flag", "Main")
+	onCreate := dexir.Ref(cls, "onCreate", "(Landroid/os/Bundle;)V")
+	clinit := dexir.Ref(cls, "<clinit>", "()V")
+	const flag = "Lcom/flag/BuildConfig;->DEBUG_DECOR"
+	clinitBody := []dexir.Instruction{{Op: dexir.OpSetFlag, Flag: flag, BoolVal: setVal}}
+	if conflict {
+		clinitBody = append(clinitBody, dexir.Instruction{Op: dexir.OpSetFlag, Flag: flag, BoolVal: !setVal})
+	}
+	return buildApp("com.flag", saw(), dexir.Activity, []dexir.MethodRef{onCreate}, []dexir.Method{
+		{Ref: clinit, Body: clinitBody},
+		{Ref: onCreate, Body: []dexir.Instruction{
+			{Op: dexir.OpInvoke, Target: dexir.RefAddView, Guard: dexir.GuardFlag, Flag: flag},
+			{Op: dexir.OpInvoke, Target: dexir.RefRemoveView, Guard: dexir.GuardFlag, Flag: flag},
+		}},
+	})
+}
+
+func TestTier2FlagGuards(t *testing.T) {
+	// Known-false flag: dead at Tier2, reachable below it.
+	app := flagApp(false, false)
+	for _, tier := range []Tier{Tier0, Tier1} {
+		if res := AnalyzeTier(app, tier); !res.DrawAndDestroy {
+			t.Fatalf("%v must keep flag-guarded sinks reachable", tier)
+		}
+	}
+	if res := AnalyzeTier(app, Tier2); res.DrawAndDestroy {
+		t.Fatal("Tier2 reached sinks behind a constant-false flag")
+	}
+	// Known-true flag: live code at every tier.
+	if res := AnalyzeTier(flagApp(true, false), Tier2); !res.DrawAndDestroy {
+		t.Fatal("Tier2 pruned sinks behind a constant-true flag")
+	}
+	// Conflicting writes: unknown, so Tier2 stays conservative.
+	if res := AnalyzeTier(flagApp(false, true), Tier2); !res.DrawAndDestroy {
+		t.Fatal("Tier2 pruned sinks behind a conflicted flag")
+	}
+}
+
+// splitReflectApp builds the overlay target names from concatenated
+// fragments in registers — no contiguous const-string pair for the
+// window heuristic, so only Tier2 resolves the sinks.
+func splitReflectApp() *dexir.App {
+	cls := dexir.ClassName("com.split", "Main")
+	onCreate := dexir.Ref(cls, "onCreate", "(Landroid/os/Bundle;)V")
+	return buildApp("com.split", saw(), dexir.Activity, []dexir.MethodRef{onCreate}, []dexir.Method{
+		{Ref: onCreate, Body: []dexir.Instruction{
+			{Op: dexir.OpConstString, Dst: 1, Str: "android.view.Window"},
+			{Op: dexir.OpConstString, Dst: 2, Str: "Manager"},
+			{Op: dexir.OpConcat, Dst: 3, SrcA: 1, SrcB: 2},
+			{Op: dexir.OpConstString, Dst: 4, Str: "add"},
+			{Op: dexir.OpConstString, Dst: 5, Str: "View"},
+			{Op: dexir.OpConcat, Dst: 6, SrcA: 4, SrcB: 5},
+			{Op: dexir.OpReflectInvoke, ClassReg: 3, MethodReg: 6},
+			{Op: dexir.OpConstString, Dst: 7, Str: "remove"},
+			{Op: dexir.OpConcat, Dst: 8, SrcA: 7, SrcB: 5},
+			{Op: dexir.OpMove, Dst: 9, SrcA: 3},
+			{Op: dexir.OpReflectInvoke, ClassReg: 9, MethodReg: 8},
+		}},
+	})
+}
+
+func TestTier2SplitReflection(t *testing.T) {
+	app := splitReflectApp()
+	for _, tier := range []Tier{Tier0, Tier1} {
+		if res := AnalyzeTier(app, tier); res.DrawAndDestroy {
+			t.Fatalf("%v resolved register-split reflection", tier)
+		}
+	}
+	res := AnalyzeTier(app, Tier2)
+	if !res.DrawAndDestroy {
+		t.Fatal("Tier2 missed register-split reflection")
+	}
+	if res.ReflectiveSinkSites != 2 {
+		t.Fatalf("Tier2 reflective evidence sites = %d, want 2", res.ReflectiveSinkSites)
+	}
+}
+
+// crossReflectApp fetches the target names from constant-returning
+// helper methods — interprocedural resolution only.
+func crossReflectApp() *dexir.App {
+	cls := dexir.ClassName("com.cross", "Main")
+	obf := dexir.ClassName("com.cross", "Obf")
+	onCreate := dexir.Ref(cls, "onCreate", "(Landroid/os/Bundle;)V")
+	target := dexir.Ref(obf, "target", "()Ljava/lang/String;")
+	action := dexir.Ref(obf, "action", "()Ljava/lang/String;")
+	undo := dexir.Ref(obf, "undo", "()Ljava/lang/String;")
+	return &dexir.App{
+		Package:     "com.cross",
+		Permissions: saw(),
+		Components:  []dexir.Component{{Name: cls, Kind: dexir.Activity, EntryPoints: []dexir.MethodRef{onCreate}}},
+		Classes: []dexir.Class{
+			{Name: cls, Methods: []dexir.Method{
+				{Ref: onCreate, Body: []dexir.Instruction{
+					{Op: dexir.OpInvoke, Target: target, Dst: 1},
+					{Op: dexir.OpInvoke, Target: action, Dst: 2},
+					{Op: dexir.OpReflectInvoke, ClassReg: 1, MethodReg: 2},
+					{Op: dexir.OpInvoke, Target: undo, Dst: 3},
+					{Op: dexir.OpReflectInvoke, ClassReg: 1, MethodReg: 3},
+				}},
+			}},
+			{Name: obf, Methods: []dexir.Method{
+				{Ref: target, Body: []dexir.Instruction{
+					{Op: dexir.OpConstString, Dst: 1, Str: "android.view.Window"},
+					{Op: dexir.OpConstString, Dst: 2, Str: "Manager"},
+					{Op: dexir.OpConcat, Dst: 3, SrcA: 1, SrcB: 2},
+					{Op: dexir.OpReturn, SrcA: 3},
+				}},
+				{Ref: action, Body: []dexir.Instruction{
+					{Op: dexir.OpConstString, Dst: 1, Str: "addView"},
+					{Op: dexir.OpReturn, SrcA: 1},
+				}},
+				{Ref: undo, Body: []dexir.Instruction{
+					{Op: dexir.OpConstString, Dst: 1, Str: "removeView"},
+					{Op: dexir.OpReturn, SrcA: 1},
+				}},
+			}},
+		},
+	}
+}
+
+func TestTier2CrossMethodReflection(t *testing.T) {
+	app := crossReflectApp()
+	for _, tier := range []Tier{Tier0, Tier1} {
+		if res := AnalyzeTier(app, tier); res.DrawAndDestroy {
+			t.Fatalf("%v resolved cross-method reflection", tier)
+		}
+	}
+	if res := AnalyzeTier(app, Tier2); !res.DrawAndDestroy {
+		t.Fatal("Tier2 missed cross-method reflection")
+	}
+}
+
+// TestConstReturnRecursionTerminates: a self-recursive "constant" helper
+// must resolve to unknown, not loop or panic.
+func TestConstReturnRecursionTerminates(t *testing.T) {
+	cls := dexir.ClassName("com.rec", "Main")
+	onCreate := dexir.Ref(cls, "onCreate", "(Landroid/os/Bundle;)V")
+	self := dexir.Ref(cls, "self", "()Ljava/lang/String;")
+	app := buildApp("com.rec", saw(), dexir.Activity, []dexir.MethodRef{onCreate}, []dexir.Method{
+		{Ref: onCreate, Body: []dexir.Instruction{
+			{Op: dexir.OpInvoke, Target: self, Dst: 1},
+			{Op: dexir.OpConstString, Dst: 2, Str: "addView"},
+			{Op: dexir.OpReflectInvoke, ClassReg: 1, MethodReg: 2},
+		}},
+		{Ref: self, Body: []dexir.Instruction{
+			{Op: dexir.OpInvoke, Target: self, Dst: 1},
+			{Op: dexir.OpReturn, SrcA: 1},
+		}},
+	})
+	if res := AnalyzeTier(app, Tier2); res.DrawAndDestroy {
+		t.Fatal("recursive helper resolved to a constant")
+	}
+}
+
+// TestConstReturnConflictingReturns: a helper returning two different
+// constants is not a constant.
+func TestConstReturnConflictingReturns(t *testing.T) {
+	obf := dexir.ClassName("com.conf", "Obf")
+	target := dexir.Ref(obf, "target", "()Ljava/lang/String;")
+	app := crossReflectApp()
+	app.Classes[1].Methods[0] = dexir.Method{Ref: target, Body: []dexir.Instruction{
+		{Op: dexir.OpConstString, Dst: 1, Str: "android.view.WindowManager"},
+		{Op: dexir.OpReturn, SrcA: 1},
+		{Op: dexir.OpConstString, Dst: 1, Str: "java.lang.Runtime"},
+		{Op: dexir.OpReturn, SrcA: 1},
+	}}
+	if res := AnalyzeTier(app, Tier2); res.DrawAndDestroy {
+		t.Fatal("conflicting-return helper resolved to a constant")
+	}
+}
+
+// TestTier0IdentityOnNewOps: an app using the dataflow ops analyzes at
+// Tier0 exactly as if they weren't there — the window heuristic still
+// applies, register names never resolve, nothing is pruned. This is the
+// unit-level face of the corpus byte-identity guarantee.
+func TestTier0IdentityOnNewOps(t *testing.T) {
+	res := AnalyzeTier(splitReflectApp(), Tier0)
+	if res.DrawAndDestroy || res.SinkSites != 0 {
+		t.Fatalf("Tier0 changed behavior on dataflow ops: %+v", res)
+	}
+	if res.Tier != Tier0 {
+		t.Fatalf("result tier = %v", res.Tier)
+	}
+	// And the window heuristic still works when register hints are absent.
+	cls := dexir.ClassName("com.win", "Main")
+	onCreate := dexir.Ref(cls, "onCreate", "(Landroid/os/Bundle;)V")
+	app := buildApp("com.win", saw(), dexir.Activity, []dexir.MethodRef{onCreate}, []dexir.Method{
+		{Ref: onCreate, Body: []dexir.Instruction{
+			{Op: dexir.OpConstString, Str: "android.view.WindowManager"},
+			{Op: dexir.OpConstString, Str: "addView"},
+			{Op: dexir.OpReflectInvoke},
+			{Op: dexir.OpConstString, Str: "android.view.WindowManager"},
+			{Op: dexir.OpConstString, Str: "removeView"},
+			{Op: dexir.OpReflectInvoke},
+		}},
+	})
+	for _, tier := range Tiers() {
+		if res := AnalyzeTier(app, tier); !res.DrawAndDestroy {
+			t.Fatalf("%v broke window-resolved reflection", tier)
+		}
+	}
+}
+
+// TestNewOpsAbsentFromLegacyJSON: the dataflow fields are omitempty, so
+// legacy IR (no registers, no flags) marshals byte-identically to what it
+// did before the ops existed — vetd's content addresses must not move.
+func TestNewOpsAbsentFromLegacyJSON(t *testing.T) {
+	b, err := json.Marshal(dexir.Instruction{Op: dexir.OpInvoke, Target: dexir.RefAddView})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"Dst", "SrcA", "SrcB", "ClassReg", "MethodReg", "Flag", "BoolVal"} {
+		if json.Valid(b) && containsField(b, field) {
+			t.Fatalf("legacy instruction JSON grew field %s: %s", field, b)
+		}
+	}
+}
+
+func containsField(b []byte, name string) bool {
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return false
+	}
+	_, ok := m[name]
+	return ok
+}

@@ -19,6 +19,7 @@ package sysui
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/anim"
@@ -424,15 +425,18 @@ func (ui *SystemUI) ActiveAlert(app binder.ProcessID) bool {
 }
 
 // DrawerEntries returns the apps with an alert entry currently listed in
-// the notification drawer. An entry's *view* renders only as far as its
-// slide-down animation has progressed (the paper's Fig. 6 photographs the
-// drawer), so a present entry can still be invisible — query
-// AlertVisiblePx for what a user would actually see.
+// the notification drawer, in sorted order (ui.alerts is a map, and a
+// caller comparing drawers across runs needs a stable listing). An
+// entry's *view* renders only as far as its slide-down animation has
+// progressed (the paper's Fig. 6 photographs the drawer), so a present
+// entry can still be invisible — query AlertVisiblePx for what a user
+// would actually see.
 func (ui *SystemUI) DrawerEntries() []binder.ProcessID {
 	out := make([]binder.ProcessID, 0, len(ui.alerts))
 	for app := range ui.alerts {
 		out = append(out, app)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

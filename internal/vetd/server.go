@@ -7,7 +7,8 @@
 // layers:
 //
 //  1. a sharded, content-addressed verdict cache (Cache) keyed by the
-//     SHA-256 of the app's IR, with LRU eviction,
+//     SHA-256 of the app's IR plus the configured analysis tier, with
+//     LRU eviction,
 //  2. an admission layer with a bounded queue, per-request deadlines and
 //     explicit load shedding (429 + Retry-After) so overload degrades
 //     gracefully instead of collapsing,
@@ -36,6 +37,7 @@ import (
 
 	"repro/internal/defense"
 	"repro/internal/dexir"
+	"repro/internal/staticanalysis"
 )
 
 // Config tunes a Server. The zero value selects the documented defaults.
@@ -62,6 +64,11 @@ type Config struct {
 	// LogWriter, when non-nil, receives one structured JSON line per vet
 	// request.
 	LogWriter io.Writer
+	// Tier is the static precision tier every analysis runs at (default
+	// Tier0, the paper baseline). The tier is part of every cache and
+	// coalescing key, so restarting at a different tier can never serve a
+	// verdict computed at the old one.
+	Tier staticanalysis.Tier
 }
 
 func (c Config) withDefaults() Config {
@@ -106,7 +113,7 @@ type Server struct {
 // Close it to stop them.
 func New(cfg Config) *Server {
 	return newServer(cfg, func(app *dexir.App) (defense.VetVerdict, error) {
-		return defense.Vet(app)
+		return defense.VetTier(app, cfg.Tier)
 	})
 }
 
@@ -161,13 +168,17 @@ func (s *Server) vetOne(ctx context.Context, app *dexir.App) (Verdict, int, stri
 	if err != nil {
 		return Verdict{}, http.StatusBadRequest, outcomeError, err
 	}
+	// The raw IR hash is the wire-visible content address; the cache and
+	// the in-flight coalescing map key on (hash, tier) so a tier change
+	// can never surface a stale verdict.
+	key := VerdictKey(hash, s.cfg.Tier)
 	s.metrics.Requests.Add(1)
-	if v, ok := s.cache.Get(hash); ok {
+	if v, ok := s.cache.Get(key); ok {
 		s.metrics.Hits.Add(1)
 		s.countVerdict(v)
 		return NewVerdict(v, hash, true), http.StatusOK, outcomeHit, nil
 	}
-	v, lateHit, err := s.pool.vet(ctx, hash, app)
+	v, lateHit, err := s.pool.vet(ctx, key, app)
 	switch {
 	case errors.Is(err, ErrShed):
 		return Verdict{IRHash: hash}, http.StatusTooManyRequests, outcomeShed, err

@@ -31,6 +31,10 @@ type Verdict struct {
 	Allow        bool                     `json:"allow"`
 	Capabilities []string                 `json:"capabilities,omitempty"`
 	Findings     []staticanalysis.Finding `json:"findings,omitempty"`
+	// Tier names the static precision tier the verdict was computed at.
+	// It is part of Core: a Tier0 and a Tier2 verdict for the same IR are
+	// different verdicts, never interchangeable.
+	Tier string `json:"tier"`
 	// IRHash is the content address the verdict is cached under.
 	IRHash string `json:"ir_hash"`
 	// Cached reports whether this response was served from the verdict
@@ -50,9 +54,17 @@ func NewVerdict(v defense.VetVerdict, irHash string, cached bool) Verdict {
 		Allow:        v.Allow,
 		Capabilities: caps,
 		Findings:     v.Findings,
+		Tier:         v.Tier.String(),
 		IRHash:       irHash,
 		Cached:       cached,
 	}
+}
+
+// VerdictKey is the cache/coalescing key for one (IR, tier) pair. The
+// tier is part of the key so reconfiguring a server to a different
+// precision tier can never serve a verdict computed at the old one.
+func VerdictKey(irHash string, tier staticanalysis.Tier) string {
+	return irHash + "/" + tier.String()
 }
 
 // Core returns the canonical bytes of the verdict-determined fields —
