@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -22,12 +23,14 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiment"
 	"repro/internal/dexir"
+	"repro/internal/faults"
 	"repro/internal/simclock"
 	"repro/internal/simrand"
 	"repro/internal/staticanalysis"
 	"repro/internal/sysserver"
 	"repro/internal/sysui"
 	"repro/internal/vetd"
+	"repro/internal/vetring"
 )
 
 const benchSeed = 42
@@ -373,6 +376,90 @@ func BenchmarkVetServe(b *testing.B) {
 		serve(b, s)
 		m := s.Metrics()
 		b.ReportMetric(100*float64(m.Hits.Load())/float64(m.Requests.Load()), "%cache-hit")
+	})
+}
+
+// BenchmarkRingServe measures one vetting request through the distributed
+// serving plane: a vetring router fronting three in-process vetd peers
+// over real HTTP, replicas=2. The healthy sub-benchmark is the steady
+// state (every request answered by its primary replica); one-peer-down
+// partitions peer 0 behind the deterministic network fault plane, so
+// keys whose primary was peer 0 pay a failover to their surviving
+// replica once the circuit breaker opens. The gap prices failover —
+// %replicated must stay at 100 in both regimes, because with replicas=2
+// every key keeps one live copy when a single peer dies.
+func BenchmarkRingServe(b *testing.B) {
+	const distinct = 64
+	apks, err := appstore.GenerateApps(benchSeed, 0, distinct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := make([][]byte, distinct)
+	for i, apk := range apks {
+		if bodies[i], err = json.Marshal(vetd.VetRequest{App: apk.IR}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run := func(b *testing.B, plane *faults.NetPlane) {
+		b.Helper()
+		var nodes []*vetd.Server
+		var backends []*httptest.Server
+		var peers []string
+		for i := 0; i < 3; i++ {
+			s := vetd.New(vetd.Config{QueueDepth: 1 << 16})
+			ts := httptest.NewServer(s)
+			nodes = append(nodes, s)
+			backends = append(backends, ts)
+			peers = append(peers, strings.TrimPrefix(ts.URL, "http://"))
+		}
+		defer func() {
+			for i := range nodes {
+				backends[i].Close()
+				nodes[i].Close()
+			}
+		}()
+		router, err := vetring.New(vetring.Config{
+			Peers:           peers,
+			Replicas:        2,
+			Retries:         1,
+			RetryBase:       time.Millisecond,
+			ProbeInterval:   -1,
+			BreakerCooldown: time.Hour, // stay open for the whole measured run
+			NetPlane:        plane,
+			Seed:            benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer router.Close()
+		serveOne := func(i int) {
+			req := httptest.NewRequest("POST", "/v1/vet", bytes.NewReader(bodies[i%distinct]))
+			rec := httptest.NewRecorder()
+			router.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+		// Warm every distinct key (peer caches fill, breakers settle), then
+		// measure the steady state; metrics are deltas over the measured
+		// window so the warmup's failovers don't pollute them.
+		for i := 0; i < distinct; i++ {
+			serveOne(i)
+		}
+		m := router.Metrics()
+		repl0, fail0 := m.Replicated.Load(), m.Failovers.Load()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOne(i)
+		}
+		b.StopTimer()
+		b.ReportMetric(100*float64(m.Replicated.Load()-repl0)/float64(b.N), "%replicated")
+		b.ReportMetric(float64(m.Failovers.Load()-fail0)/float64(b.N), "failovers/op")
+	}
+	b.Run("healthy", func(b *testing.B) { run(b, nil) })
+	b.Run("one-peer-down", func(b *testing.B) {
+		prof := faults.NetProfile{Name: "bench-partition", PartitionPeers: []int{0}}
+		run(b, faults.NewNetPlane(prof, benchSeed))
 	})
 }
 

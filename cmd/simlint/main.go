@@ -8,12 +8,15 @@
 // idiom is recognized and allowed).
 // In production (non-test) files it additionally forbids time.Sleep and
 // bare panic calls (internal/invariant, the assertion layer, is exempt
-// from the panic rule). Run it alongside `go vet ./...` in the tier-1
-// verify path; scripts/verify.sh does.
+// from the panic rule), plus HTTP clients with no deadline
+// (http.Get/Post and http.Client literals without a Timeout) — the one
+// rule that also covers cmd/ binaries, whose package main files are
+// otherwise outside the simulation contract. Run it alongside
+// `go vet ./...` in the tier-1 verify path; scripts/verify.sh does.
 //
 // Usage:
 //
-//	simlint              # lint ./internal
+//	simlint              # lint ./internal and ./cmd
 //	simlint dir1 dir2    # lint specific trees
 //
 // Exit status is 0 when clean, 1 when findings exist, 2 on usage or
@@ -36,7 +39,7 @@ func run() int {
 	flag.Parse()
 	roots := flag.Args()
 	if len(roots) == 0 {
-		roots = []string{"internal"}
+		roots = []string{"internal", "cmd"}
 	}
 	found := 0
 	for _, root := range roots {

@@ -1,6 +1,12 @@
 // Command vetd serves the scan-before-install vetting service
 // (internal/vetd) over HTTP: POST /v1/vet, POST /v1/vet/batch,
-// GET /healthz, GET /metrics, GET /stats.
+// GET /healthz, GET /readyz, GET /metrics, GET /stats.
+//
+// With -store DIR the node keeps a crash-safe persistent verdict store
+// (internal/vetstore) at DIR/verdicts.store: every computed verdict is
+// fsynced before it retires, and a SIGKILLed node recovers the full
+// acknowledged keyspace on restart without re-analyzing. -compact
+// rewrites the store without duplicate records and exits.
 //
 // It prints "vetd: listening on ADDR" once the listener is bound (with
 // -addr :0 the printed address carries the ephemeral port, which is how
@@ -27,11 +33,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/staticanalysis"
 	"repro/internal/vetd"
+	"repro/internal/vetstore"
 )
 
 func main() {
@@ -49,11 +57,37 @@ func run() int {
 		maxBatch = flag.Int("max-batch", 256, "maximum apps per batch request")
 		logDest  = flag.String("log", "", "structured request log destination (\"-\" for stderr, path for a file, empty to disable)")
 		tierArg  = flag.String("tier", "0", "static analysis precision tier (0..2)")
+		storeDir = flag.String("store", "", "persistent verdict store directory (empty disables persistence)")
+		compact  = flag.Bool("compact", false, "compact the -store file and exit (offline maintenance; do not run against a live node)")
 	)
 	flag.Parse()
 	tier, err := staticanalysis.ParseTier(*tierArg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vetd: %v\n", err)
+		return 2
+	}
+
+	var store *vetstore.Store
+	if *storeDir != "" {
+		path := filepath.Join(*storeDir, "verdicts.store")
+		store, err = vetstore.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vetd: open store: %v\n", err)
+			return 1
+		}
+		defer store.Close()
+		st := store.Stats()
+		fmt.Printf("vetd: store %s recovered %d verdicts (torn tail: %v)\n", path, st.Recovered, st.TornTail)
+		if *compact {
+			if err := store.Compact(); err != nil {
+				fmt.Fprintf(os.Stderr, "vetd: compact: %v\n", err)
+				return 1
+			}
+			fmt.Printf("vetd: store compacted to %d records\n", store.Len())
+			return 0
+		}
+	} else if *compact {
+		fmt.Fprintln(os.Stderr, "vetd: -compact requires -store")
 		return 2
 	}
 
@@ -64,6 +98,7 @@ func run() int {
 		Deadline:    *deadline,
 		MaxBatch:    *maxBatch,
 		Tier:        tier,
+		Store:       store,
 	}
 	if *cacheCap == "off" {
 		cfg.CacheCapacity = -1

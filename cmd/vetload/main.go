@@ -15,11 +15,26 @@
 // verdict core includes the tier, so a mismatch fails loudly instead of
 // silently comparing different analyses.
 //
+// A 429 shed is honored, not hammered: the client sleeps out the
+// server's Retry-After hint (capped, with seeded jitter) and re-sends up
+// to -retry429 times before abandoning; retried-vs-abandoned counts are
+// reported.
+//
+// Ring mode (-ring N) turns vetload into the chaos harness for the
+// distributed serving plane: it spawns N vetd peers (each with its own
+// crash-safe store under -store-dir) plus a vetrouter on ephemeral
+// ports, replays the corpus against the router while -chaos SIGKILLs
+// and restarts seeded-chosen peers mid-run, and requires a clean SIGINT
+// shutdown from every process. -check works unchanged — replicated,
+// degraded and recovered-from-store verdicts must all match the direct
+// analysis byte-for-byte.
+//
 // Usage:
 //
 //	vetload -addr http://127.0.0.1:8474 -n 10000 -check
 //	vetload -addr http://127.0.0.1:8474 -duration 10s -clients 32 -qps 500
 //	vetload -addr http://127.0.0.1:8474 -n 10000 -tier 2 -check
+//	vetload -ring 3 -vetd-bin ./vetd -router-bin ./vetrouter -duration 2s -chaos 600ms -check
 package main
 
 import (
@@ -32,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +57,7 @@ import (
 	"repro/internal/simrand"
 	"repro/internal/staticanalysis"
 	"repro/internal/vetd"
+	"repro/internal/vetring"
 )
 
 func main() {
@@ -59,7 +76,17 @@ type config struct {
 	batch      int
 	deadlineMS int
 	check      bool
+	retry429   int
 	tier       staticanalysis.Tier
+
+	// Ring mode.
+	ring      int
+	vetdBin   string
+	routerBin string
+	storeDir  string
+	replicas  int
+	chaos     time.Duration
+	netFaults string
 }
 
 // target is one corpus app, pre-encoded and (under -check) pre-vetted.
@@ -77,9 +104,15 @@ type sample struct {
 	expired    int
 	other      int
 	hits       int
+	degraded   int
 	denies     int
 	mismatches int
 	errs       int
+	// retried counts logical requests that succeeded only after one or
+	// more Retry-After waits; abandoned counts those still shed when the
+	// retry budget ran out.
+	retried   int
+	abandoned int
 }
 
 func run() int {
@@ -95,7 +128,15 @@ func run() int {
 	flag.IntVar(&cfg.batch, "batch", 1, "apps per request; >1 uses POST /v1/vet/batch")
 	flag.IntVar(&cfg.deadlineMS, "deadline-ms", 0, "per-request deadline_ms hint (0 = server default)")
 	flag.BoolVar(&cfg.check, "check", false, "verify every served verdict byte-identical to direct defense.Vet")
+	flag.IntVar(&cfg.retry429, "retry429", 1, "retries per request after a 429, honoring Retry-After (capped, jittered)")
 	tierArg := flag.String("tier", "0", "static precision tier the server runs at (must match vetd -tier)")
+	flag.IntVar(&cfg.ring, "ring", 0, "spawn a ring of N vetd peers + vetrouter and load the router (0 = load -addr directly)")
+	flag.StringVar(&cfg.vetdBin, "vetd-bin", "", "vetd binary for -ring mode")
+	flag.StringVar(&cfg.routerBin, "router-bin", "", "vetrouter binary for -ring mode")
+	flag.StringVar(&cfg.storeDir, "store-dir", "", "root directory for per-peer verdict stores in -ring mode (default: a temp dir)")
+	flag.IntVar(&cfg.replicas, "replicas", 2, "replica set size in -ring mode")
+	flag.DurationVar(&cfg.chaos, "chaos", 0, "mean interval between peer SIGKILL/restart cycles in -ring mode (0 disables)")
+	flag.StringVar(&cfg.netFaults, "net-faults", "none", "network fault profile the router injects in -ring mode")
 	flag.Parse()
 	tier, err := staticanalysis.ParseTier(*tierArg)
 	if err != nil {
@@ -108,9 +149,29 @@ func run() int {
 		return 2
 	}
 
+	var harness *ringHarness
+	if cfg.ring > 0 {
+		if cfg.vetdBin == "" || cfg.routerBin == "" {
+			fmt.Fprintln(os.Stderr, "vetload: -ring requires -vetd-bin and -router-bin")
+			return 2
+		}
+		h, routerURL, err := startRing(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vetload: ring: %v\n", err)
+			return 1
+		}
+		harness = h
+		cfg.addr = routerURL
+		fmt.Printf("vetload: ring of %d peers up behind %s (chaos %v, faults %s)\n",
+			cfg.ring, routerURL, cfg.chaos, cfg.netFaults)
+	}
+
 	targets, corpusDenies, err := buildCorpus(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vetload: corpus: %v\n", err)
+		if harness != nil {
+			harness.stopAll()
+		}
 		return 1
 	}
 	fmt.Printf("vetload: corpus %d distinct apps, %d denied by direct policy (%.1f%%), zipf s=%.2f\n",
@@ -123,8 +184,14 @@ func run() int {
 	if cfg.duration > 0 {
 		stopAt = time.Now().Add(cfg.duration)
 	}
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.clients}}
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: cfg.clients},
+		Timeout:   30 * time.Second,
+	}
 
+	if harness != nil && cfg.chaos > 0 {
+		harness.startChaos(cfg)
+	}
 	samples := make([]sample, cfg.clients)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -137,8 +204,20 @@ func run() int {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if harness != nil {
+		harness.stopChaos()
+	}
 
-	return report(cfg, samples, elapsed, client)
+	code := report(cfg, samples, elapsed, client)
+	if harness != nil {
+		fmt.Printf("vetload: chaos: %d peer kill/restart cycles\n", harness.kills)
+		if err := harness.shutdown(); err != nil {
+			fmt.Fprintf(os.Stderr, "vetload: ring shutdown: %v\n", err)
+			return 1
+		}
+		fmt.Println("vetload: ring shut down cleanly")
+	}
+	return code
 }
 
 // buildCorpus generates the seeded corpus slice and pre-encodes request
@@ -236,7 +315,7 @@ func runClient(cfg config, id int, client *http.Client, targets []target, picker
 		if cfg.batch > 1 {
 			doBatch(cfg, client, targets, picker, rng, out)
 		} else {
-			doVet(cfg, client, &targets[picker.pick(rng)], out)
+			doVet(cfg, client, &targets[picker.pick(rng)], rng, out)
 		}
 	}
 }
@@ -248,19 +327,54 @@ func urlSuffix(cfg config) string {
 	return ""
 }
 
-func doVet(cfg config, client *http.Client, tg *target, out *sample) {
-	start := time.Now()
-	resp, err := client.Post(cfg.addr+"/v1/vet"+urlSuffix(cfg), "application/json", bytes.NewReader(tg.body))
-	if err != nil {
-		out.errs++
-		return
+// retryAfterCap bounds how long a client honors a Retry-After hint —
+// servers hint in whole seconds, which would stall a short replay.
+const retryAfterCap = 300 * time.Millisecond
+
+// retryDelay converts a 429's Retry-After header into the wait before
+// the next attempt: the hinted duration, capped, with seeded jitter in
+// [0.5x, 1.5x] so retrying clients don't re-converge on the same
+// instant (the thundering-herd shape Retry-After exists to prevent).
+func retryDelay(resp *http.Response, rng *simrand.Source) time.Duration {
+	d := retryAfterCap
+	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+		if hinted := time.Duration(sec) * time.Second; hinted < d {
+			d = hinted
+		}
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	out.latencies = append(out.latencies, time.Since(start))
-	classify(resp.StatusCode, out)
-	if resp.StatusCode == http.StatusOK {
-		checkVerdict(cfg, tg, body, out)
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
+}
+
+func doVet(cfg config, client *http.Client, tg *target, rng *simrand.Source, out *sample) {
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(cfg.addr+"/v1/vet"+urlSuffix(cfg), "application/json", bytes.NewReader(tg.body))
+		if err != nil {
+			out.errs++
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < cfg.retry429 {
+			time.Sleep(retryDelay(resp, rng))
+			continue
+		}
+		// Final outcome: one logical request, classified once; the
+		// latency includes any Retry-After waits (the client-observed
+		// truth under shedding).
+		out.latencies = append(out.latencies, time.Since(start))
+		classify(resp.StatusCode, out)
+		if attempt > 0 {
+			if resp.StatusCode == http.StatusOK {
+				out.retried++
+			} else {
+				out.abandoned++
+			}
+		}
+		if resp.StatusCode == http.StatusOK {
+			checkVerdict(cfg, tg, body, out)
+		}
+		return
 	}
 }
 
@@ -273,16 +387,37 @@ func doBatch(cfg config, client *http.Client, targets []target, picker *zipf, rn
 	}
 	body, _ := json.Marshal(map[string]any{"apps": apps})
 	start := time.Now()
-	resp, err := client.Post(cfg.addr+"/v1/vet/batch"+urlSuffix(cfg), "application/json", bytes.NewReader(body))
-	if err != nil {
-		out.errs += cfg.batch
-		return
+	var resp *http.Response
+	var err error
+	var raw []byte
+	for attempt := 0; ; attempt++ {
+		resp, err = client.Post(cfg.addr+"/v1/vet/batch"+urlSuffix(cfg), "application/json", bytes.NewReader(body))
+		if err != nil {
+			out.errs += cfg.batch
+			return
+		}
+		raw, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < cfg.retry429 {
+			time.Sleep(retryDelay(resp, rng))
+			continue
+		}
+		if attempt > 0 {
+			if resp.StatusCode == http.StatusOK {
+				out.retried += cfg.batch
+			} else {
+				out.abandoned += cfg.batch
+			}
+		}
+		break
 	}
-	raw, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
 	out.latencies = append(out.latencies, time.Since(start))
 	if resp.StatusCode != http.StatusOK {
-		out.other += cfg.batch
+		if resp.StatusCode == http.StatusTooManyRequests {
+			out.shed += cfg.batch
+		} else {
+			out.other += cfg.batch
+		}
 		return
 	}
 	var br vetd.BatchResponse
@@ -321,6 +456,9 @@ func checkVerdict(cfg config, tg *target, body []byte, out *sample) {
 	if v.Cached {
 		out.hits++
 	}
+	if v.Degraded {
+		out.degraded++
+	}
 	if !v.Allow {
 		out.denies++
 	}
@@ -344,9 +482,12 @@ func report(cfg config, samples []sample, elapsed time.Duration, client *http.Cl
 		all.expired += s.expired
 		all.other += s.other
 		all.hits += s.hits
+		all.degraded += s.degraded
 		all.denies += s.denies
 		all.mismatches += s.mismatches
 		all.errs += s.errs
+		all.retried += s.retried
+		all.abandoned += s.abandoned
 	}
 	total := all.ok + all.shed + all.expired + all.other
 	sort.Slice(all.latencies, func(i, j int) bool { return all.latencies[i] < all.latencies[j] })
@@ -369,23 +510,22 @@ func report(cfg config, samples []sample, elapsed time.Duration, client *http.Cl
 		fmt.Printf("vetload: cache hit rate %.1f%% (client-observed), deny rate %.1f%%\n",
 			100*float64(all.hits)/float64(all.ok), 100*float64(all.denies)/float64(all.ok))
 	}
+	if all.degraded > 0 {
+		fmt.Printf("vetload: degraded verdicts %d (%.1f%% of 200s) — ring fell back to local analysis\n",
+			all.degraded, 100*float64(all.degraded)/float64(all.ok))
+	}
 	if total > 0 {
 		fmt.Printf("vetload: shed rate %.1f%%\n", 100*float64(all.shed)/float64(total))
+	}
+	if all.retried+all.abandoned > 0 {
+		fmt.Printf("vetload: 429 backoff: %d recovered by Retry-After waits, %d abandoned after %d retries\n",
+			all.retried, all.abandoned, cfg.retry429)
 	}
 	fmt.Printf("vetload: latency p50 %v  p90 %v  p99 %v  max %v\n",
 		pct(0.50), pct(0.90), pct(0.99), pct(1))
 
-	if resp, err := client.Get(cfg.addr + "/stats"); err == nil {
-		var st vetd.Stats
-		if json.NewDecoder(resp.Body).Decode(&st) == nil {
-			fmt.Printf("vetload: server stats: requests=%d hits=%d misses=%d (coalesced=%d) sheds=%d analyses=%d queue_depth=%d hit_rate=%.1f%%\n",
-				st.Requests, st.Hits, st.Misses, st.Coalesced, st.Sheds, st.Analyses, st.QueueDepth, 100*st.HitRate)
-			if st.Hits+st.Misses+st.Sheds != st.Requests {
-				fmt.Fprintf(os.Stderr, "vetload: SERVER ACCOUNTING BROKEN: hits+misses+sheds != requests\n")
-				return 1
-			}
-		}
-		resp.Body.Close()
+	if code := checkServerStats(cfg, client); code != 0 {
+		return code
 	}
 
 	if cfg.check {
@@ -396,6 +536,58 @@ func report(cfg config, samples []sample, elapsed time.Duration, client *http.Cl
 	}
 	if all.errs > 0 {
 		return 1
+	}
+	return 0
+}
+
+// checkServerStats fetches /stats and enforces the exclusive accounting
+// invariant of whichever service answers: hits+misses+sheds == requests
+// for a vetd node, replicated+degraded+sheds+failed == requests for the
+// ring router. The "service" field discriminates; an unreachable or
+// undecodable /stats is reported but not fatal (the server may already
+// be shutting down).
+func checkServerStats(cfg config, client *http.Client) int {
+	resp, err := client.Get(cfg.addr + "/stats")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetload: stats unavailable: %v\n", err)
+		return 0
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0
+	}
+	var probe struct {
+		Service string `json:"service"`
+	}
+	json.Unmarshal(raw, &probe)
+	switch probe.Service {
+	case "vetrouter":
+		var st vetring.Stats
+		if json.Unmarshal(raw, &st) != nil {
+			return 0
+		}
+		fmt.Printf("vetload: router stats: requests=%d replicated=%d degraded=%d sheds=%d failed=%d retries=%d failovers=%d peer_errors=%d\n",
+			st.Requests, st.Replicated, st.Degraded, st.Sheds, st.Failed, st.Retries, st.Failovers, st.PeerErrors)
+		for _, p := range st.Peers {
+			fmt.Printf("vetload:   peer %s: served=%d errors=%d breaker=%s (opened %dx)\n",
+				p.Name, p.Served, p.Errors, p.Breaker, p.Opens)
+		}
+		if st.Replicated+st.Degraded+st.Sheds+st.Failed != st.Requests {
+			fmt.Fprintf(os.Stderr, "vetload: ROUTER ACCOUNTING BROKEN: replicated+degraded+sheds+failed != requests\n")
+			return 1
+		}
+	default: // "vetd", or a pre-service-field server
+		var st vetd.Stats
+		if json.Unmarshal(raw, &st) != nil {
+			return 0
+		}
+		fmt.Printf("vetload: server stats: requests=%d hits=%d misses=%d (coalesced=%d, store=%d) sheds=%d analyses=%d queue_depth=%d hit_rate=%.1f%%\n",
+			st.Requests, st.Hits, st.Misses, st.Coalesced, st.StoreHits, st.Sheds, st.Analyses, st.QueueDepth, 100*st.HitRate)
+		if st.Hits+st.Misses+st.Sheds != st.Requests {
+			fmt.Fprintf(os.Stderr, "vetload: SERVER ACCOUNTING BROKEN: hits+misses+sheds != requests\n")
+			return 1
+		}
 	}
 	return 0
 }

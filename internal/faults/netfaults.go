@@ -1,0 +1,264 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simrand"
+)
+
+// NetProfile extends the fault plane to the serving network: one named
+// mix of per-request fault classes injected between the verdict router
+// and its vetd peers. The zero value injects nothing. Probabilities are
+// per request attempt (retries are fresh opportunities — exactly how a
+// lossy network treats them).
+type NetProfile struct {
+	// Name labels the profile in reports.
+	Name string
+
+	// DropProb loses the request in transit: the caller sees a transport
+	// error (connection reset), never a response. Models packet loss and
+	// peer crashes mid-request.
+	DropProb float64
+
+	// LatencyProb adds a Latency-sampled spike (milliseconds) before the
+	// request is forwarded — slow peers, congested links.
+	LatencyProb float64
+	Latency     simrand.Dist
+
+	// ErrorProb replaces the response with a synthesized 503 — the 5xx
+	// storm of an overloaded or restarting peer.
+	ErrorProb float64
+
+	// PartitionPeers lists peer indices that are fully unreachable: every
+	// request to them fails with a transport error, deterministically and
+	// without consuming a draw. PartitionAll partitions the whole ring.
+	PartitionPeers []int
+	PartitionAll   bool
+}
+
+// Zero reports whether the profile injects nothing at all.
+func (p NetProfile) Zero() bool {
+	return p.DropProb <= 0 && p.LatencyProb <= 0 && p.ErrorProb <= 0 &&
+		len(p.PartitionPeers) == 0 && !p.PartitionAll
+}
+
+// NetNone is the empty network profile.
+func NetNone() NetProfile { return NetProfile{Name: "none"} }
+
+// NetDrop loses a tenth of all request attempts in transit.
+func NetDrop() NetProfile {
+	return NetProfile{Name: "drop", DropProb: 0.10}
+}
+
+// NetSlow spikes latency on a quarter of attempts: enough pressure to
+// exercise per-request deadlines and retry budgets without making every
+// request late.
+func NetSlow() NetProfile {
+	return NetProfile{
+		Name:        "slow",
+		LatencyProb: 0.25,
+		Latency:     simrand.NormalDist(40, 15),
+	}
+}
+
+// NetStorm is a 5xx storm: a fifth of attempts answer 503, the signature
+// of peers thrashing through restarts.
+func NetStorm() NetProfile {
+	return NetProfile{Name: "storm", ErrorProb: 0.20}
+}
+
+// NetPartition cuts off peer 0 entirely; the router must fail over to
+// the remaining replicas for every key that hashes there.
+func NetPartition() NetProfile {
+	return NetProfile{Name: "partition", PartitionPeers: []int{0}}
+}
+
+// NetBlackout partitions the whole ring: every routed request fails, so
+// every verdict must come from the router's local degraded fallback.
+func NetBlackout() NetProfile {
+	return NetProfile{Name: "blackout", PartitionAll: true}
+}
+
+// NetChaos combines loss, latency and 5xx pressure at moderate rates.
+func NetChaos() NetProfile {
+	return NetProfile{
+		Name:        "chaos",
+		DropProb:    0.03,
+		LatencyProb: 0.10,
+		Latency:     simrand.NormalDist(40, 15),
+		ErrorProb:   0.05,
+	}
+}
+
+var netProfilesByName = map[string]func() NetProfile{
+	"none":      NetNone,
+	"drop":      NetDrop,
+	"slow":      NetSlow,
+	"storm":     NetStorm,
+	"partition": NetPartition,
+	"blackout":  NetBlackout,
+	"chaos":     NetChaos,
+}
+
+// NetByName resolves a named network profile (see NetNames).
+func NetByName(name string) (NetProfile, error) {
+	f, ok := netProfilesByName[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return NetProfile{}, fmt.Errorf("faults: unknown net profile %q (have %s)", name, strings.Join(NetNames(), ", "))
+	}
+	return f(), nil
+}
+
+// NetNames lists the named network profiles in sorted order.
+func NetNames() []string {
+	out := make([]string, 0, len(netProfilesByName))
+	for n := range netProfilesByName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NetStats counts the network faults a NetPlane actually injected.
+type NetStats struct {
+	Dropped     uint64
+	Delayed     uint64
+	DelayTotal  time.Duration
+	Errored     uint64
+	Partitioned uint64
+}
+
+// Add returns the element-wise sum of s and o.
+func (s NetStats) Add(o NetStats) NetStats {
+	s.Dropped += o.Dropped
+	s.Delayed += o.Delayed
+	s.DelayTotal += o.DelayTotal
+	s.Errored += o.Errored
+	s.Partitioned += o.Partitioned
+	return s
+}
+
+// Zero reports whether no faults were injected.
+func (s NetStats) Zero() bool { return s == (NetStats{}) }
+
+// String renders the non-zero counters on one line.
+func (s NetStats) String() string {
+	var parts []string
+	add := func(name string, v uint64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("drop", s.Dropped)
+	add("delay", s.Delayed)
+	add("error", s.Errored)
+	add("partition", s.Partitioned)
+	if len(parts) == 0 {
+		return "no net faults injected"
+	}
+	return strings.Join(parts, " ")
+}
+
+// NetFault is the fate of one request attempt. The zero value lets the
+// request through untouched.
+type NetFault struct {
+	// Drop fails the attempt with a transport error before any response.
+	Drop bool
+	// Delay stalls the attempt before it is forwarded.
+	Delay time.Duration
+	// Status, when nonzero, replaces the response with this HTTP status.
+	Status int
+}
+
+// NetPlane decides the fate of routed requests. Unlike the simulation
+// Plane it is safe for concurrent use — router requests race — so draws
+// are serialized under a mutex. Fault placement across concurrent
+// requests therefore depends on arrival order, but the determinism that
+// matters is preserved: a zero profile consumes no draws and injects
+// nothing (strict no-op), partitions are draw-free pure functions of the
+// peer index, and a single-threaded replay reproduces faults byte for
+// byte from the seed.
+type NetPlane struct {
+	prof        NetProfile
+	partitioned map[int]bool
+
+	mu      sync.Mutex
+	dropRng *simrand.Source
+	latRng  *simrand.Source
+	errRng  *simrand.Source
+	stats   NetStats
+}
+
+// NewNetPlane builds a NetPlane for profile p from its own seed,
+// independent of every other component's stream.
+func NewNetPlane(p NetProfile, seed int64) *NetPlane {
+	root := simrand.New(seed)
+	part := make(map[int]bool, len(p.PartitionPeers))
+	for _, i := range p.PartitionPeers {
+		part[i] = true
+	}
+	return &NetPlane{
+		prof:        p,
+		partitioned: part,
+		dropRng:     root.Derive("faults/net/drop"),
+		latRng:      root.Derive("faults/net/latency"),
+		errRng:      root.Derive("faults/net/error"),
+	}
+}
+
+// Profile returns the profile the plane was built from.
+func (pl *NetPlane) Profile() NetProfile { return pl.prof }
+
+// Stats reports the network faults injected so far.
+func (pl *NetPlane) Stats() NetStats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.stats
+}
+
+// Partitioned reports whether requests to peer index i are cut off. It
+// consumes no draws: partitions are topology, not chance.
+func (pl *NetPlane) Partitioned(i int) bool {
+	return pl.prof.PartitionAll || pl.partitioned[i]
+}
+
+// RequestFault decides the fate of one attempt against peer index i.
+// Partitioned peers fail deterministically without a draw; otherwise
+// each enabled class draws from its private stream (a class with zero
+// probability consumes nothing). A dropped attempt short-circuits the
+// remaining classes — there is no response left to delay or replace.
+func (pl *NetPlane) RequestFault(i int) NetFault {
+	var f NetFault
+	if pl.Partitioned(i) {
+		pl.mu.Lock()
+		pl.stats.Partitioned++
+		pl.mu.Unlock()
+		f.Drop = true
+		return f
+	}
+	p := pl.prof
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if p.DropProb > 0 && pl.dropRng.Bool(p.DropProb) {
+		pl.stats.Dropped++
+		f.Drop = true
+		return f
+	}
+	if p.LatencyProb > 0 && pl.latRng.Bool(p.LatencyProb) {
+		d := p.Latency.Sample(pl.latRng)
+		if d > 0 {
+			pl.stats.Delayed++
+			pl.stats.DelayTotal += d
+			f.Delay = d
+		}
+	}
+	if p.ErrorProb > 0 && pl.errRng.Bool(p.ErrorProb) {
+		pl.stats.Errored++
+		f.Status = 503
+	}
+	return f
+}

@@ -35,11 +35,24 @@
 // — is recognized and allowed.
 //
 // Serving packages (ServingPackages — currently internal/vetd, the
-// scan-before-install vetting service) are exempt from the determinism
-// rules only: they run on the wall clock by design, measuring real
-// latencies, enforcing real deadlines and owning their own goroutines.
-// The robustness rules and the math-rand ban still bind them, and the
-// exemption is matched on the package clause, never the directory.
+// scan-before-install vetting service, and internal/vetring, the
+// verdict ring router) are exempt from the determinism rules only: they
+// run on the wall clock by design, measuring real latencies, enforcing
+// real deadlines and owning their own goroutines. The robustness rules
+// and the math-rand ban still bind them, and the exemption is matched
+// on the package clause, never the directory.
+//
+// A naked-http-client rule covers every production file that speaks
+// HTTP: http.Get/Post/PostForm/Head ride the shared default client,
+// and an http.Client composite literal without a Timeout field hangs
+// forever on a stuck peer — in a ring where peers are SIGKILLed on
+// purpose, an unbounded client turns one dead node into a wedged
+// caller. Serving packages are exempt (vetring's fault-injecting
+// transport builds its peer clients deliberately, with explicit
+// timeouts the lint pass cannot type-check), tests are not covered,
+// and command binaries (package main) get this rule and no other:
+// a CLI legitimately reads the wall clock, but its HTTP calls must
+// still carry deadlines.
 //
 // The pass is built on the standard library's go/ast so it carries no
 // dependency beyond the toolchain; cmd/simlint is the CLI driver and the
@@ -91,6 +104,13 @@ const (
 	// is exempt: an append whose destination is passed to a sort.* call
 	// after the loop is order-insensitive by construction.
 	RuleMapRangeOrder = "map-range-order"
+	// RuleNakedHTTP flags HTTP calls with no deadline: the http.Get/Post
+	// convenience functions use the shared zero-timeout default client,
+	// and an http.Client literal without a Timeout field waits forever on
+	// a peer that stops answering — precisely the failure the verdict
+	// ring injects on purpose. Production code must build clients with an
+	// explicit Timeout (and, on ring paths, the fault-aware transport).
+	RuleNakedHTTP = "naked-http-client"
 )
 
 // goExemptPackages may spawn goroutines: the trial scheduler is the
@@ -114,7 +134,8 @@ var goExemptPackages = map[string]bool{
 // not its directory), so a simulation file cannot opt out by moving next
 // to serving code.
 var ServingPackages = map[string]bool{
-	"vetd": true,
+	"vetd":    true,
+	"vetring": true,
 }
 
 // panicExemptPackages may keep bare panics: the invariant monitor is the
@@ -149,6 +170,21 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 	var diags []Diagnostic
 	report := func(pos token.Pos, rule, msg string) {
 		diags = append(diags, Diagnostic{Pos: fset.Position(pos), Rule: rule, Msg: msg})
+	}
+
+	filename := fset.Position(f.Pos()).Filename
+	isTest := strings.HasSuffix(filename, "_test.go")
+
+	// Command binaries (package main) live on the wall clock by
+	// definition — flags, signal loops, progress output — so the
+	// simulation rules do not apply. Their HTTP calls must still carry
+	// deadlines: naked-http-client is the one rule they keep.
+	if f.Name.Name == "main" {
+		if !isTest {
+			lintNakedHTTP(f, report)
+		}
+		sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos.Offset < diags[j].Pos.Offset })
+		return diags
 	}
 
 	// Resolve which local names refer to the time package (handles
@@ -188,8 +224,6 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 	// The robustness rules (time.Sleep, bare panic) apply to production
 	// simulation code only: tests may sleep or panic to probe behaviour,
 	// and the invariant monitor is the designated assertion layer.
-	filename := fset.Position(f.Pos()).Filename
-	isTest := strings.HasSuffix(filename, "_test.go")
 	panicExempt := isTest || panicExemptPackages[f.Name.Name]
 	// Serving exemption, scoped by package clause; an external test
 	// package (pkg_test) inherits its subject package's serving status.
@@ -269,6 +303,9 @@ func LintFile(fset *token.FileSet, f *ast.File) []Diagnostic {
 	}
 	if !serving {
 		lintMapRangeOrder(f, report)
+	}
+	if !isTest && !serving {
+		lintNakedHTTP(f, report)
 	}
 
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos.Offset < diags[j].Pos.Offset })
@@ -612,6 +649,70 @@ func lintMapRangeOrder(f *ast.File, report func(pos token.Pos, rule, msg string)
 		if hazardPos != token.NoPos {
 			report(hazardPos, RuleMapRangeOrder,
 				fmt.Sprintf("range over map %q %s, which Go randomizes per run; collect the keys, sort, then iterate (or sort the result after the loop)", subject, hazard))
+		}
+		return true
+	})
+}
+
+// nakedHTTPFuncs are the net/http convenience functions that ride the
+// shared default client — zero timeout, no way to bound a stuck peer.
+var nakedHTTPFuncs = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+// lintNakedHTTP implements RuleNakedHTTP: calls to the default-client
+// convenience functions (http.Get and friends) and http.Client
+// composite literals lacking a Timeout field. The pass has no type
+// information, so the net/http import's local name anchors both checks;
+// a file that does not import net/http cannot be flagged.
+func lintNakedHTTP(f *ast.File, report func(pos token.Pos, rule, msg string)) {
+	httpNames := map[string]bool{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "net/http" {
+			continue
+		}
+		switch {
+		case imp.Name == nil:
+			httpNames["http"] = true
+		case imp.Name.Name != "." && imp.Name.Name != "_":
+			httpNames[imp.Name.Name] = true
+		}
+	}
+	if len(httpNames) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !httpNames[id.Name] || !nakedHTTPFuncs[sel.Sel.Name] {
+				return true
+			}
+			report(sel.Sel.Pos(), RuleNakedHTTP,
+				fmt.Sprintf("http.%s uses the shared default client, which has no timeout; build an http.Client with an explicit Timeout so a dead peer cannot wedge the caller", sel.Sel.Name))
+		case *ast.CompositeLit:
+			sel, ok := n.Type.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !httpNames[id.Name] || sel.Sel.Name != "Client" {
+				return true
+			}
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if k, ok := kv.Key.(*ast.Ident); ok && k.Name == "Timeout" {
+						return true
+					}
+				}
+			}
+			report(n.Pos(), RuleNakedHTTP,
+				"http.Client literal without a Timeout field waits forever on a stuck peer; set an explicit Timeout")
 		}
 		return true
 	})

@@ -599,6 +599,110 @@ func TestFlagsMapRangeAppendInTestFiles(t *testing.T) {
 	}
 }
 
+func TestFlagsNakedHTTPGet(t *testing.T) {
+	diags := lint(t, `package p
+import "net/http"
+func probe(url string) (*http.Response, error) { return http.Get(url) }
+`)
+	if len(diags) != 1 || diags[0].Rule != RuleNakedHTTP {
+		t.Fatalf("diags = %v, want one %s", diags, RuleNakedHTTP)
+	}
+	if diags[0].Pos.Line != 3 {
+		t.Errorf("finding at line %d, want 3", diags[0].Pos.Line)
+	}
+}
+
+func TestFlagsNakedHTTPClientLiteral(t *testing.T) {
+	// Both the value and pointer forms of a zero-timeout client literal
+	// are flagged; the aliased import resolves too.
+	diags := lint(t, `package p
+import web "net/http"
+var a = web.Client{}
+var b = &web.Client{Transport: nil}
+`)
+	got := rules(diags)
+	if len(got) != 2 || got[0] != RuleNakedHTTP || got[1] != RuleNakedHTTP {
+		t.Fatalf("rules = %v, want two %s", got, RuleNakedHTTP)
+	}
+}
+
+func TestAllowsHTTPClientWithTimeout(t *testing.T) {
+	diags := lint(t, `package p
+import (
+	"net/http"
+	"time"
+)
+var client = &http.Client{Timeout: 5 * time.Second}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("client with Timeout flagged: %v", diags)
+	}
+}
+
+func TestNakedHTTPSkipsTestsAndServingPackages(t *testing.T) {
+	src := `package %s
+import "net/http"
+func probe(url string) (*http.Response, error) { return http.Get(url) }
+`
+	// Tests hammer httptest servers with http.Get legitimately.
+	if diags := lintAs(t, "fixture_test.go", fmt.Sprintf(src, "p")); len(diags) != 0 {
+		t.Fatalf("test-file http.Get flagged: %v", diags)
+	}
+	// The ring router builds its peer clients deliberately (fault-aware
+	// transport, explicit timeout); the serving allowlist covers it.
+	if diags := lintAs(t, "router.go", fmt.Sprintf(src, "vetring")); len(diags) != 0 {
+		t.Fatalf("serving package vetring flagged: %v", diags)
+	}
+}
+
+func TestNakedHTTPUnrelatedClientNotFlagged(t *testing.T) {
+	// Without a net/http import, a local http-named package or a
+	// same-named Client type must not trigger the rule.
+	diags := lint(t, `package p
+import http "example.com/fake"
+type Client struct{}
+var c = Client{}
+var r = http.Fetch("x")
+`)
+	if len(diags) != 0 {
+		t.Fatalf("unrelated idents flagged: %v", diags)
+	}
+}
+
+func TestMainPackageGetsOnlyNakedHTTPRule(t *testing.T) {
+	// A command binary reads the wall clock, sleeps and spawns goroutines
+	// legitimately — but its HTTP calls still need deadlines.
+	diags := lintAs(t, "cmd/tool/main.go", `package main
+import (
+	"net/http"
+	"time"
+)
+func main() {
+	start := time.Now()
+	go func() { time.Sleep(time.Millisecond) }()
+	_, _ = http.Get("http://localhost:1")
+	_ = time.Since(start)
+}
+`)
+	got := rules(diags)
+	if len(got) != 1 || got[0] != RuleNakedHTTP {
+		t.Fatalf("main-package rules = %v, want one %s", got, RuleNakedHTTP)
+	}
+}
+
+// TestRepoCmdIsClean mirrors TestRepoInternalIsClean for the command
+// tree, which the default simlint invocation now covers: every cmd/
+// binary that speaks HTTP must do so through a client with a deadline.
+func TestRepoCmdIsClean(t *testing.T) {
+	diags, err := LintDir("../../cmd")
+	if err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("violation: %s", d)
+	}
+}
+
 func TestMapRangeOrderServingExempt(t *testing.T) {
 	// Serving packages answer live traffic; their response ordering is
 	// not part of the simulation's reproducibility contract. As with the

@@ -42,10 +42,18 @@ type Metrics struct {
 	Analyses    atomic.Uint64 // distinct defense.Vet executions
 	BadRequests atomic.Uint64
 
+	// StoreHits counts the subset of Hits served from the persistent
+	// store rather than the memory cache (typically right after a restart,
+	// before the cache re-warms). StoreErrors counts failed store reads
+	// and writes — the serving path degrades to analysis, never errors.
+	StoreHits   atomic.Uint64
+	StoreErrors atomic.Uint64
+
 	// Per-endpoint HTTP request counters.
 	VetCalls     atomic.Uint64
 	BatchCalls   atomic.Uint64
 	HealthCalls  atomic.Uint64
+	ReadyCalls   atomic.Uint64
 	StatsCalls   atomic.Uint64
 	MetricsCalls atomic.Uint64
 
@@ -61,6 +69,10 @@ type Metrics struct {
 	// CacheEntries/CacheEvictions are wired to the verdict cache.
 	CacheEntries   func() int
 	CacheEvictions func() uint64
+
+	// StoreEntries is wired to the persistent store's key count (nil when
+	// the server runs without a store).
+	StoreEntries func() int
 }
 
 // latencyBuckets are the histogram upper bounds, in seconds — spaced for
@@ -142,6 +154,8 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "vetd_verdicts_total{verdict=\"deny\"} %d\n", m.Denies.Load())
 	counter("vetd_analyses_total", "Distinct defense.Vet executions.", m.Analyses.Load())
 	counter("vetd_bad_requests_total", "Requests rejected before classification.", m.BadRequests.Load())
+	counter("vetd_store_hits_total", "Hits served from the persistent store.", m.StoreHits.Load())
+	counter("vetd_store_errors_total", "Failed persistent-store reads and writes.", m.StoreErrors.Load())
 	if m.CacheEvictions != nil {
 		counter("vetd_cache_evictions_total", "Verdicts evicted by LRU pressure.", m.CacheEvictions())
 	}
@@ -150,8 +164,8 @@ func (m *Metrics) WriteProm(w io.Writer) {
 		v  uint64
 	}{
 		{"vet", m.VetCalls.Load()}, {"batch", m.BatchCalls.Load()},
-		{"healthz", m.HealthCalls.Load()}, {"stats", m.StatsCalls.Load()},
-		{"metrics", m.MetricsCalls.Load()},
+		{"healthz", m.HealthCalls.Load()}, {"readyz", m.ReadyCalls.Load()},
+		{"stats", m.StatsCalls.Load()}, {"metrics", m.MetricsCalls.Load()},
 	} {
 		fmt.Fprintf(w, "vetd_http_requests_total{endpoint=%q} %d\n", e.ep, e.v)
 	}
@@ -161,14 +175,22 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	if m.CacheEntries != nil {
 		fmt.Fprintf(w, "# HELP vetd_cache_entries Verdicts currently cached.\n# TYPE vetd_cache_entries gauge\nvetd_cache_entries %d\n", m.CacheEntries())
 	}
+	if m.StoreEntries != nil {
+		fmt.Fprintf(w, "# HELP vetd_store_entries Verdicts in the persistent store.\n# TYPE vetd_store_entries gauge\nvetd_store_entries %d\n", m.StoreEntries())
+	}
 	fmt.Fprintf(w, "# HELP vetd_latency_seconds Per-stage request latency.\n# TYPE vetd_latency_seconds histogram\n")
 	m.DecodeLatency.writeProm(w, "vetd_latency_seconds", `stage="decode",`)
 	m.AnalyzeLatency.writeProm(w, "vetd_latency_seconds", `stage="analyze",`)
 	m.TotalLatency.writeProm(w, "vetd_latency_seconds", `stage="total",`)
 }
 
-// Stats is the GET /stats JSON snapshot.
+// Stats is the GET /stats JSON snapshot. Service discriminates who is
+// answering — "vetd" for a node, "vetrouter" for the ring router — so a
+// load generator pointed at either knows which accounting invariant to
+// check (hits+misses+sheds for a node; replicated+degraded+shed+failed
+// for the router, which reports its own stats type).
 type Stats struct {
+	Service   string `json:"service"`
 	Requests  uint64 `json:"requests"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
@@ -181,9 +203,13 @@ type Stats struct {
 	Analyses    uint64 `json:"analyses"`
 	BadRequests uint64 `json:"bad_requests"`
 
+	StoreHits   uint64 `json:"store_hits"`
+	StoreErrors uint64 `json:"store_errors"`
+
 	QueueDepth     int    `json:"queue_depth"`
 	CacheEntries   int    `json:"cache_entries"`
 	CacheEvictions uint64 `json:"cache_evictions"`
+	StoreEntries   int    `json:"store_entries"`
 
 	HitRate float64 `json:"hit_rate"`
 
@@ -196,6 +222,7 @@ type Stats struct {
 // Snapshot assembles the current Stats.
 func (m *Metrics) Snapshot() Stats {
 	s := Stats{
+		Service:     "vetd",
 		Requests:    m.Requests.Load(),
 		Hits:        m.Hits.Load(),
 		Misses:      m.Misses.Load(),
@@ -206,6 +233,8 @@ func (m *Metrics) Snapshot() Stats {
 		Denies:      m.Denies.Load(),
 		Analyses:    m.Analyses.Load(),
 		BadRequests: m.BadRequests.Load(),
+		StoreHits:   m.StoreHits.Load(),
+		StoreErrors: m.StoreErrors.Load(),
 
 		TotalP50Sec:   m.TotalLatency.Quantile(0.50),
 		TotalP99Sec:   m.TotalLatency.Quantile(0.99),
@@ -220,6 +249,9 @@ func (m *Metrics) Snapshot() Stats {
 	}
 	if m.CacheEvictions != nil {
 		s.CacheEvictions = m.CacheEvictions()
+	}
+	if m.StoreEntries != nil {
+		s.StoreEntries = m.StoreEntries()
 	}
 	if s.Requests > 0 {
 		s.HitRate = float64(s.Hits) / float64(s.Requests)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/defense"
 	"repro/internal/dexir"
+	"repro/internal/vetstore"
 )
 
 // ErrClosed is returned for requests arriving after shutdown began.
@@ -53,13 +54,14 @@ type pool struct {
 	closed bool
 
 	cache   *Cache
+	store   *vetstore.Store // optional persistence; nil disables
 	metrics *Metrics
 	analyze func(*dexir.App) (defense.VetVerdict, error)
 
 	wg sync.WaitGroup
 }
 
-func newPool(workers, queueDepth int, cache *Cache, metrics *Metrics, analyze func(*dexir.App) (defense.VetVerdict, error)) *pool {
+func newPool(workers, queueDepth int, cache *Cache, store *vetstore.Store, metrics *Metrics, analyze func(*dexir.App) (defense.VetVerdict, error)) *pool {
 	if workers < 1 {
 		workers = 1
 	}
@@ -70,6 +72,7 @@ func newPool(workers, queueDepth int, cache *Cache, metrics *Metrics, analyze fu
 		calls:   make(map[string]*call),
 		queue:   make(chan job, queueDepth),
 		cache:   cache,
+		store:   store,
 		metrics: metrics,
 		analyze: analyze,
 	}
@@ -82,6 +85,15 @@ func newPool(workers, queueDepth int, cache *Cache, metrics *Metrics, analyze fu
 
 // depth reports the instantaneous admission-queue depth.
 func (p *pool) depth() int { return len(p.queue) }
+
+// isClosed reports whether shutdown has begun (readiness probes flip to
+// 503 the moment it has, so the router drains traffic before the last
+// queued analyses finish).
+func (p *pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
 
 // vet resolves one cache-missed request: join an in-flight analysis for
 // the same hash, or admit a new one. It classifies the request on the
@@ -144,6 +156,15 @@ func (p *pool) worker() {
 		p.metrics.AnalyzeLatency.Observe(time.Since(start))
 		if err == nil {
 			p.cache.Put(jb.hash, v)
+			// Persist before retiring the call: once a waiter has seen the
+			// verdict, a crash-and-restart must serve the same bytes from
+			// the store rather than re-analyzing. The fsync cost rides on
+			// the analysis path only — cache and store hits never pay it.
+			if p.store != nil {
+				if serr := p.store.Put(jb.hash, v); serr != nil {
+					p.metrics.StoreErrors.Add(1)
+				}
+			}
 		}
 		p.mu.Lock()
 		delete(p.calls, jb.hash)

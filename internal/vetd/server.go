@@ -38,6 +38,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/dexir"
 	"repro/internal/staticanalysis"
+	"repro/internal/vetstore"
 )
 
 // Config tunes a Server. The zero value selects the documented defaults.
@@ -69,6 +70,14 @@ type Config struct {
 	// coalescing key, so restarting at a different tier can never serve a
 	// verdict computed at the old one.
 	Tier staticanalysis.Tier
+	// Store, when non-nil, is the crash-safe persistent verdict store
+	// (internal/vetstore) behind the in-memory cache: every completed
+	// analysis is appended and fsynced, and a cache miss consults the
+	// store before admitting an analysis. A node SIGKILLed and restarted
+	// on the same store serves its recovered verdicts byte-for-byte
+	// without re-analyzing. The caller owns the store's lifecycle (Open
+	// before New, Close after Server.Close).
+	Store *vetstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +112,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	cache   *Cache
+	store   *vetstore.Store
 	pool    *pool
 	metrics *Metrics
 	logger  *requestLogger
@@ -124,17 +134,22 @@ func newServer(cfg Config, analyze func(*dexir.App) (defense.VetVerdict, error))
 	s := &Server{
 		cfg:     cfg,
 		cache:   NewCache(cfg.CacheCapacity, cfg.CacheShards),
+		store:   cfg.Store,
 		metrics: &Metrics{},
 		logger:  newRequestLogger(cfg.LogWriter),
 		mux:     http.NewServeMux(),
 	}
-	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.cache, s.metrics, analyze)
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.cache, s.store, s.metrics, analyze)
 	s.metrics.QueueDepth = s.pool.depth
 	s.metrics.CacheEntries = s.cache.Len
 	s.metrics.CacheEvictions = s.cache.Evictions
+	if s.store != nil {
+		s.metrics.StoreEntries = s.store.Len
+	}
 	s.mux.HandleFunc("POST /v1/vet", s.handleVet)
 	s.mux.HandleFunc("POST /v1/vet/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -153,11 +168,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // outcome labels for logs and tests.
 const (
-	outcomeHit     = "hit"
-	outcomeMiss    = "miss"
-	outcomeShed    = "shed"
-	outcomeExpired = "expired"
-	outcomeError   = "error"
+	outcomeHit      = "hit"
+	outcomeStoreHit = "store-hit"
+	outcomeMiss     = "miss"
+	outcomeShed     = "shed"
+	outcomeExpired  = "expired"
+	outcomeError    = "error"
 )
 
 // vetOne classifies and resolves a single parsed app: Requests++, then
@@ -177,6 +193,22 @@ func (s *Server) vetOne(ctx context.Context, app *dexir.App) (Verdict, int, stri
 		s.metrics.Hits.Add(1)
 		s.countVerdict(v)
 		return NewVerdict(v, hash, true), http.StatusOK, outcomeHit, nil
+	}
+	// Memory miss: consult the persistent store before spending an
+	// analysis. A restarted node answers its recovered keyspace here —
+	// counted as a Hit (subset StoreHits) so the exclusive classification
+	// hits+misses+sheds == requests is preserved — and the verdict is
+	// promoted into the memory cache for the next request.
+	if s.store != nil {
+		if v, ok, serr := s.store.Get(key); serr == nil && ok {
+			s.cache.Put(key, v)
+			s.metrics.Hits.Add(1)
+			s.metrics.StoreHits.Add(1)
+			s.countVerdict(v)
+			return NewVerdict(v, hash, true), http.StatusOK, outcomeStoreHit, nil
+		} else if serr != nil {
+			s.metrics.StoreErrors.Add(1)
+		}
 	}
 	v, lateHit, err := s.pool.vet(ctx, key, app)
 	switch {
@@ -311,10 +343,40 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is pure liveness: the process is up and answering HTTP.
+// It stays 200 even while the node sheds — routing decisions belong to
+// /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.HealthCalls.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"status":"ok","queue_depth":%d}`+"\n", s.pool.depth())
+}
+
+// handleReadyz is readiness: the node will usefully accept a vet request
+// right now. Not ready (503) when shutdown has begun or the admission
+// queue has reached the shed threshold — a node that would answer 429 is
+// alive but should not receive routed traffic, which is exactly the
+// distinction the vetrouter's health probes key on. The store state is
+// reported for operators; a configured store is always "recovered"
+// because Open finishes recovery before the server exists.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ReadyCalls.Add(1)
+	depth := s.pool.depth()
+	store := "none"
+	if s.store != nil {
+		store = "recovered"
+	}
+	status, state := http.StatusOK, "ready"
+	switch {
+	case s.pool.isClosed():
+		status, state = http.StatusServiceUnavailable, "shutting-down"
+	case depth >= s.cfg.QueueDepth:
+		status, state = http.StatusServiceUnavailable, "shedding"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"status":%q,"queue_depth":%d,"queue_cap":%d,"store":%q}`+"\n",
+		state, depth, s.cfg.QueueDepth, store)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

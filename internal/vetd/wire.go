@@ -41,6 +41,17 @@ type Verdict struct {
 	// cache (excluded from Core so hit and miss responses stay
 	// byte-identical on the verdict itself).
 	Cached bool `json:"cached"`
+	// Degraded marks a verdict the router computed by local fallback
+	// because every replica for the key was unreachable. The verdict
+	// itself is still a pure function of the IR — defense.VetTier ran
+	// locally instead of on a peer — so Degraded is serving metadata,
+	// excluded from Core like Cached.
+	Degraded bool `json:"degraded,omitempty"`
+	// Peer names the vetd peer that served a routed verdict (set by
+	// vetrouter; empty on direct responses and degraded fallbacks).
+	// Excluded from Core: which replica answered never changes the
+	// verdict.
+	Peer string `json:"peer,omitempty"`
 }
 
 // NewVerdict converts a defense verdict to its wire form.
@@ -69,10 +80,14 @@ func VerdictKey(irHash string, tier staticanalysis.Tier) string {
 
 // Core returns the canonical bytes of the verdict-determined fields —
 // what -check compares between a served response and a direct
-// defense.Vet call. Serving metadata (IRHash, Cached) is excluded.
+// defense.Vet call. Serving metadata (IRHash, Cached, Degraded, Peer) is
+// excluded: a cached, replicated, or locally degraded answer must all
+// carry the same core bytes.
 func (v Verdict) Core() ([]byte, error) {
 	v.IRHash = ""
 	v.Cached = false
+	v.Degraded = false
+	v.Peer = ""
 	return json.Marshal(v)
 }
 

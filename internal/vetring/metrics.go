@@ -1,0 +1,133 @@
+package vetring
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics is the router's observability surface.
+//
+// Counter contract (tested): every successfully parsed vet request —
+// batch items included — increments Requests and then exactly one of
+//
+//	Replicated — answered by a ring peer
+//	Degraded   — every replica unreachable; answered by local fallback
+//	Sheds      — rejected 429 (peers saturated and fallback full)
+//	Failed     — internal error (fallback analysis failed)
+//
+// so Replicated + Degraded + Sheds + Failed == Requests at every
+// quiescent instant. Retries and failovers are attempt-level counters
+// and do not participate in the request-level identity.
+type Metrics struct {
+	Requests   atomic.Uint64
+	Replicated atomic.Uint64
+	Degraded   atomic.Uint64
+	Sheds      atomic.Uint64
+	Failed     atomic.Uint64
+
+	BadRequests atomic.Uint64
+
+	// Attempt-level counters.
+	Retries   atomic.Uint64 // re-sends after a retryable peer failure
+	Failovers atomic.Uint64 // moves to the next replica
+	Peer429s  atomic.Uint64 // peer shed; failover without breaker damage
+	PeerErrs  atomic.Uint64 // transport errors + 5xx from peers
+
+	// Probe counters.
+	ProbeOK   atomic.Uint64
+	ProbeFail atomic.Uint64
+
+	// FallbackAnalyses counts local defense.VetTier runs (the degraded
+	// path's work; a subset equal to Degraded+Failed).
+	FallbackAnalyses atomic.Uint64
+}
+
+// PeerStats is one peer's slice of the /stats snapshot.
+type PeerStats struct {
+	Name    string `json:"name"`
+	Breaker string `json:"breaker"`
+	Opens   uint64 `json:"breaker_opens"`
+	Served  uint64 `json:"served"`
+	Errors  uint64 `json:"errors"`
+}
+
+// Stats is the router's GET /stats JSON snapshot. Service is
+// "vetrouter", the discriminator load generators key on to pick the
+// right accounting invariant.
+type Stats struct {
+	Service    string `json:"service"`
+	Requests   uint64 `json:"requests"`
+	Replicated uint64 `json:"replicated"`
+	Degraded   uint64 `json:"degraded"`
+	Sheds      uint64 `json:"sheds"`
+	Failed     uint64 `json:"failed"`
+
+	BadRequests uint64 `json:"bad_requests"`
+	Retries     uint64 `json:"retries"`
+	Failovers   uint64 `json:"failovers"`
+	Peer429s    uint64 `json:"peer_429s"`
+	PeerErrors  uint64 `json:"peer_errors"`
+	ProbeOK     uint64 `json:"probe_ok"`
+	ProbeFail   uint64 `json:"probe_fail"`
+
+	FallbackAnalyses uint64 `json:"fallback_analyses"`
+
+	Peers []PeerStats `json:"peers"`
+}
+
+// WriteProm renders the router metrics in Prometheus text exposition
+// format.
+func (r *Router) WriteProm(w io.Writer) {
+	m := &r.metrics
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("vetrouter_requests_total", "Parsed vet requests, batch items included.", m.Requests.Load())
+	counter("vetrouter_replicated_total", "Requests answered by a ring peer.", m.Replicated.Load())
+	counter("vetrouter_degraded_total", "Requests answered by local fallback.", m.Degraded.Load())
+	counter("vetrouter_shed_total", "Requests rejected 429.", m.Sheds.Load())
+	counter("vetrouter_failed_total", "Requests failed internally.", m.Failed.Load())
+	counter("vetrouter_bad_requests_total", "Requests rejected before classification.", m.BadRequests.Load())
+	counter("vetrouter_retries_total", "Attempt re-sends after retryable failures.", m.Retries.Load())
+	counter("vetrouter_failovers_total", "Moves to the next replica.", m.Failovers.Load())
+	counter("vetrouter_peer_429_total", "Peer sheds observed.", m.Peer429s.Load())
+	counter("vetrouter_peer_errors_total", "Peer transport errors and 5xx.", m.PeerErrs.Load())
+	counter("vetrouter_probe_ok_total", "Successful health probes.", m.ProbeOK.Load())
+	counter("vetrouter_probe_fail_total", "Failed health probes.", m.ProbeFail.Load())
+	counter("vetrouter_fallback_analyses_total", "Local fallback analyses.", m.FallbackAnalyses.Load())
+	fmt.Fprintf(w, "# HELP vetrouter_peer_served_total Requests served per peer.\n# TYPE vetrouter_peer_served_total counter\n")
+	for _, p := range r.peerStats() {
+		fmt.Fprintf(w, "vetrouter_peer_served_total{peer=%q} %d\n", p.Name, p.Served)
+	}
+	fmt.Fprintf(w, "# HELP vetrouter_peer_breaker_open Peer breaker state (1 = not closed).\n# TYPE vetrouter_peer_breaker_open gauge\n")
+	for _, p := range r.peerStats() {
+		open := 0
+		if p.Breaker != "closed" {
+			open = 1
+		}
+		fmt.Fprintf(w, "vetrouter_peer_breaker_open{peer=%q,state=%q} %d\n", p.Name, p.Breaker, open)
+	}
+}
+
+// Snapshot assembles the current Stats.
+func (r *Router) Snapshot() Stats {
+	m := &r.metrics
+	return Stats{
+		Service:          "vetrouter",
+		Requests:         m.Requests.Load(),
+		Replicated:       m.Replicated.Load(),
+		Degraded:         m.Degraded.Load(),
+		Sheds:            m.Sheds.Load(),
+		Failed:           m.Failed.Load(),
+		BadRequests:      m.BadRequests.Load(),
+		Retries:          m.Retries.Load(),
+		Failovers:        m.Failovers.Load(),
+		Peer429s:         m.Peer429s.Load(),
+		PeerErrors:       m.PeerErrs.Load(),
+		ProbeOK:          m.ProbeOK.Load(),
+		ProbeFail:        m.ProbeFail.Load(),
+		FallbackAnalyses: m.FallbackAnalyses.Load(),
+		Peers:            r.peerStats(),
+	}
+}

@@ -1,53 +1,63 @@
 #!/bin/sh
-# bench.sh — benchmark emitter for the static-analysis pipeline. Runs the
-# corpus-scan throughput benchmark and the per-tier analyzer benchmarks,
-# then writes the parsed results to BENCH_static.json at the repo root so
-# throughput regressions show up as a diff, not an anecdote. Run from
-# anywhere:
+# bench.sh — benchmark emitter for the static-analysis pipeline and the
+# vetd serving plane. Two passes: the corpus-scan throughput benchmark
+# plus the per-tier analyzer benchmarks are written to BENCH_static.json,
+# and the serving benchmarks (single-node vetd cold/warm, the vetring
+# ring healthy vs one-peer-down) to BENCH_vetd.json — both at the repo
+# root so throughput regressions show up as a diff, not an anecdote. Run
+# from anywhere:
 #
 #     sh scripts/bench.sh
-#     BENCHTIME=10x sh scripts/bench.sh     # steadier numbers
-#     OUT=/tmp/b.json sh scripts/bench.sh   # write elsewhere
+#     BENCHTIME=10x sh scripts/bench.sh       # steadier numbers
+#     OUT=/tmp/b.json sh scripts/bench.sh     # static output elsewhere
+#     OUT_VETD=/tmp/v.json sh scripts/bench.sh
 #
 # Each benchmark entry records the go test line verbatim: iterations,
 # ns/op, and every custom metric (apps/sec, %static-precision,
-# flagged-apps). Absolute numbers are host-dependent; the committed file
-# is a snapshot, and the per-tier *ratios* are the part expected to stay
-# comparable across machines.
+# %cache-hit, %replicated, failovers/op, ...). Absolute numbers are
+# host-dependent; the committed files are snapshots, and the ratios —
+# per-tier analysis cost, warm-vs-cold serving, healthy-vs-failover —
+# are the part expected to stay comparable across machines.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_static.json}"
-TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+OUT_VETD="${OUT_VETD:-BENCH_vetd.json}"
 
-go test -run '^$' -bench 'CorpusScan$|AnalyzeTier' -benchtime "$BENCHTIME" . | tee "$TMP"
-
-awk -v go_version="$(go env GOVERSION)" -v benchtime="$BENCHTIME" '
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3)
-	metrics = ""
-	for (i = 5; i < NF; i += 2) {
-		metrics = metrics (metrics == "" ? "" : ", ") "\"" $(i + 1) "\": " $i
+# emit PATTERN SUITE OUTFILE — run the matching benchmarks and write the
+# parsed results as JSON.
+emit() {
+	TMP="$(mktemp)"
+	go test -run '^$' -bench "$1" -benchtime "$BENCHTIME" . | tee "$TMP"
+	awk -v go_version="$(go env GOVERSION)" -v benchtime="$BENCHTIME" -v suite="$2" '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3)
+		metrics = ""
+		for (i = 5; i < NF; i += 2) {
+			metrics = metrics (metrics == "" ? "" : ", ") "\"" $(i + 1) "\": " $i
+		}
+		if (metrics != "") entry = entry ", \"metrics\": {" metrics "}"
+		entries[n++] = entry "}"
 	}
-	if (metrics != "") entry = entry ", \"metrics\": {" metrics "}"
-	entries[n++] = entry "}"
+	/^cpu:/ { cpu = $0; sub(/^cpu: /, "", cpu) }
+	END {
+		printf "{\n"
+		printf "  \"suite\": \"%s\",\n", suite
+		printf "  \"go\": \"%s\",\n", go_version
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"benchmarks\": [\n"
+		for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+		printf "  ]\n}\n"
+	}
+	' "$TMP" >"$3"
+	rm -f "$TMP"
+	echo "bench: wrote $3"
 }
-/^cpu:/ { cpu = $0; sub(/^cpu: /, "", cpu) }
-END {
-	printf "{\n"
-	printf "  \"suite\": \"static\",\n"
-	printf "  \"go\": \"%s\",\n", go_version
-	printf "  \"cpu\": \"%s\",\n", cpu
-	printf "  \"benchtime\": \"%s\",\n", benchtime
-	printf "  \"benchmarks\": [\n"
-	for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
-	printf "  ]\n}\n"
-}
-' "$TMP" >"$OUT"
 
-echo "bench: wrote $OUT"
+emit 'CorpusScan$|AnalyzeTier' static "$OUT"
+emit 'VetServe$|RingServe$' vetd "$OUT_VETD"

@@ -6,8 +6,10 @@
 #
 # Steps: build, unit tests, go vet, the simlint determinism/robustness
 # pass, a race-detector pass over the short tests, a coverage floor on
-# the experiment-harness core packages, the scheduler parity diff, and a
-# vetd serving smoke (checked vetload replay + clean SIGINT shutdown).
+# the experiment-harness core packages, the scheduler parity diff, a
+# vetd serving smoke (checked vetload replay + clean SIGINT shutdown),
+# and a distributed ring smoke (3 vetd peers behind vetrouter, chaos
+# kill/restart schedule, zero verdict mismatches required).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -92,6 +94,23 @@ done
 kill -INT "$VETD_PID"
 wait "$VETD_PID" || { echo "vetd did not shut down cleanly on SIGINT"; cat "$VETDLOG"; exit 1; }
 grep -q "shutdown complete" "$VETDLOG" || { echo "vetd missing shutdown line"; cat "$VETDLOG"; exit 1; }
-rm -f "$VETD" "$VETLOAD" "$VETDLOG"
+rm -f "$VETDLOG"
+
+# Distributed ring smoke: vetload spawns 3 vetd peers (each with a
+# crash-safe store) and a vetrouter, replays a checked workload through
+# the router while the chaos schedule SIGKILLs and restarts peers, then
+# requires clean SIGINT exits from every process. A nonzero exit means a
+# verdict mismatch through a failover/degrade path, a lost request, a
+# store that failed to recover, or broken router accounting
+# (replicated+degraded+shed+failed != requests).
+echo "==> ring smoke (vetload -ring 3 -chaos 600ms -check)"
+VETROUTER=/tmp/verify-vetrouter.$$
+RINGSTORES=/tmp/verify-ring-stores.$$
+go build -o "$VETROUTER" ./cmd/vetrouter
+"$VETLOAD" -ring 3 -vetd-bin "$VETD" -router-bin "$VETROUTER" \
+	-store-dir "$RINGSTORES" -duration 2s -chaos 600ms -clients 4 -check \
+	|| { echo "ring smoke failed"; rm -rf "$RINGSTORES"; exit 1; }
+rm -rf "$RINGSTORES"
+rm -f "$VETD" "$VETLOAD" "$VETROUTER"
 
 echo "verify: all checks passed"
