@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/dexir"
 	"repro/internal/faults"
+	"repro/internal/sentry"
 	"repro/internal/simclock"
 	"repro/internal/simrand"
 	"repro/internal/staticanalysis"
@@ -461,6 +462,70 @@ func BenchmarkRingServe(b *testing.B) {
 		prof := faults.NetProfile{Name: "bench-partition", PartitionPeers: []int{0}}
 		run(b, faults.NewNetPlane(prof, benchSeed))
 	})
+}
+
+// BenchmarkSentryIngest measures the streaming detection service's
+// ingest path: one op replays a pre-encoded 256-device labeled fleet
+// through the full HTTP stack (admission gate, wire decode, sharded
+// window update, decision rules) of a fresh sentryd server. The server
+// is rebuilt every op because device sequence numbers are strictly
+// monotonic — a second replay into the same engine would be a protocol
+// violation, not a measurement. records/sec is the headline throughput;
+// detected-devices anchors behaviour (every planted attacker, nothing
+// else) so a speedup that breaks detection cannot pass as a win.
+// scripts/bench.sh records the result in BENCH_sentry.json.
+func BenchmarkSentryIngest(b *testing.B) {
+	fl, err := sentry.GenerateFleet(sentry.FleetConfig{
+		Devices: 256, Attackers: 8, NotifAbusers: 4,
+		Span: 10 * time.Second, Seed: benchSeed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	type batch struct {
+		device string
+		body   []byte
+	}
+	var batches []batch
+	for _, d := range fl.Devices {
+		recs := d.Records
+		for len(recs) > 0 {
+			n := len(recs)
+			if n > 64 {
+				n = 64
+			}
+			body, err := sentry.EncodeBatch(recs[:n])
+			if err != nil {
+				b.Fatal(err)
+			}
+			batches = append(batches, batch{device: d.ID, body: body})
+			recs = recs[n:]
+		}
+	}
+	records := fl.Records()
+	var detected int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := sentry.NewServer(sentry.ServerConfig{QueueDepth: 1 << 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bt := range batches {
+			req := httptest.NewRequest("POST", "/v1/ingest?device="+bt.device, bytes.NewReader(bt.body))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+		detected = srv.Engine().Snapshot().Detected
+	}
+	b.StopTimer()
+	if detected != 12 {
+		b.Fatalf("detected %d devices, want the 12 planted", detected)
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	b.ReportMetric(float64(detected), "detected-devices")
 }
 
 // BenchmarkInterpolatorFastOutSlowIn measures the Bézier solve per frame.

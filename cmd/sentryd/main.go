@@ -1,0 +1,112 @@
+// Command sentryd serves the streaming fleet-scale detection service
+// (internal/sentry) over HTTP: POST /v1/ingest, GET /v1/report,
+// GET /healthz, GET /readyz, GET /metrics, GET /stats.
+//
+// Each POST /v1/ingest carries one wire-format record batch for one
+// device; the engine maintains per-device sliding windows (sharded by
+// device ID) and flags draw-and-destroy overlay swaps and
+// notification floods as they stream in. Admission is bounded: when
+// -queue batches are already in flight the node sheds with 429 and the
+// shed device stays accounted, so detected+clean+shed always equals
+// devices_reported.
+//
+// It prints "sentryd: listening on ADDR" once the listener is bound
+// (with -addr :0 the printed address carries the ephemeral port, which
+// is how the verify.sh smoke stage finds it) and shuts down cleanly on
+// SIGINT or SIGTERM: stop admitting, drain in-flight batches, print the
+// final accounting, exit 0.
+//
+// Usage:
+//
+//	sentryd -addr :8475 -shards 8 -queue 64 -window 3s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/sentry"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8475", "listen address (host:port; :0 picks an ephemeral port)")
+		shards     = flag.Int("shards", 8, "device state shard count (locking only; never affects results)")
+		queue      = flag.Int("queue", 64, "admission gate depth (full gate sheds with 429)")
+		window     = flag.Duration("window", 3*time.Second, "sliding detection window")
+		minCalls   = flag.Int("min-calls", 8, "overlay calls per window before the swap rule evaluates")
+		maxGap     = flag.Duration("max-gap", 50*time.Millisecond, "maximum remove->add gap counted as a swap")
+		minSwaps   = flag.Int("min-swaps", 4, "swaps per window that flag draw-and-destroy")
+		notifFlood = flag.Int("notif-flood", 30, "notifications per window that flag notify-flood (-1 disables)")
+		ringCap    = flag.Int("ring", 128, "per-device overlay ring capacity (bounded memory under flood)")
+	)
+	flag.Parse()
+
+	srv, err := sentry.NewServer(sentry.ServerConfig{
+		Engine: sentry.Config{
+			Shards:     *shards,
+			Window:     *window,
+			MinCalls:   *minCalls,
+			MaxSwapGap: *maxGap,
+			MinSwaps:   *minSwaps,
+			NotifFlood: *notifFlood,
+			RingCap:    *ringCap,
+		},
+		QueueDepth: *queue,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sentryd: %v\n", err)
+		return 2
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sentryd: listen: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("sentryd: listening on %s\n", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("sentryd: signal received, shutting down")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "sentryd: serve: %v\n", err)
+		return 1
+	}
+
+	srv.Close() // refuse new batches while the listener drains
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "sentryd: shutdown: %v\n", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "sentryd: serve: %v\n", err)
+		return 1
+	}
+	snap := srv.Engine().Snapshot()
+	fmt.Printf("sentryd: shutdown complete (reported=%d detected=%d clean=%d shed=%d)\n",
+		snap.DevicesReported, snap.Detected, snap.Clean, snap.Shed)
+	return 0
+}

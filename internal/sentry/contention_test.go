@@ -1,0 +1,164 @@
+package sentry
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postDirect drives one ingest through the handler without a network
+// socket (keeps the -race run tight) and returns the HTTP status.
+func postDirect(srv *Server, device string, body []byte) int {
+	req := httptest.NewRequest("POST", "/v1/ingest?device="+device, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+// TestContentionAccountingUnderShedding hammers the admission gate from
+// 32 goroutines with the gate deliberately starved (depth 1, slow
+// processing), so most batches shed. Both exclusivity contracts must
+// hold exactly afterwards:
+//
+//	BatchesOK + BatchesShed + BadBatches + RefusedBatches == IngestCalls
+//	Detected  + Clean       + Shed                        == DevicesReported
+//
+// Run with -race; the shard locks and atomic counters are the code
+// under test as much as the arithmetic.
+func TestContentionAccountingUnderShedding(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		QueueDepth: 1,
+		procDelay:  3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		goroutines = 32
+		batches    = 4
+	)
+	var (
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		seen  = map[int]int{}
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			device := fmt.Sprintf("dev-%02d", g)
+			recs := overlayPairs(device, 2*batches, 100*time.Millisecond, 5*time.Millisecond)
+			<-start
+			for b := 0; b < batches; b++ {
+				body, err := EncodeBatch(recs[b*4 : (b+1)*4])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				code := postDirect(srv, device, body)
+				mu.Lock()
+				seen[code]++
+				mu.Unlock()
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	// A few torn batches once the gate has drained (sequential, so none
+	// of them can shed): bad batches must land in the identity too, and
+	// must not disturb the accounting of devices that already reported.
+	const torn = 5
+	for g := 0; g < torn; g++ {
+		device := fmt.Sprintf("dev-%02d", g)
+		if code := postDirect(srv, device, []byte("s1 "+device+" 999 addView 0")); code != 400 {
+			t.Fatalf("torn batch for %s: status %d, want 400", device, code)
+		}
+		seen[400]++
+	}
+
+	m := srv.Metrics()
+	calls, ok, shed, bad, refused := m.IngestCalls.Load(), m.BatchesOK.Load(),
+		m.BatchesShed.Load(), m.BadBatches.Load(), m.RefusedBatches.Load()
+	if ok+shed+bad+refused != calls {
+		t.Fatalf("batch identity broken: ok %d + shed %d + bad %d + refused %d != calls %d",
+			ok, shed, bad, refused, calls)
+	}
+	if want := uint64(goroutines*batches + torn); calls != want {
+		t.Fatalf("IngestCalls %d, want %d", calls, want)
+	}
+	if shed == 0 {
+		t.Fatal("starved gate shed nothing; the contention case was not exercised")
+	}
+	if bad != torn {
+		t.Fatalf("BadBatches %d, want %d", bad, torn)
+	}
+	// The server's counters must agree with what the clients observed.
+	if uint64(seen[200]) != ok || uint64(seen[429]) != shed || uint64(seen[400]) != bad {
+		t.Fatalf("client-observed statuses %v disagree with metrics ok=%d shed=%d bad=%d",
+			seen, ok, shed, bad)
+	}
+
+	snap := srv.Engine().Snapshot()
+	if snap.Detected+snap.Clean+snap.Shed != snap.DevicesReported {
+		t.Fatalf("device identity broken: %+v", snap)
+	}
+	if snap.DevicesReported != goroutines {
+		t.Fatalf("DevicesReported %d, want %d", snap.DevicesReported, goroutines)
+	}
+}
+
+// TestContentionAccountingNoShed is the control: a gate deeper than the
+// client count never sheds, every batch applies, every device ends
+// detected or clean, and both identities still hold exactly.
+func TestContentionAccountingNoShed(t *testing.T) {
+	srv, err := NewServer(ServerConfig{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			device := fmt.Sprintf("dev-%02d", g)
+			recs := overlayPairs(device, 8, 100*time.Millisecond, 5*time.Millisecond)
+			for b := 0; b < 4; b++ {
+				body, err := EncodeBatch(recs[b*4 : (b+1)*4])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if code := postDirect(srv, device, body); code != 200 {
+					t.Errorf("%s batch %d: status %d", device, b, code)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	m := srv.Metrics()
+	if m.BatchesShed.Load() != 0 || m.BadBatches.Load() != 0 || m.RefusedBatches.Load() != 0 {
+		t.Fatalf("unexpected non-OK batches: shed=%d bad=%d refused=%d",
+			m.BatchesShed.Load(), m.BadBatches.Load(), m.RefusedBatches.Load())
+	}
+	if m.BatchesOK.Load() != m.IngestCalls.Load() {
+		t.Fatalf("ok %d != calls %d", m.BatchesOK.Load(), m.IngestCalls.Load())
+	}
+	snap := srv.Engine().Snapshot()
+	if snap.Shed != 0 {
+		t.Fatalf("no batch shed but %d devices accounted shed", snap.Shed)
+	}
+	if snap.Detected+snap.Clean != snap.DevicesReported || snap.DevicesReported != goroutines {
+		t.Fatalf("device identity broken: %+v", snap)
+	}
+	// Every stream was a full draw-and-destroy cadence: all detected.
+	if snap.Detected != goroutines {
+		t.Fatalf("Detected %d, want %d", snap.Detected, goroutines)
+	}
+}

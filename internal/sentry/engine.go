@@ -1,0 +1,500 @@
+// Package sentry is the streaming fleet-scale detection service: the
+// paper's §VII-A IPC detector (internal/defense.IPCDetector), lifted
+// from a batch-per-trial evaluation into a long-running service that
+// watches binder addView/removeView transaction streams from thousands
+// of devices at once, plus the notification-abuse extension motivated
+// by Knock-Knock (PAPERS.md).
+//
+// The package has four layers:
+//
+//  1. a wire codec (wire.go) for device-stream transaction records,
+//     strict enough that decode→encode is byte-exact on valid input,
+//  2. the Engine (this file): per-device state in sharded sliding
+//     windows — shard by device ID, one lock per shard — feeding the
+//     §VII-A decision rule, with a bounded-memory time-bucketed
+//     frequency sketch so per-device memory stays O(window) even when
+//     an attacker floods the stream,
+//  3. an HTTP server (server.go) reusing vetd's admission design: a
+//     bounded in-flight gate with explicit 429 shedding, exclusive
+//     device accounting (detected+clean+shed == devices_reported),
+//     Prometheus /metrics and the /healthz–/readyz liveness/readiness
+//     split,
+//  4. a seeded fleet generator and conformance reporter (fleet.go,
+//     report.go): because attacker devices are planted by the
+//     generator, every replay doubles as a labeled corpus and reports
+//     precision/recall against ground truth.
+//
+// sentry is a wall-clock serving package (simlint's ServingPackages
+// allowlist), but every *detection decision* is a pure function of the
+// device's own record stream — record timestamps are virtual, sharding
+// only picks a lock — so a fleet replay renders byte-identically at any
+// shard count and any client concurrency.
+package sentry
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the Engine. The zero value selects the documented
+// defaults, which mirror defense.IPCDetectorConfig where the two
+// overlap.
+type Config struct {
+	// Shards is the device-state shard count; each shard holds a map of
+	// device states behind its own mutex (default 8). The shard count
+	// affects lock contention only, never detection results.
+	Shards int
+	// Window is the sliding observation window (default 3s).
+	Window time.Duration
+	// MinCalls is the minimum addView+removeView count within the
+	// window for a device to be suspicious (default 8).
+	MinCalls int
+	// MaxSwapGap is the maximum gap between adjacent add/remove records
+	// (either order) for the pair to count as a draw-and-destroy swap
+	// (default 50ms).
+	MaxSwapGap time.Duration
+	// MinSwaps is the minimum qualifying swap count within the window
+	// (default 4).
+	MinSwaps int
+	// NotifFlood is the enqueueNotification count within the window
+	// that flags a notification-abuse device (default 30; negative
+	// disables the rule).
+	NotifFlood int
+	// RingCap bounds the per-device ring of recent overlay records used
+	// for swap detection (default 128). Under flood the ring evicts its
+	// oldest entries — counted, never grown — while the sketch keeps
+	// the window's call-rate estimate intact.
+	RingCap int
+	// SketchBuckets is the number of time buckets the frequency sketch
+	// divides the window into (default 16). More buckets sharpen the
+	// window edge at a few bytes per device each.
+	SketchBuckets int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.Shards < 1 {
+		return c, fmt.Errorf("sentry: shard count %d < 1", c.Shards)
+	}
+	if c.Window == 0 {
+		c.Window = 3 * time.Second
+	}
+	if c.Window < 0 {
+		return c, fmt.Errorf("sentry: negative window %v", c.Window)
+	}
+	if c.MinCalls == 0 {
+		c.MinCalls = 8
+	}
+	if c.MinCalls < 2 {
+		return c, fmt.Errorf("sentry: MinCalls %d too small", c.MinCalls)
+	}
+	if c.MaxSwapGap == 0 {
+		c.MaxSwapGap = 50 * time.Millisecond
+	}
+	if c.MaxSwapGap < 0 {
+		return c, fmt.Errorf("sentry: negative MaxSwapGap %v", c.MaxSwapGap)
+	}
+	if c.MinSwaps == 0 {
+		c.MinSwaps = 4
+	}
+	if c.MinSwaps < 1 {
+		return c, fmt.Errorf("sentry: MinSwaps %d too small", c.MinSwaps)
+	}
+	if c.NotifFlood == 0 {
+		c.NotifFlood = 30
+	}
+	if c.RingCap == 0 {
+		c.RingCap = 128
+	}
+	if c.RingCap < 8 {
+		return c, fmt.Errorf("sentry: RingCap %d too small", c.RingCap)
+	}
+	if c.SketchBuckets == 0 {
+		c.SketchBuckets = 16
+	}
+	if c.SketchBuckets < 2 {
+		return c, fmt.Errorf("sentry: SketchBuckets %d too small", c.SketchBuckets)
+	}
+	return c, nil
+}
+
+// Detection patterns.
+const (
+	PatternDrawAndDestroy = "draw-and-destroy"
+	PatternNotifyFlood    = "notify-flood"
+)
+
+// Detection is one positive per-device finding. A device is flagged at
+// most once; the first rule to fire wins.
+type Detection struct {
+	// Device is the flagged device.
+	Device string `json:"device"`
+	// Pattern names the rule that fired.
+	Pattern string `json:"pattern"`
+	// At is the virtual stream timestamp of the triggering record.
+	At time.Duration `json:"at_ns"`
+	// Calls is the window's call-count estimate at detection: overlay
+	// calls for draw-and-destroy, notifications for notify-flood.
+	Calls int `json:"calls"`
+	// Swaps and MeanSwapGap describe the qualifying swap pairs
+	// (draw-and-destroy only).
+	Swaps       int           `json:"swaps"`
+	MeanSwapGap time.Duration `json:"mean_swap_gap_ns"`
+}
+
+// overlayRec is one add/remove record in a device's ring.
+type overlayRec struct {
+	add bool
+	at  time.Duration
+}
+
+// bucket is one time slice of the per-device frequency sketch: counts
+// of each method class whose records landed in [idx·w, (idx+1)·w).
+type bucket struct {
+	idx             int64
+	overlays, notes uint32
+}
+
+// deviceState is everything the engine keeps per device. Memory is
+// O(RingCap + SketchBuckets) regardless of stream rate: the ring holds
+// at most RingCap recent overlay records and the sketch at most
+// SketchBuckets+1 counters.
+type deviceState struct {
+	lastSeq   uint64
+	hasSeq    bool
+	shed      bool
+	detection *Detection
+	ring      []overlayRec
+	buckets   []bucket
+}
+
+// shard is one lock's worth of device states.
+type shard struct {
+	mu      sync.Mutex
+	devices map[string]*deviceState
+}
+
+// Engine is the streaming detector. All methods are safe for
+// concurrent use; per-device work serializes on the device's shard.
+type Engine struct {
+	cfg       Config
+	bucketDur time.Duration
+	shards    []*shard
+
+	records       atomic.Uint64 // records ingested (all methods)
+	ignored       atomic.Uint64 // records with methods no rule consumes
+	ringEvictions atomic.Uint64 // overlay records evicted by RingCap pressure
+	detections    atomic.Uint64 // devices flagged
+}
+
+// NewEngine validates the configuration and builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:       cfg,
+		bucketDur: cfg.Window / time.Duration(cfg.SketchBuckets),
+		shards:    make([]*shard, cfg.Shards),
+	}
+	if e.bucketDur <= 0 {
+		e.bucketDur = 1
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{devices: make(map[string]*deviceState)}
+	}
+	return e, nil
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+func (e *Engine) shardFor(device string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(device)) // fnv writes never fail
+	return e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// state returns the device's state, creating it if absent. Callers hold
+// the shard lock.
+func (sh *shard) state(device string) *deviceState {
+	st := sh.devices[device]
+	if st == nil {
+		st = &deviceState{}
+		sh.devices[device] = st
+	}
+	return st
+}
+
+// Ingest feeds one device's batch of records through the detector. All
+// records must carry the given device ID and strictly increasing
+// sequence numbers continuing the device's stream; the first violation
+// stops processing and returns the count of records already applied
+// alongside the error. A batch for one device takes its shard lock
+// once.
+func (e *Engine) Ingest(device string, recs []Record) (int, error) {
+	sh := e.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.state(device)
+	for i, r := range recs {
+		if r.Device != device {
+			return i, fmt.Errorf("sentry: record %d is for device %q, batch is for %q", i, r.Device, device)
+		}
+		if st.hasSeq && r.Seq <= st.lastSeq {
+			return i, fmt.Errorf("sentry: record %d seq %d not after device %q seq %d", i, r.Seq, device, st.lastSeq)
+		}
+		st.lastSeq, st.hasSeq = r.Seq, true
+		e.records.Add(1)
+		e.observe(st, r)
+	}
+	return len(recs), nil
+}
+
+// MarkShed records that a batch for the device was refused at
+// admission: the device has reported (it counts toward
+// devices_reported) but its stream is known-incomplete, so unless a
+// detection already fired — or fires later on the records that did get
+// through — the device is accounted shed rather than clean.
+func (e *Engine) MarkShed(device string) {
+	sh := e.shardFor(device)
+	sh.mu.Lock()
+	sh.state(device).shed = true
+	sh.mu.Unlock()
+}
+
+// observe applies one record to the device's window state and runs the
+// decision rules. Caller holds the shard lock.
+func (e *Engine) observe(st *deviceState, r Record) {
+	switch r.Method {
+	case MethodAddView, MethodRemoveView:
+		e.observeOverlay(st, r)
+	case MethodEnqueueNotification:
+		e.bump(st, r.At, false)
+		e.evaluateNotify(st, r.At)
+	default:
+		e.ignored.Add(1)
+	}
+}
+
+func (e *Engine) observeOverlay(st *deviceState, r Record) {
+	if len(st.ring) == e.cfg.RingCap {
+		copy(st.ring, st.ring[1:])
+		st.ring = st.ring[:len(st.ring)-1]
+		e.ringEvictions.Add(1)
+	}
+	st.ring = append(st.ring, overlayRec{add: r.Method == MethodAddView, at: r.At})
+	// Trim ring entries older than the window (exact cutoff; the ring is
+	// time-ordered because timestamps within a device stream are
+	// non-decreasing in practice, and a decreasing timestamp simply
+	// trims nothing).
+	cutoff := r.At - e.cfg.Window
+	i := 0
+	for i < len(st.ring) && st.ring[i].at < cutoff {
+		i++
+	}
+	if i > 0 {
+		st.ring = append(st.ring[:0], st.ring[i:]...)
+	}
+	e.bump(st, r.At, true)
+	e.evaluateOverlay(st, r.At)
+}
+
+// bump counts one record into the sketch bucket covering at, evicting
+// buckets that slid out of the window.
+func (e *Engine) bump(st *deviceState, at time.Duration, overlay bool) {
+	idx := int64(at / e.bucketDur)
+	live := idx - int64(e.cfg.SketchBuckets) + 1
+	// Evict dead buckets from the front (they are kept in ascending
+	// index order).
+	i := 0
+	for i < len(st.buckets) && st.buckets[i].idx < live {
+		i++
+	}
+	if i > 0 {
+		st.buckets = append(st.buckets[:0], st.buckets[i:]...)
+	}
+	// Fast path: the record lands in the newest bucket or starts one.
+	n := len(st.buckets)
+	switch {
+	case n > 0 && st.buckets[n-1].idx == idx:
+		st.buckets[n-1].count(overlay)
+	case n == 0 || st.buckets[n-1].idx < idx:
+		st.buckets = append(st.buckets, bucket{idx: idx})
+		st.buckets[n].count(overlay)
+	default:
+		// Out-of-order timestamp: find (or insert) its bucket.
+		for j := range st.buckets {
+			if st.buckets[j].idx == idx {
+				st.buckets[j].count(overlay)
+				return
+			}
+			if st.buckets[j].idx > idx {
+				st.buckets = append(st.buckets, bucket{})
+				copy(st.buckets[j+1:], st.buckets[j:])
+				st.buckets[j] = bucket{idx: idx}
+				st.buckets[j].count(overlay)
+				return
+			}
+		}
+	}
+}
+
+func (b *bucket) count(overlay bool) {
+	if overlay {
+		b.overlays++
+	} else {
+		b.notes++
+	}
+}
+
+// windowCounts sums the sketch's live buckets. This is the
+// bounded-memory call-rate estimate: exact while every record in the
+// window also fits the bucket span, within one bucket's slack at the
+// trailing edge otherwise.
+func (st *deviceState) windowCounts() (overlays, notes int) {
+	for _, b := range st.buckets {
+		overlays += int(b.overlays)
+		notes += int(b.notes)
+	}
+	return overlays, notes
+}
+
+// evaluateOverlay is the §VII-A decision rule on streaming state: flag
+// the device when the window holds at least MinCalls overlay calls and
+// at least MinSwaps adjacent add/remove pairs with MaxSwapGap-scale
+// gaps. Mirrors defense.IPCDetector.evaluate, with the window's call
+// count estimated by the sketch so a flood cannot cheat detection by
+// overflowing the ring.
+func (e *Engine) evaluateOverlay(st *deviceState, now time.Duration) {
+	if st.detection != nil {
+		return
+	}
+	calls, _ := st.windowCounts()
+	if calls < e.cfg.MinCalls {
+		return
+	}
+	swaps := 0
+	var gapSum time.Duration
+	for i := 0; i+1 < len(st.ring); i++ {
+		next := st.ring[i+1]
+		if st.ring[i].add == next.add {
+			continue
+		}
+		if gap := next.at - st.ring[i].at; gap >= 0 && gap <= e.cfg.MaxSwapGap {
+			swaps++
+			gapSum += gap
+		}
+	}
+	if swaps < e.cfg.MinSwaps {
+		return
+	}
+	st.detection = &Detection{
+		Pattern:     PatternDrawAndDestroy,
+		At:          now,
+		Calls:       calls,
+		Swaps:       swaps,
+		MeanSwapGap: gapSum / time.Duration(swaps),
+	}
+	e.detections.Add(1)
+}
+
+// evaluateNotify is the Knock-Knock-motivated notification-abuse rule:
+// a device enqueueing NotifFlood or more notifications within one
+// window is flooding the shade.
+func (e *Engine) evaluateNotify(st *deviceState, now time.Duration) {
+	if st.detection != nil || e.cfg.NotifFlood < 0 {
+		return
+	}
+	_, notes := st.windowCounts()
+	if notes < e.cfg.NotifFlood {
+		return
+	}
+	st.detection = &Detection{
+		Pattern: PatternNotifyFlood,
+		At:      now,
+		Calls:   notes,
+	}
+	e.detections.Add(1)
+}
+
+// Snapshot is the engine's device-level accounting at one instant.
+//
+// Accounting contract (tested): every device that ever reached
+// admission — whether its batches were processed or shed — appears in
+// exactly one of Detected, Clean or Shed, so
+//
+//	Detected + Clean + Shed == DevicesReported
+//
+// holds exactly at every quiescent instant. Precedence is
+// detected > shed > clean: a flagged device stays detected even if
+// later batches shed (the attack was caught despite overload), and an
+// unflagged device with any shed batch cannot be certified clean.
+type Snapshot struct {
+	Service         string `json:"service"`
+	DevicesReported int    `json:"devices_reported"`
+	Detected        int    `json:"detected"`
+	Clean           int    `json:"clean"`
+	Shed            int    `json:"shed"`
+
+	RecordsIngested uint64 `json:"records_ingested"`
+	RecordsIgnored  uint64 `json:"records_ignored"`
+	RingEvictions   uint64 `json:"ring_evictions"`
+
+	// Detections lists every flagged device, sorted by device ID so
+	// repeated replays render identically.
+	Detections []Detection `json:"detections"`
+}
+
+// Snapshot assembles the current accounting. Detection results depend
+// only on per-device streams, so — given the same streams — a snapshot
+// after a full replay is identical at any shard count.
+func (e *Engine) Snapshot() Snapshot {
+	snap := Snapshot{
+		Service:         "sentryd",
+		RecordsIngested: e.records.Load(),
+		RecordsIgnored:  e.ignored.Load(),
+		RingEvictions:   e.ringEvictions.Load(),
+	}
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for dev, st := range sh.devices {
+			snap.DevicesReported++
+			switch {
+			case st.detection != nil:
+				snap.Detected++
+				d := *st.detection
+				d.Device = dev
+				snap.Detections = append(snap.Detections, d)
+			case st.shed:
+				snap.Shed++
+			default:
+				snap.Clean++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(snap.Detections, func(i, j int) bool {
+		return snap.Detections[i].Device < snap.Detections[j].Device
+	})
+	return snap
+}
+
+// Detected reports whether the device has been flagged.
+func (e *Engine) Detected(device string) bool {
+	sh := e.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.devices[device]
+	return st != nil && st.detection != nil
+}
+
+// DetectionsTotal reports the number of devices flagged so far.
+func (e *Engine) DetectionsTotal() uint64 { return e.detections.Load() }

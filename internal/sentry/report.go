@@ -1,0 +1,110 @@
+package sentry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Conformance scores a detection snapshot against a fleet's planted
+// ground truth.
+type Conformance struct {
+	// TP/FP/FN classify detected devices against the planted attacker
+	// set (pattern-agnostic: flagging a planted attacker counts as a
+	// true positive even if the rule named the wrong pattern —
+	// PatternMismatches counts those separately).
+	TP, FP, FN int
+	// PatternMismatches counts true positives whose detected pattern
+	// differs from the planted one.
+	PatternMismatches int
+	// AccountingOK reports the exclusive device accounting identity
+	// detected+clean+shed == devices_reported.
+	AccountingOK bool
+}
+
+// Precision is TP/(TP+FP); 1 when nothing was detected.
+func (c Conformance) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP/(TP+FN); 1 when nothing was planted.
+func (c Conformance) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Perfect reports full recall with zero false positives and exact
+// accounting — the conformance bar for an unshedded replay.
+func (c Conformance) Perfect() bool {
+	return c.FP == 0 && c.FN == 0 && c.PatternMismatches == 0 && c.AccountingOK
+}
+
+// Evaluate scores a snapshot against the fleet's truth.
+func Evaluate(snap Snapshot, fl *Fleet) Conformance {
+	c := Conformance{
+		AccountingOK: snap.Detected+snap.Clean+snap.Shed == snap.DevicesReported,
+	}
+	detected := make(map[string]string, len(snap.Detections))
+	for _, d := range snap.Detections {
+		detected[d.Device] = d.Pattern
+	}
+	for dev, want := range detected {
+		planted, ok := fl.Truth[dev]
+		if !ok {
+			c.FP++
+			continue
+		}
+		c.TP++
+		if planted != want {
+			c.PatternMismatches++
+		}
+	}
+	for dev := range fl.Truth {
+		if _, ok := detected[dev]; !ok {
+			c.FN++
+		}
+	}
+	return c
+}
+
+// RenderFleetReport formats a replayed fleet's conformance report. The
+// output is a pure function of the snapshot, the fleet and the replay
+// stats — no wall-clock content — so a seeded replay renders
+// byte-identically at any shard count and client concurrency, which is
+// exactly what the golden tests pin.
+func RenderFleetReport(snap Snapshot, fl *Fleet, rs ReplayStats) string {
+	c := Evaluate(snap, fl)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sentry fleet conformance — seed %d\n", fl.Cfg.Seed)
+	fmt.Fprintf(&sb, "  fleet: %d devices (%d draw-and-destroy, %d notify-flood planted), span %v\n",
+		fl.Cfg.Devices, fl.Cfg.Attackers, fl.Cfg.NotifAbusers, fl.Cfg.Span)
+	accounting := "BROKEN"
+	if c.AccountingOK {
+		accounting = "exact"
+	}
+	fmt.Fprintf(&sb, "  reported %d = detected %d + clean %d + shed %d (accounting %s)\n",
+		snap.DevicesReported, snap.Detected, snap.Clean, snap.Shed, accounting)
+	fmt.Fprintf(&sb, "  records ingested: %d (ignored %d, ring evictions %d)\n",
+		snap.RecordsIngested, snap.RecordsIgnored, snap.RingEvictions)
+	fmt.Fprintf(&sb, "  replay: %d batches ok, %d shed, %d errors\n", rs.OK, rs.Shed, rs.Errors)
+	fmt.Fprintf(&sb, "  truth: TP %d  FP %d  FN %d  pattern mismatches %d\n",
+		c.TP, c.FP, c.FN, c.PatternMismatches)
+	fmt.Fprintf(&sb, "  precision %.4f  recall %.4f\n", c.Precision(), c.Recall())
+	if len(snap.Detections) > 0 {
+		sb.WriteString("  detections:\n")
+		for _, d := range snap.Detections {
+			switch d.Pattern {
+			case PatternDrawAndDestroy:
+				fmt.Fprintf(&sb, "    %s  %s  at=%v calls=%d swaps=%d mean_gap=%v\n",
+					d.Device, d.Pattern, d.At, d.Calls, d.Swaps, d.MeanSwapGap)
+			default:
+				fmt.Fprintf(&sb, "    %s  %s  at=%v calls=%d\n", d.Device, d.Pattern, d.At, d.Calls)
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,244 @@
+package sentry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// ServerConfig tunes a Server. The zero value selects the documented
+// defaults.
+type ServerConfig struct {
+	// Engine configures the detection engine.
+	Engine Config
+	// QueueDepth bounds the batches admitted concurrently; a full gate
+	// sheds with 429 + Retry-After and the shed batch's device is
+	// accounted via Engine.MarkShed (default 64). This is vetd's
+	// admission design with the queue folded into the handlers: a
+	// token reserves a processing slot, and with no token free the
+	// request is refused immediately instead of queuing without bound.
+	QueueDepth int
+	// MaxBodyBytes bounds ingest bodies (default 4 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the hint returned with 429 sheds (default 1s).
+	RetryAfter time.Duration
+
+	// procDelay stalls each admitted batch while it holds its gate
+	// token; tests use it to force contention and shedding.
+	procDelay time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the streaming detection service; it implements
+// http.Handler.
+//
+// Endpoints: POST /v1/ingest?device=ID (wire-format record batch for
+// one device), GET /v1/report (deterministic fleet snapshot),
+// GET /healthz, GET /readyz, GET /metrics, GET /stats.
+type Server struct {
+	cfg     ServerConfig
+	engine  *Engine
+	metrics *Metrics
+	gate    chan struct{}
+	mux     *http.ServeMux
+	closed  atomic.Bool
+}
+
+// NewServer assembles a server around a fresh engine.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	engine, err := NewEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		engine:  engine,
+		metrics: &Metrics{},
+		gate:    make(chan struct{}, cfg.QueueDepth),
+		mux:     http.NewServeMux(),
+	}
+	s.metrics.InFlight = func() int { return len(s.gate) }
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/report", s.handleReport)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s, nil
+}
+
+// Engine exposes the underlying detector (read-mostly use: snapshots,
+// detection queries).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Metrics exposes the server's counters (read-only use).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops admission: subsequent ingests are refused with 503.
+// Batches already inside the gate complete. Report and observability
+// endpoints keep answering so a draining node can still be inspected.
+func (s *Server) Close() { s.closed.Store(true) }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// IngestResponse answers a successful ingest.
+type IngestResponse struct {
+	Device   string `json:"device"`
+	Records  int    `json:"records"`
+	Detected bool   `json:"detected"`
+}
+
+// ErrorResponse answers a refused or failed ingest.
+type ErrorResponse struct {
+	Error         string `json:"error"`
+	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+}
+
+// handleIngest classifies every request into exactly one of the four
+// batch outcomes (ok / shed / bad / refused) — see the Metrics
+// contract — and keeps the device-level accounting exact: a device
+// whose batch sheds is marked on the engine before the 429 goes out.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IngestCalls.Add(1)
+	device := r.URL.Query().Get("device")
+	if !validToken(device) {
+		s.metrics.BadBatches.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sentry: bad device %q", device))
+		return
+	}
+	if s.closed.Load() {
+		s.metrics.RefusedBatches.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("sentry: shutting down"))
+		return
+	}
+	select {
+	case s.gate <- struct{}{}:
+	default:
+		// Admission gate full: shed. The device header is all we need
+		// for accounting — the body is never read, so a flood of
+		// oversized batches cannot make shedding expensive.
+		s.engine.MarkShed(device)
+		s.metrics.BatchesShed.Add(1)
+		s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("sentry: admission gate full"))
+		return
+	}
+	defer func() { <-s.gate }()
+	if s.cfg.procDelay > 0 {
+		time.Sleep(s.cfg.procDelay)
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.metrics.BadBatches.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sentry: read body: %w", err))
+		return
+	}
+	recs, err := DecodeBatch(body)
+	if err != nil {
+		s.metrics.BadBatches.Add(1)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(recs) == 0 {
+		s.metrics.BadBatches.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sentry: empty batch"))
+		return
+	}
+	n, err := s.engine.Ingest(device, recs)
+	if err != nil {
+		// A sequence violation or device mismatch is a client bug, not
+		// overload: records before the violation are applied (they are
+		// legitimate stream state), the batch is classified bad.
+		s.metrics.BadBatches.Add(1)
+		s.writeError(w, http.StatusConflict, fmt.Errorf("applied %d: %w", n, err))
+		return
+	}
+	s.metrics.BatchesOK.Add(1)
+	s.writeJSON(w, http.StatusOK, IngestResponse{
+		Device:   device,
+		Records:  n,
+		Detected: s.engine.Detected(device),
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ReportCalls.Add(1)
+	s.writeJSON(w, http.StatusOK, s.engine.Snapshot())
+}
+
+// handleHealthz is pure liveness: the process is up and answering.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.HealthCalls.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","in_flight":%d}`+"\n", len(s.gate))
+}
+
+// handleReadyz is readiness: the node will usefully admit a batch right
+// now. Not ready (503) once shutdown began or while the admission gate
+// is saturated — a node that would answer 429 is alive but should not
+// receive routed traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ReadyCalls.Add(1)
+	inflight := len(s.gate)
+	status, state := http.StatusOK, "ready"
+	switch {
+	case s.closed.Load():
+		status, state = http.StatusServiceUnavailable, "shutting-down"
+	case inflight >= s.cfg.QueueDepth:
+		status, state = http.StatusServiceUnavailable, "shedding"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"status":%q,"in_flight":%d,"gate_cap":%d}`+"\n", state, inflight, s.cfg.QueueDepth)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.MetricsCalls.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteProm(w, s.engine)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.metrics.StatsCalls.Add(1)
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engine))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	resp := ErrorResponse{}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	if status == http.StatusTooManyRequests {
+		sec := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		resp.RetryAfterSec = sec
+	}
+	s.writeJSON(w, status, resp)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -441,6 +441,15 @@ func TestServingExemptionIsPackageScoped(t *testing.T) {
 	}
 }
 
+func TestServingExemptionCoversSentry(t *testing.T) {
+	// The streaming detection service is the third serving package: its
+	// admission gate and HTTP handlers run on the wall clock.
+	diags := lintAs(t, "server.go", fmt.Sprintf(servingSrc, "sentry"))
+	if len(diags) != 0 {
+		t.Fatalf("serving package sentry flagged: %v", diags)
+	}
+}
+
 func TestServingExemptionCoversExternalTestPackage(t *testing.T) {
 	diags := lintAs(t, "server_test.go", fmt.Sprintf(servingSrc, "vetd_test"))
 	if len(diags) != 0 {

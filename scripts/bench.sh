@@ -1,16 +1,19 @@
 #!/bin/sh
 # bench.sh — benchmark emitter for the static-analysis pipeline and the
-# vetd serving plane. Two passes: the corpus-scan throughput benchmark
+# serving planes. Three passes: the corpus-scan throughput benchmark
 # plus the per-tier analyzer benchmarks are written to BENCH_static.json,
-# and the serving benchmarks (single-node vetd cold/warm, the vetring
-# ring healthy vs one-peer-down) to BENCH_vetd.json — both at the repo
-# root so throughput regressions show up as a diff, not an anecdote. Run
-# from anywhere:
+# the vetting-plane benchmarks (single-node vetd cold/warm, the vetring
+# ring healthy vs one-peer-down) to BENCH_vetd.json, and the streaming
+# detection ingest benchmark (a full labeled-fleet replay through
+# sentryd's HTTP stack) to BENCH_sentry.json — all at the repo root so
+# throughput regressions show up as a diff, not an anecdote. Run from
+# anywhere:
 #
 #     sh scripts/bench.sh
 #     BENCHTIME=10x sh scripts/bench.sh       # steadier numbers
 #     OUT=/tmp/b.json sh scripts/bench.sh     # static output elsewhere
 #     OUT_VETD=/tmp/v.json sh scripts/bench.sh
+#     OUT_SENTRY=/tmp/s.json sh scripts/bench.sh
 #
 # Each benchmark entry records the go test line verbatim: iterations,
 # ns/op, and every custom metric (apps/sec, %static-precision,
@@ -25,6 +28,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_static.json}"
 OUT_VETD="${OUT_VETD:-BENCH_vetd.json}"
+OUT_SENTRY="${OUT_SENTRY:-BENCH_sentry.json}"
 
 # emit PATTERN SUITE OUTFILE — run the matching benchmarks and write the
 # parsed results as JSON.
@@ -61,3 +65,4 @@ emit() {
 
 emit 'CorpusScan$|AnalyzeTier' static "$OUT"
 emit 'VetServe$|RingServe$' vetd "$OUT_VETD"
+emit 'SentryIngest$' sentry "$OUT_SENTRY"

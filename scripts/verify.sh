@@ -6,10 +6,12 @@
 #
 # Steps: build, unit tests, go vet, the simlint determinism/robustness
 # pass, a race-detector pass over the short tests, a coverage floor on
-# the experiment-harness core packages, the scheduler parity diff, a
-# vetd serving smoke (checked vetload replay + clean SIGINT shutdown),
-# and a distributed ring smoke (3 vetd peers behind vetrouter, chaos
-# kill/restart schedule, zero verdict mismatches required).
+# the experiment-harness core packages and the streaming detector, the
+# scheduler parity diff, a vetd serving smoke (checked vetload replay +
+# clean SIGINT shutdown), a distributed ring smoke (3 vetd peers behind
+# vetrouter, chaos kill/restart schedule, zero verdict mismatches
+# required), and a sentryd smoke (a 2000-device labeled fleet replay
+# that must detect every planted attacker with zero false positives).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,13 +31,15 @@ go run ./cmd/simlint
 echo "==> go test -race -short ./..."
 go test -race -short ./...
 
-# Coverage floor for the experiment-harness core: the journaled runners and
-# the sweep-wide invariant aggregation are the crash-safety layer, and a
-# drop below the floor means resume paths lost their tests. Both packages
-# currently sit well above it (~78% / ~85%).
+# Coverage floor for the experiment-harness core and the streaming
+# detector: the journaled runners and the sweep-wide invariant
+# aggregation are the crash-safety layer, and the sentry engine/server
+# carry the accounting and shard-invariance contracts — a drop below the
+# floor means those paths lost their tests. All packages currently sit
+# well above it (~78% / ~85% / ~83%).
 COVER_FLOOR=65
-echo "==> go test -cover ./internal/experiment ./internal/invariant (floor ${COVER_FLOOR}%)"
-go test -cover ./internal/experiment ./internal/invariant | tee /tmp/verify-cover.$$
+echo "==> go test -cover ./internal/experiment ./internal/invariant ./internal/sentry (floor ${COVER_FLOOR}%)"
+go test -cover ./internal/experiment ./internal/invariant ./internal/sentry | tee /tmp/verify-cover.$$
 awk -v floor="$COVER_FLOOR" '
 	/coverage:/ {
 		for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i + 1)
@@ -112,5 +116,32 @@ go build -o "$VETROUTER" ./cmd/vetrouter
 	|| { echo "ring smoke failed"; rm -rf "$RINGSTORES"; exit 1; }
 rm -rf "$RINGSTORES"
 rm -f "$VETD" "$VETLOAD" "$VETROUTER"
+
+# sentryd smoke: boot the streaming detection service on an ephemeral
+# port, replay a seeded 2000-device labeled fleet open-loop, and require
+# perfect conformance — every planted attacker detected, zero false
+# positives, exact detected+clean+shed == devices_reported accounting —
+# plus a clean SIGINT shutdown printing the final accounting.
+echo "==> sentryd smoke (fleetload -devices 2000 -require-perfect)"
+SENTRYD=/tmp/verify-sentryd.$$
+FLEETLOAD=/tmp/verify-fleetload.$$
+SENTRYDLOG=/tmp/verify-sentryd-log.$$
+go build -o "$SENTRYD" ./cmd/sentryd
+go build -o "$FLEETLOAD" ./cmd/fleetload
+"$SENTRYD" -addr 127.0.0.1:0 >"$SENTRYDLOG" 2>&1 &
+SENTRYD_PID=$!
+ADDR=""
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+	ADDR=$(sed -n 's/^sentryd: listening on //p' "$SENTRYDLOG")
+	[ -n "$ADDR" ] && break
+	sleep 0.5
+done
+[ -n "$ADDR" ] || { echo "sentryd never reported its listen address"; cat "$SENTRYDLOG"; kill "$SENTRYD_PID" 2>/dev/null; exit 1; }
+"$FLEETLOAD" -addr "$ADDR" -devices 2000 -attackers 40 -notif-abusers 20 -seed 42 -require-perfect \
+	|| { echo "fleetload conformance failed"; kill "$SENTRYD_PID" 2>/dev/null; exit 1; }
+kill -INT "$SENTRYD_PID"
+wait "$SENTRYD_PID" || { echo "sentryd did not shut down cleanly on SIGINT"; cat "$SENTRYDLOG"; exit 1; }
+grep -q "shutdown complete" "$SENTRYDLOG" || { echo "sentryd missing shutdown line"; cat "$SENTRYDLOG"; exit 1; }
+rm -f "$SENTRYD" "$FLEETLOAD" "$SENTRYDLOG"
 
 echo "verify: all checks passed"
