@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/dexir"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/sentry"
 	"repro/internal/simclock"
 	"repro/internal/simrand"
@@ -526,6 +527,47 @@ func BenchmarkSentryIngest(b *testing.B) {
 	}
 	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
 	b.ReportMetric(float64(detected), "detected-devices")
+}
+
+// BenchmarkFleetGenerate measures synthesizing a 1000-device market-
+// weighted population — the fleet sweep's setup cost. devices/sec is the
+// headline; the weighted mean analytic bound anchors the generated
+// population's shape so a speedup that skews the market model cannot pass
+// as a win. scripts/bench.sh records the result in BENCH_fleet.json.
+func BenchmarkFleetGenerate(b *testing.B) {
+	const size = 1000
+	var meanD float64
+	for i := 0; i < b.N; i++ {
+		fl, err := fleet.Generate(size, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		meanD = 0
+		for _, e := range fl.Entries() {
+			meanD += e.Weight * float64(e.Profile.ExpectedUpperBoundD()/time.Millisecond)
+		}
+	}
+	b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "devices/sec")
+	b.ReportMetric(meanD, "weighted-mean-bound-ms")
+}
+
+// BenchmarkFleetSweep runs the full fleet experiment — per-device attack,
+// coarse bound search and both §VII defenses under per-device fault
+// calibration — on a 200-device population at one and four workers, the
+// same scale scripts/verify.sh smokes. devices/sec is the throughput
+// headline; TestParallelDeterminism pins that the two worker counts
+// render byte-identically.
+func BenchmarkFleetSweep(b *testing.B) {
+	const size = 200
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runExp(b, "fleet", benchSeed, workers, experiment.Config{FleetSize: size, FleetSeed: benchSeed})
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "devices/sec")
+		})
+	}
 }
 
 // BenchmarkInterpolatorFastOutSlowIn measures the Bézier solve per frame.

@@ -52,6 +52,8 @@ type runConfig struct {
 	trials       int
 	corpusN      int
 	faultProfile string
+	fleetSize    int
+	fleetSeed    int64
 	journalDir   string
 	workers      int
 }
@@ -65,6 +67,8 @@ func run(args []string) int {
 		trials       = fs.Int("trials", 10, "passwords per participant for table3 (paper: 10)")
 		corpus       = fs.Int("corpus", appstore.PaperCorpusSize, "synthetic corpus size for the §VI-C2 study")
 		faultProfile = fs.String("faultprofile", "chaos", "fault profile for the degradation sweep ("+strings.Join(faults.Names(), ", ")+")")
+		fleetSize    = fs.Int("fleet-size", 1000, "generated device population size for the fleet sweep")
+		fleetSeed    = fs.Int64("fleet-seed", 42, "generation seed for the fleet sweep's device population")
 		journalDir   = fs.String("journal", "", "directory for per-trial journals; a killed run rerun with the same flags resumes to a byte-identical report")
 		workers      = fs.Int("workers", 1, "trial worker pool size; any value renders byte-identical reports")
 	)
@@ -77,6 +81,8 @@ func run(args []string) int {
 		trials:       *trials,
 		corpusN:      *corpus,
 		faultProfile: *faultProfile,
+		fleetSize:    *fleetSize,
+		fleetSeed:    *fleetSeed,
 		journalDir:   *journalDir,
 		workers:      *workers,
 	}
@@ -143,6 +149,8 @@ func runOne(ctx context.Context, name string, cfg runConfig) (skipped int, err e
 		Trials:       cfg.trials,
 		CorpusN:      cfg.corpusN,
 		FaultProfile: cfg.faultProfile,
+		FleetSize:    cfg.fleetSize,
+		FleetSeed:    cfg.fleetSeed,
 	})
 	if err != nil {
 		return 0, err

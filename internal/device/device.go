@@ -104,6 +104,23 @@ type Profile struct {
 	// paper finds load influence negligible, which the small scaling
 	// below reproduces.
 	LoadFactor float64
+
+	// AnimatorScale is the device's effective animator_duration_scale:
+	// the product of the OEM skin's animation-duration scaling family and
+	// the user's developer setting. Window-animation durations (the
+	// notification slide-down among them) are multiplied by it. Zero
+	// means unset and is treated as the stock 1.0, so the zero value —
+	// and every hand-calibrated seed profile — keeps today's behaviour.
+	AnimatorScale float64
+	// AnimationsOff marks the accessibility population running with
+	// animator_duration_scale = 0: window animations are disabled and the
+	// alert view becomes fully visible on its first frame, which is why
+	// this slice of the fleet resists the draw-and-destroy attack.
+	AnimationsOff bool
+
+	// Family names the OEM animation/market family a generated profile
+	// was drawn from (empty for the hand-calibrated seed profiles).
+	Family string
 }
 
 // jitterFor gives each latency a modest spread: 6% of the mean with a
@@ -171,18 +188,46 @@ func notifHeightPx(dpi float64) int {
 	return int(math.Round(22.4 * dpi / 160))
 }
 
-// FirstVisibleFrameOffset computes when the slide-down animation first
-// renders a visible pixel of the alert view: the earliest 10 ms frame at
-// which ⌊height·completeness⌋ ≥ 1 under FastOutSlowIn easing.
+// FirstVisibleFrameOffset computes when the stock slide-down animation
+// first renders a visible pixel of the alert view: the earliest 10 ms
+// frame at which ⌊height·completeness⌋ ≥ 1 under FastOutSlowIn easing.
 func FirstVisibleFrameOffset(heightPx int) time.Duration {
+	return FirstVisibleFrameOffsetIn(heightPx, anim.NotificationSlideDuration)
+}
+
+// FirstVisibleFrameOffsetIn is FirstVisibleFrameOffset for an arbitrary
+// slide duration — devices with a scaled animator_duration_scale run the
+// same easing curve over a different span.
+func FirstVisibleFrameOffsetIn(heightPx int, slide time.Duration) time.Duration {
+	if slide <= anim.DefaultFrameInterval {
+		return anim.DefaultFrameInterval
+	}
 	ip := anim.FastOutSlowIn()
-	for f := anim.DefaultFrameInterval; f <= anim.NotificationSlideDuration; f += anim.DefaultFrameInterval {
-		x := float64(f) / float64(anim.NotificationSlideDuration)
+	for f := anim.DefaultFrameInterval; f <= slide; f += anim.DefaultFrameInterval {
+		x := float64(f) / float64(slide)
 		if anim.VisiblePixels(heightPx, ip.Interpolate(x)) >= 1 {
 			return f
 		}
 	}
-	return anim.NotificationSlideDuration
+	return slide
+}
+
+// SlideDuration reports the device's effective notification slide-down
+// duration: the stock 360 ms scaled by AnimatorScale, floored at one
+// frame, or a single frame (effectively instant) when animations are off.
+func (p Profile) SlideDuration() time.Duration {
+	if p.AnimationsOff {
+		return anim.DefaultFrameInterval
+	}
+	scale := p.AnimatorScale
+	if scale <= 0 {
+		scale = 1
+	}
+	d := time.Duration(float64(anim.NotificationSlideDuration) * scale)
+	if d < anim.DefaultFrameInterval {
+		d = anim.DefaultFrameInterval
+	}
+	return d
 }
 
 // newProfile builds a calibrated profile. paperD is the Table II upper
@@ -233,7 +278,7 @@ func newProfile(manufacturer, model string, v AndroidVersion, paperDMS int, w, h
 // distribution means (Section III-D, inequality (3) instantiated with the
 // full pipeline). Tests check it against PaperUpperBoundD.
 func (p Profile) ExpectedUpperBoundD() time.Duration {
-	tfv := FirstVisibleFrameOffset(p.NotifViewHeightPx)
+	tfv := FirstVisibleFrameOffsetIn(p.NotifViewHeightPx, p.SlideDuration())
 	sum := p.Tam.MeanDuration() + p.Tas.MeanDuration() + p.Version.ANADelay() +
 		p.TnShow.MeanDuration() + p.Tv.MeanDuration() + tfv -
 		p.Trm.MeanDuration() - p.TnRemove.MeanDuration()
@@ -253,10 +298,27 @@ func (p Profile) ExpectedTmis() time.Duration {
 	return t
 }
 
+// scaleLatencies multiplies every latency distribution of the profile —
+// mean, jitter and clamp bounds alike — by scale, in place. It is the one
+// shared derivation WithLoad and the fleet generator's OEM timing scaling
+// both route through, so the two stay consistent.
+func (p *Profile) scaleLatencies(scale float64) {
+	for _, d := range []*simrand.Dist{&p.Tam, &p.Trm, &p.TnShow, &p.TnRemove, &p.Tas, &p.Tv, &p.ToastCreate, &p.ToastNotify} {
+		d.Mean *= scale
+		d.Jitter *= scale
+		d.Min *= scale
+		d.Max *= scale
+	}
+}
+
 // WithLoad returns a copy of the profile with n background apps' load
 // applied. The paper finds load influence on the D bound negligible; each
 // background app inflates processing latencies by 0.4%, which shifts the
-// bound by well under one frame.
+// bound by well under one frame. The derivation is a pure function of the
+// profile and n — any randomness in how many background apps a synthetic
+// device carries belongs to the caller's explicit simrand sub-stream (the
+// fleet generator draws n from its "fleet/load" stream), never to profile
+// construction order.
 func (p Profile) WithLoad(nApps int) Profile {
 	if nApps <= 0 {
 		return p
@@ -264,12 +326,7 @@ func (p Profile) WithLoad(nApps int) Profile {
 	scale := 1 + 0.004*float64(nApps)
 	out := p
 	out.LoadFactor = scale
-	for _, d := range []*simrand.Dist{&out.Tam, &out.Trm, &out.TnShow, &out.TnRemove, &out.Tas, &out.Tv, &out.ToastCreate, &out.ToastNotify} {
-		d.Mean *= scale
-		d.Jitter *= scale
-		d.Min *= scale
-		d.Max *= scale
-	}
+	out.scaleLatencies(scale)
 	return out
 }
 
@@ -278,11 +335,11 @@ func (p Profile) Name() string {
 	return fmt.Sprintf("%s %s (Android %s)", p.Manufacturer, p.Model, p.Version)
 }
 
-// Profiles returns the 30 evaluation devices of Tables I and II. Note:
+// seedProfiles builds the 30 evaluation devices of Tables I and II. Note:
 // Table I lists the Pixel 2 XL and Pixel 4 under Android 9 while Table II
 // lists them under Android 10; we follow Table II, whose per-device D
 // bounds are the calibration target.
-func Profiles() []Profile {
+func seedProfiles() []Profile {
 	return []Profile{
 		newProfile("Samsung", "s8", V(8), 60, 1440, 2960, 570),
 		newProfile("Samsung", "SMG9", V(9), 240, 1440, 2960, 570),
@@ -317,34 +374,27 @@ func Profiles() []Profile {
 	}
 }
 
+// Profiles returns the 30 evaluation devices of Tables I and II.
+//
+// Deprecated: thin wrapper over Seed().Profiles(). New code should take a
+// Catalog and call Profiles on it, so it also runs against generated
+// fleets.
+func Profiles() []Profile { return Seed().Profiles() }
+
 // ByModel finds a profile by model name. ok is false if not found.
-func ByModel(model string) (Profile, bool) {
-	for _, p := range Profiles() {
-		if p.Model == model {
-			return p, true
-		}
-	}
-	return Profile{}, false
-}
+//
+// Deprecated: thin wrapper over Seed().ByModel(model). New code should
+// take a Catalog and resolve models against it.
+func ByModel(model string) (Profile, bool) { return Seed().ByModel(model) }
 
 // ByVersion returns all profiles running the given major Android version.
-func ByVersion(major int) []Profile {
-	var out []Profile
-	for _, p := range Profiles() {
-		if p.Version.Major == major {
-			out = append(out, p)
-		}
-	}
-	return out
-}
+//
+// Deprecated: thin wrapper over ByVersionIn(Seed(), major).
+func ByVersion(major int) []Profile { return ByVersionIn(Seed(), major) }
 
 // Default returns the profile used by the examples and quick tests: the
 // Google Pixel 2 on Android 11, the phone of the paper's demo video.
-func Default() Profile {
-	if p, ok := ByModel("pixel 2"); ok {
-		return p
-	}
-	// The catalog is static, so this is unreachable unless it is edited
-	// badly; degrade to the first profile rather than crashing.
-	return Profiles()[0]
-}
+//
+// Deprecated: thin wrapper over Seed().Default(). New code should take a
+// Catalog and use its Default.
+func Default() Profile { return Seed().Default() }

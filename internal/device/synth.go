@@ -1,0 +1,140 @@
+// Synthetic profile construction for generated fleets. Synthesize builds
+// a Profile from a SynthSpec the way newProfile builds the
+// hand-calibrated seed set: start from the per-version latency base,
+// apply the family's OEM scaling, then draw the per-device calibration
+// residuals. Every random derivation comes from an *explicit* named
+// simrand sub-stream of the per-device rng the caller passes in — never
+// from profile-construction order. Because Derive consumes one draw from
+// its parent, the fleet generator hands each device a stream derived
+// from a fresh parent (simrand.New(seed).DeriveIndexed("fleet/device", i)),
+// so device i's calibration depends only on (seed, i) and a fleet can be
+// reproduced, sliced or extended without perturbing any existing profile.
+
+package device
+
+import (
+	"math"
+
+	"repro/internal/simrand"
+)
+
+// SynthSpec describes one synthetic device for Synthesize. The identity
+// fields (manufacturer, model, version, screen, family) are chosen by the
+// generator; the scaling knobs encode the OEM family's behaviour.
+type SynthSpec struct {
+	// Manufacturer, Model and Family identify the device; Model must be
+	// unique within its catalog.
+	Manufacturer, Model, Family string
+	// Version is the Android release the device runs.
+	Version AndroidVersion
+	// ScreenW, ScreenH and DPI describe the display.
+	ScreenW, ScreenH int
+	DPI              float64
+
+	// TimingScale multiplies every latency distribution: the OEM skin's
+	// overall processing weight (1 is the stock base; heavy skins run
+	// slower). Zero means 1.
+	TimingScale float64
+	// NotifPathScale additionally multiplies the notification-path
+	// latencies (TnShow, TnRemove, Tv): the paper observes that heavily
+	// skinned OSes have disproportionately slow notification paths. Zero
+	// means 1.
+	NotifPathScale float64
+	// AnimatorScale is the device's effective animator_duration_scale
+	// (OEM animation family × user setting); zero means stock 1.0.
+	AnimatorScale float64
+	// AnimationsOff marks the accessibility population
+	// (animator_duration_scale = 0).
+	AnimationsOff bool
+
+	// TvResidualMS is the family's mean extra view-construction latency
+	// on top of the version base — the same knob newProfile's Table-II
+	// calibration absorbs per-phone residuals into. The Table-II seed
+	// population corresponds to roughly 120–350 ms; zero means a fast
+	// AOSP-like build with no residual.
+	TvResidualMS float64
+}
+
+// Synthesis calibration spreads: each synthetic device draws a residual
+// for its view-construction time and remove-notification path (the same
+// two knobs newProfile's Table-II calibration absorbs residuals into) and
+// a jitter-calibration multiplier applied on top of jitterFor's rule.
+const (
+	synthTvSpreadMS       = 25.0 // stddev of the per-device Tv residual around the family mean
+	synthTnRemoveSpreadMS = 2.0  // stddev of the per-device TnRemove residual
+	synthJitterLo         = 0.75 // jitter calibration multiplier bounds
+	synthJitterHi         = 1.6
+)
+
+// Synthesize builds a calibrated synthetic profile. The rng is the
+// device's own stream (the fleet generator derives one per device index);
+// Synthesize derives the named sub-streams "device/timing" and
+// "device/jitter" from it, in that order, and draws a fixed number of
+// values from each, so the derivation is reproducible and independent of
+// any other device's.
+func Synthesize(spec SynthSpec, rng *simrand.Source) Profile {
+	base := baseFor(spec.Version)
+	timing := rng.Derive("device/timing")
+	jitterRng := rng.Derive("device/jitter")
+
+	ts := spec.TimingScale
+	if ts <= 0 {
+		ts = 1
+	}
+	ns := spec.NotifPathScale
+	if ns <= 0 {
+		ns = 1
+	}
+
+	// Per-device calibration residuals, drawn from the explicit timing
+	// sub-stream: the slow-view-construction / slow-remove-path spread
+	// that Table II shows phones of the same version and OEM still have.
+	// The Tv residual centers on the family mean the way newProfile
+	// absorbs each seed phone's Table-II residual into Tv.
+	tvResidual := timing.Normal(spec.TvResidualMS, synthTvSpreadMS)
+	if tvResidual < 0 {
+		tvResidual = 0
+	}
+	tnRemoveResidual := math.Abs(timing.Normal(0, synthTnRemoveSpreadMS))
+	// The jitter calibration comes from its own stream: widening the
+	// timing spreads above cannot change a device's jitter character.
+	jitterCal := jitterRng.TruncNormal(1, 0.2, synthJitterLo, synthJitterHi)
+
+	height := notifHeightPx(spec.DPI)
+	tv := base.tv*ts*ns + tvResidual
+	tnRemove := base.tnRemove*ts*ns + tnRemoveResidual
+
+	calDist := func(mean float64) simrand.Dist {
+		return simrand.NormalDist(mean, jitterFor(mean)*jitterCal)
+	}
+	scaleBounded := func(d simrand.Dist) simrand.Dist {
+		d.Mean *= ts
+		d.Jitter *= ts * jitterCal
+		d.Min *= ts
+		d.Max *= ts
+		return d
+	}
+
+	p := Profile{
+		Manufacturer:      spec.Manufacturer,
+		Model:             spec.Model,
+		Family:            spec.Family,
+		Version:           spec.Version,
+		ScreenW:           spec.ScreenW,
+		ScreenH:           spec.ScreenH,
+		DPI:               spec.DPI,
+		NotifViewHeightPx: height,
+		Tam:               scaleBounded(base.tam),
+		Trm:               scaleBounded(base.trm),
+		TnShow:            calDist(base.tnShow * ts * ns),
+		TnRemove:          calDist(tnRemove),
+		Tas:               scaleBounded(base.tas),
+		Tv:                calDist(tv),
+		ToastCreate:       calDist(base.tas.Mean*ts + 3),
+		ToastNotify:       calDist(base.tam.Mean*ts + 1),
+		LoadFactor:        1,
+		AnimatorScale:     spec.AnimatorScale,
+		AnimationsOff:     spec.AnimationsOff,
+	}
+	return p
+}

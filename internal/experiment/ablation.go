@@ -33,20 +33,29 @@ type AblationReport struct {
 	MinAlphaStockFade, MinAlphaNoFade float64
 }
 
-// Ablations runs all four studies.
+// Ablations runs all four studies on the seed catalog.
 func Ablations(seed int64) (AblationReport, error) {
+	return AblationsOn(nil, seed)
+}
+
+// AblationsOn runs all four studies against an arbitrary device catalog
+// (nil means the seed catalog). The calibration phones (mi8, mi9,
+// pixel 2) resolve through pickModel, so a generated fleet substitutes
+// same-version devices.
+func AblationsOn(cat device.Catalog, seed int64) (AblationReport, error) {
+	c := catOr(cat)
 	var rep AblationReport
 	var err error
-	if rep.SlideStock, rep.SlideInstant, err = ablationSlide(seed); err != nil {
+	if rep.SlideStock, rep.SlideInstant, err = ablationSlide(c, seed); err != nil {
 		return rep, fmt.Errorf("experiment: slide ablation: %w", err)
 	}
-	if rep.BoundWithANA, rep.BoundWithoutANA, err = ablationANA(seed); err != nil {
+	if rep.BoundWithANA, rep.BoundWithoutANA, err = ablationANA(c, seed); err != nil {
 		return rep, fmt.Errorf("experiment: ANA ablation: %w", err)
 	}
-	if rep.OrderCorrect, rep.OrderInverted, err = ablationOrder(seed); err != nil {
+	if rep.OrderCorrect, rep.OrderInverted, err = ablationOrder(c, seed); err != nil {
 		return rep, fmt.Errorf("experiment: order ablation: %w", err)
 	}
-	if rep.MinAlphaStockFade, rep.MinAlphaNoFade, err = ablationToastFade(seed); err != nil {
+	if rep.MinAlphaStockFade, rep.MinAlphaNoFade, err = ablationToastFade(c, seed); err != nil {
 		return rep, fmt.Errorf("experiment: toast-fade ablation: %w", err)
 	}
 	return rep, nil
@@ -54,12 +63,9 @@ func Ablations(seed int64) (AblationReport, error) {
 
 // ablationSlide compares the attack under the stock slide-down against a
 // near-instant alert (one frame).
-func ablationSlide(seed int64) (stock, instant sysui.Outcome, err error) {
-	p, ok := device.ByModel("mi8")
-	if !ok {
-		return 0, 0, fmt.Errorf("mi8 profile missing")
-	}
-	d := time.Duration(float64(p.PaperUpperBoundD) * 0.9)
+func ablationSlide(cat device.Catalog, seed int64) (stock, instant sysui.Outcome, err error) {
+	p := pickModel(cat, "mi8", 9)
+	d := time.Duration(float64(boundOf(p)) * 0.9)
 	run := func(opts ...sysserver.Option) (sysui.Outcome, error) {
 		st, err := sysserver.Assemble(p, seed, opts...)
 		if err != nil {
@@ -92,11 +98,8 @@ func ablationSlide(seed int64) (stock, instant sysui.Outcome, err error) {
 
 // ablationANA measures the Λ1 bound on an Android 10 phone with the stock
 // ANA delay and with the delay removed.
-func ablationANA(seed int64) (with, without time.Duration, err error) {
-	p, ok := device.ByModel("mi9")
-	if !ok {
-		return 0, 0, fmt.Errorf("mi9 profile missing")
-	}
+func ablationANA(cat device.Catalog, seed int64) (with, without time.Duration, err error) {
+	p := pickModel(cat, "mi9", 10)
 	measure := func(ana time.Duration, set bool) (time.Duration, error) {
 		const resolution = 5 * time.Millisecond
 		lambda1At := func(d time.Duration) (bool, error) {
@@ -157,12 +160,9 @@ func ablationANA(seed int64) (with, without time.Duration, err error) {
 }
 
 // ablationOrder compares the two call orders of the swap.
-func ablationOrder(seed int64) (correct, inverted sysui.Outcome, err error) {
-	p, ok := device.ByModel("mi8")
-	if !ok {
-		return 0, 0, fmt.Errorf("mi8 profile missing")
-	}
-	d := time.Duration(float64(p.PaperUpperBoundD) * 0.9)
+func ablationOrder(cat device.Catalog, seed int64) (correct, inverted sysui.Outcome, err error) {
+	p := pickModel(cat, "mi8", 9)
+	d := time.Duration(float64(boundOf(p)) * 0.9)
 	run := func(addFirst bool) (sysui.Outcome, error) {
 		st, err := sysserver.Assemble(p, seed)
 		if err != nil {
@@ -195,8 +195,8 @@ func ablationOrder(seed int64) (correct, inverted sysui.Outcome, err error) {
 
 // ablationToastFade measures the fake keyboard's minimum opacity during a
 // fed toast chain with the stock fade versus no fade.
-func ablationToastFade(seed int64) (stockFade, noFade float64, err error) {
-	p := device.Default()
+func ablationToastFade(cat device.Catalog, seed int64) (stockFade, noFade float64, err error) {
+	p := cat.Default()
 	run := func(fade time.Duration) (float64, error) {
 		st, err := sysserver.Assemble(p, seed)
 		if err != nil {

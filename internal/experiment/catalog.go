@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/device"
+)
+
+// catOr returns cat, or the hand-calibrated seed catalog when nil. Every
+// experiment resolves its device population through this helper, so a
+// zero Config reproduces the paper's Table-I/II runs byte-identically
+// while a generated fleet slots in through the same constructors.
+func catOr(cat device.Catalog) device.Catalog {
+	if cat == nil {
+		return device.Seed()
+	}
+	return cat
+}
+
+// catParam appends the catalog identity to an experiment's params. The
+// seed catalog appends nothing, keeping historical journal identities
+// and golden reports byte-identical; any other catalog becomes part of
+// the experiment identity so a journaled run cannot silently resume
+// against a different population.
+func catParam(params string, cat device.Catalog) string {
+	c := catOr(cat)
+	if c.Name() == device.Seed().Name() {
+		return params
+	}
+	if params == "" {
+		return "catalog=" + c.Name()
+	}
+	return params + " catalog=" + c.Name()
+}
+
+// boundOf is the device's calibrated Λ1 bound: the paper's Table-II
+// value for seed profiles, the analytical Equation-(3) bound for
+// synthetic ones (whose PaperUpperBoundD is zero).
+func boundOf(p device.Profile) time.Duration {
+	if p.PaperUpperBoundD > 0 {
+		return p.PaperUpperBoundD
+	}
+	return p.ExpectedUpperBoundD()
+}
+
+// pickModel resolves a named calibration device in cat, degrading
+// gracefully so experiments pinned to a Table-I phone run unmodified
+// against generated fleets: an exact model hit first, else the first
+// profile running the same Android major version (the calibration points
+// are chosen for their version's behavior), else the catalog default.
+func pickModel(cat device.Catalog, model string, major int) device.Profile {
+	if p, ok := cat.ByModel(model); ok {
+		return p
+	}
+	if vs := device.ByVersionIn(cat, major); len(vs) > 0 {
+		return vs[0]
+	}
+	return cat.Default()
+}

@@ -57,8 +57,14 @@ func DefenseIPC(seed int64) (DefenseIPCReport, error) {
 // profile attaches no plane at all, so DefenseIPCWith(seed, faults.None())
 // is bit-identical to the unfaulted DefenseIPC(seed).
 func DefenseIPCWith(seed int64, prof faults.Profile) (DefenseIPCReport, error) {
+	return DefenseIPCOn(nil, seed, prof)
+}
+
+// DefenseIPCOn is DefenseIPCWith on an arbitrary device catalog's default
+// device (nil means the seed catalog).
+func DefenseIPCOn(cat device.Catalog, seed int64, prof faults.Profile) (DefenseIPCReport, error) {
 	var rep DefenseIPCReport
-	p := device.Default()
+	p := catOr(cat).Default()
 
 	// Scenario 1: the draw-and-destroy overlay attack, detector armed to
 	// terminate.
@@ -198,13 +204,17 @@ func DefenseNotif(seed int64) (DefenseNotifReport, error) {
 // on a lossy platform. A zero profile attaches no plane at all, keeping
 // DefenseNotifWith(seed, faults.None()) byte-identical to DefenseNotif.
 func DefenseNotifWith(seed int64, prof faults.Profile) (DefenseNotifReport, error) {
+	return DefenseNotifOn(nil, seed, prof)
+}
+
+// DefenseNotifOn is DefenseNotifWith on an arbitrary catalog (nil means
+// the seed catalog): the paper's Pixel 2 when the catalog has it, else
+// the closest Android 11 device, else the catalog default.
+func DefenseNotifOn(cat device.Catalog, seed int64, prof faults.Profile) (DefenseNotifReport, error) {
 	const delayT = 690 * time.Millisecond
 	rep := DefenseNotifReport{DelayT: delayT}
-	p, ok := device.ByModel("pixel 2")
-	if !ok {
-		return rep, fmt.Errorf("experiment: pixel 2 profile missing")
-	}
-	d := time.Duration(float64(p.PaperUpperBoundD) * 0.9)
+	p := pickModel(catOr(cat), "pixel 2", 11)
+	d := time.Duration(float64(boundOf(p)) * 0.9)
 	planeOpts := func(planeSeed int64) []sysserver.Option {
 		if prof.Zero() {
 			return nil
@@ -372,9 +382,15 @@ type DefenseToastGapReport struct {
 // device and a device with the gap defense; the defense must force the
 // toast to vanish between hand-offs (visible flicker).
 func DefenseToastGap(seed int64) (DefenseToastGapReport, error) {
+	return DefenseToastGapOn(nil, seed)
+}
+
+// DefenseToastGapOn is DefenseToastGap on an arbitrary catalog's default
+// device (nil means the seed catalog).
+func DefenseToastGapOn(cat device.Catalog, seed int64) (DefenseToastGapReport, error) {
 	const gap = 400 * time.Millisecond
 	rep := DefenseToastGapReport{Gap: gap}
-	p := device.Default()
+	p := catOr(cat).Default()
 	run := func(seed int64, defend bool) (float64, error) {
 		st, err := sysserver.Assemble(p, seed)
 		if err != nil {

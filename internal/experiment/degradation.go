@@ -169,13 +169,14 @@ type degMeta struct {
 // the sweep shards across the driver's worker pool.
 type degradationExp struct {
 	profileName string
+	cat         device.Catalog
 	meta        []degMeta
 	profile     string
 	seed        int64
 }
 
 func (e *degradationExp) Name() string   { return "degradation" }
-func (e *degradationExp) Params() string { return "profile=" + e.profileName }
+func (e *degradationExp) Params() string { return catParam("profile="+e.profileName, e.cat) }
 
 func (e *degradationExp) Trials(seed int64) ([]Trial, error) {
 	base, err := faults.ByName(e.profileName)
@@ -184,8 +185,8 @@ func (e *degradationExp) Trials(seed int64) ([]Trial, error) {
 	}
 	e.profile = base.Name
 	e.seed = seed
-	p := device.Default()
-	attackD := time.Duration(float64(p.PaperUpperBoundD) * 0.9)
+	p := catOr(e.cat).Default()
+	attackD := time.Duration(float64(boundOf(p)) * 0.9)
 	root := simrand.New(seed)
 	typists, err := input.Participants(root.Derive("typists"), degradationParticipants)
 	if err != nil {
@@ -371,7 +372,7 @@ func (e *degradationExp) Trials(seed int64) ([]Trial, error) {
 				var drep DefenseIPCReport
 				err := safeTrial(fmt.Sprintf("degradation defense-ipc (x=%.2f)", x), func() error {
 					var terr error
-					drep, terr = DefenseIPCWith(pseed+4000, prof)
+					drep, terr = DefenseIPCOn(e.cat, pseed+4000, prof)
 					return terr
 				})
 				if err != nil {
@@ -393,7 +394,7 @@ func (e *degradationExp) Trials(seed int64) ([]Trial, error) {
 				var nrep DefenseNotifReport
 				err := safeTrial(fmt.Sprintf("degradation defense-notif (x=%.2f)", x), func() error {
 					var terr error
-					nrep, terr = DefenseNotifWith(pseed+5000, prof)
+					nrep, terr = DefenseNotifOn(e.cat, pseed+5000, prof)
 					return terr
 				})
 				if err != nil {

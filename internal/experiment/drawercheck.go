@@ -42,12 +42,18 @@ type DrawerCheckRow struct {
 // DrawerCheck samples drawer state at 1 ms granularity over a 20 s attack
 // for several attacking windows.
 func DrawerCheck(model string, seed int64) (DrawerCheckReport, error) {
-	p, ok := device.ByModel(model)
+	return DrawerCheckOn(nil, model, seed)
+}
+
+// DrawerCheckOn is DrawerCheck with the model resolved in an arbitrary
+// device catalog (nil means the seed catalog).
+func DrawerCheckOn(cat device.Catalog, model string, seed int64) (DrawerCheckReport, error) {
+	p, ok := catOr(cat).ByModel(model)
 	if !ok {
 		return DrawerCheckReport{}, fmt.Errorf("experiment: unknown device model %q", model)
 	}
 	rep := DrawerCheckReport{Model: model}
-	bound := float64(p.PaperUpperBoundD)
+	bound := float64(boundOf(p))
 	// The last sweep point sits well past the bound, where the animation
 	// gets far enough to render before each retraction.
 	for i, frac := range []float64{0.5, 0.9, 2.5} {

@@ -95,10 +95,11 @@ func driveKeystrokes(st *sysserver.Stack, ks []input.Keystroke, sink *errSink) e
 	return nil
 }
 
-// participantDevice assigns participant i their phone: the study pairs the
-// 30 participants 1:1 with the Table I devices.
-func participantDevice(i int) device.Profile {
-	profiles := device.Profiles()
+// participantDevice assigns participant i their phone from the catalog:
+// with the seed catalog the study pairs the 30 participants 1:1 with the
+// Table I devices.
+func participantDevice(cat device.Catalog, i int) device.Profile {
+	profiles := cat.Profiles()
 	return profiles[i%len(profiles)]
 }
 

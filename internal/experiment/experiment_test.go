@@ -145,7 +145,7 @@ func TestCaptureRateShape(t *testing.T) {
 		byVersionN := make(map[int]int)
 		sum := 0.0
 		for i := 0; i < NumParticipants; i++ {
-			p := participantDevice(i)
+			p := participantDevice(device.Seed(), i)
 			rate, err := runCaptureTrial(p, typists[i], d, root.DeriveIndexed("s", int(d/time.Millisecond)*100+i), 5+int64(i))
 			if err != nil {
 				t.Fatalf("runCaptureTrial: %v", err)

@@ -55,18 +55,19 @@ type Fig6Point struct {
 // point.
 type fig6Exp struct {
 	model string
+	cat   device.Catalog
 	ds    []time.Duration
 }
 
 func (e *fig6Exp) Name() string   { return "fig6" }
-func (e *fig6Exp) Params() string { return "model=" + e.model }
+func (e *fig6Exp) Params() string { return catParam("model="+e.model, e.cat) }
 
 func (e *fig6Exp) Trials(seed int64) ([]Trial, error) {
-	p, ok := device.ByModel(e.model)
+	p, ok := catOr(e.cat).ByModel(e.model)
 	if !ok {
 		return nil, fmt.Errorf("experiment: unknown device model %q", e.model)
 	}
-	bound := p.PaperUpperBoundD
+	bound := boundOf(p)
 	// Sweep from 40% of the bound to bound + 750 ms in 30 ms steps: the
 	// five outcome regimes all live in this range (Λ5 needs D past the
 	// slide, text layout and message render), and the narrowest regime

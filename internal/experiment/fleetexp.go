@@ -1,0 +1,321 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/device"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/sysserver"
+	"repro/internal/sysui"
+)
+
+// Fleet-sweep measurement constants: the notification-defense delay is the
+// paper's t = 690 ms; the coarse bound search trades Table II's 5 ms
+// resolution for a 20 ms grid so a thousand-device sweep stays tractable.
+const (
+	fleetNotifDelayT   = 690 * time.Millisecond
+	fleetBoundResol    = 20 * time.Millisecond
+	fleetBoundCeil     = 1600 * time.Millisecond
+	fleetBoundTrialDur = 4 * time.Second
+	fleetAttackDur     = 6 * time.Second
+	fleetIPCAttackDur  = 20 * time.Second
+	fleetTrialSeedStep = 7919 // distinct prime stride per device
+	fleetDefaultSize   = 1000
+	fleetDefaultSeed   = 42
+)
+
+// fleetRec is the journaled per-device record of the sweep: the four
+// headline measurements on that device under its own calibrated fault
+// plane (thermal throttling included).
+type fleetRec struct {
+	// Skipped marks a device whose measurements failed; it is excluded
+	// from the aggregates and counted in the report.
+	Skipped bool `json:"skipped,omitempty"`
+	// Suppressed is the Fig. 6 headline at D = 0.9× the device's analytic
+	// bound: the alert stayed invisible (Λ1), i.e. the attack succeeds.
+	Suppressed bool `json:"suppressed"`
+	// BoundD is the coarse Table II Λ1 upper bound (0 when even the
+	// smallest probe leaks).
+	BoundD time.Duration `json:"bound_d"`
+	// NotifHolds is the §VII-B verdict: with the delayed-removal patch the
+	// same attack degrades to Λ5.
+	NotifHolds bool `json:"notif_holds"`
+	// IPCDetected and IPCTerminated are the §VII-A verdict: the Binder
+	// detector flagged the attacker and revoked its overlays.
+	IPCDetected   bool `json:"ipc_detected"`
+	IPCTerminated bool `json:"ipc_terminated"`
+}
+
+// fleetExp is the generative-population sweep: synthesize a market-share-
+// weighted device fleet, then re-run the paper's headline attack and both
+// §VII defenses on every device — each under that device's own fault
+// calibration — and aggregate by market weight. One trial per device, so
+// the sweep shards across the worker pool and journals per device.
+type fleetExp struct {
+	size      int
+	fleetSeed int64
+	fl        *fleet.Fleet
+}
+
+func (e *fleetExp) Name() string { return "fleet" }
+func (e *fleetExp) Params() string {
+	return fmt.Sprintf("size=%d fleet-seed=%d", e.size, e.fleetSeed)
+}
+
+// planeFor builds the per-run assembly options for a device's fault
+// profile: a fresh plane per stack (planes are stateful), none at all for
+// a zero profile so unfaulted devices keep the exact unfaulted stack.
+func planeFor(prof faults.Profile, seed int64) []sysserver.Option {
+	if prof.Zero() {
+		return nil
+	}
+	return []sysserver.Option{sysserver.WithFaults(faults.NewPlane(prof, seed))}
+}
+
+// fleetCoarseBound is measureUpperBoundD on a 20 ms grid with a single
+// vote per probe — each probe under a fresh instance of the device's
+// fault plane.
+func fleetCoarseBound(p device.Profile, prof faults.Profile, seed int64) (time.Duration, error) {
+	probe := int64(0)
+	lambda1At := func(d time.Duration) (bool, error) {
+		probe++
+		s := seed + probe*101
+		o, err := OutcomeForD(p, d, fleetBoundTrialDur, s, planeFor(prof, s)...)
+		if err != nil {
+			return false, err
+		}
+		return o == sysui.Lambda1, nil
+	}
+	lo, hi := fleetBoundResol, fleetBoundCeil
+	ok, err := lambda1At(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	for hi-lo > fleetBoundResol {
+		mid := (lo + hi) / 2 / fleetBoundResol * fleetBoundResol
+		ok, err := lambda1At(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// fleetNotifHolds reruns the attack with the §VII-B delayed-removal patch
+// enabled and reports whether the defense wins (the outcome degrades to
+// Λ5: the alert completes its lifecycle in front of the user).
+func fleetNotifHolds(p device.Profile, prof faults.Profile, d time.Duration, seed int64) (bool, error) {
+	st, err := assembleAttackStack(p, seed, planeFor(prof, seed+1)...)
+	if err != nil {
+		return false, err
+	}
+	st.Server.EnableEnhancedNotificationDefense(fleetNotifDelayT)
+	o, err := runOverlayAttackOn(st, p, d, fleetAttackDur)
+	if err != nil {
+		return false, err
+	}
+	return o == sysui.Lambda5, nil
+}
+
+// fleetIPCVerdict runs the armed Binder detector against the attack and
+// reports whether it flagged the attacker and revoked its overlays.
+func fleetIPCVerdict(p device.Profile, prof faults.Profile, d time.Duration, seed int64) (detected, terminated bool, err error) {
+	st, err := assembleAttackStack(p, seed, planeFor(prof, seed+1)...)
+	if err != nil {
+		return false, false, err
+	}
+	det, err := defense.NewIPCDetector(defense.IPCDetectorConfig{})
+	if err != nil {
+		return false, false, fmt.Errorf("experiment: fleet detector: %w", err)
+	}
+	if err := det.Install(st, true); err != nil {
+		return false, false, fmt.Errorf("experiment: install fleet detector: %w", err)
+	}
+	if _, err := runOverlayAttackOn(st, p, d, fleetIPCAttackDur); err != nil {
+		return false, false, err
+	}
+	detected = det.Detected(AttackerApp)
+	terminated = !st.WM.HasOverlayPermission(AttackerApp) && st.WM.OverlayCount(AttackerApp) == 0
+	return detected, terminated, nil
+}
+
+// runOverlayAttackOn starts the draw-and-destroy attack on an assembled
+// stack, runs it for attackDur plus settle time, and reports the worst
+// alert outcome.
+func runOverlayAttackOn(st *sysserver.Stack, p device.Profile, d, attackDur time.Duration) (sysui.Outcome, error) {
+	atk, err := core.NewOverlayAttack(st, core.OverlayAttackConfig{
+		App:    AttackerApp,
+		D:      d,
+		Bounds: screenOf(p),
+	})
+	if err != nil {
+		return 0, fmt.Errorf("experiment: build overlay attack: %w", err)
+	}
+	if err := atk.Start(); err != nil {
+		return 0, fmt.Errorf("experiment: start attack: %w", err)
+	}
+	st.Clock.MustAfter(attackDur, "experiment/stop", atk.Stop)
+	if err := st.Clock.RunFor(attackDur + 5*time.Second); err != nil {
+		return 0, fmt.Errorf("experiment: run: %w", err)
+	}
+	if err := atk.Err(); err != nil {
+		return 0, err
+	}
+	return st.UI.WorstOutcome(), nil
+}
+
+func (e *fleetExp) Trials(seed int64) ([]Trial, error) {
+	fl, err := fleet.Generate(e.size, e.fleetSeed)
+	if err != nil {
+		return nil, err
+	}
+	e.fl = fl
+	entries := fl.Entries()
+	trials := make([]Trial, 0, len(entries))
+	for i, ent := range entries {
+		i, ent := i, ent
+		label := fmt.Sprintf("fleet device %s", ent.Profile.Model)
+		trials = append(trials, NewTrial(
+			fmt.Sprintf("fleet size=%d fleet-seed=%d seed=%d device=%s",
+				e.size, e.fleetSeed, seed, ent.Profile.Model),
+			label,
+			func() (fleetRec, error) {
+				var rec fleetRec
+				err := safeTrial(label, func() error {
+					return measureFleetDevice(&rec, ent, seed+int64(i)*fleetTrialSeedStep)
+				})
+				if err != nil {
+					// A deterministic per-device failure is journaled as a
+					// skip so the sweep completes and resumes identically.
+					return fleetRec{Skipped: true}, nil
+				}
+				return rec, nil
+			}))
+	}
+	return trials, nil
+}
+
+// measureFleetDevice runs the four sweep measurements on one device.
+func measureFleetDevice(rec *fleetRec, ent fleet.Entry, seed int64) error {
+	p := ent.Profile
+	d := time.Duration(float64(boundOf(p)) * 0.9)
+
+	o, err := OutcomeForD(p, d, fleetAttackDur, seed, planeFor(ent.Faults, seed)...)
+	if err != nil {
+		return err
+	}
+	rec.Suppressed = o == sysui.Lambda1
+
+	if rec.BoundD, err = fleetCoarseBound(p, ent.Faults, seed+1000); err != nil {
+		return err
+	}
+	if rec.NotifHolds, err = fleetNotifHolds(p, ent.Faults, d, seed+2000); err != nil {
+		return err
+	}
+	if rec.IPCDetected, rec.IPCTerminated, err = fleetIPCVerdict(p, ent.Faults, d, seed+3000); err != nil {
+		return err
+	}
+	return nil
+}
+
+// fleetAgg accumulates one population slice's market-weighted aggregates.
+type fleetAgg struct {
+	devices    int
+	weight     float64
+	suppressed float64 // weight-sum of attack successes
+	boundW     float64 // weight-sum of BoundD (for the weighted mean)
+	notif      float64
+	ipcDet     float64
+	ipcTerm    float64
+}
+
+func (a *fleetAgg) add(w float64, rec fleetRec) {
+	a.devices++
+	a.weight += w
+	if rec.Suppressed {
+		a.suppressed += w
+	}
+	a.boundW += w * float64(rec.BoundD)
+	if rec.NotifHolds {
+		a.notif += w
+	}
+	if rec.IPCDetected {
+		a.ipcDet += w
+	}
+	if rec.IPCTerminated {
+		a.ipcTerm += w
+	}
+}
+
+// row renders the aggregate as one table line. Percentages are weighted
+// within the slice; the bound is the slice's weighted mean.
+func (a *fleetAgg) row(name string, totalWeight float64) string {
+	if a.weight == 0 {
+		return fmt.Sprintf("  %-10s %5d      -        -        -         -         -\n", name, a.devices)
+	}
+	meanBound := time.Duration(a.boundW / a.weight).Round(time.Millisecond)
+	return fmt.Sprintf("  %-10s %5d %7.2f%% %7dms %7.1f%% %8.1f%% %8.1f%%/%.1f%%\n",
+		name, a.devices, 100*a.weight/totalWeight,
+		meanBound/time.Millisecond,
+		100*a.suppressed/a.weight,
+		100*a.notif/a.weight,
+		100*a.ipcDet/a.weight, 100*a.ipcTerm/a.weight)
+}
+
+func (e *fleetExp) Render(results []any) (Output, error) {
+	byFamily := map[string]*fleetAgg{}
+	var famOrder []string
+	var animOff, overall fleetAgg
+	skipped := 0
+	var totalWeight float64
+	for i, ent := range e.fl.Entries() {
+		rec := Res[fleetRec](results, i)
+		if rec.Skipped {
+			skipped++
+			continue
+		}
+		w := ent.Weight
+		totalWeight += w
+		fam := ent.Profile.Family
+		agg, ok := byFamily[fam]
+		if !ok {
+			agg = &fleetAgg{}
+			byFamily[fam] = agg
+			famOrder = append(famOrder, fam)
+		}
+		agg.add(w, rec)
+		overall.add(w, rec)
+		if ent.Profile.AnimationsOff {
+			animOff.add(w, rec)
+		}
+	}
+	sort.Strings(famOrder)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fleet sweep — market-weighted attack success and defense efficacy\n")
+	fmt.Fprintf(&sb, "%s, attack at D = 0.9×analytic bound, per-device fault calibration active\n", e.fl.Name())
+	sb.WriteString("  family     count   share    Λ1-bound  attack   notif-def  ipc-det/term\n")
+	for _, fam := range famOrder {
+		sb.WriteString(byFamily[fam].row(fam, totalWeight))
+	}
+	sb.WriteString(animOff.row("anim-off", totalWeight))
+	sb.WriteString(overall.row("fleet-wide", totalWeight))
+	if skipped > 0 {
+		fmt.Fprintf(&sb, "  (%d devices skipped after measurement failures)\n", skipped)
+	}
+	return Output{Text: sb.String(), Skipped: skipped}, nil
+}

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fleetTestSize keeps the sweep's test population small enough for the
+// suite while still covering several OEM families.
+const fleetTestSize = 40
+
+// TestGoldenFleet locks the market-weighted sweep report at the reference
+// seeds (the fleet generation seed and the run seed move together, so a
+// hard-coded 42 anywhere in generation or measurement cannot hide).
+func TestGoldenFleet(t *testing.T) {
+	for _, c := range goldenSeeds() {
+		e := &fleetExp{size: fleetTestSize, fleetSeed: c.seed}
+		out, err := Run(e, RunOpts{Seed: c.seed, Workers: goldenWorkers})
+		if err != nil {
+			t.Fatalf("fleet (seed %d): %v", c.seed, err)
+		}
+		checkGolden(t, "fleet"+c.suffix, out.Text)
+	}
+}
+
+// TestFleetRegistryDefaults checks the registry wiring: zero Config values
+// take the sweep defaults, explicit values flow into the journal params.
+func TestFleetRegistryDefaults(t *testing.T) {
+	exp, err := New("fleet", Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got, want := exp.Params(), "size=1000 fleet-seed=42"; got != want {
+		t.Errorf("default params = %q, want %q", got, want)
+	}
+	exp, err = New("fleet", Config{FleetSize: 5, FleetSeed: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got, want := exp.Params(), "size=5 fleet-seed=3"; got != want {
+		t.Errorf("params = %q, want %q", got, want)
+	}
+}
+
+// TestFleetJournalResume simulates a SIGKILL mid-sweep: a journal truncated
+// after half the per-device records must resume to a report byte-identical
+// to the uninterrupted baseline.
+func TestFleetJournalResume(t *testing.T) {
+	const seed = 7
+	mk := func() *fleetExp { return &fleetExp{size: 10, fleetSeed: 7} }
+	baseline, err := Run(mk(), RunOpts{Seed: seed})
+	if err != nil {
+		t.Fatalf("baseline fleet: %v", err)
+	}
+
+	dir := t.TempDir()
+	full := filepath.Join(dir, "fleet.journal")
+	j, err := OpenJournal(full, "fleet", seed, mk().Params())
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	if _, err := Run(mk(), RunOpts{Seed: seed, Journal: j, Workers: 4}); err != nil {
+		t.Fatalf("journaled fleet: %v", err)
+	}
+	j.Close()
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if len(lines) < 6 {
+		t.Fatalf("journal too short: %d lines", len(lines))
+	}
+	// Keep the header plus half the records — the state a kill -9 leaves.
+	truncated := bytes.Join(lines[:1+len(lines)/2], nil)
+	part := filepath.Join(dir, "fleet-truncated.journal")
+	if err := os.WriteFile(part, truncated, 0o644); err != nil {
+		t.Fatalf("write truncated journal: %v", err)
+	}
+	j2, err := OpenJournal(part, "fleet", seed, mk().Params())
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer j2.Close()
+	resumed, err := Run(mk(), RunOpts{Seed: seed, Journal: j2, Workers: 4})
+	if err != nil {
+		t.Fatalf("resumed fleet: %v", err)
+	}
+	if resumed.Text != baseline.Text {
+		t.Fatalf("resumed render diverges from baseline\n-- baseline --\n%s\n-- resumed --\n%s",
+			baseline.Text, resumed.Text)
+	}
+}

@@ -20,7 +20,9 @@ var parallelHeavy = map[string]bool{
 // means a trial closure still touches a shared RNG stream at run time
 // instead of deriving it in Trials.
 func TestParallelDeterminism(t *testing.T) {
-	cfg := Config{Model: "mi8", Trials: 1, CorpusN: 20000, FaultProfile: "chaos"}
+	// FleetSize keeps the fleet sweep's population small here; the default
+	// 1000-device sweep belongs to the CLI, not the unit suite.
+	cfg := Config{Model: "mi8", Trials: 1, CorpusN: 20000, FaultProfile: "chaos", FleetSize: 16, FleetSeed: 42}
 	for _, name := range Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {

@@ -1,6 +1,11 @@
 package experiment
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/faults"
+)
 
 // Config carries the CLI-level parameters an experiment constructor may
 // need besides the seed. Zero values fall back to the flag defaults the
@@ -15,6 +20,16 @@ type Config struct {
 	CorpusN int
 	// FaultProfile names the fault profile for the degradation sweep.
 	FaultProfile string
+	// FleetSize and FleetSeed parameterize the generated population of the
+	// fleet sweep; zero values take the sweep's defaults (1000 devices,
+	// seed 42).
+	FleetSize int
+	FleetSeed int64
+	// Catalog is the device population the experiments draw from. Nil means
+	// the seed catalog (the paper's Table I devices), which keeps every
+	// journal identity and golden report byte-identical to the pre-catalog
+	// builds.
+	Catalog device.Catalog
 }
 
 // journalNamer lets an experiment override the journal identity its runs
@@ -51,24 +66,26 @@ var registrations = []registration{
 	{"fig4", true, func(Config) Experiment {
 		return &oneShot{name: "fig4", run: func(int64) (string, error) { return RenderFig4(), nil }}
 	}},
-	{"fig6", true, func(cfg Config) Experiment { return &fig6Exp{model: cfg.Model} }},
-	{"table2", true, func(Config) Experiment { return &table2Exp{} }},
-	{"load", true, func(cfg Config) Experiment { return &loadExp{model: cfg.Model} }},
-	{"fig7", true, func(Config) Experiment { return &captureExp{} }},
-	{"fig8", true, func(Config) Experiment { return &captureExp{fig8: true} }},
-	{"table3", true, func(cfg Config) Experiment { return &table3Exp{perParticipant: cfg.Trials} }},
-	{"table4", true, func(Config) Experiment {
-		return &oneShot{name: "table4", run: func(seed int64) (string, error) {
-			rows, err := TableIV(seed)
+	{"fig6", true, func(cfg Config) Experiment { return &fig6Exp{model: cfg.Model, cat: cfg.Catalog} }},
+	{"table2", true, func(cfg Config) Experiment { return &table2Exp{cat: cfg.Catalog} }},
+	{"load", true, func(cfg Config) Experiment { return &loadExp{model: cfg.Model, cat: cfg.Catalog} }},
+	{"fig7", true, func(cfg Config) Experiment { return &captureExp{cat: cfg.Catalog} }},
+	{"fig8", true, func(cfg Config) Experiment { return &captureExp{fig8: true, cat: cfg.Catalog} }},
+	{"table3", true, func(cfg Config) Experiment {
+		return &table3Exp{perParticipant: cfg.Trials, cat: cfg.Catalog}
+	}},
+	{"table4", true, func(cfg Config) Experiment {
+		return &oneShot{name: "table4", params: catParam("", cfg.Catalog), run: func(seed int64) (string, error) {
+			rows, err := TableIVOn(cfg.Catalog, seed)
 			if err != nil {
 				return "", err
 			}
 			return RenderTableIV(rows), nil
 		}}
 	}},
-	{"stealth", true, func(Config) Experiment {
-		return &oneShot{name: "stealth", run: func(seed int64) (string, error) {
-			rep, err := Stealthiness(seed)
+	{"stealth", true, func(cfg Config) Experiment {
+		return &oneShot{name: "stealth", params: catParam("", cfg.Catalog), run: func(seed int64) (string, error) {
+			rep, err := StealthinessOn(cfg.Catalog, seed)
 			if err != nil {
 				return "", err
 			}
@@ -87,27 +104,27 @@ var registrations = []registration{
 	{"precision", true, func(cfg Config) Experiment {
 		return &precisionExp{corpusN: cfg.CorpusN}
 	}},
-	{"defense-ipc", true, func(Config) Experiment {
-		return &oneShot{name: "defense-ipc", run: func(seed int64) (string, error) {
-			rep, err := DefenseIPC(seed)
+	{"defense-ipc", true, func(cfg Config) Experiment {
+		return &oneShot{name: "defense-ipc", params: catParam("", cfg.Catalog), run: func(seed int64) (string, error) {
+			rep, err := DefenseIPCOn(cfg.Catalog, seed, faults.None())
 			if err != nil {
 				return "", err
 			}
 			return RenderDefenseIPC(rep), nil
 		}}
 	}},
-	{"defense-notif", true, func(Config) Experiment {
-		return &oneShot{name: "defense-notif", run: func(seed int64) (string, error) {
-			rep, err := DefenseNotif(seed)
+	{"defense-notif", true, func(cfg Config) Experiment {
+		return &oneShot{name: "defense-notif", params: catParam("", cfg.Catalog), run: func(seed int64) (string, error) {
+			rep, err := DefenseNotifOn(cfg.Catalog, seed, faults.None())
 			if err != nil {
 				return "", err
 			}
 			return RenderDefenseNotif(rep), nil
 		}}
 	}},
-	{"defense-toastgap", true, func(Config) Experiment {
-		return &oneShot{name: "defense-toastgap", run: func(seed int64) (string, error) {
-			rep, err := DefenseToastGap(seed)
+	{"defense-toastgap", true, func(cfg Config) Experiment {
+		return &oneShot{name: "defense-toastgap", params: catParam("", cfg.Catalog), run: func(seed int64) (string, error) {
+			rep, err := DefenseToastGapOn(cfg.Catalog, seed)
 			if err != nil {
 				return "", err
 			}
@@ -115,8 +132,8 @@ var registrations = []registration{
 		}}
 	}},
 	{"drawer", true, func(cfg Config) Experiment {
-		return &oneShot{name: "drawer", params: "model=" + cfg.Model, run: func(seed int64) (string, error) {
-			rep, err := DrawerCheck(cfg.Model, seed)
+		return &oneShot{name: "drawer", params: catParam("model="+cfg.Model, cfg.Catalog), run: func(seed int64) (string, error) {
+			rep, err := DrawerCheckOn(cfg.Catalog, cfg.Model, seed)
 			if err != nil {
 				return "", err
 			}
@@ -132,20 +149,32 @@ var registrations = []registration{
 			return RenderScatterSensitivity(rows), nil
 		}}
 	}},
-	{"ablations", true, func(Config) Experiment {
-		return &oneShot{name: "ablations", run: func(seed int64) (string, error) {
-			rep, err := Ablations(seed)
+	{"ablations", true, func(cfg Config) Experiment {
+		return &oneShot{name: "ablations", params: catParam("", cfg.Catalog), run: func(seed int64) (string, error) {
+			rep, err := AblationsOn(cfg.Catalog, seed)
 			if err != nil {
 				return "", err
 			}
 			return RenderAblations(rep), nil
 		}}
 	}},
-	{"devices", false, func(Config) Experiment {
-		return &oneShot{name: "devices", run: func(int64) (string, error) { return RenderDeviceCatalog(), nil }}
+	{"devices", false, func(cfg Config) Experiment {
+		return &oneShot{name: "devices", params: catParam("", cfg.Catalog), run: func(int64) (string, error) {
+			return RenderDeviceCatalogOf(catOr(cfg.Catalog)), nil
+		}}
 	}},
 	{"degradation", false, func(cfg Config) Experiment {
-		return &degradationExp{profileName: cfg.FaultProfile}
+		return &degradationExp{profileName: cfg.FaultProfile, cat: cfg.Catalog}
+	}},
+	{"fleet", false, func(cfg Config) Experiment {
+		size, fseed := cfg.FleetSize, cfg.FleetSeed
+		if size == 0 {
+			size = fleetDefaultSize
+		}
+		if fseed == 0 {
+			fseed = fleetDefaultSeed
+		}
+		return &fleetExp{size: size, fleetSeed: fseed}
 	}},
 }
 

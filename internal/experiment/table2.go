@@ -70,14 +70,19 @@ func measureUpperBoundD(p device.Profile, seed int64, opts ...sysserver.Option) 
 }
 
 // table2Exp regenerates Table II: the upper boundary of D per device, one
-// trial per device.
-type table2Exp struct{}
+// trial per device (the catalog's devices; the seed catalog reproduces
+// the paper's 30 phones).
+type table2Exp struct {
+	cat      device.Catalog
+	profiles []device.Profile
+}
 
 func (e *table2Exp) Name() string   { return "table2" }
-func (e *table2Exp) Params() string { return "" }
+func (e *table2Exp) Params() string { return catParam("", e.cat) }
 
 func (e *table2Exp) Trials(seed int64) ([]Trial, error) {
-	profiles := device.Profiles()
+	e.profiles = catOr(e.cat).Profiles()
+	profiles := e.profiles
 	trials := make([]Trial, 0, len(profiles))
 	for i, p := range profiles {
 		i, p := i, p
@@ -97,9 +102,8 @@ func (e *table2Exp) Trials(seed int64) ([]Trial, error) {
 
 // rows pairs the device catalog with the measured bounds.
 func (e *table2Exp) rows(results []any) []TableIIRow {
-	profiles := device.Profiles()
-	out := make([]TableIIRow, 0, len(profiles))
-	for i, p := range profiles {
+	out := make([]TableIIRow, 0, len(e.profiles))
+	for i, p := range e.profiles {
 		out = append(out, TableIIRow{
 			Manufacturer: p.Manufacturer,
 			Model:        p.Model,
@@ -131,10 +135,20 @@ func RenderTableII(rows []TableIIRow) string {
 // screen, Android version, analytical Λ1 bound (Equation (3) form) and
 // expected mistouch window — the calibration view of the 30 phones.
 func RenderDeviceCatalog() string {
+	return RenderDeviceCatalogOf(device.Seed())
+}
+
+// RenderDeviceCatalogOf is RenderDeviceCatalog for any catalog; the seed
+// catalog renders the historical header and rows byte-identically.
+func RenderDeviceCatalogOf(cat device.Catalog) string {
 	var sb strings.Builder
-	sb.WriteString("Device catalog — Tables I/II with calibrated timing model\n")
+	if cat.Name() == device.Seed().Name() {
+		sb.WriteString("Device catalog — Tables I/II with calibrated timing model\n")
+	} else {
+		fmt.Fprintf(&sb, "Device catalog — %s\n", cat.Name())
+	}
 	sb.WriteString("  manufacturer  model        ver   screen      paper-D  analytic-D  E[Tmis]\n")
-	for _, p := range device.Profiles() {
+	for _, p := range cat.Profiles() {
 		fmt.Fprintf(&sb, "  %-12s  %-12s %-4s  %4dx%-5d  %5dms  %7.0fms  %5.2fms\n",
 			p.Manufacturer, p.Model, p.Version,
 			p.ScreenW, p.ScreenH,
@@ -156,14 +170,15 @@ type LoadImpactRow struct {
 // bounds "almost the same".
 type loadExp struct {
 	model string
+	cat   device.Catalog
 	loads []int
 }
 
 func (e *loadExp) Name() string   { return "load" }
-func (e *loadExp) Params() string { return "model=" + e.model }
+func (e *loadExp) Params() string { return catParam("model="+e.model, e.cat) }
 
 func (e *loadExp) Trials(seed int64) ([]Trial, error) {
-	p, ok := device.ByModel(e.model)
+	p, ok := catOr(e.cat).ByModel(e.model)
 	if !ok {
 		return nil, fmt.Errorf("experiment: unknown device model %q", e.model)
 	}

@@ -229,11 +229,14 @@ type stealTrialMeta struct {
 // sub-keyboards (10 in the paper).
 type table3Exp struct {
 	perParticipant int
+	cat            device.Catalog
 	meta           []stealTrialMeta
 }
 
-func (e *table3Exp) Name() string   { return "table3" }
-func (e *table3Exp) Params() string { return fmt.Sprintf("trials=%d", e.perParticipant) }
+func (e *table3Exp) Name() string { return "table3" }
+func (e *table3Exp) Params() string {
+	return catParam(fmt.Sprintf("trials=%d", e.perParticipant), e.cat)
+}
 
 func (e *table3Exp) Trials(seed int64) ([]Trial, error) {
 	if e.perParticipant <= 0 {
@@ -253,7 +256,7 @@ func (e *table3Exp) Trials(seed int64) ([]Trial, error) {
 	var trials []Trial
 	for li, length := range PasswordLengths() {
 		for i := 0; i < NumParticipants; i++ {
-			p := participantDevice(i)
+			p := participantDevice(catOr(e.cat), i)
 			for tr := 0; tr < e.perParticipant; tr++ {
 				li, length, i, tr := li, length, i, tr
 				// Every shared-stream draw happens here, in the exact order

@@ -64,6 +64,20 @@ type Profile struct {
 	ToastBurstProb float64
 	ToastBurstMax  int
 
+	// Thermal plane: sustained-load throttling that drifts frame times.
+	// With probability ThermalProb — decided once per run, on the first
+	// scheduled frame — the device throttles: the first
+	// ThermalOnsetFrames frames render on time, then a per-frame drift
+	// ramps linearly over the next ThermalRampFrames frames up to a
+	// ThermalMaxDrift-sampled ceiling and stays there. Frames are the
+	// unit (not wall time) because the hook fires once per scheduled
+	// frame; at the 10 ms grid, 100 frames ≈ 1 s of sustained animation
+	// load.
+	ThermalProb        float64
+	ThermalOnsetFrames int
+	ThermalRampFrames  int
+	ThermalMaxDrift    simrand.Dist
+
 	// Burst gate: a seeded two-state (quiet/burst) Markov chain, stepped
 	// once per binder transaction, that correlates the drop and dup
 	// classes into bursts. With BurstEnterProb > 0 the gate is enabled:
@@ -83,7 +97,8 @@ type Profile struct {
 func (p Profile) Zero() bool {
 	return p.DropProb <= 0 && p.DupProb <= 0 && p.SpikeProb <= 0 &&
 		p.ReorderProb <= 0 && p.FrameDropProb <= 0 && p.FrameJitterProb <= 0 &&
-		p.PreemptProb <= 0 && (p.ToastBurstProb <= 0 || p.ToastBurstMax <= 0)
+		p.PreemptProb <= 0 && (p.ToastBurstProb <= 0 || p.ToastBurstMax <= 0) &&
+		p.ThermalProb <= 0
 }
 
 // Scale returns a copy with every probability multiplied by x (clamped to
@@ -111,6 +126,7 @@ func (p Profile) Scale(x float64) Profile {
 	q.PreemptProb = mul(p.PreemptProb)
 	q.ToastBurstProb = mul(p.ToastBurstProb)
 	q.BurstEnterProb = mul(p.BurstEnterProb)
+	q.ThermalProb = mul(p.ThermalProb)
 	return q
 }
 
@@ -179,6 +195,21 @@ func BinderBurst() Profile {
 	}
 }
 
+// Thermal models sustained-load throttling: the run always throttles,
+// frames render on time for the first ~600 ms of animation load, then the
+// per-frame drift ramps over the next ~1.2 s to a ceiling of a few
+// milliseconds per frame — the slow-motion animation stretch of a hot
+// SoC stepping down its clocks.
+func Thermal() Profile {
+	return Profile{
+		Name:               "thermal",
+		ThermalProb:        1,
+		ThermalOnsetFrames: 60,
+		ThermalRampFrames:  120,
+		ThermalMaxDrift:    simrand.NormalDist(6, 2),
+	}
+}
+
 // Chaos combines every fault class at moderate rates.
 func Chaos() Profile {
 	return Profile{
@@ -200,13 +231,14 @@ func Chaos() Profile {
 }
 
 var profilesByName = map[string]func() Profile{
-	"none":   None,
-	"binder": BinderStress,
-	"burst":  BinderBurst,
-	"anim":   AnimStress,
-	"sched":  SchedStress,
-	"toast":  ToastStress,
-	"chaos":  Chaos,
+	"none":    None,
+	"binder":  BinderStress,
+	"burst":   BinderBurst,
+	"anim":    AnimStress,
+	"sched":   SchedStress,
+	"toast":   ToastStress,
+	"thermal": Thermal,
+	"chaos":   Chaos,
 }
 
 // ByName resolves a named profile (see Names).
@@ -245,6 +277,13 @@ type Stats struct {
 	FramesDropped  uint64
 	FramesJittered uint64
 
+	// ThermalRuns counts runs in which the throttling coin came up armed
+	// (at most 1 per Plane); FramesThrottled counts frames past onset that
+	// received a thermal drift, and ThermalDriftTotal sums that drift.
+	ThermalRuns       uint64
+	FramesThrottled   uint64
+	ThermalDriftTotal time.Duration
+
 	Preemptions  uint64
 	PreemptTotal time.Duration
 
@@ -262,6 +301,9 @@ func (s Stats) Add(o Stats) Stats {
 	s.BurstTx += o.BurstTx
 	s.FramesDropped += o.FramesDropped
 	s.FramesJittered += o.FramesJittered
+	s.ThermalRuns += o.ThermalRuns
+	s.FramesThrottled += o.FramesThrottled
+	s.ThermalDriftTotal += o.ThermalDriftTotal
 	s.Preemptions += o.Preemptions
 	s.PreemptTotal += o.PreemptTotal
 	s.ToastBursts += o.ToastBursts
@@ -288,6 +330,8 @@ func (s Stats) String() string {
 	add("burstTx", s.BurstTx)
 	add("frameDrop", s.FramesDropped)
 	add("frameJitter", s.FramesJittered)
+	add("thermal", s.ThermalRuns)
+	add("throttled", s.FramesThrottled)
 	add("preempt", s.Preemptions)
 	add("toastBurst", s.ToastBursts)
 	add("toastTokens", s.ToastTokens)
@@ -304,14 +348,23 @@ type Plane struct {
 
 	// One private sub-stream per fault class, so enabling one class never
 	// perturbs the draws of another.
-	binderRng *simrand.Source
-	animRng   *simrand.Source
-	schedRng  *simrand.Source
-	toastRng  *simrand.Source
-	burstRng  *simrand.Source
+	binderRng  *simrand.Source
+	animRng    *simrand.Source
+	schedRng   *simrand.Source
+	toastRng   *simrand.Source
+	burstRng   *simrand.Source
+	thermalRng *simrand.Source
 
 	// inBurst is the binder burst gate's Markov state.
 	inBurst bool
+
+	// Thermal state: the armed coin is flipped on the first frame of the
+	// run (thermalDecided gates the flip), frames counts FrameFault calls
+	// so onset and ramp are measured in scheduled frames.
+	thermalDecided  bool
+	thermalArmed    bool
+	thermalMaxDrift time.Duration
+	frames          int
 
 	stats Stats
 }
@@ -322,12 +375,13 @@ type Plane struct {
 func NewPlane(p Profile, seed int64) *Plane {
 	root := simrand.New(seed)
 	return &Plane{
-		prof:      p,
-		binderRng: root.Derive("faults/binder"),
-		animRng:   root.Derive("faults/anim"),
-		schedRng:  root.Derive("faults/sched"),
-		toastRng:  root.Derive("faults/toast"),
-		burstRng:  root.Derive("faults/burst"),
+		prof:       p,
+		binderRng:  root.Derive("faults/binder"),
+		animRng:    root.Derive("faults/anim"),
+		schedRng:   root.Derive("faults/sched"),
+		toastRng:   root.Derive("faults/toast"),
+		burstRng:   root.Derive("faults/burst"),
+		thermalRng: root.Derive("faults/thermal"),
 	}
 }
 
@@ -399,7 +453,45 @@ func (pl *Plane) FrameFault(name string) (dropFrame bool, jitter time.Duration) 
 			pl.stats.FramesJittered++
 		}
 	}
+	if p.ThermalProb > 0 {
+		jitter += pl.thermalDrift()
+	}
 	return dropFrame, jitter
+}
+
+// thermalDrift computes this frame's sustained-load throttling drift. The
+// armed coin and the drift ceiling are drawn once, on the first frame,
+// from the thermal plane's private stream; afterwards the drift is a pure
+// function of the frame counter, so throttling consumes exactly two
+// draws per run no matter how long it runs.
+func (pl *Plane) thermalDrift() time.Duration {
+	p := pl.prof
+	pl.frames++
+	if !pl.thermalDecided {
+		pl.thermalDecided = true
+		pl.thermalArmed = pl.thermalRng.Bool(p.ThermalProb)
+		if pl.thermalArmed {
+			pl.stats.ThermalRuns++
+			pl.thermalMaxDrift = p.ThermalMaxDrift.Sample(pl.thermalRng)
+		}
+	}
+	if !pl.thermalArmed || pl.thermalMaxDrift <= 0 {
+		return 0
+	}
+	past := pl.frames - p.ThermalOnsetFrames
+	if past <= 0 {
+		return 0
+	}
+	frac := 1.0
+	if p.ThermalRampFrames > 0 && past < p.ThermalRampFrames {
+		frac = float64(past) / float64(p.ThermalRampFrames)
+	}
+	d := time.Duration(float64(pl.thermalMaxDrift) * frac)
+	if d > 0 {
+		pl.stats.FramesThrottled++
+		pl.stats.ThermalDriftTotal += d
+	}
+	return d
 }
 
 // PreemptPause reports how long the attacker thread's next timer re-arm is

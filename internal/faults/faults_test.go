@@ -2,8 +2,10 @@ package faults
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/binder"
+	"repro/internal/simrand"
 )
 
 // pump runs n transactions through the plane's binder hook and returns
@@ -108,5 +110,127 @@ func TestBurstGateStreamIsolation(t *testing.T) {
 	b := pump(NewPlane(gated, 42), n)
 	if a.TxSpiked != b.TxSpiked || a.TxReordered != b.TxReordered {
 		t.Fatalf("burst gate perturbed other fault classes: %+v vs %+v", a, b)
+	}
+}
+
+// frames runs n frames through the plane's anim hook and returns the
+// final stats plus the last frame's jitter.
+func frames(pl *Plane, n int) (Stats, time.Duration) {
+	var last time.Duration
+	for i := 0; i < n; i++ {
+		_, last = pl.FrameFault("slide")
+	}
+	return pl.Stats(), last
+}
+
+func TestThermalProfileRegistered(t *testing.T) {
+	p, err := ByName("thermal")
+	if err != nil {
+		t.Fatalf("ByName(thermal): %v", err)
+	}
+	if p.Name != "thermal" || p.ThermalProb != 1 || p.ThermalOnsetFrames <= 0 || p.ThermalRampFrames <= 0 {
+		t.Fatalf("thermal profile misconfigured: %+v", p)
+	}
+	if p.Zero() {
+		t.Fatal("thermal profile reports Zero()")
+	}
+}
+
+func TestThermalOnsetAndRamp(t *testing.T) {
+	prof := Thermal()
+	pl := NewPlane(prof, 42)
+
+	// Up to and including onset: no drift, no throttled frames.
+	st, last := frames(pl, prof.ThermalOnsetFrames)
+	if st.FramesThrottled != 0 || last != 0 {
+		t.Fatalf("drift before onset: %+v last=%v", st, last)
+	}
+	if st.ThermalRuns != 1 {
+		t.Fatalf("ThermalRuns = %d, want 1 (ThermalProb=1)", st.ThermalRuns)
+	}
+
+	// Mid-ramp drift is strictly between zero and the ceiling.
+	_, mid := frames(pl, prof.ThermalRampFrames/2)
+	if mid <= 0 {
+		t.Fatal("no drift mid-ramp")
+	}
+	// Past the ramp the drift plateaus at the ceiling.
+	_, top := frames(pl, prof.ThermalRampFrames)
+	if top <= mid {
+		t.Fatalf("drift did not ramp: mid=%v top=%v", mid, top)
+	}
+	_, later := frames(pl, 200)
+	if later != top {
+		t.Fatalf("drift moved past the plateau: %v then %v", top, later)
+	}
+}
+
+func TestThermalDeterministic(t *testing.T) {
+	a, _ := frames(NewPlane(Thermal(), 7), 500)
+	b, _ := frames(NewPlane(Thermal(), 7), 500)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, _ := frames(NewPlane(Thermal(), 8), 500)
+	if a == c {
+		t.Fatalf("different seeds produced identical thermal stats %+v", a)
+	}
+}
+
+func TestThermalScaleZeroIsStrictNoOp(t *testing.T) {
+	p := Thermal().Scale(0)
+	if !p.Zero() {
+		t.Fatalf("Scale(0) not zero: %+v", p)
+	}
+	pl := NewPlane(p, 42)
+	st, last := frames(pl, 1000)
+	if !st.Zero() || last != 0 {
+		t.Fatalf("zero thermal profile injected faults: %+v", st)
+	}
+	// The anim stream must be untouched: a frame-jitter-only plane with
+	// the same seed draws identically whether or not the (zeroed) thermal
+	// class is present.
+	jitterOnly := Profile{FrameJitterProb: 0.3, FrameJitter: simrand.NormalDist(4, 2)}
+	withZeroThermal := jitterOnly
+	withZeroThermal.ThermalProb = 0
+	a, _ := frames(NewPlane(jitterOnly, 7), 2000)
+	b, _ := frames(NewPlane(withZeroThermal, 7), 2000)
+	if a != b {
+		t.Fatalf("zeroed thermal class perturbed the anim stream: %+v vs %+v", a, b)
+	}
+}
+
+// TestThermalStreamIsolation: arming thermal must not change which frames
+// the drop/jitter classes fault — the drift comes from its own stream.
+func TestThermalStreamIsolation(t *testing.T) {
+	base := AnimStress()
+	withThermal := base
+	withThermal.ThermalProb = 1
+	withThermal.ThermalOnsetFrames = 60
+	withThermal.ThermalRampFrames = 120
+	withThermal.ThermalMaxDrift = simrand.NormalDist(6, 2)
+
+	a, _ := frames(NewPlane(base, 42), 3000)
+	b, _ := frames(NewPlane(withThermal, 42), 3000)
+	if a.FramesDropped != b.FramesDropped || a.FramesJittered != b.FramesJittered {
+		t.Fatalf("thermal class perturbed drop/jitter draws: %+v vs %+v", a, b)
+	}
+	if b.ThermalRuns != 1 || b.FramesThrottled == 0 {
+		t.Fatalf("thermal did not fire: %+v", b)
+	}
+}
+
+func TestThermalProbabilistic(t *testing.T) {
+	prof := Thermal()
+	prof.ThermalProb = 0.5
+	armed := 0
+	for seed := int64(0); seed < 200; seed++ {
+		st, _ := frames(NewPlane(prof, seed), 100)
+		if st.ThermalRuns > 0 {
+			armed++
+		}
+	}
+	if armed < 60 || armed > 140 {
+		t.Fatalf("ThermalProb=0.5 armed %d/200 runs", armed)
 	}
 }

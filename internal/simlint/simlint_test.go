@@ -141,6 +141,30 @@ func TestRepoInternalIsClean(t *testing.T) {
 	}
 }
 
+// TestFleetInDeterminismScope pins the fleet generator's lint posture:
+// the package holds no exemption of any kind — population generation is
+// a pure simulation-side function of (size, seed), so every determinism
+// and robustness rule applies — and its tree lints clean.
+func TestFleetInDeterminismScope(t *testing.T) {
+	for name, m := range map[string]map[string]bool{
+		"ServingPackages":     ServingPackages,
+		"ExemptPackages":      ExemptPackages,
+		"goExemptPackages":    goExemptPackages,
+		"panicExemptPackages": panicExemptPackages,
+	} {
+		if m["fleet"] {
+			t.Errorf("package fleet must not be in %s", name)
+		}
+	}
+	diags, err := LintDir("../fleet")
+	if err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("determinism violation in internal/fleet: %s", d)
+	}
+}
+
 func TestFlagsTimeSleep(t *testing.T) {
 	diags := lint(t, `package p
 import "time"

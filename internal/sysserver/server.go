@@ -490,7 +490,8 @@ type assembleOptions struct {
 }
 
 // WithSlideDuration overrides the notification slide-down animation
-// duration (stock: 360 ms).
+// duration (default: the profile's SlideDuration — stock 360 ms scaled
+// by the device's animator_duration_scale).
 func WithSlideDuration(d time.Duration) Option {
 	return func(o *assembleOptions) { o.slideDuration = d }
 }
@@ -529,6 +530,13 @@ func Assemble(profile device.Profile, seed int64, opts ...Option) (*Stack, error
 	var ao assembleOptions
 	for _, opt := range opts {
 		opt(&ao)
+	}
+	if ao.slideDuration == 0 {
+		// The profile decides the slide animation's length: stock 360 ms
+		// for the seed devices, scaled by animator_duration_scale for
+		// generated ones, and a single frame for the animations-off
+		// accessibility population.
+		ao.slideDuration = profile.SlideDuration()
 	}
 	clock := simclock.New()
 	root := simrand.New(seed)

@@ -5,7 +5,9 @@
 # the vetting-plane benchmarks (single-node vetd cold/warm, the vetring
 # ring healthy vs one-peer-down) to BENCH_vetd.json, and the streaming
 # detection ingest benchmark (a full labeled-fleet replay through
-# sentryd's HTTP stack) to BENCH_sentry.json — all at the repo root so
+# sentryd's HTTP stack) to BENCH_sentry.json, and the device-fleet
+# benchmarks (population generation plus the 200-device market-weighted
+# sweep at 1 and 4 workers) to BENCH_fleet.json — all at the repo root so
 # throughput regressions show up as a diff, not an anecdote. Run from
 # anywhere:
 #
@@ -14,6 +16,7 @@
 #     OUT=/tmp/b.json sh scripts/bench.sh     # static output elsewhere
 #     OUT_VETD=/tmp/v.json sh scripts/bench.sh
 #     OUT_SENTRY=/tmp/s.json sh scripts/bench.sh
+#     OUT_FLEET=/tmp/f.json sh scripts/bench.sh
 #
 # Each benchmark entry records the go test line verbatim: iterations,
 # ns/op, and every custom metric (apps/sec, %static-precision,
@@ -29,6 +32,7 @@ BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_static.json}"
 OUT_VETD="${OUT_VETD:-BENCH_vetd.json}"
 OUT_SENTRY="${OUT_SENTRY:-BENCH_sentry.json}"
+OUT_FLEET="${OUT_FLEET:-BENCH_fleet.json}"
 
 # emit PATTERN SUITE OUTFILE — run the matching benchmarks and write the
 # parsed results as JSON.
@@ -66,3 +70,4 @@ emit() {
 emit 'CorpusScan$|AnalyzeTier' static "$OUT"
 emit 'VetServe$|RingServe$' vetd "$OUT_VETD"
 emit 'SentryIngest$' sentry "$OUT_SENTRY"
+emit 'FleetGenerate$|FleetSweep$' fleet "$OUT_FLEET"

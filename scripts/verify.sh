@@ -6,8 +6,9 @@
 #
 # Steps: build, unit tests, go vet, the simlint determinism/robustness
 # pass, a race-detector pass over the short tests, a coverage floor on
-# the experiment-harness core packages and the streaming detector, the
-# scheduler parity diff, a vetd serving smoke (checked vetload replay +
+# the experiment-harness core packages, the streaming detector and the
+# fleet generator, the scheduler parity diff plus a 200-device fleet-sweep
+# parity smoke, a vetd serving smoke (checked vetload replay +
 # clean SIGINT shutdown), a distributed ring smoke (3 vetd peers behind
 # vetrouter, chaos kill/restart schedule, zero verdict mismatches
 # required), and a sentryd smoke (a 2000-device labeled fleet replay
@@ -31,15 +32,16 @@ go run ./cmd/simlint
 echo "==> go test -race -short ./..."
 go test -race -short ./...
 
-# Coverage floor for the experiment-harness core and the streaming
-# detector: the journaled runners and the sweep-wide invariant
-# aggregation are the crash-safety layer, and the sentry engine/server
-# carry the accounting and shard-invariance contracts — a drop below the
-# floor means those paths lost their tests. All packages currently sit
-# well above it (~78% / ~85% / ~83%).
+# Coverage floor for the experiment-harness core, the streaming detector
+# and the fleet generator: the journaled runners and the sweep-wide
+# invariant aggregation are the crash-safety layer, the sentry
+# engine/server carry the accounting and shard-invariance contracts, and
+# the fleet generator carries the population-determinism contract — a
+# drop below the floor means those paths lost their tests. All packages
+# currently sit well above it (~78% / ~85% / ~83% / ~95%).
 COVER_FLOOR=65
-echo "==> go test -cover ./internal/experiment ./internal/invariant ./internal/sentry (floor ${COVER_FLOOR}%)"
-go test -cover ./internal/experiment ./internal/invariant ./internal/sentry | tee /tmp/verify-cover.$$
+echo "==> go test -cover ./internal/experiment ./internal/invariant ./internal/sentry ./internal/fleet (floor ${COVER_FLOOR}%)"
+go test -cover ./internal/experiment ./internal/invariant ./internal/sentry ./internal/fleet | tee /tmp/verify-cover.$$
 awk -v floor="$COVER_FLOOR" '
 	/coverage:/ {
 		for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i + 1)
@@ -67,7 +69,15 @@ set -e
 [ "$W1" -eq 0 ] || [ "$W1" -eq 3 ] || { echo "workers=1 run failed ($W1)"; exit 1; }
 [ "$W4" -eq "$W1" ] || { echo "exit status differs: workers=1 -> $W1, workers=4 -> $W4"; exit 1; }
 diff -u /tmp/verify-w1.$$ /tmp/verify-w4.$$ || { echo "workers=4 output differs from workers=1"; exit 1; }
-rm -f "$ANIMBENCH" /tmp/verify-w1.$$ /tmp/verify-w4.$$
+
+# Fleet sweep smoke: a 200-device generated population through the
+# market-weighted sweep, workers 1 vs 4 — generation and measurement must
+# both be byte-identical across worker counts.
+echo "==> animbench -exp fleet -fleet-size 200 parity"
+"$ANIMBENCH" -exp fleet -fleet-size 200 -seed 42 -workers 1 >/tmp/verify-f1.$$ 2>&1 || { echo "fleet workers=1 run failed"; cat /tmp/verify-f1.$$; exit 1; }
+"$ANIMBENCH" -exp fleet -fleet-size 200 -seed 42 -workers 4 >/tmp/verify-f4.$$ 2>&1 || { echo "fleet workers=4 run failed"; cat /tmp/verify-f4.$$; exit 1; }
+diff -u /tmp/verify-f1.$$ /tmp/verify-f4.$$ || { echo "fleet workers=4 output differs from workers=1"; exit 1; }
+rm -f "$ANIMBENCH" /tmp/verify-w1.$$ /tmp/verify-w4.$$ /tmp/verify-f1.$$ /tmp/verify-f4.$$
 
 # Measure the degradation sweep's parallel speedup (ns/op at workers=1 vs
 # workers=4). Informational: the ratio depends on the host's core count.
