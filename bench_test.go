@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/dexir"
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/sentring"
 	"repro/internal/sentry"
 	"repro/internal/simclock"
 	"repro/internal/simrand"
@@ -527,6 +529,111 @@ func BenchmarkSentryIngest(b *testing.B) {
 	}
 	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
 	b.ReportMetric(float64(detected), "detected-devices")
+}
+
+// BenchmarkRouterIngest measures a fleet replay through the multi-node
+// sentry: a sentring router fronting three sentryd peers over real HTTP,
+// replicas=2. One op pushes a pre-encoded 128-device labeled fleet
+// through the router's sharded ingest path; the topology is rebuilt per
+// op because device sequence numbers are strictly monotonic. healthy is
+// the steady state (every batch acked by its full replica set);
+// one-peer-down partitions peer 0 behind the deterministic fault plane,
+// so its share of batches pays failed attempts until the circuit
+// breaker opens and single-replica acks after. The gap prices ingest
+// failover; detected-devices anchors behaviour (all six planted
+// attackers survive the dead peer, because replicas=2 keeps one live
+// copy of every device's stream). scripts/bench.sh records the result
+// in BENCH_sentring.json.
+func BenchmarkRouterIngest(b *testing.B) {
+	fl, err := sentry.GenerateFleet(sentry.FleetConfig{
+		Devices: 128, Attackers: 4, NotifAbusers: 2,
+		Span: 8 * time.Second, Seed: benchSeed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	type batch struct {
+		device string
+		body   []byte
+	}
+	var batches []batch
+	for _, d := range fl.Devices {
+		recs := d.Records
+		for len(recs) > 0 {
+			n := len(recs)
+			if n > 64 {
+				n = 64
+			}
+			body, err := sentry.EncodeBatch(recs[:n])
+			if err != nil {
+				b.Fatal(err)
+			}
+			batches = append(batches, batch{device: d.ID, body: body})
+			recs = recs[n:]
+		}
+	}
+	records := fl.Records()
+	run := func(b *testing.B, prof *faults.NetProfile) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			var nodes []*sentry.Server
+			var backends []*httptest.Server
+			var peers []string
+			for j := 0; j < 3; j++ {
+				s, err := sentry.NewServer(sentry.ServerConfig{QueueDepth: 1 << 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ts := httptest.NewServer(s)
+				nodes = append(nodes, s)
+				backends = append(backends, ts)
+				peers = append(peers, strings.TrimPrefix(ts.URL, "http://"))
+			}
+			var plane *faults.NetPlane
+			if prof != nil {
+				plane = faults.NewNetPlane(*prof, benchSeed)
+			}
+			router, err := sentring.New(sentring.Config{
+				Peers:           peers,
+				Replicas:        2,
+				Retries:         1,
+				RetryBase:       time.Millisecond,
+				ProbeInterval:   -1,
+				BreakerCooldown: time.Hour, // stay open for the whole measured op
+				NetPlane:        plane,
+				Seed:            benchSeed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, bt := range batches {
+				req := httptest.NewRequest("POST", "/v1/ingest?device="+bt.device, bytes.NewReader(bt.body))
+				rec := httptest.NewRecorder()
+				router.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			b.StopTimer()
+			if detected := router.MergedSnapshot(context.Background()).Detected; detected != 6 {
+				b.Fatalf("detected %d devices, want the 6 planted", detected)
+			}
+			router.Close()
+			for j := range nodes {
+				backends[j].Close()
+				nodes[j].Close()
+			}
+			b.StartTimer()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	}
+	b.Run("healthy", func(b *testing.B) { run(b, nil) })
+	b.Run("one-peer-down", func(b *testing.B) {
+		run(b, &faults.NetProfile{Name: "bench-partition", PartitionPeers: []int{0}})
+	})
 }
 
 // BenchmarkFleetGenerate measures synthesizing a 1000-device market-

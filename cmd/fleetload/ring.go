@@ -1,0 +1,668 @@
+package main
+
+// Ring mode: fleetload as the chaos harness for the multi-node sentry.
+// With -ring N it spawns N sentryd peers (each with its own crash-safe
+// detection journal) and one sentryrouter on ephemeral ports, replays
+// the seeded fleet against the router, and — with -chaos — SIGKILLs a
+// seeded sequence of peers mid-run and restarts each on the same
+// address and store directory. After the replay it proves the plane's
+// four distributed properties: merged detections match a single-node
+// reference engine, the router's exclusive batch accounting is exact,
+// /v1/flagged answers survive a SIGKILL-restart of every peer
+// byte-identically, and a -swap rule change stamps post-swap
+// detections with the new config version. Everything shuts down on
+// SIGINT at the end; an unclean exit from any process fails the run.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/sentring"
+	"repro/internal/sentry"
+	"repro/internal/simrand"
+)
+
+const (
+	peerListenPrefix   = "sentryd: listening on "
+	routerListenPrefix = "sentryrouter: listening on "
+	probeDevice        = "probe-swap"
+)
+
+// proc is one spawned ring process (a sentryd peer or the router).
+type proc struct {
+	label string
+	bin   string
+	args  []string
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	addr string
+	done chan error
+}
+
+// spawn starts the process and waits for its "<label>: listening on
+// ADDR" line, mirroring how scripts/verify.sh finds ephemeral ports.
+// All process output is forwarded to our stdout, prefixed.
+func spawn(label, bin string, args []string, listenPrefix string) (*proc, error) {
+	p := &proc{label: label, bin: bin, args: args}
+	if err := p.start(listenPrefix); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *proc) start(listenPrefix string) error {
+	cmd := exec.Command(p.bin, p.args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if a, ok := strings.CutPrefix(line, listenPrefix); ok {
+				select {
+				case addrc <- strings.Fields(a)[0]:
+				default:
+				}
+			}
+			fmt.Printf("  [%s] %s\n", p.label, line)
+		}
+		done <- cmd.Wait()
+	}()
+	select {
+	case addr := <-addrc:
+		p.mu.Lock()
+		p.cmd, p.addr, p.done = cmd, addr, done
+		p.mu.Unlock()
+		return nil
+	case err := <-done:
+		return fmt.Errorf("%s exited before listening: %v", p.label, err)
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		return fmt.Errorf("%s: no listening line within 10s", p.label)
+	}
+}
+
+// kill SIGKILLs the process and reaps it.
+func (p *proc) kill() {
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Kill()
+		<-done
+	}
+}
+
+// restart re-execs the process on its previous concrete address (the
+// restart path of a crashed peer: same identity, same store).
+func (p *proc) restart(listenPrefix string) error {
+	p.mu.Lock()
+	args := make([]string, len(p.args))
+	copy(args, p.args)
+	for i := 0; i < len(args)-1; i++ {
+		if args[i] == "-addr" {
+			args[i+1] = p.addr
+		}
+	}
+	p.args = args
+	p.mu.Unlock()
+	return p.start(listenPrefix)
+}
+
+// interrupt SIGINTs the process and returns its exit error (nil for a
+// clean exit 0).
+func (p *proc) interrupt(timeout time.Duration) error {
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("%s: not running", p.label)
+	}
+	cmd.Process.Signal(syscall.SIGINT)
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("%s: no clean exit within %v; killed", p.label, timeout)
+	}
+}
+
+// ringHarness owns the spawned topology.
+type ringHarness struct {
+	peers  []*proc
+	router *proc
+
+	chaosStop chan struct{}
+	chaosDone chan struct{}
+	kills     int
+}
+
+// startRing spawns cfg.ring sentryd peers (each journaling to its own
+// store directory) and the router, returning the router's base URL.
+func startRing(cfg config) (*ringHarness, string, error) {
+	storeRoot := cfg.storeDir
+	if storeRoot == "" {
+		dir, err := os.MkdirTemp("", "fleetload-ring-")
+		if err != nil {
+			return nil, "", err
+		}
+		storeRoot = dir
+	}
+	h := &ringHarness{}
+	for i := 0; i < cfg.ring; i++ {
+		dir := filepath.Join(storeRoot, fmt.Sprintf("peer%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			h.stopAll()
+			return nil, "", err
+		}
+		p, err := spawn(fmt.Sprintf("sentryd%d", i), cfg.sentrydBin, []string{
+			"-addr", "127.0.0.1:0", "-queue", "256", "-store", dir,
+		}, peerListenPrefix)
+		if err != nil {
+			h.stopAll()
+			return nil, "", err
+		}
+		h.peers = append(h.peers, p)
+	}
+	peerAddrs := make([]string, len(h.peers))
+	for i, p := range h.peers {
+		peerAddrs[i] = p.addr
+	}
+	router, err := spawn("router", cfg.routerBin, []string{
+		"-addr", "127.0.0.1:0",
+		"-peers", strings.Join(peerAddrs, ","),
+		"-replicas", strconv.Itoa(cfg.replicas),
+		"-net-faults", cfg.netFaults,
+		"-net-seed", strconv.FormatInt(cfg.netSeed, 10),
+		"-seed", strconv.FormatInt(cfg.seed, 10),
+	}, routerListenPrefix)
+	if err != nil {
+		h.stopAll()
+		return nil, "", err
+	}
+	h.router = router
+	return h, "http://" + router.addr, nil
+}
+
+// startChaos begins the seeded kill/restart schedule: every interval
+// (jittered) one seeded-chosen peer is SIGKILLed, left down briefly,
+// and restarted on the same address and store — for exactly
+// cfg.chaosKills cycles.
+func (h *ringHarness) startChaos(cfg config) {
+	h.chaosStop = make(chan struct{})
+	h.chaosDone = make(chan struct{})
+	rng := simrand.New(cfg.seed).Derive("fleetload/chaos")
+	go func() {
+		defer close(h.chaosDone)
+		for h.kills < cfg.chaosKills {
+			wait := time.Duration(float64(cfg.chaos) * (0.5 + rng.Float64()))
+			select {
+			case <-h.chaosStop:
+				return
+			case <-time.After(wait):
+			}
+			victim := h.peers[rng.Intn(len(h.peers))]
+			fmt.Printf("fleetload: chaos: SIGKILL %s (%s)\n", victim.label, victim.addr)
+			victim.kill()
+			h.kills++
+			downFor := time.Duration(float64(cfg.chaos) * 0.25 * (0.5 + rng.Float64()))
+			select {
+			case <-h.chaosStop:
+				// Restart even when stopping, so the final shutdown pass
+				// finds every peer alive and can verify clean exits.
+				if err := victim.restart(peerListenPrefix); err != nil {
+					fmt.Fprintf(os.Stderr, "fleetload: chaos: restart %s: %v\n", victim.label, err)
+				}
+				return
+			case <-time.After(downFor):
+			}
+			if err := victim.restart(peerListenPrefix); err != nil {
+				fmt.Fprintf(os.Stderr, "fleetload: chaos: restart %s: %v\n", victim.label, err)
+				return
+			}
+			fmt.Printf("fleetload: chaos: restarted %s on %s\n", victim.label, victim.addr)
+		}
+	}()
+}
+
+// waitChaos blocks until the scheduled kill/restart cycles finish.
+func (h *ringHarness) waitChaos() {
+	if h.chaosDone != nil {
+		select {
+		case <-h.chaosDone:
+		case <-time.After(60 * time.Second):
+			close(h.chaosStop)
+			<-h.chaosDone
+		}
+	}
+}
+
+// restartAllPeers SIGKILLs every peer and restarts each on its address
+// and store — the fleet-wide power-cycle behind the byte-stability
+// check on /v1/flagged.
+func (h *ringHarness) restartAllPeers() error {
+	for _, p := range h.peers {
+		fmt.Printf("fleetload: power-cycle: SIGKILL %s (%s)\n", p.label, p.addr)
+		p.kill()
+	}
+	for _, p := range h.peers {
+		if err := p.restart(peerListenPrefix); err != nil {
+			return fmt.Errorf("restart %s: %w", p.label, err)
+		}
+	}
+	return nil
+}
+
+// shutdown SIGINTs the router then every peer, requiring clean exits.
+func (h *ringHarness) shutdown() error {
+	var firstErr error
+	if h.router != nil {
+		if err := h.router.interrupt(10 * time.Second); err != nil {
+			firstErr = fmt.Errorf("router: %w", err)
+		}
+	}
+	for _, p := range h.peers {
+		if err := p.interrupt(10 * time.Second); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", p.label, err)
+		}
+	}
+	return firstErr
+}
+
+// stopAll is the error-path cleanup: kill everything, ignore outcomes.
+func (h *ringHarness) stopAll() {
+	if h.router != nil {
+		h.router.kill()
+	}
+	for _, p := range h.peers {
+		p.kill()
+	}
+}
+
+// swapUpdate is the mid-run rule change: detection-equivalent on the
+// generated fleet (every planted attacker still clears the tightened
+// thresholds; no benign class reaches them), so the single-node
+// reference comparison stays exact across the swap.
+func swapUpdate() sentry.ConfigUpdate {
+	eng, err := sentry.NewEngine(sentry.Config{})
+	if err != nil {
+		panic(err) // the default config always constructs
+	}
+	u := eng.ConfigSnapshot()
+	u.Version = 0
+	u.MinCalls = 10
+	u.MinSwaps = 5
+	u.NotifFlood = 35
+	return u
+}
+
+// probeRecords is the post-swap draw-and-destroy stream: its detection
+// must carry the swapped config version.
+func probeRecords() []sentry.Record {
+	var recs []sentry.Record
+	for i := 0; i < 12; i++ {
+		at := time.Duration(i) * 6 * time.Millisecond
+		recs = append(recs,
+			sentry.Record{Device: probeDevice, Seq: uint64(2 * i), Method: sentry.MethodAddView, At: at},
+			sentry.Record{Device: probeDevice, Seq: uint64(2*i + 1), Method: sentry.MethodRemoveView, At: at + 3*time.Millisecond},
+		)
+	}
+	return recs
+}
+
+// runRing drives the full multi-node scenario.
+func runRing(cfg config, fl *sentry.Fleet) int {
+	h, base, err := startRing(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetload: ring: %v\n", err)
+		return 1
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			h.stopAll()
+		}
+	}()
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	fmt.Printf("fleetload: replaying %d devices (%d records) through %s (ring %d, replicas %d, chaos %v x%d)\n",
+		len(fl.Devices), fl.Records(), base, cfg.ring, cfg.replicas, cfg.chaos, cfg.chaosKills)
+	if cfg.chaos > 0 {
+		h.startChaos(cfg)
+	}
+	rs := sentry.ReplayFleetOpts(client, base, fl, sentry.ReplayOptions{
+		Clients: cfg.clients, Batch: cfg.batch, Retry429: cfg.retry429, Seed: cfg.seed,
+	})
+	if cfg.chaos > 0 {
+		h.waitChaos()
+		fmt.Printf("fleetload: chaos complete: %d kill/restart cycles\n", h.kills)
+		if h.kills < cfg.chaosKills {
+			fmt.Fprintf(os.Stderr, "fleetload: chaos ran only %d of %d cycles\n", h.kills, cfg.chaosKills)
+			return 1
+		}
+	}
+	if rs.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "fleetload: %d replay errors (first: %s)\n", rs.Errors, rs.FirstError)
+		return 1
+	}
+
+	// Mid-run (post-chaos) rule swap: every peer is alive, so the fan-out
+	// must reach the full ring synchronously.
+	swapU := swapUpdate()
+	if cfg.swap {
+		if err := postSwap(client, base, cfg.ring, swapU); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetload: swap: %v\n", err)
+			return 1
+		}
+		if err := replayProbe(client, base, cfg.batch); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetload: probe replay: %v\n", err)
+			return 1
+		}
+		fl.Truth[probeDevice] = sentry.PatternDrawAndDestroy
+	}
+
+	snap, err := fetchReport(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetload: fetch report: %v\n", err)
+		return 1
+	}
+	fmt.Print(sentry.RenderFleetReport(snap, fl, rs))
+
+	// Single-node reference: the same streams through one bare engine
+	// must flag exactly the same devices with the same patterns —
+	// detection is a pure function of the device stream, and neither
+	// sharding, replication, crashes nor the rule swap may change it.
+	refSnap, err := referenceSnapshot(cfg, fl, swapU)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetload: reference engine: %v\n", err)
+		return 1
+	}
+	if n := detectionMismatches(snap, refSnap); n > 0 {
+		fmt.Fprintf(os.Stderr, "fleetload: %d detection mismatches vs single-node reference\n", n)
+		return 1
+	}
+	fmt.Printf("fleetload: detections match the single-node reference (%d devices flagged)\n", snap.Detected)
+
+	// Router-side exclusive accounting.
+	if err := checkRouterAccounting(client, base); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetload: %v\n", err)
+		return 1
+	}
+
+	// Config-version stamping: post-swap detections carry the swapped
+	// version; pre-swap ones keep the version that produced them.
+	printVersionHistogram(snap)
+	if cfg.swap {
+		if err := checkProbeVersion(snap, swapU); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetload: %v\n", err)
+			return 1
+		}
+	}
+
+	// Flagged answers must survive a fleet-wide power cycle
+	// byte-identically: every peer is SIGKILLed and restarted on its
+	// journal, and the ring must answer history from recovered stores.
+	before, err := fetchFlagged(client, base, fl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetload: flagged (pre-restart): %v\n", err)
+		return 1
+	}
+	if err := h.restartAllPeers(); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetload: %v\n", err)
+		return 1
+	}
+	after, err := fetchFlagged(client, base, fl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetload: flagged (post-restart): %v\n", err)
+		return 1
+	}
+	for dev, want := range before {
+		if !bytes.Equal(after[dev], want) {
+			fmt.Fprintf(os.Stderr, "fleetload: flagged answer for %s changed across the power cycle:\n  pre:  %s\n  post: %s\n",
+				dev, want, after[dev])
+			return 1
+		}
+	}
+	fmt.Printf("fleetload: %d flagged answers byte-stable across a fleet-wide SIGKILL restart\n", len(before))
+
+	c := sentry.Evaluate(snap, fl)
+	if !c.AccountingOK {
+		fmt.Fprintf(os.Stderr, "fleetload: ACCOUNTING VIOLATION: detected %d + clean %d + shed %d != reported %d\n",
+			snap.Detected, snap.Clean, snap.Shed, snap.DevicesReported)
+		return 1
+	}
+	if cfg.requirePerf && !c.Perfect() {
+		fmt.Fprintf(os.Stderr, "fleetload: conformance FAILED: TP=%d FP=%d FN=%d mismatches=%d\n",
+			c.TP, c.FP, c.FN, c.PatternMismatches)
+		return 1
+	}
+
+	if err := h.shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetload: shutdown: %v\n", err)
+		return 1
+	}
+	ok = true
+	fmt.Println("fleetload: ring run complete: clean exits all around")
+	return 0
+}
+
+// postSwap applies the rule swap at the router and requires the fan-out
+// to reach every peer.
+func postSwap(client *http.Client, base string, peers int, u sentry.ConfigUpdate) error {
+	body, err := u.Encode()
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/config", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var fan sentring.ConfigFanout
+	if err := json.Unmarshal(raw, &fan); err != nil {
+		return err
+	}
+	if fan.PeersAcked != peers {
+		return fmt.Errorf("config fan-out reached %d of %d peers", fan.PeersAcked, peers)
+	}
+	fmt.Printf("fleetload: rules swapped to version %d (%d/%d peers acked)\n", fan.Version, fan.PeersAcked, fan.Peers)
+	return nil
+}
+
+// replayProbe streams the post-swap probe device through the router.
+func replayProbe(client *http.Client, base string, batch int) error {
+	recs := probeRecords()
+	if batch < 1 {
+		batch = len(recs)
+	}
+	for start := 0; start < len(recs); start += batch {
+		end := start + batch
+		if end > len(recs) {
+			end = len(recs)
+		}
+		body, err := sentry.EncodeBatch(recs[start:end])
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+"/v1/ingest?device="+probeDevice, "text/plain", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("probe batch: status %d", resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// referenceSnapshot replays the whole scenario through one bare engine.
+func referenceSnapshot(cfg config, fl *sentry.Fleet, swapU sentry.ConfigUpdate) (sentry.Snapshot, error) {
+	ref, err := sentry.NewEngine(sentry.Config{})
+	if err != nil {
+		return sentry.Snapshot{}, err
+	}
+	for _, d := range fl.Devices {
+		if d.ID == probeDevice {
+			continue // replayed post-swap below
+		}
+		if _, err := ref.Ingest(d.ID, d.Records); err != nil {
+			return sentry.Snapshot{}, fmt.Errorf("%s: %w", d.ID, err)
+		}
+	}
+	if cfg.swap {
+		if _, err := ref.ApplyConfig(swapU); err != nil {
+			return sentry.Snapshot{}, err
+		}
+		if _, err := ref.Ingest(probeDevice, probeRecords()); err != nil {
+			return sentry.Snapshot{}, err
+		}
+	}
+	return ref.Snapshot(), nil
+}
+
+// detectionMismatches compares flagged device→pattern maps. Detection
+// content (At, Calls) can legitimately differ across crash/recovery
+// timing; which devices are flagged, and for what, cannot.
+func detectionMismatches(got, want sentry.Snapshot) int {
+	gm := make(map[string]string, len(got.Detections))
+	for _, d := range got.Detections {
+		gm[d.Device] = d.Pattern
+	}
+	wm := make(map[string]string, len(want.Detections))
+	for _, d := range want.Detections {
+		wm[d.Device] = d.Pattern
+	}
+	n := 0
+	for dev, p := range gm {
+		if wm[dev] != p {
+			fmt.Fprintf(os.Stderr, "fleetload: mismatch: %s flagged %q, reference %q\n", dev, p, wm[dev])
+			n++
+		}
+	}
+	for dev, p := range wm {
+		if _, ok := gm[dev]; !ok {
+			fmt.Fprintf(os.Stderr, "fleetload: mismatch: %s missing (reference flagged %q)\n", dev, p)
+			n++
+		}
+	}
+	return n
+}
+
+// checkRouterAccounting fetches the router's /stats and enforces the
+// exclusive batch classification identities.
+func checkRouterAccounting(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var st sentring.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	if st.Service != "sentryrouter" {
+		return fmt.Errorf("stats service %q, want sentryrouter", st.Service)
+	}
+	if st.Routed+st.Degraded+st.Sheds+st.Failed != st.Batches {
+		return fmt.Errorf("ROUTER ACCOUNTING VIOLATION: routed %d + degraded %d + shed %d + failed %d != batches %d",
+			st.Routed, st.Degraded, st.Sheds, st.Failed, st.Batches)
+	}
+	if st.Batches+st.BadBatches+st.RefusedBatches != st.IngestCalls {
+		return fmt.Errorf("ROUTER ACCOUNTING VIOLATION: batches %d + bad %d + refused %d != calls %d",
+			st.Batches, st.BadBatches, st.RefusedBatches, st.IngestCalls)
+	}
+	fmt.Printf("fleetload: router accounting exact: %d batches = %d routed + %d degraded + %d shed + %d failed (retries %d, dup acks %d)\n",
+		st.Batches, st.Routed, st.Degraded, st.Sheds, st.Failed, st.Retries, st.DupAcks)
+	return nil
+}
+
+// printVersionHistogram summarizes which rule-set version produced each
+// detection.
+func printVersionHistogram(snap sentry.Snapshot) {
+	hist := map[uint64]int{}
+	for _, d := range snap.Detections {
+		hist[d.ConfigVersion]++
+	}
+	versions := make([]uint64, 0, len(hist))
+	for v := range hist {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	parts := make([]string, len(versions))
+	for i, v := range versions {
+		parts[i] = fmt.Sprintf("v%d:%d", v, hist[v])
+	}
+	fmt.Printf("fleetload: detections by config version: %s\n", strings.Join(parts, " "))
+}
+
+// checkProbeVersion requires the post-swap probe detection to carry the
+// swapped version.
+func checkProbeVersion(snap sentry.Snapshot, swapU sentry.ConfigUpdate) error {
+	for _, d := range snap.Detections {
+		if d.Device != probeDevice {
+			continue
+		}
+		if d.ConfigVersion < 2 {
+			return fmt.Errorf("post-swap probe detection carries config version %d, want the swapped version", d.ConfigVersion)
+		}
+		return nil
+	}
+	return fmt.Errorf("post-swap probe device %s not detected", probeDevice)
+}
+
+// fetchFlagged pulls the /v1/flagged answer bytes for every planted
+// attack device (the history a restarted ring must reproduce exactly).
+func fetchFlagged(client *http.Client, base string, fl *sentry.Fleet) (map[string][]byte, error) {
+	devices := make([]string, 0, len(fl.Truth))
+	for dev := range fl.Truth {
+		devices = append(devices, dev)
+	}
+	sort.Strings(devices)
+	out := make(map[string][]byte, len(devices))
+	for _, dev := range devices {
+		resp, err := client.Get(base + "/v1/flagged?device=" + dev)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dev, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dev, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: status %d: %s", dev, resp.StatusCode, body)
+		}
+		out[dev] = body
+	}
+	return out, nil
+}

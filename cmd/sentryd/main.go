@@ -1,6 +1,7 @@
 // Command sentryd serves the streaming fleet-scale detection service
 // (internal/sentry) over HTTP: POST /v1/ingest, GET /v1/report,
-// GET /healthz, GET /readyz, GET /metrics, GET /stats.
+// GET /v1/flagged, POST /v1/config, GET /healthz, GET /readyz,
+// GET /metrics, GET /stats.
 //
 // Each POST /v1/ingest carries one wire-format record batch for one
 // device; the engine maintains per-device sliding windows (sharded by
@@ -10,6 +11,12 @@
 // shed device stays accounted, so detected+clean+shed always equals
 // devices_reported.
 //
+// -store DIR makes detections crash-safe: every flag is appended to a
+// fsynced journal (internal/sentrystore) the instant it fires, and a
+// restarted node recovers the journal before serving, so
+// GET /v1/flagged answers byte-identically across a SIGKILL. -compact
+// rewrites the journal (one record per key) at startup.
+//
 // It prints "sentryd: listening on ADDR" once the listener is bound
 // (with -addr :0 the printed address carries the ephemeral port, which
 // is how the verify.sh smoke stage finds it) and shuts down cleanly on
@@ -18,7 +25,7 @@
 //
 // Usage:
 //
-//	sentryd -addr :8475 -shards 8 -queue 64 -window 3s
+//	sentryd -addr :8475 -shards 8 -queue 64 -window 3s -store /var/lib/sentryd
 package main
 
 import (
@@ -30,10 +37,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/sentry"
+	"repro/internal/sentrystore"
 )
 
 func main() {
@@ -51,6 +60,8 @@ func run() int {
 		minSwaps   = flag.Int("min-swaps", 4, "swaps per window that flag draw-and-destroy")
 		notifFlood = flag.Int("notif-flood", 30, "notifications per window that flag notify-flood (-1 disables)")
 		ringCap    = flag.Int("ring", 128, "per-device overlay ring capacity (bounded memory under flood)")
+		storeDir   = flag.String("store", "", "detection journal directory (crash-safe sentrystore; empty disables)")
+		compact    = flag.Bool("compact", false, "compact the detection journal at startup")
 	)
 	flag.Parse()
 
@@ -71,6 +82,38 @@ func run() int {
 		return 2
 	}
 	defer srv.Close()
+
+	if *storeDir != "" {
+		if err := os.MkdirAll(*storeDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "sentryd: store dir: %v\n", err)
+			return 1
+		}
+		store, err := sentrystore.Open(filepath.Join(*storeDir, "flags.store"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sentryd: %v\n", err)
+			return 1
+		}
+		defer store.Close()
+		if *compact {
+			if err := store.Compact(); err != nil {
+				fmt.Fprintf(os.Stderr, "sentryd: compact: %v\n", err)
+				return 1
+			}
+		}
+		ds, err := store.All()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sentryd: %v\n", err)
+			return 1
+		}
+		if err := srv.Engine().Restore(ds); err != nil {
+			fmt.Fprintf(os.Stderr, "sentryd: %v\n", err)
+			return 1
+		}
+		srv.Engine().SetJournal(sentrystore.Flagger{S: store, Window: *window})
+		st := store.Stats()
+		fmt.Printf("sentryd: store %s recovered %d detections (torn tail: %v)\n",
+			store.Path(), st.Recovered, st.TornTail)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

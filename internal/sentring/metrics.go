@@ -1,0 +1,164 @@
+package sentring
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics is the router's observability surface.
+//
+// Batch contract (tested): every POST /v1/ingest increments IngestCalls
+// and then either lands on BadBatches (rejected before routing) or
+// RefusedBatches (503 after shutdown began), or increments Batches and
+// exactly one of
+//
+//	Routed   — acked by at least one ring replica
+//	Degraded — no replica acked; absorbed by the local fallback engine
+//	Sheds    — rejected 429 (replicas unreachable and fallback full)
+//	Failed   — rejected by the ring as a stream conflict, or the
+//	           fallback ingest itself failed
+//
+// so Routed + Degraded + Sheds + Failed == Batches and
+// Batches + BadBatches + RefusedBatches == IngestCalls at every
+// quiescent instant. Retries, acks and failovers are attempt-level
+// counters and do not participate in the batch-level identity.
+type Metrics struct {
+	IngestCalls    atomic.Uint64
+	Batches        atomic.Uint64
+	Routed         atomic.Uint64
+	Degraded       atomic.Uint64
+	Sheds          atomic.Uint64
+	Failed         atomic.Uint64
+	BadBatches     atomic.Uint64
+	RefusedBatches atomic.Uint64
+
+	// Attempt-level counters.
+	Retries  atomic.Uint64 // extra replica passes after an incomplete one
+	Acks     atomic.Uint64 // 200 acks from peers
+	DupAcks  atomic.Uint64 // 409 after a transport error: already applied
+	Peer429s atomic.Uint64 // peer shed; no ack, no breaker damage
+	PeerErrs atomic.Uint64 // transport errors + 5xx from peers
+
+	// Probe counters.
+	ProbeOK   atomic.Uint64
+	ProbeFail atomic.Uint64
+
+	// ConfigPushes counts config fan-out attempts to peers (including
+	// probe-recovery re-pushes); ConfigPushErrs the ones that failed.
+	ConfigPushes   atomic.Uint64
+	ConfigPushErrs atomic.Uint64
+
+	// FallbackIngests counts local fallback engine ingests (the degraded
+	// path's work).
+	FallbackIngests atomic.Uint64
+}
+
+// PeerStats is one peer's slice of the /stats snapshot.
+type PeerStats struct {
+	Name    string `json:"name"`
+	Breaker string `json:"breaker"`
+	Opens   uint64 `json:"breaker_opens"`
+	Served  uint64 `json:"served"`
+	Errors  uint64 `json:"errors"`
+}
+
+// Stats is the router's GET /stats JSON snapshot. Service is
+// "sentryrouter", the discriminator load generators key on to pick the
+// right accounting invariant.
+type Stats struct {
+	Service        string `json:"service"`
+	IngestCalls    uint64 `json:"ingest_calls"`
+	Batches        uint64 `json:"batches"`
+	Routed         uint64 `json:"routed"`
+	Degraded       uint64 `json:"degraded"`
+	Sheds          uint64 `json:"sheds"`
+	Failed         uint64 `json:"failed"`
+	BadBatches     uint64 `json:"bad_batches"`
+	RefusedBatches uint64 `json:"refused_batches"`
+
+	Retries  uint64 `json:"retries"`
+	Acks     uint64 `json:"acks"`
+	DupAcks  uint64 `json:"dup_acks"`
+	Peer429s uint64 `json:"peer_429s"`
+	PeerErrs uint64 `json:"peer_errors"`
+
+	ProbeOK   uint64 `json:"probe_ok"`
+	ProbeFail uint64 `json:"probe_fail"`
+
+	ConfigVersion  uint64 `json:"config_version"`
+	ConfigPushes   uint64 `json:"config_pushes"`
+	ConfigPushErrs uint64 `json:"config_push_errors"`
+
+	FallbackIngests uint64 `json:"fallback_ingests"`
+
+	Peers []PeerStats `json:"peers"`
+}
+
+// WriteProm renders the router metrics in Prometheus text exposition
+// format.
+func (r *Router) WriteProm(w io.Writer) {
+	m := &r.metrics
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("sentryrouter_ingest_total", "Ingest requests received.", m.IngestCalls.Load())
+	counter("sentryrouter_batches_total", "Batches accepted for routing.", m.Batches.Load())
+	counter("sentryrouter_routed_total", "Batches acked by at least one ring replica.", m.Routed.Load())
+	counter("sentryrouter_degraded_total", "Batches absorbed by the local fallback engine.", m.Degraded.Load())
+	counter("sentryrouter_shed_total", "Batches rejected 429.", m.Sheds.Load())
+	counter("sentryrouter_failed_total", "Batches rejected as conflicts or failed internally.", m.Failed.Load())
+	counter("sentryrouter_bad_batches_total", "Requests rejected before routing.", m.BadBatches.Load())
+	counter("sentryrouter_refused_total", "Requests refused 503 during shutdown.", m.RefusedBatches.Load())
+	counter("sentryrouter_retries_total", "Extra replica passes after an incomplete one.", m.Retries.Load())
+	counter("sentryrouter_acks_total", "200 acks from peers.", m.Acks.Load())
+	counter("sentryrouter_dup_acks_total", "409 duplicate acks after a transport error.", m.DupAcks.Load())
+	counter("sentryrouter_peer_429_total", "Peer sheds observed.", m.Peer429s.Load())
+	counter("sentryrouter_peer_errors_total", "Peer transport errors and 5xx.", m.PeerErrs.Load())
+	counter("sentryrouter_probe_ok_total", "Successful health probes.", m.ProbeOK.Load())
+	counter("sentryrouter_probe_fail_total", "Failed health probes.", m.ProbeFail.Load())
+	counter("sentryrouter_config_pushes_total", "Config fan-out attempts to peers.", m.ConfigPushes.Load())
+	counter("sentryrouter_config_push_errors_total", "Config fan-out attempts that failed.", m.ConfigPushErrs.Load())
+	counter("sentryrouter_fallback_ingests_total", "Local fallback engine ingests.", m.FallbackIngests.Load())
+	fmt.Fprintf(w, "# HELP sentryrouter_config_version Active detection rule-set version.\n# TYPE sentryrouter_config_version gauge\nsentryrouter_config_version %d\n", r.local.RulesVersion())
+	fmt.Fprintf(w, "# HELP sentryrouter_peer_served_total Batches acked per peer.\n# TYPE sentryrouter_peer_served_total counter\n")
+	for _, p := range r.peerStats() {
+		fmt.Fprintf(w, "sentryrouter_peer_served_total{peer=%q} %d\n", p.Name, p.Served)
+	}
+	fmt.Fprintf(w, "# HELP sentryrouter_peer_breaker_open Peer breaker state (1 = not closed).\n# TYPE sentryrouter_peer_breaker_open gauge\n")
+	for _, p := range r.peerStats() {
+		open := 0
+		if p.Breaker != "closed" {
+			open = 1
+		}
+		fmt.Fprintf(w, "sentryrouter_peer_breaker_open{peer=%q,state=%q} %d\n", p.Name, p.Breaker, open)
+	}
+}
+
+// Snapshot assembles the current Stats.
+func (r *Router) Snapshot() Stats {
+	m := &r.metrics
+	return Stats{
+		Service:         "sentryrouter",
+		IngestCalls:     m.IngestCalls.Load(),
+		Batches:         m.Batches.Load(),
+		Routed:          m.Routed.Load(),
+		Degraded:        m.Degraded.Load(),
+		Sheds:           m.Sheds.Load(),
+		Failed:          m.Failed.Load(),
+		BadBatches:      m.BadBatches.Load(),
+		RefusedBatches:  m.RefusedBatches.Load(),
+		Retries:         m.Retries.Load(),
+		Acks:            m.Acks.Load(),
+		DupAcks:         m.DupAcks.Load(),
+		Peer429s:        m.Peer429s.Load(),
+		PeerErrs:        m.PeerErrs.Load(),
+		ProbeOK:         m.ProbeOK.Load(),
+		ProbeFail:       m.ProbeFail.Load(),
+		ConfigVersion:   r.local.RulesVersion(),
+		ConfigPushes:    m.ConfigPushes.Load(),
+		ConfigPushErrs:  m.ConfigPushErrs.Load(),
+		FallbackIngests: m.FallbackIngests.Load(),
+		Peers:           r.peerStats(),
+	}
+}

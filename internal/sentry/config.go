@@ -1,0 +1,161 @@
+package sentry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Live reconfiguration. The engine's detection thresholds — the sliding
+// window, the §VII-A swap rule's MinCalls/MinSwaps/MaxSwapGap, the
+// notify-flood threshold and the sketch bucket count — are not
+// compile-time constants but a versioned rule set behind an atomic
+// pointer: POST /v1/config swaps the whole set at once, without a
+// restart and without losing accounting. Every batch is processed under
+// exactly one rule version (Ingest loads the pointer once per batch),
+// and every detection is stamped with the version that produced it, so
+// a fleet operator can tell which detections predate a threshold
+// change.
+//
+// Version discipline: the initial rule set is version 1 (the engine's
+// construction Config). An update with Version 0 is assigned the next
+// version; an update carrying an explicit version must be newer than
+// the active one — re-pushing the active version with identical values
+// is an idempotent no-op (the router heals restarted peers this way),
+// re-pushing it with different values or pushing an older version is
+// rejected. Rejected updates never touch the running rule set.
+
+// ConfigUpdate is the /v1/config wire codec: the full swappable rule
+// set, all fields required, strict decoding (unknown fields rejected).
+// Durations travel as nanoseconds, mirroring Detection's JSON.
+type ConfigUpdate struct {
+	// Version is the explicit rule-set version; 0 asks the receiver to
+	// assign the next one.
+	Version uint64 `json:"version,omitempty"`
+
+	Window        time.Duration `json:"window_ns"`
+	MinCalls      int           `json:"min_calls"`
+	MaxSwapGap    time.Duration `json:"max_swap_gap_ns"`
+	MinSwaps      int           `json:"min_swaps"`
+	NotifFlood    int           `json:"notif_flood"`
+	SketchBuckets int           `json:"sketch_buckets"`
+}
+
+// Validate checks the update against the same bounds NewEngine enforces,
+// with no defaulting: a live update must spell out every field.
+func (u ConfigUpdate) Validate() error {
+	if u.Window < time.Millisecond {
+		return fmt.Errorf("sentry: config window %v below 1ms", u.Window)
+	}
+	if u.MinCalls < 2 {
+		return fmt.Errorf("sentry: config MinCalls %d too small", u.MinCalls)
+	}
+	if u.MaxSwapGap < 0 {
+		return fmt.Errorf("sentry: config negative MaxSwapGap %v", u.MaxSwapGap)
+	}
+	if u.MinSwaps < 1 {
+		return fmt.Errorf("sentry: config MinSwaps %d too small", u.MinSwaps)
+	}
+	if u.NotifFlood == 0 {
+		return fmt.Errorf("sentry: config NotifFlood 0 (use a negative value to disable the rule)")
+	}
+	if u.SketchBuckets < 2 {
+		return fmt.Errorf("sentry: config SketchBuckets %d too small", u.SketchBuckets)
+	}
+	if u.Window/time.Duration(u.SketchBuckets) <= 0 {
+		return fmt.Errorf("sentry: config window %v too short for %d buckets", u.Window, u.SketchBuckets)
+	}
+	return nil
+}
+
+// ParseConfigUpdate decodes the strict /v1/config body: one JSON
+// object, unknown fields rejected, nothing after it. Parsing does not
+// validate — the codec and the rule bounds are separate layers, and the
+// fuzz target exercises both.
+func ParseConfigUpdate(b []byte) (ConfigUpdate, error) {
+	var u ConfigUpdate
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&u); err != nil {
+		return ConfigUpdate{}, fmt.Errorf("sentry: bad config body: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return ConfigUpdate{}, fmt.Errorf("sentry: trailing data after config object")
+	}
+	return u, nil
+}
+
+// Encode renders the update as its canonical JSON. For any body
+// ParseConfigUpdate accepts, Encode∘Parse∘Encode is a fixed point —
+// the round trip the fuzz target pins.
+func (u ConfigUpdate) Encode() ([]byte, error) {
+	return json.Marshal(u)
+}
+
+// ConfigSnapshot reports the engine's active rule set as a ConfigUpdate
+// carrying its version.
+func (e *Engine) ConfigSnapshot() ConfigUpdate {
+	ru := e.rules.Load()
+	return ConfigUpdate{
+		Version:       ru.version,
+		Window:        ru.window,
+		MinCalls:      ru.minCalls,
+		MaxSwapGap:    ru.maxSwapGap,
+		MinSwaps:      ru.minSwaps,
+		NotifFlood:    ru.notifFlood,
+		SketchBuckets: ru.sketchBuckets,
+	}
+}
+
+// RulesVersion reports the active rule-set version.
+func (e *Engine) RulesVersion() uint64 { return e.rules.Load().version }
+
+// sameRules reports whether the update describes exactly the active set.
+func sameRules(u ConfigUpdate, ru *rules) bool {
+	return u.Window == ru.window && u.MinCalls == ru.minCalls &&
+		u.MaxSwapGap == ru.maxSwapGap && u.MinSwaps == ru.minSwaps &&
+		u.NotifFlood == ru.notifFlood && u.SketchBuckets == ru.sketchBuckets
+}
+
+// ApplyConfig atomically swaps the engine's rule set. It returns the
+// version now active. Invalid or stale updates are rejected without
+// touching the running rules — a batch racing the swap is processed
+// wholly under the old set or wholly under the new one, never a mix,
+// and no counter is reset, so accounting is continuous across swaps.
+func (e *Engine) ApplyConfig(u ConfigUpdate) (uint64, error) {
+	if err := u.Validate(); err != nil {
+		return 0, err
+	}
+	e.configMu.Lock()
+	defer e.configMu.Unlock()
+	cur := e.rules.Load()
+	v := u.Version
+	switch {
+	case v == 0:
+		v = cur.version + 1
+	case v == cur.version:
+		if sameRules(u, cur) {
+			return cur.version, nil // idempotent re-push
+		}
+		return 0, fmt.Errorf("sentry: config version %d is already active with different values", v)
+	case v < cur.version:
+		return 0, fmt.Errorf("sentry: stale config version %d (active %d)", v, cur.version)
+	}
+	nr := &rules{
+		version:       v,
+		window:        u.Window,
+		minCalls:      u.MinCalls,
+		maxSwapGap:    u.MaxSwapGap,
+		minSwaps:      u.MinSwaps,
+		notifFlood:    u.NotifFlood,
+		sketchBuckets: u.SketchBuckets,
+		bucketDur:     u.Window / time.Duration(u.SketchBuckets),
+	}
+	if nr.bucketDur <= 0 {
+		nr.bucketDur = 1
+	}
+	e.rules.Store(nr)
+	return v, nil
+}

@@ -1,0 +1,70 @@
+package sentry
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzConfigCodec drives the /v1/config JSON codec: anything
+// ParseConfigUpdate accepts must survive an encode/parse round trip
+// byte-for-byte at the struct level, and anything it (or Validate)
+// rejects must leave a running engine's rule state untouched.
+func FuzzConfigCodec(f *testing.F) {
+	f.Add([]byte(`{"window_ns":3000000000,"min_calls":8,"max_swap_gap_ns":50000000,"min_swaps":4,"notif_flood":30,"sketch_buckets":16}`))
+	f.Add([]byte(`{"version":7,"window_ns":2000000000,"min_calls":10,"max_swap_gap_ns":40000000,"min_swaps":5,"notif_flood":-1,"sketch_buckets":8}`))
+	f.Add([]byte(`{"window_ns":1000000,"min_calls":2,"min_swaps":1,"notif_flood":1,"sketch_buckets":2}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"window_ns":0}`))
+	f.Add([]byte(`{"window_ns":-3000000000,"min_calls":-8}`))
+	f.Add([]byte(`{"window_ns":9223372036854775807,"min_calls":2147483647,"sketch_buckets":2147483647}`))
+	f.Add([]byte(`{"window_ns":3000000000,"unknown_field":1}`))
+	f.Add([]byte(`{"window_ns":3000000000}{"window_ns":1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[{"window_ns":3000000000}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := ParseConfigUpdate(data)
+		if err != nil {
+			return // rejected input: nothing further to hold
+		}
+
+		// Accepted JSON must round-trip losslessly.
+		enc, err := u.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%+v) after successful parse: %v", u, err)
+		}
+		again, err := ParseConfigUpdate(enc)
+		if err != nil {
+			t.Fatalf("re-parse of own encoding %q: %v", enc, err)
+		}
+		if !reflect.DeepEqual(again, u) {
+			t.Fatalf("round trip drifted: %+v vs %+v", again, u)
+		}
+
+		// Applying the update must either succeed atomically or leave
+		// the engine's rules exactly as they were — never tear.
+		e, eerr := NewEngine(Config{})
+		if eerr != nil {
+			t.Fatal(eerr)
+		}
+		before := e.ConfigSnapshot()
+		v, aerr := e.ApplyConfig(u)
+		after := e.ConfigSnapshot()
+		if aerr != nil {
+			if u.Validate() == nil && u.Version == 0 {
+				t.Fatalf("valid auto-versioned update rejected: %+v: %v", u, aerr)
+			}
+			if !reflect.DeepEqual(after, before) {
+				t.Fatalf("rejected update tore rule state: %+v -> %+v", before, after)
+			}
+			return
+		}
+		if u.Validate() != nil {
+			t.Fatalf("invalid update accepted: %+v", u)
+		}
+		if after.Version != v || e.RulesVersion() != v {
+			t.Fatalf("applied version %d but snapshot says %d/%d", v, after.Version, e.RulesVersion())
+		}
+	})
+}

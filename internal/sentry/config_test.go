@@ -1,0 +1,363 @@
+package sentry
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// swapRecords builds n draw-and-destroy swap pairs starting at start,
+// with sequence numbers continuing from seq.
+func swapRecords(device string, n int, start time.Duration, seq uint64) []Record {
+	var recs []Record
+	t := start
+	for i := 0; i < n; i++ {
+		recs = append(recs,
+			Record{Device: device, Seq: seq, Method: MethodAddView, At: t},
+			Record{Device: device, Seq: seq + 1, Method: MethodRemoveView, At: t + 3*time.Millisecond},
+		)
+		seq += 2
+		t += 6 * time.Millisecond
+	}
+	return recs
+}
+
+// notifRecords builds n notifications spaced 10ms apart from start.
+func notifRecords(device string, n int, start time.Duration, seq uint64) []Record {
+	var recs []Record
+	for i := 0; i < n; i++ {
+		recs = append(recs, Record{
+			Device: device, Seq: seq + uint64(i),
+			Method: MethodEnqueueNotification,
+			At:     start + time.Duration(i)*10*time.Millisecond,
+		})
+	}
+	return recs
+}
+
+func TestApplyConfigVersioning(t *testing.T) {
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.RulesVersion(); got != 1 {
+		t.Fatalf("initial version = %d, want 1", got)
+	}
+	base := e.ConfigSnapshot()
+	base.Version = 0
+
+	// Version 0 auto-assigns the next version.
+	v, err := e.ApplyConfig(base)
+	if err != nil || v != 2 {
+		t.Fatalf("ApplyConfig(v0) = %d, %v; want 2, nil", v, err)
+	}
+
+	// Idempotent re-push of the active version with identical values.
+	same := e.ConfigSnapshot()
+	if v, err = e.ApplyConfig(same); err != nil || v != 2 {
+		t.Fatalf("idempotent re-push = %d, %v; want 2, nil", v, err)
+	}
+
+	// Active version with different values is a conflict.
+	conflict := same
+	conflict.MinCalls++
+	if _, err = e.ApplyConfig(conflict); err == nil {
+		t.Fatal("conflicting re-push of active version accepted")
+	}
+	if e.RulesVersion() != 2 {
+		t.Fatalf("version moved to %d on rejected update", e.RulesVersion())
+	}
+
+	// Stale version is rejected.
+	stale := same
+	stale.Version = 1
+	if _, err = e.ApplyConfig(stale); err == nil {
+		t.Fatal("stale version accepted")
+	}
+
+	// A forward jump is accepted — the router heals restarted peers by
+	// pushing the ring's (higher) version at them.
+	jump := same
+	jump.Version = 10
+	jump.MinSwaps++
+	if v, err = e.ApplyConfig(jump); err != nil || v != 10 {
+		t.Fatalf("version jump = %d, %v; want 10, nil", v, err)
+	}
+
+	// Invalid updates never touch the rules.
+	bad := e.ConfigSnapshot()
+	bad.Version = 0
+	bad.MinCalls = 1
+	if _, err = e.ApplyConfig(bad); err == nil {
+		t.Fatal("invalid update accepted")
+	}
+	if e.RulesVersion() != 10 {
+		t.Fatalf("version = %d after invalid update, want 10", e.RulesVersion())
+	}
+}
+
+func TestConfigSnapshotEncodeParseRoundTrip(t *testing.T) {
+	e, err := NewEngine(Config{Window: 2 * time.Second, MinCalls: 9, MinSwaps: 5, NotifFlood: 21, SketchBuckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := e.ConfigSnapshot()
+	b, err := u.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseConfigUpdate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, u) {
+		t.Fatalf("round trip drifted: %+v vs %+v", got, u)
+	}
+}
+
+func TestParseConfigUpdateStrict(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`{`,
+		`{"window_ns": 3000000000, "unknown": 1}`,
+		`{"window_ns": 3000000000}{"window_ns": 1}`, // trailing object
+		`[1,2]`,
+	} {
+		if _, err := ParseConfigUpdate([]byte(bad)); err == nil {
+			t.Errorf("ParseConfigUpdate(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDetectionStampsConfigVersion: every detection carries the version
+// of the rule set that produced it.
+func TestDetectionStampsConfigVersion(t *testing.T) {
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest("dev-a", swapRecords("dev-a", 8, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := e.DetectionFor("dev-a")
+	if !ok {
+		t.Fatal("attacker stream not detected")
+	}
+	if d.ConfigVersion != 1 {
+		t.Fatalf("detection version = %d, want 1", d.ConfigVersion)
+	}
+
+	// Swap (same values, next version); a later detection carries v2.
+	u := e.ConfigSnapshot()
+	u.Version = 0
+	if _, err := e.ApplyConfig(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest("dev-b", swapRecords("dev-b", 8, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := e.DetectionFor("dev-b"); d.ConfigVersion != 2 {
+		t.Fatalf("post-swap detection version = %d, want 2", d.ConfigVersion)
+	}
+	// dev-a's detection keeps its original version.
+	if d, _ := e.DetectionFor("dev-a"); d.ConfigVersion != 1 {
+		t.Fatalf("pre-swap detection version rewrote to %d", d.ConfigVersion)
+	}
+}
+
+// TestConfigSwapContinuousAccounting: a mid-stream swap neither loses
+// window state nor re-judges past windows — 20 notifications land under
+// a NotifFlood-30 rule (no flag), the rule tightens to 25, and 10 more
+// notifications in the same window push the preserved count over the
+// new threshold.
+func TestConfigSwapContinuousAccounting(t *testing.T) {
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest("dev-n", notifRecords("dev-n", 20, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Detected("dev-n") {
+		t.Fatal("flagged below threshold")
+	}
+	u := e.ConfigSnapshot()
+	u.Version = 0
+	u.NotifFlood = 25
+	if _, err := e.ApplyConfig(u); err != nil {
+		t.Fatal(err)
+	}
+	if e.Detected("dev-n") {
+		t.Fatal("swap alone re-judged a past window")
+	}
+	if _, err := e.Ingest("dev-n", notifRecords("dev-n", 10, 200*time.Millisecond, 20)); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := e.DetectionFor("dev-n")
+	if !ok {
+		t.Fatal("preserved window count did not cross the tightened threshold")
+	}
+	if d.Pattern != PatternNotifyFlood || d.ConfigVersion != 2 {
+		t.Fatalf("detection = %+v, want notify-flood at version 2", d)
+	}
+	if d.Calls < 25 {
+		t.Fatalf("detection saw %d calls; pre-swap records were lost", d.Calls)
+	}
+}
+
+// TestConfigSwapRebucket: changing the window (and so the bucket
+// duration) remaps the per-device sketch instead of dropping it.
+func TestConfigSwapRebucket(t *testing.T) {
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest("dev-r", notifRecords("dev-r", 20, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	u := e.ConfigSnapshot()
+	u.Version = 0
+	u.Window = 2 * time.Second // bucketDur changes 187.5ms -> 125ms
+	u.NotifFlood = 25
+	if _, err := e.ApplyConfig(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest("dev-r", notifRecords("dev-r", 10, 250*time.Millisecond, 20)); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := e.DetectionFor("dev-r")
+	if !ok {
+		t.Fatal("sketch lost across re-bucketing")
+	}
+	if d.Calls < 25 {
+		t.Fatalf("detection saw %d calls after re-bucket, want >= 25", d.Calls)
+	}
+}
+
+// collectJournal records appends in memory; failN fails the first N.
+type collectJournal struct {
+	ds    []Detection
+	failN int
+}
+
+func (j *collectJournal) Append(d Detection) error {
+	if j.failN > 0 {
+		j.failN--
+		return fmt.Errorf("journal full")
+	}
+	j.ds = append(j.ds, d)
+	return nil
+}
+
+func TestJournalAndRestore(t *testing.T) {
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &collectJournal{}
+	e.SetJournal(j)
+	if _, err := e.Ingest("dev-a", swapRecords("dev-a", 8, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest("dev-n", notifRecords("dev-n", 35, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.ds) != 2 {
+		t.Fatalf("journaled %d detections, want 2", len(j.ds))
+	}
+	for _, d := range j.ds {
+		if d.Device == "" {
+			t.Fatalf("journaled detection missing device: %+v", d)
+		}
+	}
+
+	// A fresh engine restored from the journal answers identically,
+	// without re-seeing a single record.
+	e2, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Restore(j.ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range j.ds {
+		got, ok := e2.DetectionFor(d.Device)
+		if !ok {
+			t.Fatalf("%s lost across restore", d.Device)
+		}
+		if got != d {
+			t.Fatalf("restored detection drifted: %+v vs %+v", got, d)
+		}
+	}
+	snap := e2.Snapshot()
+	if snap.Detected != 2 || snap.DevicesReported != 2 {
+		t.Fatalf("restored accounting: %+v", snap)
+	}
+	// Restoring again is idempotent.
+	if err := e2.Restore(j.ds); err != nil {
+		t.Fatal(err)
+	}
+	if e2.DetectionsTotal() != 2 {
+		t.Fatalf("double restore counted twice: %d", e2.DetectionsTotal())
+	}
+	// A bad device token is refused.
+	if err := e2.Restore([]Detection{{Device: "bad device!"}}); err == nil {
+		t.Fatal("restore accepted an invalid device token")
+	}
+}
+
+func TestJournalErrorCountedNotBlocking(t *testing.T) {
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetJournal(&collectJournal{failN: 1})
+	if _, err := e.Ingest("dev-a", swapRecords("dev-a", 8, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Detected("dev-a") {
+		t.Fatal("journal failure blocked the detection")
+	}
+	if e.JournalErrors() != 1 {
+		t.Fatalf("JournalErrors = %d, want 1", e.JournalErrors())
+	}
+}
+
+// TestSnapshotDeviceRows: the per-device accounting rows are exhaustive,
+// sorted, and consistent with the totals.
+func TestSnapshotDeviceRows(t *testing.T) {
+	e, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest("dev-a", swapRecords("dev-a", 8, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest("dev-c", notifRecords("dev-c", 3, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	e.MarkShed("dev-b")
+	snap := e.Snapshot()
+	if len(snap.Devices) != snap.DevicesReported {
+		t.Fatalf("%d device rows for %d devices", len(snap.Devices), snap.DevicesReported)
+	}
+	counts := map[string]int{}
+	var recs uint64
+	for i, row := range snap.Devices {
+		counts[row.Status]++
+		recs += row.Records
+		if i > 0 && snap.Devices[i-1].Device >= row.Device {
+			t.Fatalf("device rows not sorted: %q >= %q", snap.Devices[i-1].Device, row.Device)
+		}
+		if (row.Status == "detected") != (row.Detection != nil) {
+			t.Fatalf("row %q: status %q with detection %v", row.Device, row.Status, row.Detection)
+		}
+	}
+	if counts["detected"] != snap.Detected || counts["shed"] != snap.Shed || counts["clean"] != snap.Clean {
+		t.Fatalf("row statuses %v disagree with totals %+v", counts, snap)
+	}
+	if recs != snap.RecordsIngested {
+		t.Fatalf("row records sum %d != total %d", recs, snap.RecordsIngested)
+	}
+}

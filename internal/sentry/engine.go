@@ -146,6 +146,33 @@ type Detection struct {
 	// (draw-and-destroy only).
 	Swaps       int           `json:"swaps"`
 	MeanSwapGap time.Duration `json:"mean_swap_gap_ns"`
+	// ConfigVersion is the rule-set version active when the detection
+	// fired (see ApplyConfig); 1 is the construction configuration.
+	ConfigVersion uint64 `json:"config_version"`
+}
+
+// Journal receives every detection the instant it fires, before the
+// ingest that triggered it returns — the crash-safety seam sentryd
+// wires to a sentrystore.Store. Append is called under the flagged
+// device's shard lock, so implementations must not call back into the
+// engine; an error is counted (JournalErrors) but never blocks the
+// detection itself.
+type Journal interface {
+	Append(d Detection) error
+}
+
+// rules is the swappable detection rule set; see config.go for the
+// versioning discipline. bucketDur is derived (window/sketchBuckets)
+// and cached because every bump consults it.
+type rules struct {
+	version       uint64
+	window        time.Duration
+	minCalls      int
+	maxSwapGap    time.Duration
+	minSwaps      int
+	notifFlood    int
+	sketchBuckets int
+	bucketDur     time.Duration
 }
 
 // overlayRec is one add/remove record in a device's ring.
@@ -164,7 +191,9 @@ type bucket struct {
 // deviceState is everything the engine keeps per device. Memory is
 // O(RingCap + SketchBuckets) regardless of stream rate: the ring holds
 // at most RingCap recent overlay records and the sketch at most
-// SketchBuckets+1 counters.
+// SketchBuckets+1 counters. recs/ign/evict are the device's slice of
+// the engine-wide counters — the per-device accounting rows a ring
+// router needs to merge N replicated nodes into one exact fleet report.
 type deviceState struct {
 	lastSeq   uint64
 	hasSeq    bool
@@ -172,6 +201,12 @@ type deviceState struct {
 	detection *Detection
 	ring      []overlayRec
 	buckets   []bucket
+	// bdur is the bucket duration the sketch was built under; when a
+	// config swap changes it, the buckets are remapped in place so the
+	// window estimate survives the swap (no lost accounting).
+	bdur time.Duration
+
+	recs, ign, evict uint64
 }
 
 // shard is one lock's worth of device states.
@@ -183,14 +218,23 @@ type shard struct {
 // Engine is the streaming detector. All methods are safe for
 // concurrent use; per-device work serializes on the device's shard.
 type Engine struct {
-	cfg       Config
-	bucketDur time.Duration
-	shards    []*shard
+	cfg    Config
+	shards []*shard
+
+	// rules is the live (versioned, atomically swappable) rule set;
+	// configMu serializes swaps, never ingest.
+	rules    atomic.Pointer[rules]
+	configMu sync.Mutex
+
+	// journal, when set (SetJournal, before serving), receives every
+	// detection as it fires.
+	journal Journal
 
 	records       atomic.Uint64 // records ingested (all methods)
 	ignored       atomic.Uint64 // records with methods no rule consumes
 	ringEvictions atomic.Uint64 // overlay records evicted by RingCap pressure
 	detections    atomic.Uint64 // devices flagged
+	journalErrs   atomic.Uint64 // journal appends that failed
 }
 
 // NewEngine validates the configuration and builds an engine.
@@ -200,21 +244,74 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:       cfg,
-		bucketDur: cfg.Window / time.Duration(cfg.SketchBuckets),
-		shards:    make([]*shard, cfg.Shards),
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
 	}
-	if e.bucketDur <= 0 {
-		e.bucketDur = 1
+	initial := &rules{
+		version:       1,
+		window:        cfg.Window,
+		minCalls:      cfg.MinCalls,
+		maxSwapGap:    cfg.MaxSwapGap,
+		minSwaps:      cfg.MinSwaps,
+		notifFlood:    cfg.NotifFlood,
+		sketchBuckets: cfg.SketchBuckets,
+		bucketDur:     cfg.Window / time.Duration(cfg.SketchBuckets),
 	}
+	if initial.bucketDur <= 0 {
+		initial.bucketDur = 1
+	}
+	e.rules.Store(initial)
 	for i := range e.shards {
 		e.shards[i] = &shard{devices: make(map[string]*deviceState)}
 	}
 	return e, nil
 }
 
-// Config returns the engine's effective (defaulted) configuration.
-func (e *Engine) Config() Config { return e.cfg }
+// Config returns the engine's effective configuration: the static
+// construction fields plus the currently active rule set.
+func (e *Engine) Config() Config {
+	cfg := e.cfg
+	ru := e.rules.Load()
+	cfg.Window = ru.window
+	cfg.MinCalls = ru.minCalls
+	cfg.MaxSwapGap = ru.maxSwapGap
+	cfg.MinSwaps = ru.minSwaps
+	cfg.NotifFlood = ru.notifFlood
+	cfg.SketchBuckets = ru.sketchBuckets
+	return cfg
+}
+
+// SetJournal installs the detection journal. Call before the engine
+// serves traffic; the pointer is read without synchronization on the
+// ingest path.
+func (e *Engine) SetJournal(j Journal) { e.journal = j }
+
+// JournalErrors reports how many journal appends failed.
+func (e *Engine) JournalErrors() uint64 { return e.journalErrs.Load() }
+
+// Restore preloads recovered detections — a crash-safe store's contents
+// — into the engine, before it serves traffic. A restored device is
+// accounted detected (it reports without ever re-streaming) and its
+// sequence state is fresh, so the device's continuing stream is
+// accepted from wherever it resumes. Restored detections are not
+// re-journaled: the journal already holds them.
+func (e *Engine) Restore(ds []Detection) error {
+	for _, d := range ds {
+		if !validToken(d.Device) {
+			return fmt.Errorf("sentry: restore: bad device token %q", d.Device)
+		}
+		sh := e.shardFor(d.Device)
+		sh.mu.Lock()
+		st := sh.state(d.Device)
+		if st.detection == nil {
+			det := d
+			st.detection = &det
+			e.detections.Add(1)
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
 
 func (e *Engine) shardFor(device string) *shard {
 	h := fnv.New32a()
@@ -240,6 +337,9 @@ func (sh *shard) state(device string) *deviceState {
 // alongside the error. A batch for one device takes its shard lock
 // once.
 func (e *Engine) Ingest(device string, recs []Record) (int, error) {
+	// One rule-set load per batch: a config swap racing the batch
+	// applies to the whole batch or none of it.
+	ru := e.rules.Load()
 	sh := e.shardFor(device)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -253,7 +353,8 @@ func (e *Engine) Ingest(device string, recs []Record) (int, error) {
 		}
 		st.lastSeq, st.hasSeq = r.Seq, true
 		e.records.Add(1)
-		e.observe(st, r)
+		st.recs++
+		e.observe(ru, st, r)
 	}
 	return len(recs), nil
 }
@@ -272,30 +373,32 @@ func (e *Engine) MarkShed(device string) {
 
 // observe applies one record to the device's window state and runs the
 // decision rules. Caller holds the shard lock.
-func (e *Engine) observe(st *deviceState, r Record) {
+func (e *Engine) observe(ru *rules, st *deviceState, r Record) {
 	switch r.Method {
 	case MethodAddView, MethodRemoveView:
-		e.observeOverlay(st, r)
+		e.observeOverlay(ru, st, r)
 	case MethodEnqueueNotification:
-		e.bump(st, r.At, false)
-		e.evaluateNotify(st, r.At)
+		e.bump(ru, st, r.At, false)
+		e.evaluateNotify(ru, st, r.Device, r.At)
 	default:
 		e.ignored.Add(1)
+		st.ign++
 	}
 }
 
-func (e *Engine) observeOverlay(st *deviceState, r Record) {
+func (e *Engine) observeOverlay(ru *rules, st *deviceState, r Record) {
 	if len(st.ring) == e.cfg.RingCap {
 		copy(st.ring, st.ring[1:])
 		st.ring = st.ring[:len(st.ring)-1]
 		e.ringEvictions.Add(1)
+		st.evict++
 	}
 	st.ring = append(st.ring, overlayRec{add: r.Method == MethodAddView, at: r.At})
 	// Trim ring entries older than the window (exact cutoff; the ring is
 	// time-ordered because timestamps within a device stream are
 	// non-decreasing in practice, and a decreasing timestamp simply
 	// trims nothing).
-	cutoff := r.At - e.cfg.Window
+	cutoff := r.At - ru.window
 	i := 0
 	for i < len(st.ring) && st.ring[i].at < cutoff {
 		i++
@@ -303,15 +406,42 @@ func (e *Engine) observeOverlay(st *deviceState, r Record) {
 	if i > 0 {
 		st.ring = append(st.ring[:0], st.ring[i:]...)
 	}
-	e.bump(st, r.At, true)
-	e.evaluateOverlay(st, r.At)
+	e.bump(ru, st, r.At, true)
+	e.evaluateOverlay(ru, st, r.Device, r.At)
+}
+
+// rebucket remaps the device's sketch from its previous bucket duration
+// to the rule set's current one — a config swap changed the window or
+// the bucket count. Each old bucket's counts move to the new bucket
+// covering its start instant; counts are merged, never dropped, so the
+// window estimate is continuous across the swap (within one bucket of
+// slack, the sketch's usual tolerance).
+func rebucket(st *deviceState, newDur time.Duration) {
+	if len(st.buckets) == 0 || st.bdur == newDur {
+		return
+	}
+	out := st.buckets[:0]
+	for _, b := range st.buckets {
+		idx := b.idx * int64(st.bdur) / int64(newDur)
+		if n := len(out); n > 0 && out[n-1].idx == idx {
+			out[n-1].overlays += b.overlays
+			out[n-1].notes += b.notes
+		} else {
+			out = append(out, bucket{idx: idx, overlays: b.overlays, notes: b.notes})
+		}
+	}
+	st.buckets = out
 }
 
 // bump counts one record into the sketch bucket covering at, evicting
 // buckets that slid out of the window.
-func (e *Engine) bump(st *deviceState, at time.Duration, overlay bool) {
-	idx := int64(at / e.bucketDur)
-	live := idx - int64(e.cfg.SketchBuckets) + 1
+func (e *Engine) bump(ru *rules, st *deviceState, at time.Duration, overlay bool) {
+	if st.bdur != ru.bucketDur {
+		rebucket(st, ru.bucketDur)
+		st.bdur = ru.bucketDur
+	}
+	idx := int64(at / ru.bucketDur)
+	live := idx - int64(ru.sketchBuckets) + 1
 	// Evict dead buckets from the front (they are kept in ascending
 	// index order).
 	i := 0
@@ -373,12 +503,12 @@ func (st *deviceState) windowCounts() (overlays, notes int) {
 // gaps. Mirrors defense.IPCDetector.evaluate, with the window's call
 // count estimated by the sketch so a flood cannot cheat detection by
 // overflowing the ring.
-func (e *Engine) evaluateOverlay(st *deviceState, now time.Duration) {
+func (e *Engine) evaluateOverlay(ru *rules, st *deviceState, device string, now time.Duration) {
 	if st.detection != nil {
 		return
 	}
 	calls, _ := st.windowCounts()
-	if calls < e.cfg.MinCalls {
+	if calls < ru.minCalls {
 		return
 	}
 	swaps := 0
@@ -388,41 +518,57 @@ func (e *Engine) evaluateOverlay(st *deviceState, now time.Duration) {
 		if st.ring[i].add == next.add {
 			continue
 		}
-		if gap := next.at - st.ring[i].at; gap >= 0 && gap <= e.cfg.MaxSwapGap {
+		if gap := next.at - st.ring[i].at; gap >= 0 && gap <= ru.maxSwapGap {
 			swaps++
 			gapSum += gap
 		}
 	}
-	if swaps < e.cfg.MinSwaps {
+	if swaps < ru.minSwaps {
 		return
 	}
-	st.detection = &Detection{
-		Pattern:     PatternDrawAndDestroy,
-		At:          now,
-		Calls:       calls,
-		Swaps:       swaps,
-		MeanSwapGap: gapSum / time.Duration(swaps),
-	}
-	e.detections.Add(1)
+	e.flag(st, Detection{
+		Device:        device,
+		Pattern:       PatternDrawAndDestroy,
+		At:            now,
+		Calls:         calls,
+		Swaps:         swaps,
+		MeanSwapGap:   gapSum / time.Duration(swaps),
+		ConfigVersion: ru.version,
+	})
 }
 
 // evaluateNotify is the Knock-Knock-motivated notification-abuse rule:
 // a device enqueueing NotifFlood or more notifications within one
 // window is flooding the shade.
-func (e *Engine) evaluateNotify(st *deviceState, now time.Duration) {
-	if st.detection != nil || e.cfg.NotifFlood < 0 {
+func (e *Engine) evaluateNotify(ru *rules, st *deviceState, device string, now time.Duration) {
+	if st.detection != nil || ru.notifFlood < 0 {
 		return
 	}
 	_, notes := st.windowCounts()
-	if notes < e.cfg.NotifFlood {
+	if notes < ru.notifFlood {
 		return
 	}
-	st.detection = &Detection{
-		Pattern: PatternNotifyFlood,
-		At:      now,
-		Calls:   notes,
-	}
+	e.flag(st, Detection{
+		Device:        device,
+		Pattern:       PatternNotifyFlood,
+		At:            now,
+		Calls:         notes,
+		ConfigVersion: ru.version,
+	})
+}
+
+// flag records the device's detection and journals it. Caller holds the
+// shard lock; the journal sees the detection before the triggering
+// ingest returns, so a node SIGKILLed right after the 200 still knows
+// the device was flagged when it restarts.
+func (e *Engine) flag(st *deviceState, d Detection) {
+	st.detection = &d
 	e.detections.Add(1)
+	if e.journal != nil {
+		if err := e.journal.Append(d); err != nil {
+			e.journalErrs.Add(1)
+		}
+	}
 }
 
 // Snapshot is the engine's device-level accounting at one instant.
@@ -451,6 +597,24 @@ type Snapshot struct {
 	// Detections lists every flagged device, sorted by device ID so
 	// repeated replays render identically.
 	Detections []Detection `json:"detections"`
+
+	// Devices lists every reported device's accounting row, sorted by
+	// device ID. A ring router merges the rows of N replicated peers —
+	// picking each device's canonical replica — into a fleet snapshot
+	// whose totals still satisfy the exclusive-accounting identity.
+	Devices []DeviceAccount `json:"devices,omitempty"`
+}
+
+// DeviceAccount is one device's slice of the accounting: its status
+// bucket (exactly one of detected/shed/clean), its record counters and
+// its detection, if any.
+type DeviceAccount struct {
+	Device    string     `json:"device"`
+	Status    string     `json:"status"` // "detected" | "shed" | "clean"
+	Records   uint64     `json:"records"`
+	Ignored   uint64     `json:"ignored,omitempty"`
+	Evictions uint64     `json:"evictions,omitempty"`
+	Detection *Detection `json:"detection,omitempty"`
 }
 
 // Snapshot assembles the current accounting. Detection results depend
@@ -467,24 +631,53 @@ func (e *Engine) Snapshot() Snapshot {
 		sh.mu.Lock()
 		for dev, st := range sh.devices {
 			snap.DevicesReported++
+			acct := DeviceAccount{
+				Device:    dev,
+				Records:   st.recs,
+				Ignored:   st.ign,
+				Evictions: st.evict,
+			}
 			switch {
 			case st.detection != nil:
 				snap.Detected++
 				d := *st.detection
 				d.Device = dev
 				snap.Detections = append(snap.Detections, d)
+				acct.Status = "detected"
+				det := d
+				acct.Detection = &det
 			case st.shed:
 				snap.Shed++
+				acct.Status = "shed"
 			default:
 				snap.Clean++
+				acct.Status = "clean"
 			}
+			snap.Devices = append(snap.Devices, acct)
 		}
 		sh.mu.Unlock()
 	}
 	sort.Slice(snap.Detections, func(i, j int) bool {
 		return snap.Detections[i].Device < snap.Detections[j].Device
 	})
+	sort.Slice(snap.Devices, func(i, j int) bool {
+		return snap.Devices[i].Device < snap.Devices[j].Device
+	})
 	return snap
+}
+
+// DetectionFor reports the device's detection, if it has one.
+func (e *Engine) DetectionFor(device string) (Detection, bool) {
+	sh := e.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.devices[device]
+	if st == nil || st.detection == nil {
+		return Detection{}, false
+	}
+	d := *st.detection
+	d.Device = device
+	return d, true
 }
 
 // Detected reports whether the device has been flagged.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -261,8 +262,12 @@ func segments(recs []Record, batch int) [][]Record {
 type ReplayStats struct {
 	Batches int // batches sent
 	OK      int // 200 responses
-	Shed    int // 429 responses
+	Shed    int // 429 responses (after any retries)
 	Errors  int // transport errors and unexpected statuses
+	// Retried counts re-sends after a 429 (Retry-After honored);
+	// Abandoned counts batches still shed when the retry budget ran out.
+	Retried   int
+	Abandoned int
 	// FirstError samples the first failure for diagnostics.
 	FirstError string
 }
@@ -280,9 +285,28 @@ func (rs *ReplayStats) merge(o ReplayStats) {
 	rs.OK += o.OK
 	rs.Shed += o.Shed
 	rs.Errors += o.Errors
+	rs.Retried += o.Retried
+	rs.Abandoned += o.Abandoned
 	if rs.FirstError == "" {
 		rs.FirstError = o.FirstError
 	}
+}
+
+// ReplayOptions tunes ReplayFleetOpts beyond the basic open-loop
+// replay.
+type ReplayOptions struct {
+	// Clients is the replay goroutine count (default 1, clamped to the
+	// device count).
+	Clients int
+	// Batch bounds records per ingest batch (default 1).
+	Batch int
+	// Retry429 is the number of re-sends of a shed batch, honoring the
+	// server's Retry-After hint (capped at 300ms, jittered ±50% from the
+	// seeded stream) before abandoning it. 0 keeps the pure open-loop
+	// behavior: a shed batch is dropped and the stream continues.
+	Retry429 int
+	// Seed drives the per-client retry jitter streams (default 1).
+	Seed int64
 }
 
 // ReplayFleet replays the fleet's streams against a sentry server at
@@ -300,11 +324,28 @@ func (rs *ReplayStats) merge(o ReplayStats) {
 // Transport errors are counted, not fatal, so a replay can ride
 // through a server restart.
 func ReplayFleet(client *http.Client, base string, fl *Fleet, clients, batch int) ReplayStats {
+	return ReplayFleetOpts(client, base, fl, ReplayOptions{Clients: clients, Batch: batch})
+}
+
+// ReplayFleetOpts is ReplayFleet with the full option set.
+func ReplayFleetOpts(client *http.Client, base string, fl *Fleet, opts ReplayOptions) ReplayStats {
+	clients := opts.Clients
 	if clients < 1 {
 		clients = 1
 	}
 	if clients > len(fl.Devices) {
 		clients = len(fl.Devices)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	master := simrand.New(seed)
+	// Per-client streams are derived up front: Derive advances the
+	// parent source, so deriving inside the goroutines would race.
+	rngs := make([]*simrand.Source, clients)
+	for c := range rngs {
+		rngs[c] = master.DeriveIndexed("sentry/replay", c)
 	}
 	stats := make([]ReplayStats, clients)
 	var wg sync.WaitGroup
@@ -312,6 +353,7 @@ func ReplayFleet(client *http.Client, base string, fl *Fleet, clients, batch int
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			rng := rngs[c]
 			type devReplay struct {
 				id   string
 				segs [][]Record
@@ -322,7 +364,7 @@ func ReplayFleet(client *http.Client, base string, fl *Fleet, clients, batch int
 				if len(d.Records) == 0 {
 					continue
 				}
-				devs = append(devs, devReplay{id: d.ID, segs: segments(d.Records, batch)})
+				devs = append(devs, devReplay{id: d.ID, segs: segments(d.Records, opts.Batch)})
 			}
 			for pass := 0; ; pass++ {
 				sent := false
@@ -331,7 +373,7 @@ func ReplayFleet(client *http.Client, base string, fl *Fleet, clients, batch int
 						continue
 					}
 					sent = true
-					postBatch(client, base, d.id, d.segs[pass], &stats[c])
+					postBatch(client, base, d.id, d.segs[pass], &stats[c], opts.Retry429, rng)
 				}
 				if !sent {
 					return
@@ -347,27 +389,64 @@ func ReplayFleet(client *http.Client, base string, fl *Fleet, clients, batch int
 	return total
 }
 
-// postBatch sends one device batch and classifies the outcome.
-func postBatch(client *http.Client, base, device string, recs []Record, rs *ReplayStats) {
+// retryAfterCap bounds how long a replay client honors a Retry-After
+// hint — replays are compressed-time, so a literal multi-second hint
+// would stall the stream far past the shed window it describes.
+const retryAfterCap = 300 * time.Millisecond
+
+// retryDelay derives the pre-retry sleep from the 429's Retry-After
+// hint: capped, then jittered uniformly in [0.5x, 1.5x] from the
+// client's seeded stream so retries from many clients decorrelate.
+func retryDelay(resp *http.Response, rng *simrand.Source) time.Duration {
+	hint := time.Second
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec >= 0 {
+			hint = time.Duration(sec) * time.Second
+		}
+	}
+	if hint > retryAfterCap {
+		hint = retryAfterCap
+	}
+	return time.Duration(float64(hint) * (0.5 + rng.Float64()))
+}
+
+// postBatch sends one device batch and classifies the outcome,
+// re-sending shed batches up to retry429 times with the server's
+// (capped, jittered) Retry-After hint between attempts.
+func postBatch(client *http.Client, base, device string, recs []Record, rs *ReplayStats, retry429 int, rng *simrand.Source) {
 	rs.Batches++
 	body, err := EncodeBatch(recs)
 	if err != nil {
 		rs.addError(fmt.Sprintf("encode %s: %v", device, err))
 		return
 	}
-	resp, err := client.Post(base+"/v1/ingest?device="+device, "text/plain", bytes.NewReader(body))
-	if err != nil {
-		rs.addError(fmt.Sprintf("post %s: %v", device, err))
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		rs.OK++
-	case http.StatusTooManyRequests:
-		rs.Shed++
-	default:
-		rs.addError(fmt.Sprintf("post %s: status %d", device, resp.StatusCode))
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/v1/ingest?device="+device, "text/plain", bytes.NewReader(body))
+		if err != nil {
+			rs.addError(fmt.Sprintf("post %s: %v", device, err))
+			return
+		}
+		delay := retryDelay(resp, rng)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			rs.OK++
+			return
+		case http.StatusTooManyRequests:
+			if attempt < retry429 {
+				rs.Retried++
+				time.Sleep(delay)
+				continue
+			}
+			rs.Shed++
+			if retry429 > 0 {
+				rs.Abandoned++
+			}
+			return
+		default:
+			rs.addError(fmt.Sprintf("post %s: status %d", device, resp.StatusCode))
+			return
+		}
 	}
 }

@@ -29,6 +29,8 @@ type Metrics struct {
 
 	// Per-endpoint HTTP request counters.
 	ReportCalls  atomic.Uint64
+	FlaggedCalls atomic.Uint64
+	ConfigCalls  atomic.Uint64
 	HealthCalls  atomic.Uint64
 	ReadyCalls   atomic.Uint64
 	StatsCalls   atomic.Uint64
@@ -54,11 +56,14 @@ func (m *Metrics) WriteProm(w io.Writer, e *Engine) {
 	counter("sentry_records_ignored_total", "Applied records no rule consumes.", e.ignored.Load())
 	counter("sentry_ring_evictions_total", "Overlay records evicted by RingCap pressure.", e.ringEvictions.Load())
 	counter("sentry_detections_total", "Devices flagged.", e.detections.Load())
+	counter("sentry_journal_errors_total", "Detection journal appends that failed.", e.journalErrs.Load())
+	fmt.Fprintf(w, "# HELP sentry_config_version Active detection rule-set version.\n# TYPE sentry_config_version gauge\nsentry_config_version %d\n", e.RulesVersion())
 	for _, ep := range []struct {
 		name string
 		v    uint64
 	}{
 		{"ingest", m.IngestCalls.Load()}, {"report", m.ReportCalls.Load()},
+		{"flagged", m.FlaggedCalls.Load()}, {"config", m.ConfigCalls.Load()},
 		{"healthz", m.HealthCalls.Load()}, {"readyz", m.ReadyCalls.Load()},
 		{"stats", m.StatsCalls.Load()}, {"metrics", m.MetricsCalls.Load()},
 	} {

@@ -50,7 +50,10 @@ func (c ServerConfig) withDefaults() ServerConfig {
 //
 // Endpoints: POST /v1/ingest?device=ID (wire-format record batch for
 // one device), GET /v1/report (deterministic fleet snapshot),
-// GET /healthz, GET /readyz, GET /metrics, GET /stats.
+// GET /v1/flagged?device=ID (was this device ever flagged — answered
+// from restored journal state after a crash), POST /v1/config (live
+// rule-set swap, see config.go), GET /healthz, GET /readyz,
+// GET /metrics, GET /stats.
 type Server struct {
 	cfg     ServerConfig
 	engine  *Engine
@@ -77,6 +80,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.metrics.InFlight = func() int { return len(s.gate) }
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/flagged", s.handleFlagged)
+	s.mux.HandleFunc("POST /v1/config", s.handleConfig)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -106,6 +111,23 @@ type IngestResponse struct {
 	Device   string `json:"device"`
 	Records  int    `json:"records"`
 	Detected bool   `json:"detected"`
+	// Degraded is set by the ring router when the batch was absorbed by
+	// its local fallback engine because no peer acked; a plain sentryd
+	// never sets it.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// FlaggedResponse answers GET /v1/flagged?device=ID.
+type FlaggedResponse struct {
+	Device    string     `json:"device"`
+	Flagged   bool       `json:"flagged"`
+	Detection *Detection `json:"detection,omitempty"`
+}
+
+// ConfigResponse answers a successful POST /v1/config with the version
+// now active.
+type ConfigResponse struct {
+	Version uint64 `json:"version"`
 }
 
 // ErrorResponse answers a refused or failed ingest.
@@ -184,6 +206,53 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ReportCalls.Add(1)
 	s.writeJSON(w, http.StatusOK, s.engine.Snapshot())
+}
+
+// handleFlagged answers "was this device ever flagged". On a node wired
+// to a sentrystore the answer survives a SIGKILL: restarts restore the
+// journal before serving, so the response bytes match pre-crash ones.
+func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
+	s.metrics.FlaggedCalls.Add(1)
+	device := r.URL.Query().Get("device")
+	if !validToken(device) {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sentry: bad device %q", device))
+		return
+	}
+	resp := FlaggedResponse{Device: device}
+	if d, ok := s.engine.DetectionFor(device); ok {
+		resp.Flagged = true
+		resp.Detection = &d
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleConfig swaps the live rule set. Allowed even while the node is
+// draining: config is control plane, not ingest, and a router healing a
+// restarted peer must never be refused. 400 = malformed or invalid
+// update, 409 = stale or conflicting version; neither touches the
+// running rules.
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ConfigCalls.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("sentry: read body: %w", err))
+		return
+	}
+	u, err := ParseConfigUpdate(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.engine.ApplyConfig(u)
+	if err != nil {
+		status := http.StatusBadRequest
+		if u.Validate() == nil { // codec+bounds fine: it's a version conflict
+			status = http.StatusConflict
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ConfigResponse{Version: v})
 }
 
 // handleHealthz is pure liveness: the process is up and answering.

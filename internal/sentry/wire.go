@@ -66,6 +66,11 @@ type Record struct {
 	At time.Duration
 }
 
+// ValidToken reports whether s is a legal device/method token —
+// exported for the ring router, which validates device IDs before
+// hashing them onto the ring.
+func ValidToken(s string) bool { return validToken(s) }
+
 // validToken reports whether s is a legal device/method token.
 func validToken(s string) bool {
 	if len(s) == 0 || len(s) > maxTokenLen {

@@ -1,0 +1,358 @@
+package sentrystore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sentry"
+)
+
+// makeDetection builds a deterministic detection for index i, varying
+// the pattern and timing fields so byte-identity is a real check.
+func makeDetection(i int) sentry.Detection {
+	d := sentry.Detection{
+		Device:        fmt.Sprintf("dev-%05d", i),
+		At:            time.Duration(i+1) * 137 * time.Millisecond,
+		Calls:         8 + i%7,
+		ConfigVersion: uint64(1 + i%3),
+	}
+	if i%2 == 0 {
+		d.Pattern = sentry.PatternDrawAndDestroy
+		d.Swaps = 4 + i%4
+		d.MeanSwapGap = time.Duration(9+i%5) * time.Millisecond
+	} else {
+		d.Pattern = sentry.PatternNotifyFlood
+		d.Calls = 30 + i
+	}
+	return d
+}
+
+func keyFor(i int) string {
+	return FlagKey(makeDetection(i), 3*time.Second)
+}
+
+func TestPutGetReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flags.store")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := s.Put(keyFor(i), makeDetection(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st := r.Stats()
+	if st.Recovered != n || st.TornTail {
+		t.Fatalf("recovery stats %+v, want Recovered=%d TornTail=false", st, n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok, err := r.Get(keyFor(i))
+		if err != nil || !ok {
+			t.Fatalf("Get(%s): ok=%v err=%v", keyFor(i), ok, err)
+		}
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(makeDetection(i))
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("recovered detection %d differs:\n%s\nvs\n%s", i, gb, wb)
+		}
+	}
+	if _, ok, _ := r.Get("absent|draw-and-destroy|0"); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+// TestAllSortedByKey: All returns the journal in key order — the stable
+// input sentryd restores from.
+func TestAllSortedByKey(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "flags.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Insert out of order.
+	for _, i := range []int{9, 2, 7, 0, 4} {
+		if err := s.Put(keyFor(i), makeDetection(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 5 {
+		t.Fatalf("All returned %d detections, want 5", len(ds))
+	}
+	for j := 1; j < len(ds); j++ {
+		a := FlagKey(ds[j-1], 3*time.Second)
+		b := FlagKey(ds[j], 3*time.Second)
+		if a >= b {
+			t.Fatalf("All not sorted: %q >= %q", a, b)
+		}
+	}
+}
+
+// TestTornTailTruncatedExactlyOnce plants the disk image a crash
+// mid-append leaves behind and checks the first Open truncates it
+// exactly once: the second Open sees a clean file and no torn tail.
+func TestTornTailTruncatedExactlyOnce(t *testing.T) {
+	for _, tail := range []string{
+		`{"k":"dev-x|draw-and-destroy|0","detection":{"dev`, // partial JSON, no newline
+		`{"k":"dev-x|draw-and-destroy|0","detection":`,      // truncated mid-record
+		"{garbage}\n", // newline-terminated but malformed
+		`{"k":"","detection":{"device":"x"}}` + "\n", // parseable but empty key
+	} {
+		t.Run(fmt.Sprintf("%.12q", tail), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "flags.store")
+			s, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if err := s.Put(keyFor(i), makeDetection(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.Close()
+			intact, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.WriteString(tail)
+			f.Close()
+
+			r1, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := r1.Stats(); !st.TornTail || st.Recovered != 5 {
+				t.Fatalf("first open stats %+v, want TornTail=true Recovered=5", st)
+			}
+			r1.Close()
+			after, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(after, intact) {
+				t.Fatalf("truncation did not restore the intact prefix: %d bytes vs %d", len(after), len(intact))
+			}
+
+			r2, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r2.Close()
+			if st := r2.Stats(); st.TornTail || st.Recovered != 5 {
+				t.Fatalf("second open stats %+v, want TornTail=false Recovered=5 (tail must be truncated exactly once)", st)
+			}
+		})
+	}
+}
+
+// TestTornHeaderStartsOver: a crash before the header sync leaves an
+// unterminated first line; the store must reset to empty, not error.
+func TestTornHeaderStartsOver(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flags.store")
+	if err := os.WriteFile(path, []byte(`{"v":1,"st`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after torn header, want 0", s.Len())
+	}
+	if err := s.Put(keyFor(0), makeDetection(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForeignFormatRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flags.store")
+	if err := os.WriteFile(path, []byte(`{"v":99,"store":"other"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("foreign format opened (err=%v)", err)
+	}
+	// A vetstore file must also be refused, not silently absorbed.
+	if err := os.WriteFile(path, []byte(`{"v":1,"store":"vetstore"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("vetstore-format file opened as sentrystore")
+	}
+}
+
+// TestDuplicatesAndCompact: re-journaling the same flag key is counted
+// as a duplicate (last write wins) and Compact squeezes the history to
+// one record per key, deterministically.
+func TestDuplicatesAndCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flags.store")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(keyFor(i), makeDetection(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A retried batch re-fires the same flag in the same window.
+	if err := s.Put(keyFor(3), makeDetection(3)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Duplicates != 1 {
+		t.Fatalf("Duplicates = %d, want 1", st.Duplicates)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	compacted, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(bytes.Split(bytes.TrimRight(compacted, "\n"), []byte("\n"))), 11; got != want {
+		t.Fatalf("compacted file has %d lines, want %d (header + 10 records)", got, want)
+	}
+	// The store stays writable after compaction.
+	if err := s.Put(keyFor(10), makeDetection(10)); err != nil {
+		t.Fatalf("Put after Compact: %v", err)
+	}
+	s.Close()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 11 {
+		t.Fatalf("Len after compact+put = %d, want 11", r.Len())
+	}
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := os.ReadFile(path)
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := os.ReadFile(path)
+	if !bytes.Equal(first, second) {
+		t.Fatal("Compact output is not deterministic")
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flags.store")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Put(keyFor(0), makeDetection(0)); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("Compact on closed store succeeded")
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "flags.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("", makeDetection(0)); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+// TestFlaggerJournalsEngineDetections wires a real engine to a real
+// store through the Flagger seam and checks a fresh engine restored
+// from the store answers /v1/flagged-style queries identically.
+func TestFlaggerJournalsEngineDetections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flags.store")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sentry.NewEngine(sentry.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := e.Config().Window
+	e.SetJournal(Flagger{S: s, Window: window})
+
+	// A draw-and-destroy attacker stream: rapid add/remove swap pairs.
+	var recs []sentry.Record
+	for i := 0; i < 8; i++ {
+		at := time.Duration(i) * 6 * time.Millisecond
+		recs = append(recs,
+			sentry.Record{Device: "dev-a", Seq: uint64(2 * i), Method: sentry.MethodAddView, At: at},
+			sentry.Record{Device: "dev-a", Seq: uint64(2*i + 1), Method: sentry.MethodRemoveView, At: at + 3*time.Millisecond},
+		)
+	}
+	if _, err := e.Ingest("dev-a", recs); err != nil {
+		t.Fatal(err)
+	}
+	want, ok := e.DetectionFor("dev-a")
+	if !ok {
+		t.Fatal("attacker stream not detected")
+	}
+	if e.JournalErrors() != 0 {
+		t.Fatalf("JournalErrors = %d", e.JournalErrors())
+	}
+	s.Close()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ds, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := sentry.NewEngine(sentry.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Restore(ds); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e2.DetectionFor("dev-a")
+	if !ok {
+		t.Fatal("detection lost across store reopen + restore")
+	}
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if !bytes.Equal(gb, wb) {
+		t.Fatalf("restored detection differs:\n%s\nvs\n%s", gb, wb)
+	}
+}

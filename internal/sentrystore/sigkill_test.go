@@ -1,0 +1,124 @@
+package sentrystore
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// helperEnv makes a re-exec'ed copy of the test binary behave as a
+// journal writer: it opens the store at the given path and appends
+// deterministic detections as fast as the fsyncs allow, until it is
+// killed. It prints "put N" after each durable append so the parent
+// knows the prefix that must survive.
+const helperEnv = "SENTRYSTORE_HELPER_PATH"
+
+func TestMain(m *testing.M) {
+	path, ok := os.LookupEnv(helperEnv)
+	if !ok {
+		os.Exit(m.Run())
+	}
+	s, err := Open(path)
+	if err != nil {
+		os.Stderr.WriteString("helper: " + err.Error() + "\n")
+		os.Exit(1)
+	}
+	for i := 0; ; i++ {
+		if err := s.Put(keyFor(i), makeDetection(i)); err != nil {
+			os.Stderr.WriteString("helper: " + err.Error() + "\n")
+			os.Exit(1)
+		}
+		os.Stdout.WriteString("put " + strconv.Itoa(i) + "\n")
+	}
+}
+
+// TestRecoverAfterSIGKILL is the headline crash-safety check for the
+// detection journal: a writer process is SIGKILLed mid-append-loop, the
+// store is reopened, and every detection whose Put had returned before
+// the kill must come back byte-identical — the property that lets a
+// restarted sentryd answer "was this device ever flagged" from disk
+// alone. A second reopen must find a clean file: whatever tail the kill
+// left is truncated exactly once.
+func TestRecoverAfterSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test skipped in -short mode")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/flags.store"
+
+	victim := exec.Command(exe)
+	victim.Env = append(os.Environ(), helperEnv+"="+path)
+	var out bytes.Buffer
+	victim.Stdout = &out
+	victim.Stderr = os.Stderr
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	_ = victim.Process.Kill()
+	_ = victim.Wait() // reap; kill signal expected
+
+	// The highest index the helper acknowledged: every Put up to and
+	// including it returned after its fsync, so all of them must survive.
+	acked := -1
+	for _, ln := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if n, ok := strings.CutPrefix(ln, "put "); ok {
+			if i, err := strconv.Atoi(n); err == nil && i > acked {
+				acked = i
+			}
+		}
+	}
+	if acked < 0 {
+		t.Skip("victim acknowledged no appends before the kill; nothing to recover")
+	}
+
+	r1, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after SIGKILL: %v", err)
+	}
+	st1 := r1.Stats()
+	if st1.Recovered < acked+1 {
+		t.Fatalf("recovered %d detections, but %d appends were acknowledged durable", st1.Recovered, acked+1)
+	}
+	for i := 0; i <= acked; i++ {
+		got, ok, err := r1.Get(keyFor(i))
+		if err != nil || !ok {
+			t.Fatalf("detection %d lost after SIGKILL (ok=%v err=%v)", i, ok, err)
+		}
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(makeDetection(i))
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("detection %d differs after recovery:\n%s\nvs\n%s", i, gb, wb)
+		}
+	}
+	// The recovered journal keeps serving writes.
+	if err := r1.Put("post-crash|draw-and-destroy|0", makeDetection(acked+1)); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	r1.Close()
+
+	// If the kill left a torn tail, the first Open truncated it; this one
+	// must see a clean file with the same detections.
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer r2.Close()
+	st2 := r2.Stats()
+	if st2.TornTail {
+		t.Fatal("second open still sees a torn tail; truncation must happen exactly once")
+	}
+	if st2.Recovered != st1.Recovered+1 {
+		t.Fatalf("second open recovered %d, want %d", st2.Recovered, st1.Recovered+1)
+	}
+	t.Logf("recovered %d detections after SIGKILL (torn tail on first open: %v)", st1.Recovered, st1.TornTail)
+}

@@ -35,8 +35,10 @@
 // — is recognized and allowed.
 //
 // Serving packages (ServingPackages — currently internal/vetd, the
-// scan-before-install vetting service, and internal/vetring, the
-// verdict ring router) are exempt from the determinism rules only: they
+// scan-before-install vetting service, internal/vetring, the verdict
+// ring router, internal/sentry, the streaming detection service, and
+// internal/sentring, the detection ingest router) are exempt from the
+// determinism rules only: they
 // run on the wall clock by design, measuring real latencies, enforcing
 // real deadlines and owning their own goroutines. The robustness rules
 // and the math-rand ban still bind them, and the exemption is matched
@@ -141,6 +143,11 @@ var ServingPackages = map[string]bool{
 	// the device's own record stream (timestamps on the wire are
 	// virtual), so the exemption covers only the serving shell.
 	"sentry": true,
+	// sentring routes that detector's ingest across a ring of sentryd
+	// peers: health probes, retry backoff and circuit-breaker cooldowns
+	// are wall-clock by design, while batch placement stays a pure
+	// function of the device ID.
+	"sentring": true,
 }
 
 // panicExemptPackages may keep bare panics: the invariant monitor is the

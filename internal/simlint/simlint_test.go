@@ -474,6 +474,15 @@ func TestServingExemptionCoversSentry(t *testing.T) {
 	}
 }
 
+func TestServingExemptionCoversSentring(t *testing.T) {
+	// The detection ingest router is a serving package too: health
+	// probes, retry backoff and breaker cooldowns run on the wall clock.
+	diags := lintAs(t, "router.go", fmt.Sprintf(servingSrc, "sentring"))
+	if len(diags) != 0 {
+		t.Fatalf("serving package sentring flagged: %v", diags)
+	}
+}
+
 func TestServingExemptionCoversExternalTestPackage(t *testing.T) {
 	diags := lintAs(t, "server_test.go", fmt.Sprintf(servingSrc, "vetd_test"))
 	if len(diags) != 0 {

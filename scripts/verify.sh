@@ -11,8 +11,14 @@
 # parity smoke, a vetd serving smoke (checked vetload replay +
 # clean SIGINT shutdown), a distributed ring smoke (3 vetd peers behind
 # vetrouter, chaos kill/restart schedule, zero verdict mismatches
-# required), and a sentryd smoke (a 2000-device labeled fleet replay
-# that must detect every planted attacker with zero false positives).
+# required), a sentryd smoke (a 2000-device labeled fleet replay
+# that must detect every planted attacker with zero false positives), a
+# routed sentry chaos smoke (3 sentryd peers behind sentryrouter,
+# SIGKILL/restart cycles plus a live rule swap, zero detection
+# mismatches against a single-node reference required), and a benchmark
+# regression gate (every benchmark in the committed BENCH_*.json
+# snapshots re-run and required within BENCH_TOL percent of its
+# committed ns/op, best of up to three passes).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -152,6 +158,79 @@ done
 kill -INT "$SENTRYD_PID"
 wait "$SENTRYD_PID" || { echo "sentryd did not shut down cleanly on SIGINT"; cat "$SENTRYDLOG"; exit 1; }
 grep -q "shutdown complete" "$SENTRYDLOG" || { echo "sentryd missing shutdown line"; cat "$SENTRYDLOG"; exit 1; }
-rm -f "$SENTRYD" "$FLEETLOAD" "$SENTRYDLOG"
+rm -f "$SENTRYDLOG"
+
+# Routed sentry chaos smoke: fleetload spawns 3 sentryd peers (each with
+# a crash-safe detection journal) and a sentryrouter, replays a labeled
+# fleet through the router while the seeded chaos schedule SIGKILLs and
+# restarts peers, swaps the detection rules mid-run, and then proves the
+# distributed contracts: zero detection mismatches against a single-node
+# reference engine, exact exclusive router accounting
+# (routed+degraded+shed+failed == batches), /v1/flagged answers
+# byte-stable across a SIGKILL restart of every peer, and post-swap
+# detections stamped with the new config version — ending in clean
+# SIGINT exits from every process.
+echo "==> routed sentry chaos smoke (fleetload -ring 3 -chaos 300ms -swap)"
+SENTRYROUTER=/tmp/verify-sentryrouter.$$
+SENTRYSTORES=/tmp/verify-sentry-stores.$$
+go build -o "$SENTRYROUTER" ./cmd/sentryrouter
+"$FLEETLOAD" -ring 3 -sentryd-bin "$SENTRYD" -router-bin "$SENTRYROUTER" \
+	-store-dir "$SENTRYSTORES" -devices 1200 -attackers 24 -notif-abusers 12 \
+	-span 12s -seed 42 -clients 16 -batch 48 -chaos 300ms -chaos-kills 2 \
+	-swap -require-perfect \
+	|| { echo "routed sentry chaos smoke failed"; rm -rf "$SENTRYSTORES"; exit 1; }
+rm -rf "$SENTRYSTORES"
+rm -f "$SENTRYD" "$FLEETLOAD" "$SENTRYROUTER"
+
+# Benchmark regression gate: re-run every benchmark recorded in the
+# committed BENCH_*.json snapshots and require each ns/op within
+# BENCH_TOL percent (default 10) of its committed value. Both sides are
+# min-of-BENCHCOUNT numbers (see bench.sh): the minimum is a stable
+# lower bound on a shared host, since scheduler noise only inflates a
+# run. A pass can still spike, so the gate takes the best of up to
+# three passes — only re-running while a regression is still showing —
+# and a benchmark that disappears from the fresh run fails the gate
+# outright.
+BENCH_TOL="${BENCH_TOL:-10}"
+echo "==> bench regression gate (tolerance ${BENCH_TOL}%)"
+BENCHDIR=/tmp/verify-bench.$$
+mkdir -p "$BENCHDIR"
+cat BENCH_static.json BENCH_vetd.json BENCH_sentry.json BENCH_sentring.json BENCH_fleet.json >"$BENCHDIR/base.json"
+BENCH_OK=0
+for ATTEMPT in 1 2 3; do
+	BENCHTIME=200ms BENCHCOUNT=3 \
+	OUT="$BENCHDIR/run$ATTEMPT-static.json" \
+	OUT_VETD="$BENCHDIR/run$ATTEMPT-vetd.json" \
+	OUT_SENTRY="$BENCHDIR/run$ATTEMPT-sentry.json" \
+	OUT_SENTRING="$BENCHDIR/run$ATTEMPT-sentring.json" \
+	OUT_FLEET="$BENCHDIR/run$ATTEMPT-fleet.json" \
+		sh scripts/bench.sh >/dev/null
+	cat "$BENCHDIR"/run*-*.json >"$BENCHDIR/new.json"
+	if awk -v tol="$BENCH_TOL" '
+		function parse(line) {
+			name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+			ns = line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+		}
+		NR == FNR { if (/"name":/) { parse($0); base[name] = ns + 0 }; next }
+		/"name":/ { parse($0); if (!(name in best) || ns + 0 < best[name]) best[name] = ns + 0 }
+		END {
+			for (name in base) {
+				if (!(name in best)) { print "bench gate: " name " missing from fresh run"; bad = 1 }
+				else if (best[name] > base[name] * (1 + tol / 100)) {
+					printf "bench gate: %s regressed: %.0f ns/op vs %.0f committed (+%.1f%%)\n",
+						name, best[name], base[name], 100 * (best[name] / base[name] - 1)
+					bad = 1
+				}
+			}
+			exit bad
+		}
+	' "$BENCHDIR/base.json" "$BENCHDIR/new.json"; then
+		BENCH_OK=1
+		break
+	fi
+	echo "bench gate: attempt $ATTEMPT of 3 saw a regression; re-running"
+done
+rm -rf "$BENCHDIR"
+[ "$BENCH_OK" -eq 1 ] || { echo "bench gate: regression persisted across 3 passes (raise BENCH_TOL to override a known change)"; exit 1; }
 
 echo "verify: all checks passed"
